@@ -1,0 +1,184 @@
+// Command spfbench regenerates every figure and quantitative claim of the
+// paper as text tables (experiment index in DESIGN.md).
+//
+// Usage:
+//
+//	spfbench            # run all experiments
+//	spfbench E1 E10     # run selected experiments
+//	spfbench -list      # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+type experiment struct {
+	id, title string
+	run       func() (*report.Table, error)
+}
+
+func all() []experiment {
+	return []experiment{
+		{"E1", "Figure 1 — failure scopes and escalation", func() (*report.Table, error) {
+			r, err := experiments.E01FailureEscalation(64)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
+		{"E2", "Figure 2 — symmetric fence keys", func() (*report.Table, error) {
+			r, err := experiments.E02FenceInvariants(3000)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
+		{"E3", "Figure 3 — Foster B-tree foster relationships", func() (*report.Table, error) {
+			r, err := experiments.E03FosterVerification(6000)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
+		{"E4", "Figure 4 — optimized system recovery", func() (*report.Table, error) {
+			r, err := experiments.E04RedoOptimization(32)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
+		{"E5", "Figure 5 — user vs system transactions", func() (*report.Table, error) {
+			r, err := experiments.E05SystemTxnOverhead(50, 40)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
+		{"E6", "Figures 6+9 — per-page chain and PRI staleness", func() (*report.Table, error) {
+			r, err := experiments.E06PerPageChain(30)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
+		{"E7", "Figure 7 — page recovery index size", func() (*report.Table, error) {
+			r, err := experiments.E07PRISize([]int{1000, 10000, 100000, 1000000})
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
+		{"E8", "Figure 8 — read-path detection outcomes", func() (*report.Table, error) {
+			r, err := experiments.E08ReadPathDetection()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
+		{"E9", "Figure 9 — recovery readiness", func() (*report.Table, error) {
+			r, err := experiments.E09RecoveryReadiness()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
+		{"E10", "Figure 10 + §6 — recovery latency vs chain length", func() (*report.Table, error) {
+			r, err := experiments.E10RecoveryLatency([]int{1, 10, 50, 200, 1000})
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
+		{"E11", "Figure 11 — PRI update sequence crash windows", func() (*report.Table, error) {
+			r, err := experiments.E11UpdateSequence()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
+		{"E12", "Figure 12 — restart recovery actions", func() (*report.Table, error) {
+			r, err := experiments.E12RestartActions()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
+		{"E13", "§6 — recovery time by failure class", func() (*report.Table, error) {
+			r, err := experiments.E13RecoveryTimeByClass(48)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
+		{"E14", "§6 — backup policy sweep", func() (*report.Table, error) {
+			r, err := experiments.E14BackupPolicySweep([]int{10, 25, 100, 0}, 300)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
+		{"E15", "§2 — mirroring baseline comparison", func() (*report.Table, error) {
+			r, err := experiments.E15MirrorBaseline(5000)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
+		{"E16", "§1 — silent corruption campaign", func() (*report.Table, error) {
+			r, err := experiments.E16SilentCorruption(12)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table, nil
+		}},
+	}
+}
+
+func main() {
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+	exps := all()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-5s %s\n", e.id, e.title)
+		}
+		return
+	}
+	want := map[string]bool{}
+	for _, a := range flag.Args() {
+		want[strings.ToUpper(a)] = true
+	}
+	sort.SliceStable(exps, func(i, j int) bool { return numOf(exps[i].id) < numOf(exps[j].id) })
+	failed := 0
+	for _, e := range exps {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		fmt.Printf("== %s: %s ==\n", e.id, e.title)
+		t, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
+			failed++
+			continue
+		}
+		fmt.Print(t.String())
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func numOf(id string) int {
+	n := 0
+	for _, c := range id[1:] {
+		n = n*10 + int(c-'0')
+	}
+	return n
+}

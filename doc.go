@@ -1,0 +1,13 @@
+// Package repro is the root of a full reproduction of Graefe and Kuno,
+// "Definition, Detection, and Recovery of Single-Page Failures, a Fourth
+// Class of Database Failures" (PVLDB 5(7): 646-655, 2012).
+//
+// The public engine API lives in repro/spf; the paper's primary
+// contribution (the page recovery index and single-page recovery) lives in
+// internal/core; every substrate (page format, fault-injecting device,
+// write-ahead log, buffer pool, transactions, Foster B-tree, ARIES restart
+// and media recovery, backup management, mirroring baseline) is implemented
+// from scratch in internal/. The experiment harness reproducing every
+// figure and quantitative claim of the paper lives in internal/experiments,
+// driven by bench_test.go at this root and by cmd/spfbench.
+package repro

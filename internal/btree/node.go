@@ -1,0 +1,465 @@
+// Package btree implements a Foster B-tree (Graefe, Kimura, Kuno) with
+// symmetric fence keys — the storage structure the paper uses to show that
+// comprehensive failure detection can run as a side effect of normal
+// root-to-leaf descents (§4.2, Figs. 2–3).
+//
+// Every node carries a low and a high fence key: copies of the separator
+// keys posted in the node's parent when the node was split from its
+// neighbors. A node that recently split acts as the "foster parent" of its
+// new sibling (the "foster child") until the permanent parent adopts it;
+// during that time the foster parent carries the high fence of the entire
+// foster chain so that consistency checks can cover the chain from the
+// parent. Each node has exactly one incoming pointer at all times, which
+// enables cheap page migration (write-optimized B-trees, §5.1.3/§5.2.1).
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/page"
+)
+
+// Errors from node encoding/decoding and structural checks.
+var (
+	ErrNodeCorrupt   = errors.New("btree: node payload corrupt")
+	ErrNodeFull      = errors.New("btree: node full")
+	ErrKeyNotFound   = errors.New("btree: key not found")
+	ErrKeyExists     = errors.New("btree: key already exists")
+	ErrKeyOutOfFence = errors.New("btree: key outside node fences")
+)
+
+// fence is a fence key: a byte string or +infinity (the upper bound of the
+// rightmost nodes). The empty byte string serves as -infinity since keys
+// are non-empty.
+type fence struct {
+	inf bool
+	k   []byte
+}
+
+var infFence = fence{inf: true}
+
+func finite(k []byte) fence { return fence{k: k} }
+
+// less reports f < g in fence order.
+func (f fence) less(g fence) bool {
+	if f.inf {
+		return false
+	}
+	if g.inf {
+		return true
+	}
+	return bytes.Compare(f.k, g.k) < 0
+}
+
+// equal reports fence equality.
+func (f fence) equal(g fence) bool {
+	return f.inf == g.inf && (f.inf || bytes.Equal(f.k, g.k))
+}
+
+// coversKey reports low <= key < high for a node with these fences.
+func coversKey(low, high fence, key []byte) bool {
+	if !low.inf && bytes.Compare(key, low.k) < 0 {
+		return false
+	}
+	if high.inf {
+		return true
+	}
+	return bytes.Compare(key, high.k) < 0
+}
+
+func (f fence) String() string {
+	if f.inf {
+		return "+inf"
+	}
+	return fmt.Sprintf("%q", f.k)
+}
+
+// leafEntry is one record in a leaf node. Ghost records ("pseudo-deleted",
+// §5.1.5) remain in place after logical deletion until a system transaction
+// reclaims them.
+type leafEntry struct {
+	key   []byte
+	val   []byte
+	ghost bool
+}
+
+// node is the decoded form of a B-tree page payload.
+type node struct {
+	level     uint16 // 0 = leaf
+	low       fence  // low fence: inclusive lower bound
+	high      fence  // high fence: exclusive upper bound of keys in THIS node
+	chainHigh fence  // high fence of the entire foster chain (== high when no foster child)
+	foster    page.ID
+
+	// Leaf state (level == 0).
+	entries []leafEntry
+
+	// Branch state (level > 0): children[i] covers [sep[i-1], sep[i])
+	// with sep[-1] = low and sep[len] = high.
+	children []page.ID
+	seps     [][]byte
+}
+
+func newLeaf(low, high fence) *node {
+	return &node{level: 0, low: low, high: high, chainHigh: high}
+}
+
+func newBranch(level uint16, low, high fence, children []page.ID, seps [][]byte) *node {
+	return &node{level: level, low: low, high: high, chainHigh: high, children: children, seps: seps}
+}
+
+func (n *node) isLeaf() bool    { return n.level == 0 }
+func (n *node) hasFoster() bool { return n.foster != page.InvalidID }
+
+// fanout returns the number of entries (leaf) or children (branch).
+func (n *node) fanout() int {
+	if n.isLeaf() {
+		return len(n.entries)
+	}
+	return len(n.children)
+}
+
+// Node payload layout (little endian):
+//
+//	u16 level
+//	u8  flags (bit0: foster present, bit1: high==inf, bit2: chainHigh==inf)
+//	fence low  (u16 len + bytes; inf never occurs for low in this layout —
+//	            the leftmost node's low fence is the empty string)
+//	fence high (u16 len + bytes, omitted when inf)
+//	fence chainHigh (u16 len + bytes, omitted when inf)
+//	u64 foster page id (0 when none)
+//	u16 count
+//	leaf:   count * (u16 keyLen, key, u32 valLen|ghostBit, val)
+//	branch: count * u64 child ids, then (count-1) * (u16 sepLen, sep)
+const ghostBit = 1 << 31
+
+// encode serializes the node into a page payload.
+func (n *node) encode() []byte {
+	var buf bytes.Buffer
+	var tmp [8]byte
+	put16 := func(v uint16) {
+		binary.LittleEndian.PutUint16(tmp[:2], v)
+		buf.Write(tmp[:2])
+	}
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(tmp[:4], v)
+		buf.Write(tmp[:4])
+	}
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(tmp[:8], v)
+		buf.Write(tmp[:8])
+	}
+	putBytes16 := func(b []byte) {
+		put16(uint16(len(b)))
+		buf.Write(b)
+	}
+	put16(n.level)
+	var flags uint8
+	if n.hasFoster() {
+		flags |= 1
+	}
+	if n.high.inf {
+		flags |= 2
+	}
+	if n.chainHigh.inf {
+		flags |= 4
+	}
+	buf.WriteByte(flags)
+	putBytes16(n.low.k)
+	if !n.high.inf {
+		putBytes16(n.high.k)
+	}
+	if !n.chainHigh.inf {
+		putBytes16(n.chainHigh.k)
+	}
+	put64(uint64(n.foster))
+	if n.isLeaf() {
+		put16(uint16(len(n.entries)))
+		for _, e := range n.entries {
+			putBytes16(e.key)
+			vl := uint32(len(e.val))
+			if e.ghost {
+				vl |= ghostBit
+			}
+			put32(vl)
+			buf.Write(e.val)
+		}
+	} else {
+		put16(uint16(len(n.children)))
+		for _, c := range n.children {
+			put64(uint64(c))
+		}
+		for _, s := range n.seps {
+			putBytes16(s)
+		}
+	}
+	return buf.Bytes()
+}
+
+// encodedSize returns the byte length encode would produce.
+func (n *node) encodedSize() int {
+	size := 2 + 1 + 2 + len(n.low.k) + 8 + 2
+	if !n.high.inf {
+		size += 2 + len(n.high.k)
+	}
+	if !n.chainHigh.inf {
+		size += 2 + len(n.chainHigh.k)
+	}
+	if n.isLeaf() {
+		for _, e := range n.entries {
+			size += 2 + len(e.key) + 4 + len(e.val)
+		}
+	} else {
+		size += 8 * len(n.children)
+		for _, s := range n.seps {
+			size += 2 + len(s)
+		}
+	}
+	return size
+}
+
+// decodeNode parses a page payload into a node.
+func decodeNode(payload []byte) (*node, error) {
+	r := &reader{b: payload}
+	n := &node{}
+	n.level = r.u16()
+	flags := r.u8()
+	n.low = finite(r.bytes16())
+	if flags&2 != 0 {
+		n.high = infFence
+	} else {
+		n.high = finite(r.bytes16())
+	}
+	if flags&4 != 0 {
+		n.chainHigh = infFence
+	} else {
+		n.chainHigh = finite(r.bytes16())
+	}
+	n.foster = page.ID(r.u64())
+	count := int(r.u16())
+	if n.isLeaf() {
+		n.entries = make([]leafEntry, 0, count)
+		for i := 0; i < count; i++ {
+			key := r.bytes16()
+			vl := r.u32()
+			ghost := vl&ghostBit != 0
+			vl &^= ghostBit
+			val := r.take(int(vl))
+			n.entries = append(n.entries, leafEntry{key: key, val: val, ghost: ghost})
+		}
+	} else {
+		n.children = make([]page.ID, 0, count)
+		for i := 0; i < count; i++ {
+			n.children = append(n.children, page.ID(r.u64()))
+		}
+		if count > 0 {
+			n.seps = make([][]byte, 0, count-1)
+			for i := 0; i < count-1; i++ {
+				n.seps = append(n.seps, r.bytes16())
+			}
+		}
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNodeCorrupt, r.err)
+	}
+	if r.pos != len(payload) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrNodeCorrupt, len(payload)-r.pos)
+	}
+	if flags&1 != 0 && n.foster == page.InvalidID {
+		return nil, fmt.Errorf("%w: foster flag with no foster id", ErrNodeCorrupt)
+	}
+	if flags&1 == 0 && n.foster != page.InvalidID {
+		return nil, fmt.Errorf("%w: foster id with no foster flag", ErrNodeCorrupt)
+	}
+	return n, nil
+}
+
+// reader is a bounds-checked little-endian cursor.
+type reader struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("truncated at offset %d", r.pos)
+	}
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil || r.pos+1 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.pos]
+	r.pos++
+	return v
+}
+
+func (r *reader) u16() uint16 {
+	if r.err != nil || r.pos+2 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.b[r.pos:])
+	r.pos += 2
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.pos+4 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.pos:])
+	r.pos += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.pos+8 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.pos:])
+	r.pos += 8
+	return v
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil || n < 0 || r.pos+n > len(r.b) {
+		r.fail()
+		return nil
+	}
+	v := make([]byte, n)
+	copy(v, r.b[r.pos:r.pos+n])
+	r.pos += n
+	return v
+}
+
+func (r *reader) bytes16() []byte {
+	n := r.u16()
+	return r.take(int(n))
+}
+
+// findLeaf returns the index of key in a leaf's entries and whether it is
+// present (ghosts count as present; callers check the ghost flag).
+func (n *node) findLeaf(key []byte) (int, bool) {
+	lo, hi := 0, len(n.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(n.entries[mid].key, key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(n.entries) && bytes.Equal(n.entries[lo].key, key) {
+		return lo, true
+	}
+	return lo, false
+}
+
+// childFor returns the index of the child covering key, plus the expected
+// fences of that child derived from the parent's separators — the
+// redundancy that every descent verifies (§4.2).
+func (n *node) childFor(key []byte) (idx int, expLow, expHigh fence) {
+	lo, hi := 0, len(n.seps)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(n.seps[mid], key) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	idx = lo
+	if idx == 0 {
+		expLow = n.low
+	} else {
+		expLow = finite(n.seps[idx-1])
+	}
+	if idx == len(n.seps) {
+		expHigh = n.high
+	} else {
+		expHigh = finite(n.seps[idx])
+	}
+	return idx, expLow, expHigh
+}
+
+// insertLeafEntry places e in sorted position. It fails if the key exists.
+func (n *node) insertLeafEntry(e leafEntry) error {
+	i, found := n.findLeaf(e.key)
+	if found {
+		return fmt.Errorf("%w: %q", ErrKeyExists, e.key)
+	}
+	n.entries = append(n.entries, leafEntry{})
+	copy(n.entries[i+1:], n.entries[i:])
+	n.entries[i] = e
+	return nil
+}
+
+// removeLeafEntry deletes the entry for key physically.
+func (n *node) removeLeafEntry(key []byte) (leafEntry, error) {
+	i, found := n.findLeaf(key)
+	if !found {
+		return leafEntry{}, fmt.Errorf("%w: %q", ErrKeyNotFound, key)
+	}
+	e := n.entries[i]
+	n.entries = append(n.entries[:i], n.entries[i+1:]...)
+	return e, nil
+}
+
+// insertChild adds (sep, child) into a branch: child covers [sep, nextSep).
+func (n *node) insertChild(sep []byte, child page.ID) error {
+	lo, hi := 0, len(n.seps)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(n.seps[mid], sep) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(n.seps) && bytes.Equal(n.seps[lo], sep) {
+		return fmt.Errorf("%w: separator %q", ErrKeyExists, sep)
+	}
+	n.seps = append(n.seps, nil)
+	copy(n.seps[lo+1:], n.seps[lo:])
+	n.seps[lo] = sep
+	n.children = append(n.children, 0)
+	copy(n.children[lo+2:], n.children[lo+1:])
+	n.children[lo+1] = child
+	return nil
+}
+
+// shortestSeparator returns the shortest byte string s with a < s <= b,
+// implementing suffix truncation of separator keys (Bayer/Unterauer prefix
+// B-trees, cited by the paper for small fence keys).
+func shortestSeparator(a, b []byte) []byte {
+	for i := 0; i < len(b); i++ {
+		var ca byte
+		if i < len(a) {
+			ca = a[i]
+		} else if i == len(a) {
+			// a is a strict prefix of b: the shortest separator is
+			// b's prefix one byte longer than a... but any s with
+			// prefix a and s <= b works only if s > a; a+b[i] is
+			// the candidate.
+			return append(append([]byte{}, b[:i]...), b[i])
+		}
+		if b[i] > ca {
+			// Truncate after this position.
+			return append(append([]byte{}, b[:i]...), b[i])
+		}
+		if b[i] < ca {
+			// Shouldn't happen for a < b; fall back to b.
+			break
+		}
+	}
+	return append([]byte{}, b...)
+}

@@ -1,0 +1,607 @@
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/page"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// Op codes for the redo payloads of B-tree log records. Redo is physical
+// ("applies to the same data pages", §5.1.2): every op is deterministic
+// given the page's prior state and always applied forward — compensation
+// during rollback logs a CLR whose payload is itself a forward op (the
+// inverse), so redo never distinguishes normal records from CLRs.
+//
+// Undo of user-level leaf ops is logical (a fresh descent finds the key
+// wherever splits moved it, §5.1.2); undo of system-transaction structural
+// ops is physical inverse, which is safe because system transactions hold
+// their page latches until commit, so no other work can intervene on those
+// pages before a crash.
+const (
+	opInvalid uint8 = iota
+	// opLeafInsert: tree root, key, value. User op.
+	opLeafInsert
+	// opLeafGhost: tree root, key, ghost flag, prior flag. User op
+	// (logical delete and its compensation).
+	opLeafGhost
+	// opLeafUpdate: tree root, key, new value, old value. User op.
+	opLeafUpdate
+	// opLeafPurge: key, old value, old ghost flag. Physical removal of an
+	// entry (ghost cleanup by system transactions; insert compensation).
+	opLeafPurge
+	// opLeafReinsert: key, value, ghost flag. Physical reinsertion
+	// (compensation of opLeafPurge).
+	opLeafReinsert
+	// opSplitTruncate: foster pid, foster key, pre-image.
+	opSplitTruncate
+	// opClearFoster: foster pid, old chain-high fence.
+	opClearFoster
+	// opSetFoster: foster pid, chain-high fence (compensation of
+	// opClearFoster).
+	opSetFoster
+	// opAdopt: separator, child pid.
+	opAdopt
+	// opDeAdopt: separator, child pid (compensation of opAdopt).
+	opDeAdopt
+	// opReplaceNode: new payload, old payload (root growth; also the
+	// compensation of opSplitTruncate and of itself).
+	opReplaceNode
+	// opMetaPut: tree name, root pid, old root pid. Root == 0 deletes
+	// the binding.
+	opMetaPut
+	// opRawSet: new payload, old payload. For TypeRaw test pages.
+	opRawSet
+)
+
+// ErrBadOp reports an unparseable or inapplicable op payload.
+var ErrBadOp = errors.New("btree: bad op payload")
+
+// opWriter builds op payloads.
+type opWriter struct{ buf bytes.Buffer }
+
+func (w *opWriter) op(code uint8) *opWriter {
+	w.buf.WriteByte(code)
+	return w
+}
+
+func (w *opWriter) b16(b []byte) *opWriter {
+	var t [2]byte
+	binary.LittleEndian.PutUint16(t[:], uint16(len(b)))
+	w.buf.Write(t[:])
+	w.buf.Write(b)
+	return w
+}
+
+func (w *opWriter) b32(b []byte) *opWriter {
+	var t [4]byte
+	binary.LittleEndian.PutUint32(t[:], uint32(len(b)))
+	w.buf.Write(t[:])
+	w.buf.Write(b)
+	return w
+}
+
+func (w *opWriter) u8(v uint8) *opWriter {
+	w.buf.WriteByte(v)
+	return w
+}
+
+func (w *opWriter) u64(v uint64) *opWriter {
+	var t [8]byte
+	binary.LittleEndian.PutUint64(t[:], v)
+	w.buf.Write(t[:])
+	return w
+}
+
+func (w *opWriter) fence(f fence) *opWriter {
+	if f.inf {
+		w.u8(1)
+	} else {
+		w.u8(0)
+		w.b16(f.k)
+	}
+	return w
+}
+
+func (w *opWriter) bytes() []byte { return w.buf.Bytes() }
+
+// opReader parses op payloads using the bounds-checked reader from node.go.
+type opReader struct{ r reader }
+
+func (o *opReader) b32() []byte {
+	n := o.r.u32()
+	return o.r.take(int(n))
+}
+
+func (o *opReader) fence() fence {
+	if o.r.u8() == 1 {
+		return infFence
+	}
+	return finite(o.r.bytes16())
+}
+
+func encodeLeafInsert(root page.ID, key, val []byte) []byte {
+	return (&opWriter{}).op(opLeafInsert).u64(uint64(root)).b16(key).b32(val).bytes()
+}
+
+func encodeLeafGhost(root page.ID, key []byte, ghost, prior bool) []byte {
+	return (&opWriter{}).op(opLeafGhost).u64(uint64(root)).b16(key).
+		u8(boolByte(ghost)).u8(boolByte(prior)).bytes()
+}
+
+func encodeLeafUpdate(root page.ID, key, newVal, oldVal []byte) []byte {
+	return (&opWriter{}).op(opLeafUpdate).u64(uint64(root)).b16(key).b32(newVal).b32(oldVal).bytes()
+}
+
+func encodeLeafPurge(key, oldVal []byte, wasGhost bool) []byte {
+	return (&opWriter{}).op(opLeafPurge).b16(key).b32(oldVal).u8(boolByte(wasGhost)).bytes()
+}
+
+func encodeLeafReinsert(key, val []byte, ghost bool) []byte {
+	return (&opWriter{}).op(opLeafReinsert).b16(key).b32(val).u8(boolByte(ghost)).bytes()
+}
+
+func encodeSplitTruncate(fosterPID page.ID, fosterKey []byte, preImage []byte) []byte {
+	return (&opWriter{}).op(opSplitTruncate).u64(uint64(fosterPID)).b16(fosterKey).b32(preImage).bytes()
+}
+
+func encodeClearFoster(fosterPID page.ID, oldChainHigh fence) []byte {
+	return (&opWriter{}).op(opClearFoster).u64(uint64(fosterPID)).fence(oldChainHigh).bytes()
+}
+
+func encodeSetFoster(fosterPID page.ID, chainHigh fence) []byte {
+	return (&opWriter{}).op(opSetFoster).u64(uint64(fosterPID)).fence(chainHigh).bytes()
+}
+
+func encodeAdopt(sep []byte, child page.ID) []byte {
+	return (&opWriter{}).op(opAdopt).b16(sep).u64(uint64(child)).bytes()
+}
+
+func encodeDeAdopt(sep []byte, child page.ID) []byte {
+	return (&opWriter{}).op(opDeAdopt).b16(sep).u64(uint64(child)).bytes()
+}
+
+func encodeReplaceNode(newPayload, oldPayload []byte) []byte {
+	return (&opWriter{}).op(opReplaceNode).b32(newPayload).b32(oldPayload).bytes()
+}
+
+// EncodeMetaPut builds the op registering tree name -> root in the meta
+// page (root == InvalidID deletes the binding); oldRoot enables undo.
+func EncodeMetaPut(name string, root, oldRoot page.ID) []byte {
+	return (&opWriter{}).op(opMetaPut).b16([]byte(name)).u64(uint64(root)).u64(uint64(oldRoot)).bytes()
+}
+
+// EncodeRawSet builds an op payload replacing a TypeRaw page's contents;
+// used by tests, examples, and benchmarks that exercise recovery without a
+// B-tree.
+func EncodeRawSet(newPayload, oldPayload []byte) []byte {
+	return (&opWriter{}).op(opRawSet).b32(newPayload).b32(oldPayload).bytes()
+}
+
+func boolByte(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Applier applies redo ops to pages; it implements core.RedoApplier for
+// every page type the engine stores (B-tree nodes, the meta page, raw test
+// pages).
+type Applier struct{}
+
+// ApplyRedo applies the record's redo action to pg. The caller advances
+// pg's LSN afterwards (and must have verified the per-page chain).
+func (Applier) ApplyRedo(rec *wal.Record, pg *page.Page) error {
+	return applyOp(rec.Payload, pg)
+}
+
+func applyOp(payload []byte, pg *page.Page) error {
+	if len(payload) == 0 {
+		return fmt.Errorf("%w: empty payload", ErrBadOp)
+	}
+	o := &opReader{r: reader{b: payload, pos: 1}}
+	code := payload[0]
+
+	switch code {
+	case opRawSet, opReplaceNode:
+		newP := o.b32()
+		o.b32() // old payload: undo information only
+		if o.r.err != nil {
+			return fmt.Errorf("%w: %v", ErrBadOp, o.r.err)
+		}
+		return pg.SetPayload(newP)
+	case opMetaPut:
+		name := string(o.r.bytes16())
+		root := page.ID(o.r.u64())
+		o.r.u64() // old root: undo information only
+		if o.r.err != nil {
+			return fmt.Errorf("%w: %v", ErrBadOp, o.r.err)
+		}
+		reg, err := decodeRegistry(pg.Payload())
+		if err != nil {
+			return err
+		}
+		if root == page.InvalidID {
+			delete(reg, name)
+		} else {
+			reg[name] = root
+		}
+		return pg.SetPayload(encodeRegistry(reg))
+	}
+
+	// All remaining ops operate on B-tree nodes.
+	n, err := decodeNode(pg.Payload())
+	if err != nil {
+		return err
+	}
+	switch code {
+	case opLeafInsert:
+		o.r.u64() // tree root: undo routing only
+		key := o.r.bytes16()
+		val := o.b32()
+		if o.r.err != nil {
+			return fmt.Errorf("%w: %v", ErrBadOp, o.r.err)
+		}
+		if i, found := n.findLeaf(key); found {
+			if !n.entries[i].ghost {
+				return fmt.Errorf("%w: insert over live key %q", ErrBadOp, key)
+			}
+			n.entries[i].val = val
+			n.entries[i].ghost = false
+		} else if err := n.insertLeafEntry(leafEntry{key: key, val: val}); err != nil {
+			return err
+		}
+	case opLeafGhost:
+		o.r.u64()
+		key := o.r.bytes16()
+		ghost := o.r.u8() == 1
+		o.r.u8() // prior flag: undo information only
+		if o.r.err != nil {
+			return fmt.Errorf("%w: %v", ErrBadOp, o.r.err)
+		}
+		i, found := n.findLeaf(key)
+		if !found {
+			return fmt.Errorf("%w: ghost of absent key %q", ErrKeyNotFound, key)
+		}
+		n.entries[i].ghost = ghost
+	case opLeafUpdate:
+		o.r.u64()
+		key := o.r.bytes16()
+		newVal := o.b32()
+		o.b32() // old value: undo information only
+		if o.r.err != nil {
+			return fmt.Errorf("%w: %v", ErrBadOp, o.r.err)
+		}
+		i, found := n.findLeaf(key)
+		if !found {
+			return fmt.Errorf("%w: update of absent key %q", ErrKeyNotFound, key)
+		}
+		n.entries[i].val = newVal
+	case opLeafPurge:
+		key := o.r.bytes16()
+		o.b32()  // old value: undo information only
+		o.r.u8() // old ghost flag
+		if o.r.err != nil {
+			return fmt.Errorf("%w: %v", ErrBadOp, o.r.err)
+		}
+		if _, err := n.removeLeafEntry(key); err != nil {
+			return err
+		}
+	case opLeafReinsert:
+		key := o.r.bytes16()
+		val := o.b32()
+		ghost := o.r.u8() == 1
+		if o.r.err != nil {
+			return fmt.Errorf("%w: %v", ErrBadOp, o.r.err)
+		}
+		if err := n.insertLeafEntry(leafEntry{key: key, val: val, ghost: ghost}); err != nil {
+			return err
+		}
+	case opSplitTruncate:
+		fosterPID := page.ID(o.r.u64())
+		fosterKey := o.r.bytes16()
+		o.b32() // pre-image: undo information only
+		if o.r.err != nil {
+			return fmt.Errorf("%w: %v", ErrBadOp, o.r.err)
+		}
+		applySplitTruncate(n, fosterPID, fosterKey)
+	case opClearFoster:
+		o.r.u64() // cleared foster pid: undo information only
+		o.fence() // old chain high: undo information only
+		if o.r.err != nil {
+			return fmt.Errorf("%w: %v", ErrBadOp, o.r.err)
+		}
+		n.foster = page.InvalidID
+		n.chainHigh = n.high
+	case opSetFoster:
+		fosterPID := page.ID(o.r.u64())
+		chainHigh := o.fence()
+		if o.r.err != nil {
+			return fmt.Errorf("%w: %v", ErrBadOp, o.r.err)
+		}
+		n.foster = fosterPID
+		n.chainHigh = chainHigh
+	case opAdopt:
+		sep := o.r.bytes16()
+		child := page.ID(o.r.u64())
+		if o.r.err != nil {
+			return fmt.Errorf("%w: %v", ErrBadOp, o.r.err)
+		}
+		if err := n.insertChild(sep, child); err != nil {
+			return err
+		}
+	case opDeAdopt:
+		sep := o.r.bytes16()
+		child := page.ID(o.r.u64())
+		if o.r.err != nil {
+			return fmt.Errorf("%w: %v", ErrBadOp, o.r.err)
+		}
+		if err := removeChild(n, sep, child); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("%w: opcode %d", ErrBadOp, code)
+	}
+	return pg.SetPayload(n.encode())
+}
+
+// applySplitTruncate performs the foster-parent half of a node split:
+// everything at or above the foster key moves out (the foster child's
+// format record holds it), the high fence drops to the foster key, and the
+// foster pointer is installed. The chain high fence is unchanged: the
+// foster parent "carries the high fence key of the entire chain" (§4.2).
+func applySplitTruncate(n *node, fosterPID page.ID, fosterKey []byte) {
+	if n.isLeaf() {
+		cut := len(n.entries)
+		for i, e := range n.entries {
+			if bytes.Compare(e.key, fosterKey) >= 0 {
+				cut = i
+				break
+			}
+		}
+		n.entries = n.entries[:cut]
+	} else {
+		cut := len(n.seps)
+		for i, s := range n.seps {
+			if bytes.Compare(s, fosterKey) >= 0 {
+				cut = i
+				break
+			}
+		}
+		n.seps = n.seps[:cut]
+		n.children = n.children[:cut+1]
+	}
+	n.high = finite(fosterKey)
+	n.foster = fosterPID
+}
+
+// removeChild undoes an adoption.
+func removeChild(n *node, sep []byte, child page.ID) error {
+	for i, s := range n.seps {
+		if bytes.Equal(s, sep) {
+			if n.children[i+1] != child {
+				return fmt.Errorf("%w: adopt undo child mismatch", ErrBadOp)
+			}
+			n.seps = append(n.seps[:i], n.seps[i+1:]...)
+			n.children = append(n.children[:i+1], n.children[i+2:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: adopt undo separator %q not found", ErrBadOp, sep)
+}
+
+// IsUserLeafOp reports whether a record payload is a user-level leaf op
+// requiring logical undo (vs a structural op undone physically).
+func IsUserLeafOp(payload []byte) bool {
+	if len(payload) == 0 {
+		return false
+	}
+	switch payload[0] {
+	case opLeafInsert, opLeafGhost, opLeafUpdate:
+		return true
+	}
+	return false
+}
+
+// Compensate undoes one update record during rollback, logging a CLR whose
+// payload is the forward-applicable inverse op. User-level leaf ops are
+// undone logically through a fresh descent; structural ops are undone
+// physically on the page they touched.
+func Compensate(t *txn.Txn, pager Pager, rec *wal.Record) error {
+	if len(rec.Payload) == 0 {
+		return fmt.Errorf("%w: empty payload at LSN %d", ErrBadOp, rec.LSN)
+	}
+	o := &opReader{r: reader{b: rec.Payload, pos: 1}}
+	switch rec.Payload[0] {
+	case opLeafInsert:
+		root := page.ID(o.r.u64())
+		key := o.r.bytes16()
+		if o.r.err != nil {
+			return fmt.Errorf("%w: %v", ErrBadOp, o.r.err)
+		}
+		tr := Open("", root, pager)
+		return tr.undoInsert(t, key, rec.PrevLSN)
+	case opLeafGhost:
+		root := page.ID(o.r.u64())
+		key := o.r.bytes16()
+		ghost := o.r.u8() == 1
+		prior := o.r.u8() == 1
+		if o.r.err != nil {
+			return fmt.Errorf("%w: %v", ErrBadOp, o.r.err)
+		}
+		tr := Open("", root, pager)
+		return tr.undoGhost(t, key, prior, ghost, rec.PrevLSN)
+	case opLeafUpdate:
+		root := page.ID(o.r.u64())
+		key := o.r.bytes16()
+		o.b32() // new value
+		oldVal := o.b32()
+		if o.r.err != nil {
+			return fmt.Errorf("%w: %v", ErrBadOp, o.r.err)
+		}
+		tr := Open("", root, pager)
+		return tr.undoUpdate(t, key, oldVal, rec.PrevLSN)
+	default:
+		return compensatePhysical(t, pager, rec)
+	}
+}
+
+// compensatePhysical undoes a structural op in place.
+func compensatePhysical(t *txn.Txn, pager Pager, rec *wal.Record) error {
+	h, err := pager.Fetch(rec.PageID)
+	if err != nil {
+		return err
+	}
+	defer h.Release()
+	h.Lock()
+	defer h.Unlock()
+	inv, err := inverseOp(rec.Payload, h.Page())
+	if err != nil {
+		return err
+	}
+	return logApplyCLR(t, h, inv, rec.PrevLSN)
+}
+
+// inverseOp constructs the forward-applicable compensation op for a
+// structural op, given the page's current contents.
+func inverseOp(payload []byte, pg *page.Page) ([]byte, error) {
+	if len(payload) == 0 {
+		return nil, ErrBadOp
+	}
+	o := &opReader{r: reader{b: payload, pos: 1}}
+	switch payload[0] {
+	case opLeafPurge:
+		key := o.r.bytes16()
+		oldVal := o.b32()
+		wasGhost := o.r.u8() == 1
+		if o.r.err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadOp, o.r.err)
+		}
+		return encodeLeafReinsert(key, oldVal, wasGhost), nil
+	case opLeafReinsert:
+		key := o.r.bytes16()
+		val := o.b32()
+		ghost := o.r.u8() == 1
+		if o.r.err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadOp, o.r.err)
+		}
+		return encodeLeafPurge(key, val, ghost), nil
+	case opSplitTruncate:
+		o.r.u64()
+		o.r.bytes16()
+		preImage := o.b32()
+		if o.r.err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadOp, o.r.err)
+		}
+		return encodeReplaceNode(preImage, append([]byte(nil), pg.Payload()...)), nil
+	case opClearFoster:
+		fosterPID := page.ID(o.r.u64())
+		oldChainHigh := o.fence()
+		if o.r.err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadOp, o.r.err)
+		}
+		return encodeSetFoster(fosterPID, oldChainHigh), nil
+	case opSetFoster:
+		fosterPID := page.ID(o.r.u64())
+		if o.r.err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadOp, o.r.err)
+		}
+		n, err := decodeNode(pg.Payload())
+		if err != nil {
+			return nil, err
+		}
+		return encodeClearFoster(fosterPID, n.chainHigh), nil
+	case opAdopt:
+		sep := o.r.bytes16()
+		child := page.ID(o.r.u64())
+		if o.r.err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadOp, o.r.err)
+		}
+		return encodeDeAdopt(sep, child), nil
+	case opDeAdopt:
+		sep := o.r.bytes16()
+		child := page.ID(o.r.u64())
+		if o.r.err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadOp, o.r.err)
+		}
+		return encodeAdopt(sep, child), nil
+	case opReplaceNode:
+		o.b32()
+		oldP := o.b32()
+		if o.r.err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadOp, o.r.err)
+		}
+		return encodeReplaceNode(oldP, append([]byte(nil), pg.Payload()...)), nil
+	case opMetaPut:
+		name := string(o.r.bytes16())
+		root := page.ID(o.r.u64())
+		oldRoot := page.ID(o.r.u64())
+		if o.r.err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadOp, o.r.err)
+		}
+		return EncodeMetaPut(name, oldRoot, root), nil
+	case opRawSet:
+		newP := o.b32()
+		oldP := o.b32()
+		if o.r.err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadOp, o.r.err)
+		}
+		return EncodeRawSet(oldP, newP), nil
+	default:
+		return nil, fmt.Errorf("%w: no inverse for opcode %d", ErrBadOp, payload[0])
+	}
+}
+
+// Meta-page registry: the named-tree directory stored in the engine's meta
+// page. Layout: u16 count, then count * (u16 nameLen, name, u64 root).
+func encodeRegistry(reg map[string]page.ID) []byte {
+	names := make([]string, 0, len(reg))
+	for name := range reg {
+		names = append(names, name)
+	}
+	sortStrings(names)
+	w := &opWriter{}
+	var t [2]byte
+	binary.LittleEndian.PutUint16(t[:], uint16(len(names)))
+	w.buf.Write(t[:])
+	for _, name := range names {
+		w.b16([]byte(name)).u64(uint64(reg[name]))
+	}
+	return w.bytes()
+}
+
+// DecodeRegistry parses a meta page payload into the tree directory.
+func DecodeRegistry(payload []byte) (map[string]page.ID, error) {
+	return decodeRegistry(payload)
+}
+
+func decodeRegistry(payload []byte) (map[string]page.ID, error) {
+	reg := make(map[string]page.ID)
+	if len(payload) == 0 {
+		return reg, nil
+	}
+	r := &reader{b: payload}
+	count := int(r.u16())
+	for i := 0; i < count; i++ {
+		name := string(r.bytes16())
+		root := page.ID(r.u64())
+		reg[name] = root
+	}
+	if r.err != nil || r.pos != len(payload) {
+		return nil, fmt.Errorf("%w: meta registry", ErrNodeCorrupt)
+	}
+	return reg, nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

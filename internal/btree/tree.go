@@ -1,0 +1,744 @@
+package btree
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/buffer"
+	"repro/internal/page"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// Pager abstracts what the tree needs from the engine: page allocation
+// (with format logging and page recovery index registration), page access
+// through the validating buffer pool, and system transactions for
+// structural changes.
+type Pager interface {
+	// AllocateNode allocates a fresh logical page, installs it in the
+	// buffer pool, logs its TypeFormat record under t (which registers
+	// the format record as the page's backup, §5.2.1), and returns the
+	// pinned handle.
+	AllocateNode(t *txn.Txn, typ page.Type, initialPayload []byte) (*buffer.Handle, error)
+	// Fetch pins a page through the validating read path (Fig. 8).
+	Fetch(id page.ID) (*buffer.Handle, error)
+	// BeginSystem starts a system transaction (§5.1.5).
+	BeginSystem() *txn.Txn
+}
+
+// CorruptionError reports a failed cross-page invariant check during a
+// descent — the continuous self-testing of §4.2.
+type CorruptionError struct {
+	Page   page.ID
+	Detail string
+}
+
+// ErrDetected is wrapped by every CorruptionError.
+var ErrDetected = errors.New("btree: cross-page invariant violation detected")
+
+func (e *CorruptionError) Error() string {
+	return fmt.Sprintf("%v: page %d: %s", ErrDetected, e.Page, e.Detail)
+}
+
+// Unwrap makes errors.Is(err, ErrDetected) work.
+func (e *CorruptionError) Unwrap() error { return ErrDetected }
+
+// ErrValueTooLarge reports an entry that cannot fit a node even after a
+// split.
+var ErrValueTooLarge = errors.New("btree: key/value too large for page")
+
+// Tree is a Foster B-tree over a Pager. Writers are serialized by the tree
+// mutex; readers run concurrently with each other (and are excluded from
+// in-flight structural changes).
+type Tree struct {
+	mu    sync.RWMutex
+	name  string
+	root  page.ID
+	pager Pager
+
+	// Cumulative structural-change counters (foster churn).
+	splits    atomic.Int64
+	adoptions atomic.Int64
+	rootGrows atomic.Int64
+}
+
+// Counters reports cumulative structural changes: foster splits performed,
+// foster children adopted by permanent parents, and root growths.
+func (tr *Tree) Counters() (splits, adoptions, rootGrows int64) {
+	return tr.splits.Load(), tr.adoptions.Load(), tr.rootGrows.Load()
+}
+
+// Stats snapshots tree-level counters maintained on demand (see Walk).
+type Stats struct {
+	Nodes   int
+	Leaves  int
+	Entries int // live (non-ghost) leaf entries
+	Ghosts  int
+	Fosters int // nodes currently holding a foster pointer
+	Height  int
+}
+
+// Create builds a new empty tree: a single root leaf covering (-inf, +inf).
+// The caller supplies the transaction under which the root's format record
+// is logged (typically a system transaction).
+func Create(t *txn.Txn, name string, pager Pager) (*Tree, error) {
+	rootNode := newLeaf(finite(nil), infFence)
+	h, err := pager.AllocateNode(t, page.TypeBTree, rootNode.encode())
+	if err != nil {
+		return nil, fmt.Errorf("btree: creating %q: %w", name, err)
+	}
+	root := h.ID()
+	h.Release()
+	return &Tree{name: name, root: root, pager: pager}, nil
+}
+
+// Open attaches to an existing tree rooted at root.
+func Open(name string, root page.ID, pager Pager) *Tree {
+	return &Tree{name: name, root: root, pager: pager}
+}
+
+// Name returns the tree's name.
+func (tr *Tree) Name() string { return tr.name }
+
+// Root returns the root page ID (stable for the life of the tree).
+func (tr *Tree) Root() page.ID { return tr.root }
+
+// logApply logs an update op under t and applies it to the latched page,
+// maintaining both chains and the buffer-pool dirty state. Forward
+// processing and redo share applyOp, so replay is exact by construction.
+func logApply(t *txn.Txn, h *buffer.Handle, op []byte) error {
+	lsn, err := t.Log(&wal.Record{
+		Type:        wal.TypeUpdate,
+		PageID:      h.ID(),
+		PagePrevLSN: h.Page().LSN(),
+		Payload:     op,
+	})
+	if err != nil {
+		return err
+	}
+	if err := applyOp(op, h.Page()); err != nil {
+		return fmt.Errorf("btree: applying op at LSN %d to page %d: %w", lsn, h.ID(), err)
+	}
+	h.Page().SetLSN(lsn)
+	h.MarkDirty(lsn)
+	return nil
+}
+
+// logApplyCLR is logApply for compensation records during rollback.
+func logApplyCLR(t *txn.Txn, h *buffer.Handle, op []byte, undoNext page.LSN) error {
+	lsn, err := t.LogCLR(h.ID(), h.Page().LSN(), op, undoNext)
+	if err != nil {
+		return err
+	}
+	if err := applyOp(op, h.Page()); err != nil {
+		return fmt.Errorf("btree: applying CLR op at LSN %d to page %d: %w", lsn, h.ID(), err)
+	}
+	h.Page().SetLSN(lsn)
+	h.MarkDirty(lsn)
+	return nil
+}
+
+// descendToLeaf walks root-to-leaf for key, verifying fence keys at every
+// step against the redundant copies along the path (Figs. 2–3). With a
+// non-nil tx it opportunistically adopts foster children into branch
+// parents. Returns a pinned, unlatched leaf handle.
+func (tr *Tree) descendToLeaf(key []byte, tx *txn.Txn) (*buffer.Handle, error) {
+	curID := tr.root
+	expLow, expHigh := finite(nil), infFence
+	for {
+		h, err := tr.pager.Fetch(curID)
+		if err != nil {
+			return nil, err
+		}
+		h.RLock()
+		n, err := decodeNode(h.Page().Payload())
+		if err != nil {
+			h.RUnlock()
+			h.Release()
+			return nil, err
+		}
+		if viol := verifyNodeAgainst(curID, n, expLow, expHigh); viol != nil {
+			h.RUnlock()
+			h.Release()
+			return nil, viol
+		}
+		// Follow the foster chain if the key lies beyond this node's
+		// own range: the foster child's fences must line up with the
+		// foster parent's (Fig. 3).
+		if n.hasFoster() && !coversKey(n.low, n.high, key) {
+			next := n.foster
+			expLow, expHigh = n.high, n.chainHigh
+			h.RUnlock()
+			h.Release()
+			curID = next
+			continue
+		}
+		if n.isLeaf() {
+			h.RUnlock()
+			return h, nil
+		}
+		idx, eLow, eHigh := n.childFor(key)
+		childID := n.children[idx]
+		h.RUnlock()
+		if tx != nil {
+			adopted, err := tr.tryAdopt(h, childID)
+			if err != nil {
+				h.Release()
+				return nil, err
+			}
+			if adopted {
+				// The parent changed; retry it.
+				h.Release()
+				continue
+			}
+		}
+		h.Release()
+		curID, expLow, expHigh = childID, eLow, eHigh
+	}
+}
+
+// verifyNodeAgainst checks the fence keys a descent expects — the
+// incremental, instantaneous error detection of §4.2.
+func verifyNodeAgainst(id page.ID, n *node, expLow, expHigh fence) error {
+	if !n.low.equal(expLow) {
+		return &CorruptionError{Page: id, Detail: fmt.Sprintf(
+			"low fence %v, parent separator %v", n.low, expLow)}
+	}
+	if !n.chainHigh.equal(expHigh) {
+		return &CorruptionError{Page: id, Detail: fmt.Sprintf(
+			"chain high fence %v, parent separator %v", n.chainHigh, expHigh)}
+	}
+	if n.hasFoster() && n.chainHigh.less(n.high) {
+		return &CorruptionError{Page: id, Detail: "high fence above chain high fence"}
+	}
+	if !n.hasFoster() && !n.high.equal(n.chainHigh) {
+		return &CorruptionError{Page: id, Detail: "no foster child but chain high differs from high"}
+	}
+	return nil
+}
+
+// tryAdopt moves childID's foster child (if any) under the branch parent
+// held by parentH: the separator and pointer are inserted into the parent
+// and the foster pointer cleared, all in one system transaction. Returns
+// whether an adoption happened.
+func (tr *Tree) tryAdopt(parentH *buffer.Handle, childID page.ID) (bool, error) {
+	childH, err := tr.pager.Fetch(childID)
+	if err != nil {
+		return false, err
+	}
+	childH.RLock()
+	child, err := decodeNode(childH.Page().Payload())
+	if err != nil {
+		childH.RUnlock()
+		childH.Release()
+		return false, err
+	}
+	hasFoster := child.hasFoster()
+	fosterPID := child.foster
+	fosterKey := append([]byte(nil), child.high.k...)
+	fosterKeyInf := child.high.inf
+	oldChainHigh := child.chainHigh
+	childH.RUnlock()
+	if !hasFoster || fosterKeyInf {
+		childH.Release()
+		return false, nil
+	}
+
+	// Check parent capacity first. A full parent is itself split (or the
+	// root grown) so that adoptions keep draining foster chains; without
+	// this, interior nodes would never split and chains would grow
+	// without bound.
+	parentH.RLock()
+	parent, err := decodeNode(parentH.Page().Payload())
+	if err != nil {
+		parentH.RUnlock()
+		childH.Release()
+		return false, err
+	}
+	fits := parent.encodedSize()+2+len(fosterKey)+8 <= parentH.Page().Capacity()
+	parentH.RUnlock()
+	if !fits {
+		childH.Release()
+		if err := tr.makeSpace(parentH.ID()); err != nil {
+			return false, err
+		}
+		// The parent's shape changed; have the descent retry it.
+		return true, nil
+	}
+
+	st := tr.pager.BeginSystem()
+	parentH.Lock()
+	err = logApply(st, parentH, encodeAdopt(fosterKey, fosterPID))
+	parentH.Unlock()
+	if err != nil {
+		childH.Release()
+		_ = st.Abort()
+		return false, err
+	}
+	childH.Lock()
+	err = logApply(st, childH, encodeClearFoster(fosterPID, oldChainHigh))
+	childH.Unlock()
+	childH.Release()
+	if err != nil {
+		return false, err
+	}
+	if err := st.Commit(); err != nil {
+		return false, err
+	}
+	tr.adoptions.Add(1)
+	return true, nil
+}
+
+// Get returns the value for key, or ErrKeyNotFound. The descent verifies
+// every fence on the way down.
+func (tr *Tree) Get(key []byte) ([]byte, error) {
+	if len(key) == 0 {
+		return nil, fmt.Errorf("%w: empty key", ErrKeyNotFound)
+	}
+	tr.mu.RLock()
+	defer tr.mu.RUnlock()
+	h, err := tr.descendToLeaf(key, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer h.Release()
+	h.RLock()
+	defer h.RUnlock()
+	n, err := decodeNode(h.Page().Payload())
+	if err != nil {
+		return nil, err
+	}
+	i, found := n.findLeaf(key)
+	if !found || n.entries[i].ghost {
+		return nil, fmt.Errorf("%w: %q", ErrKeyNotFound, key)
+	}
+	return append([]byte(nil), n.entries[i].val...), nil
+}
+
+// maxEntrySize bounds one leaf entry so that a split always makes progress.
+func maxEntrySize(capacity int) int { return capacity / 4 }
+
+// Insert adds key=val under tx. Inserting an existing live key fails with
+// ErrKeyExists; inserting over a ghost revives it.
+func (tr *Tree) Insert(tx *txn.Txn, key, val []byte) error {
+	if len(key) == 0 {
+		return errors.New("btree: empty key")
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	for attempt := 0; ; attempt++ {
+		if attempt > 64 {
+			return errors.New("btree: insert did not converge after splits")
+		}
+		h, err := tr.descendToLeaf(key, tx)
+		if err != nil {
+			return err
+		}
+		entrySize := 2 + len(key) + 4 + len(val)
+		if entrySize > maxEntrySize(h.Page().Capacity()) {
+			h.Release()
+			return fmt.Errorf("%w: %d bytes", ErrValueTooLarge, entrySize)
+		}
+		h.Lock()
+		n, err := decodeNode(h.Page().Payload())
+		if err != nil {
+			h.Unlock()
+			h.Release()
+			return err
+		}
+		if i, found := n.findLeaf(key); found && !n.entries[i].ghost {
+			h.Unlock()
+			h.Release()
+			return fmt.Errorf("%w: %q", ErrKeyExists, key)
+		}
+		if n.encodedSize()+entrySize <= h.Page().Capacity() {
+			err := logApply(tx, h, encodeLeafInsert(tr.root, key, val))
+			h.Unlock()
+			h.Release()
+			return err
+		}
+		h.Unlock()
+		leafID := h.ID()
+		h.Release()
+		if err := tr.makeSpace(leafID); err != nil {
+			return err
+		}
+	}
+}
+
+// Update replaces the value of an existing live key under tx.
+func (tr *Tree) Update(tx *txn.Txn, key, val []byte) error {
+	if len(key) == 0 {
+		return fmt.Errorf("%w: empty key", ErrKeyNotFound)
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	for attempt := 0; ; attempt++ {
+		if attempt > 64 {
+			return errors.New("btree: update did not converge after splits")
+		}
+		h, err := tr.descendToLeaf(key, tx)
+		if err != nil {
+			return err
+		}
+		h.Lock()
+		n, err := decodeNode(h.Page().Payload())
+		if err != nil {
+			h.Unlock()
+			h.Release()
+			return err
+		}
+		i, found := n.findLeaf(key)
+		if !found || n.entries[i].ghost {
+			h.Unlock()
+			h.Release()
+			return fmt.Errorf("%w: %q", ErrKeyNotFound, key)
+		}
+		old := append([]byte(nil), n.entries[i].val...)
+		if n.encodedSize()-len(old)+len(val) <= h.Page().Capacity() {
+			err := logApply(tx, h, encodeLeafUpdate(tr.root, key, val, old))
+			h.Unlock()
+			h.Release()
+			return err
+		}
+		h.Unlock()
+		leafID := h.ID()
+		h.Release()
+		if err := tr.makeSpace(leafID); err != nil {
+			return err
+		}
+	}
+}
+
+// Delete logically deletes key under tx by turning its record into a ghost
+// (§5.1.5); a later system transaction reclaims the space.
+func (tr *Tree) Delete(tx *txn.Txn, key []byte) error {
+	if len(key) == 0 {
+		return fmt.Errorf("%w: empty key", ErrKeyNotFound)
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	h, err := tr.descendToLeaf(key, tx)
+	if err != nil {
+		return err
+	}
+	h.Lock()
+	defer func() {
+		h.Unlock()
+		h.Release()
+	}()
+	n, err := decodeNode(h.Page().Payload())
+	if err != nil {
+		return err
+	}
+	i, found := n.findLeaf(key)
+	if !found || n.entries[i].ghost {
+		return fmt.Errorf("%w: %q", ErrKeyNotFound, key)
+	}
+	return logApply(tx, h, encodeLeafGhost(tr.root, key, true, false))
+}
+
+// undoInsert, undoDelete, undoUpdate perform the logical compensation for
+// user operations during rollback: a fresh descent finds the key wherever
+// splits may have moved it, and a CLR records the compensation.
+func (tr *Tree) undoInsert(t *txn.Txn, key []byte, undoNext page.LSN) error {
+	return tr.compensate(t, key, undoNext, func(n *node, i int) ([]byte, error) {
+		// Inverse of insert: remove the record. Ghosting suffices
+		// logically, but physical purge reclaims the space directly
+		// and keeps rollback idempotent.
+		e := n.entries[i]
+		return encodeLeafPurge(key, e.val, e.ghost), nil
+	})
+}
+
+// undoGhost restores the ghost flag a user delete (or its inverse)
+// changed: the compensation sets the flag back to prior.
+func (tr *Tree) undoGhost(t *txn.Txn, key []byte, prior, was bool, undoNext page.LSN) error {
+	return tr.compensate(t, key, undoNext, func(n *node, i int) ([]byte, error) {
+		return encodeLeafGhost(tr.root, key, prior, was), nil
+	})
+}
+
+func (tr *Tree) undoUpdate(t *txn.Txn, key, oldVal []byte, undoNext page.LSN) error {
+	return tr.compensate(t, key, undoNext, func(n *node, i int) ([]byte, error) {
+		return encodeLeafUpdate(tr.root, key, oldVal, n.entries[i].val), nil
+	})
+}
+
+func (tr *Tree) compensate(t *txn.Txn, key []byte, undoNext page.LSN,
+	makeOp func(n *node, i int) ([]byte, error)) error {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	h, err := tr.descendToLeaf(key, nil)
+	if err != nil {
+		return err
+	}
+	h.Lock()
+	defer func() {
+		h.Unlock()
+		h.Release()
+	}()
+	n, err := decodeNode(h.Page().Payload())
+	if err != nil {
+		return err
+	}
+	i, found := n.findLeaf(key)
+	if !found {
+		return fmt.Errorf("btree: compensation target %q vanished: %w", key, ErrKeyNotFound)
+	}
+	op, err := makeOp(n, i)
+	if err != nil {
+		return err
+	}
+	return logApplyCLR(t, h, op, undoNext)
+}
+
+// makeSpace reclaims ghosts in the node or splits it, under a system
+// transaction. Called without any latch held.
+func (tr *Tree) makeSpace(id page.ID) error {
+	h, err := tr.pager.Fetch(id)
+	if err != nil {
+		return err
+	}
+	h.Lock()
+	n, err := decodeNode(h.Page().Payload())
+	if err != nil {
+		h.Unlock()
+		h.Release()
+		return err
+	}
+	// First try reclaiming ghost records — cheaper than splitting.
+	var ghosts []leafEntry
+	if n.isLeaf() {
+		for _, e := range n.entries {
+			if e.ghost {
+				ghosts = append(ghosts, e)
+			}
+		}
+	}
+	if len(ghosts) > 0 {
+		st := tr.pager.BeginSystem()
+		for _, g := range ghosts {
+			if err := logApply(st, h, encodeLeafPurge(g.key, g.val, true)); err != nil {
+				h.Unlock()
+				h.Release()
+				return err
+			}
+		}
+		h.Unlock()
+		h.Release()
+		return st.Commit()
+	}
+	h.Unlock()
+	h.Release()
+	if id == tr.root {
+		if err := tr.growRoot(); err != nil {
+			return err
+		}
+		// The overflowing content now lives under a fresh child; the
+		// retry descent will split that child.
+		return nil
+	}
+	return tr.fosterSplit(id)
+}
+
+// fosterSplit splits one non-root node: the upper half moves to a newly
+// allocated foster child; the node keeps a foster pointer until a later
+// descent adopts the child into the permanent parent (Fig. 3).
+func (tr *Tree) fosterSplit(id page.ID) error {
+	h, err := tr.pager.Fetch(id)
+	if err != nil {
+		return err
+	}
+	h.Lock()
+	n, err := decodeNode(h.Page().Payload())
+	if err != nil {
+		h.Unlock()
+		h.Release()
+		return err
+	}
+	if n.fanout() < 2 {
+		h.Unlock()
+		h.Release()
+		return fmt.Errorf("%w: node %d cannot split with fanout %d", ErrValueTooLarge, id, n.fanout())
+	}
+
+	var fosterKey []byte
+	child := &node{level: n.level, high: n.high, chainHigh: n.chainHigh, foster: n.foster}
+	if n.isLeaf() {
+		mid := len(n.entries) / 2
+		fosterKey = shortestSeparator(n.entries[mid-1].key, n.entries[mid].key)
+		child.entries = append([]leafEntry(nil), n.entries[mid:]...)
+	} else {
+		mid := len(n.children) / 2
+		fosterKey = append([]byte(nil), n.seps[mid-1]...)
+		child.children = append([]page.ID(nil), n.children[mid:]...)
+		child.seps = append([][]byte(nil), n.seps[mid:]...)
+	}
+	child.low = finite(fosterKey)
+
+	st := tr.pager.BeginSystem()
+	childH, err := tr.pager.AllocateNode(st, page.TypeBTree, child.encode())
+	if err != nil {
+		h.Unlock()
+		h.Release()
+		_ = st.Abort()
+		return err
+	}
+	childID := childH.ID()
+	childH.Release()
+	preImage := append([]byte(nil), h.Page().Payload()...)
+	err = logApply(st, h, encodeSplitTruncate(childID, fosterKey, preImage))
+	h.Unlock()
+	h.Release()
+	if err != nil {
+		return err
+	}
+	if err := st.Commit(); err != nil {
+		return err
+	}
+	tr.splits.Add(1)
+	return nil
+}
+
+// growRoot handles a full root: the root's entire contents move to a new
+// node M and the root becomes a one-child branch above M. The root page ID
+// never changes, so no parent pointer (and no meta entry) needs updating;
+// M then splits through the normal foster path.
+func (tr *Tree) growRoot() error {
+	h, err := tr.pager.Fetch(tr.root)
+	if err != nil {
+		return err
+	}
+	h.Lock()
+	n, err := decodeNode(h.Page().Payload())
+	if err != nil {
+		h.Unlock()
+		h.Release()
+		return err
+	}
+	oldPayload := append([]byte(nil), h.Page().Payload()...)
+	st := tr.pager.BeginSystem()
+	// M: a verbatim copy of the root's contents and fences.
+	mH, err := tr.pager.AllocateNode(st, page.TypeBTree, oldPayload)
+	if err != nil {
+		h.Unlock()
+		h.Release()
+		_ = st.Abort()
+		return err
+	}
+	mID := mH.ID()
+	mH.Release()
+	newRoot := newBranch(n.level+1, n.low, n.high, []page.ID{mID}, nil)
+	newRoot.chainHigh = n.chainHigh
+	err = logApply(st, h, encodeReplaceNode(newRoot.encode(), oldPayload))
+	h.Unlock()
+	h.Release()
+	if err != nil {
+		return err
+	}
+	if err := st.Commit(); err != nil {
+		return err
+	}
+	tr.rootGrows.Add(1)
+	return nil
+}
+
+// Entry is one key/value pair visited by Scan.
+type Entry struct {
+	Key   []byte
+	Value []byte
+}
+
+// Scan visits all live entries with start <= key < end in order (nil end =
+// unbounded), calling fn until it returns false. Because nodes carry fence
+// keys instead of sibling pointers, the scan proceeds by repeated
+// root-to-leaf descents plus foster-chain hops, each verifying invariants.
+func (tr *Tree) Scan(start, end []byte, fn func(Entry) bool) error {
+	tr.mu.RLock()
+	defer tr.mu.RUnlock()
+	cur := start
+	if len(cur) == 0 {
+		cur = []byte{0}
+	}
+	descend := true
+	var h *buffer.Handle
+	var err error
+	for {
+		if descend {
+			h, err = tr.descendToLeaf(cur, nil)
+			if err != nil {
+				return err
+			}
+		}
+		h.RLock()
+		n, err := decodeNode(h.Page().Payload())
+		if err != nil {
+			h.RUnlock()
+			h.Release()
+			return err
+		}
+		for _, e := range n.entries {
+			if bytes.Compare(e.key, cur) < 0 {
+				continue
+			}
+			if end != nil && bytes.Compare(e.key, end) >= 0 {
+				h.RUnlock()
+				h.Release()
+				return nil
+			}
+			if e.ghost {
+				continue
+			}
+			ent := Entry{Key: append([]byte(nil), e.key...), Value: append([]byte(nil), e.val...)}
+			if !fn(ent) {
+				h.RUnlock()
+				h.Release()
+				return nil
+			}
+		}
+		// Advance: foster child first, then next key range.
+		switch {
+		case n.hasFoster():
+			next := n.foster
+			expLow, expHigh := n.high, n.chainHigh
+			h.RUnlock()
+			h.Release()
+			nh, err := tr.pager.Fetch(next)
+			if err != nil {
+				return err
+			}
+			nh.RLock()
+			fn2, err := decodeNode(nh.Page().Payload())
+			if err != nil {
+				nh.RUnlock()
+				nh.Release()
+				return err
+			}
+			if viol := verifyNodeAgainst(next, fn2, expLow, expHigh); viol != nil {
+				nh.RUnlock()
+				nh.Release()
+				return viol
+			}
+			nh.RUnlock()
+			h = nh
+			cur = expLow.k
+			descend = false
+		case n.high.inf:
+			h.RUnlock()
+			h.Release()
+			return nil
+		default:
+			cur = append([]byte(nil), n.high.k...)
+			h.RUnlock()
+			h.Release()
+			descend = true
+			if end != nil && bytes.Compare(cur, end) >= 0 {
+				return nil
+			}
+		}
+	}
+}

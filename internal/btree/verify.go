@@ -1,0 +1,219 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/page"
+)
+
+// Violation is one structural-invariant failure found by VerifyAll.
+type Violation struct {
+	Page   page.ID
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("page %d: %s", v.Page, v.Detail)
+}
+
+// VerifyAll exhaustively checks every structural invariant of the tree —
+// the offline, full-scan verification that utilities like DBCC or db2dart
+// perform (§2). The paper's point is that Foster B-trees make most of
+// these checks continuous side effects of normal descents; this function
+// exists as the comparator and as the deep audit after fault-injection
+// campaigns.
+//
+// Checks per node: fence ordering, key ordering and fence containment,
+// branch shape (children = separators + 1), level consistency between
+// parent and child, fence agreement between parent separators and child
+// fences (including along foster chains), and exactly one incoming pointer
+// per node.
+func (tr *Tree) VerifyAll() ([]Violation, error) {
+	tr.mu.RLock()
+	defer tr.mu.RUnlock()
+	var viols []Violation
+	seen := make(map[page.ID]int) // incoming pointer count
+
+	type job struct {
+		id           page.ID
+		expLow       fence
+		expChainHigh fence
+		expLevel     int // -1 = unknown (root)
+	}
+	queue := []job{{id: tr.root, expLow: finite(nil), expChainHigh: infFence, expLevel: -1}}
+	for len(queue) > 0 {
+		j := queue[0]
+		queue = queue[1:]
+		seen[j.id]++
+		if seen[j.id] > 1 {
+			viols = append(viols, Violation{j.id, "more than one incoming pointer"})
+			continue
+		}
+		h, err := tr.pager.Fetch(j.id)
+		if err != nil {
+			return viols, fmt.Errorf("btree: verify fetch of page %d: %w", j.id, err)
+		}
+		h.RLock()
+		n, derr := decodeNode(h.Page().Payload())
+		if derr != nil {
+			viols = append(viols, Violation{j.id, derr.Error()})
+			h.RUnlock()
+			h.Release()
+			continue
+		}
+		viols = append(viols, verifyNodeShape(j.id, n)...)
+		if !n.low.equal(j.expLow) {
+			viols = append(viols, Violation{j.id, fmt.Sprintf(
+				"low fence %v, expected %v", n.low, j.expLow)})
+		}
+		if !n.chainHigh.equal(j.expChainHigh) {
+			viols = append(viols, Violation{j.id, fmt.Sprintf(
+				"chain high fence %v, expected %v", n.chainHigh, j.expChainHigh)})
+		}
+		if j.expLevel >= 0 && int(n.level) != j.expLevel {
+			viols = append(viols, Violation{j.id, fmt.Sprintf(
+				"level %d, expected %d", n.level, j.expLevel)})
+		}
+		if n.hasFoster() {
+			queue = append(queue, job{
+				id: n.foster, expLow: n.high, expChainHigh: n.chainHigh,
+				expLevel: int(n.level),
+			})
+		}
+		if !n.isLeaf() {
+			for i, c := range n.children {
+				var eLow, eHigh fence
+				if i == 0 {
+					eLow = n.low
+				} else {
+					eLow = finite(n.seps[i-1])
+				}
+				if i == len(n.seps) {
+					eHigh = n.high
+				} else {
+					eHigh = finite(n.seps[i])
+				}
+				queue = append(queue, job{id: c, expLow: eLow, expChainHigh: eHigh,
+					expLevel: int(n.level) - 1})
+			}
+		}
+		h.RUnlock()
+		h.Release()
+	}
+	return viols, nil
+}
+
+// verifyNodeShape checks the intra-node invariants (Fig. 2: all key values
+// fall between the two fences).
+func verifyNodeShape(id page.ID, n *node) []Violation {
+	var v []Violation
+	if !n.low.less(n.high) && !n.low.equal(n.high) {
+		v = append(v, Violation{id, fmt.Sprintf("inverted fences %v >= %v", n.low, n.high)})
+	}
+	if n.high.inf && n.hasFoster() {
+		v = append(v, Violation{id, "foster child with infinite high fence"})
+	}
+	if n.hasFoster() && n.chainHigh.less(n.high) {
+		v = append(v, Violation{id, "chain high below high fence"})
+	}
+	if !n.hasFoster() && !n.high.equal(n.chainHigh) {
+		v = append(v, Violation{id, "chain high differs from high without foster child"})
+	}
+	if n.isLeaf() {
+		for i, e := range n.entries {
+			if len(e.key) == 0 {
+				v = append(v, Violation{id, fmt.Sprintf("empty key at slot %d", i)})
+			}
+			if i > 0 && bytes.Compare(n.entries[i-1].key, e.key) >= 0 {
+				v = append(v, Violation{id, fmt.Sprintf(
+					"keys out of order at slots %d-%d", i-1, i)})
+			}
+			if !coversKey(n.low, n.high, e.key) {
+				v = append(v, Violation{id, fmt.Sprintf(
+					"key %q outside fences [%v, %v)", e.key, n.low, n.high)})
+			}
+		}
+		return v
+	}
+	if len(n.children) == 0 {
+		v = append(v, Violation{id, "branch with no children"})
+		return v
+	}
+	if len(n.seps) != len(n.children)-1 {
+		v = append(v, Violation{id, fmt.Sprintf(
+			"branch with %d children but %d separators", len(n.children), len(n.seps))})
+		return v
+	}
+	for i, s := range n.seps {
+		if i > 0 && bytes.Compare(n.seps[i-1], s) >= 0 {
+			v = append(v, Violation{id, fmt.Sprintf("separators out of order at %d", i)})
+		}
+		if !coversKey(n.low, n.high, s) {
+			v = append(v, Violation{id, fmt.Sprintf(
+				"separator %q outside fences [%v, %v)", s, n.low, n.high)})
+		}
+	}
+	return v
+}
+
+// WalkStats traverses the whole tree and returns aggregate statistics.
+func (tr *Tree) WalkStats() (Stats, error) {
+	tr.mu.RLock()
+	defer tr.mu.RUnlock()
+	var st Stats
+	var walk func(id page.ID, depth int) error
+	walk = func(id page.ID, depth int) error {
+		h, err := tr.pager.Fetch(id)
+		if err != nil {
+			return err
+		}
+		h.RLock()
+		n, err := decodeNode(h.Page().Payload())
+		if err != nil {
+			h.RUnlock()
+			h.Release()
+			return err
+		}
+		st.Nodes++
+		if depth+1 > st.Height {
+			st.Height = depth + 1
+		}
+		if n.hasFoster() {
+			st.Fosters++
+		}
+		var children []page.ID
+		if n.isLeaf() {
+			st.Leaves++
+			for _, e := range n.entries {
+				if e.ghost {
+					st.Ghosts++
+				} else {
+					st.Entries++
+				}
+			}
+		} else {
+			children = append(children, n.children...)
+		}
+		foster := n.foster
+		h.RUnlock()
+		h.Release()
+		if foster != page.InvalidID {
+			// Foster children sit at the same depth as their foster
+			// parent.
+			if err := walk(foster, depth); err != nil {
+				return err
+			}
+		}
+		for _, c := range children {
+			if err := walk(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(tr.root, 0); err != nil {
+		return st, err
+	}
+	return st, nil
+}

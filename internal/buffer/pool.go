@@ -1,0 +1,553 @@
+// Package buffer implements the buffer pool.
+//
+// The buffer pool is where the paper's detection and recovery hook into
+// normal processing:
+//
+//   - the read path (paper Fig. 8) validates every page as it is loaded —
+//     device errors, in-page checks, and the PageLSN cross-check against the
+//     page recovery index — and on failure invokes single-page recovery
+//     instead of declaring a media failure;
+//   - the write-back path (paper Fig. 11) writes the dirty page, then
+//     reports the completed write so the engine can log the page recovery
+//     index update, and only then allows eviction.
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/page"
+	"repro/internal/pagemap"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// Errors returned by the pool.
+var (
+	ErrPoolFull     = errors.New("buffer: all frames pinned")
+	ErrNotResident  = errors.New("buffer: page not resident")
+	ErrPinned       = errors.New("buffer: page still pinned")
+	ErrUnknownPage  = errors.New("buffer: unknown logical page")
+	ErrPageFailed   = errors.New("buffer: single-page failure")
+	ErrNeverWritten = errors.New("buffer: page never written and not resident")
+)
+
+// WriteInfo describes one completed page write, handed to the
+// OnWriteComplete hook. It carries everything the engine needs to maintain
+// the page recovery index and the physical page map.
+type WriteInfo struct {
+	Page    page.ID
+	PageLSN page.LSN
+	Dest    storage.PhysID
+	// Prev is the slot the page occupied before a copy-on-write or
+	// relocation write; HadPrev reports whether one existed.
+	Prev    storage.PhysID
+	HadPrev bool
+}
+
+// Hooks connect the pool to the engine. All hooks may be nil.
+type Hooks struct {
+	// Validate runs after a page image passed the in-page checks; the
+	// engine uses it for the PageLSN cross-check against the page
+	// recovery index (§5.2.2). A non-nil error marks the read a
+	// single-page failure.
+	Validate func(pg *page.Page) error
+	// Recover performs single-page recovery and returns the up-to-date
+	// page contents. If it fails, the read escalates: the pool returns
+	// the recovery error wrapped in ErrPageFailed.
+	Recover func(id page.ID) (*page.Page, error)
+	// OnWriteComplete runs after a dirty page has been written to the
+	// device and before the frame may be evicted or reused (Fig. 11:
+	// "a log record describing the appropriate update in the page
+	// recovery index is written before the data page is truly evicted").
+	OnWriteComplete func(info WriteInfo)
+	// OnRecovered runs after a successful single-page recovery with the
+	// relocation details (new slot, retired slot).
+	OnRecovered func(info WriteInfo)
+	// OnMarkDirty runs on every MarkDirty call — once per logged page
+	// update. The engine uses it to count updates per page for the
+	// backup-every-N-updates policy (§6). Must be cheap and must not
+	// call back into the pool.
+	OnMarkDirty func(id page.ID)
+}
+
+// Stats counts pool activity.
+type Stats struct {
+	Hits              int64
+	Misses            int64
+	Evictions         int64
+	Writes            int64
+	ValidationFailers int64
+	Recoveries        int64
+	Escalations       int64
+}
+
+// frame is one buffer slot. pins is guarded by the pool mutex; dirty and
+// recLSN are guarded by metaMu so that MarkDirty can be called while
+// holding the page latch without touching the pool mutex (avoiding a lock
+// cycle with the flush path, which holds the pool mutex and acquires the
+// latch).
+type frame struct {
+	latch  sync.RWMutex
+	pg     *page.Page
+	pins   int
+	metaMu sync.Mutex
+	dirty  bool
+	recLSN page.LSN // LSN that first dirtied the page since last clean
+}
+
+func (f *frame) isDirty() bool {
+	f.metaMu.Lock()
+	defer f.metaMu.Unlock()
+	return f.dirty
+}
+
+// Pool is the buffer pool. Safe for concurrent use.
+type Pool struct {
+	mu       sync.Mutex
+	frames   map[page.ID]*frame
+	order    []page.ID // FIFO-with-second-chance eviction order
+	capacity int
+	dev      *storage.Device
+	pmap     *pagemap.Map
+	log      *wal.Manager
+	hooks    Hooks
+	stats    Stats
+}
+
+// Config configures a pool.
+type Config struct {
+	// Capacity is the number of frames.
+	Capacity int
+	Device   *storage.Device
+	Map      *pagemap.Map
+	Log      *wal.Manager
+	Hooks    Hooks
+}
+
+// NewPool creates a buffer pool.
+func NewPool(cfg Config) *Pool {
+	if cfg.Capacity <= 0 {
+		panic("buffer: capacity must be positive")
+	}
+	return &Pool{
+		frames:   make(map[page.ID]*frame, cfg.Capacity),
+		capacity: cfg.Capacity,
+		dev:      cfg.Device,
+		pmap:     cfg.Map,
+		log:      cfg.Log,
+		hooks:    cfg.Hooks,
+	}
+}
+
+// SetHooks replaces the hook set; intended for engine wiring during startup.
+func (p *Pool) SetHooks(h Hooks) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.hooks = h
+}
+
+// Stats returns a snapshot of the counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Capacity returns the number of frames.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Resident returns the number of pages currently buffered.
+func (p *Pool) Resident() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.frames)
+}
+
+// Handle is a pinned reference to a buffered page. Callers must Release it.
+// The embedded latch (Lock/RLock) protects the page contents; callers
+// updating the page must hold the write latch.
+type Handle struct {
+	pool *Pool
+	id   page.ID
+	f    *frame
+}
+
+// ID returns the logical page ID.
+func (h *Handle) ID() page.ID { return h.id }
+
+// Page returns the buffered page. The caller must hold the appropriate
+// latch while reading or writing it.
+func (h *Handle) Page() *page.Page { return h.f.pg }
+
+// Lock acquires the page's write latch.
+func (h *Handle) Lock() { h.f.latch.Lock() }
+
+// Unlock releases the write latch.
+func (h *Handle) Unlock() { h.f.latch.Unlock() }
+
+// RLock acquires the page's read latch.
+func (h *Handle) RLock() { h.f.latch.RLock() }
+
+// RUnlock releases the read latch.
+func (h *Handle) RUnlock() { h.f.latch.RUnlock() }
+
+// MarkDirty records that the page was modified under a log record with the
+// given LSN. The first dirtying LSN since the page was last clean is kept
+// as the recovery LSN for checkpointing (the ARIES dirty page table).
+func (h *Handle) MarkDirty(lsn page.LSN) {
+	if fn := h.pool.hooks.OnMarkDirty; fn != nil {
+		fn(h.id)
+	}
+	h.f.metaMu.Lock()
+	defer h.f.metaMu.Unlock()
+	if !h.f.dirty {
+		h.f.dirty = true
+		h.f.recLSN = lsn
+	} else if h.f.recLSN == page.ZeroLSN {
+		// Freshly created pages are born dirty before their first log
+		// record exists; adopt the first logged LSN as the recovery LSN.
+		h.f.recLSN = lsn
+	}
+}
+
+// Dirty reports whether the page has unwritten changes.
+func (h *Handle) Dirty() bool {
+	return h.f.isDirty()
+}
+
+// Release unpins the page.
+func (h *Handle) Release() {
+	h.pool.mu.Lock()
+	defer h.pool.mu.Unlock()
+	if h.f.pins <= 0 {
+		panic("buffer: release of unpinned handle")
+	}
+	h.f.pins--
+}
+
+// Create installs a brand-new page (freshly allocated logical ID) in the
+// pool, pinned and dirty. The caller is responsible for logging the page
+// format record and setting the page's LSN.
+func (p *Pool) Create(id page.ID, typ page.Type) (*Handle, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.frames[id]; ok {
+		return nil, fmt.Errorf("buffer: page %d already resident", id)
+	}
+	if err := p.makeRoomLocked(); err != nil {
+		return nil, err
+	}
+	f := &frame{pg: page.New(id, typ, p.dev.PageSize()), pins: 1, dirty: true}
+	p.frames[id] = f
+	p.order = append(p.order, id)
+	return &Handle{pool: p, id: id, f: f}, nil
+}
+
+// Fetch pins page id, reading and validating it if not resident. A read
+// that fails any check triggers single-page recovery via the Recover hook;
+// only if that also fails does Fetch return an error (wrapping
+// ErrPageFailed) — the caller may then escalate to media recovery.
+func (p *Pool) Fetch(id page.ID) (*Handle, error) {
+	p.mu.Lock()
+	if f, ok := p.frames[id]; ok {
+		f.pins++
+		p.stats.Hits++
+		p.mu.Unlock()
+		return &Handle{pool: p, id: id, f: f}, nil
+	}
+	p.stats.Misses++
+	if !p.pmap.Known(id) {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("%w: %d", ErrUnknownPage, id)
+	}
+	phys, written := p.pmap.Lookup(id)
+	if !written {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("%w: %d", ErrNeverWritten, id)
+	}
+	if err := p.makeRoomLocked(); err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	hooks := p.hooks
+	p.mu.Unlock()
+
+	// Read and validate outside the pool mutex (Fig. 8).
+	pg, failure := p.readAndValidate(id, phys, hooks)
+	if failure != nil {
+		p.mu.Lock()
+		p.stats.ValidationFailers++
+		p.mu.Unlock()
+		recovered, err := p.recoverFailedPage(id, phys, hooks, failure)
+		if err != nil {
+			return nil, err
+		}
+		pg = recovered
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f, ok := p.frames[id]; ok {
+		// Someone else loaded it while we read; use theirs.
+		f.pins++
+		return &Handle{pool: p, id: id, f: f}, nil
+	}
+	f := &frame{pg: pg, pins: 1}
+	if failure != nil {
+		// The recovered page lives at a new location but has not been
+		// written there yet: keep it dirty so write-back persists it.
+		f.dirty = true
+		f.recLSN = pg.LSN()
+	}
+	p.frames[id] = f
+	p.order = append(p.order, id)
+	return &Handle{pool: p, id: id, f: f}, nil
+}
+
+// readAndValidate performs the Fig. 8 read path: device read, in-page
+// verification, and the engine's PageLSN cross-check.
+func (p *Pool) readAndValidate(id page.ID, phys storage.PhysID, hooks Hooks) (*page.Page, error) {
+	img, err := p.dev.Read(phys)
+	if err != nil {
+		return nil, fmt.Errorf("device read of page %d (slot %d): %w", id, phys, err)
+	}
+	pg, err := page.DecodeFor(id, img)
+	if err != nil {
+		return nil, fmt.Errorf("in-page checks of page %d (slot %d): %w", id, phys, err)
+	}
+	if hooks.Validate != nil {
+		if err := hooks.Validate(pg); err != nil {
+			return nil, fmt.Errorf("cross-check of page %d: %w", id, err)
+		}
+	}
+	return pg, nil
+}
+
+// recoverFailedPage runs the single-page recovery path: the Recover hook
+// rebuilds the contents, the page is relocated away from the failed slot,
+// and the old slot is retired (§5.2.3).
+func (p *Pool) recoverFailedPage(id page.ID, failedSlot storage.PhysID, hooks Hooks, cause error) (*page.Page, error) {
+	if hooks.Recover == nil {
+		p.mu.Lock()
+		p.stats.Escalations++
+		p.mu.Unlock()
+		return nil, fmt.Errorf("%w: %v (no recovery configured)", ErrPageFailed, cause)
+	}
+	pg, err := hooks.Recover(id)
+	if err != nil {
+		p.mu.Lock()
+		p.stats.Escalations++
+		p.mu.Unlock()
+		return nil, fmt.Errorf("%w: %v; recovery failed: %v", ErrPageFailed, cause, err)
+	}
+	// Move the page to a fresh slot; never reuse the failed location, and
+	// never record it as a backup.
+	dst, prev, hadPrev, err := p.pmap.Relocate(id)
+	if err != nil {
+		return nil, fmt.Errorf("%w: relocating recovered page %d: %v", ErrPageFailed, id, err)
+	}
+	if hadPrev && prev != failedSlot {
+		// The map moved underneath us; retire what it reported.
+		failedSlot = prev
+	}
+	p.dev.RetireSlot(failedSlot)
+	p.mu.Lock()
+	p.stats.Recoveries++
+	p.mu.Unlock()
+	if hooks.OnRecovered != nil {
+		hooks.OnRecovered(WriteInfo{
+			Page: id, PageLSN: pg.LSN(), Dest: dst, Prev: failedSlot, HadPrev: true,
+		})
+	}
+	return pg, nil
+}
+
+// makeRoomLocked ensures a free frame exists, evicting (and if necessary
+// flushing) an unpinned page. Caller holds p.mu.
+func (p *Pool) makeRoomLocked() error {
+	if len(p.frames) < p.capacity {
+		return nil
+	}
+	for _, id := range append([]page.ID(nil), p.order...) {
+		f := p.frames[id]
+		if f == nil || f.pins > 0 {
+			continue
+		}
+		if f.isDirty() {
+			if err := p.flushFrameLocked(id, f); err != nil {
+				return err
+			}
+			// The mutex was released during the write-complete hook:
+			// re-validate the victim before evicting it.
+			if p.frames[id] != f || f.pins > 0 || f.isDirty() {
+				continue
+			}
+		}
+		delete(p.frames, id)
+		p.removeFromOrderLocked(id)
+		p.stats.Evictions++
+		return nil
+	}
+	return ErrPoolFull
+}
+
+func (p *Pool) removeFromOrderLocked(id page.ID) {
+	for i, oid := range p.order {
+		if oid == id {
+			p.order = append(p.order[:i], p.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// flushFrameLocked writes a dirty frame back to the device, observing the
+// write-ahead-log protocol (force the log up to the PageLSN first) and the
+// Fig. 11 sequence (completed-write hook before the frame can be evicted).
+// Caller holds p.mu.
+func (p *Pool) flushFrameLocked(id page.ID, f *frame) error {
+	// Exclude concurrent page mutators while encoding: updaters hold the
+	// write latch across the modify+MarkDirty sequence.
+	f.latch.RLock()
+	f.metaMu.Lock()
+	if !f.dirty {
+		f.metaMu.Unlock()
+		f.latch.RUnlock()
+		return nil
+	}
+	f.metaMu.Unlock()
+	// WAL protocol: no dirty page reaches the database before its log.
+	p.log.Flush(f.pg.LSN())
+	dst, prev, hadPrev, err := p.pmap.WriteTarget(id)
+	if err != nil {
+		f.latch.RUnlock()
+		return fmt.Errorf("buffer: flush of page %d: %w", id, err)
+	}
+	img := f.pg.Encode()
+	lsn := f.pg.LSN()
+	if err := p.dev.Write(dst, img); err != nil {
+		f.latch.RUnlock()
+		return fmt.Errorf("buffer: flush of page %d to slot %d: %w", id, dst, err)
+	}
+	f.metaMu.Lock()
+	f.dirty = false
+	f.recLSN = page.ZeroLSN
+	f.metaMu.Unlock()
+	f.latch.RUnlock()
+	p.stats.Writes++
+	if p.hooks.OnWriteComplete != nil {
+		info := WriteInfo{Page: id, PageLSN: lsn, Dest: dst, Prev: prev, HadPrev: hadPrev}
+		// Run the hook without the pool mutex: it appends log records
+		// and updates the page recovery index.
+		p.mu.Unlock()
+		p.hooks.OnWriteComplete(info)
+		p.mu.Lock()
+	}
+	return nil
+}
+
+// FlushPage writes page id back if it is resident and dirty.
+func (p *Pool) FlushPage(id page.ID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.frames[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNotResident, id)
+	}
+	return p.flushFrameLocked(id, f)
+}
+
+// FlushAll writes every dirty page back (checkpoint support). Pages pinned
+// by concurrent transactions are flushed too — pins guard residency, not
+// cleanliness; callers serialize content mutation via page latches.
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, id := range append([]page.ID(nil), p.order...) {
+		f, ok := p.frames[id]
+		if !ok || !f.isDirty() {
+			continue
+		}
+		if err := p.flushFrameLocked(id, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Evict removes page id from the pool, flushing it first if dirty. It
+// fails if the page is pinned.
+func (p *Pool) Evict(id page.ID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.frames[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNotResident, id)
+	}
+	if f.pins > 0 {
+		return fmt.Errorf("%w: %d (%d pins)", ErrPinned, id, f.pins)
+	}
+	if err := p.flushFrameLocked(id, f); err != nil {
+		return err
+	}
+	if p.frames[id] != f {
+		return nil // replaced while the hook ran
+	}
+	if f.pins > 0 {
+		return fmt.Errorf("%w: %d (pinned during flush)", ErrPinned, id)
+	}
+	delete(p.frames, id)
+	p.removeFromOrderLocked(id)
+	p.stats.Evictions++
+	return nil
+}
+
+// DirtyPageEntry is one row of the dirty page table for checkpoints.
+type DirtyPageEntry struct {
+	Page   page.ID
+	RecLSN page.LSN
+}
+
+// DirtyPages returns the current dirty page table, sorted by page ID.
+func (p *Pool) DirtyPages() []DirtyPageEntry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []DirtyPageEntry
+	for _, id := range p.order {
+		if f := p.frames[id]; f != nil {
+			f.metaMu.Lock()
+			if f.dirty {
+				out = append(out, DirtyPageEntry{Page: id, RecLSN: f.recLSN})
+			}
+			f.metaMu.Unlock()
+		}
+	}
+	sortDirty(out)
+	return out
+}
+
+func sortDirty(d []DirtyPageEntry) {
+	for i := 1; i < len(d); i++ {
+		for j := i; j > 0 && d[j].Page < d[j-1].Page; j-- {
+			d[j], d[j-1] = d[j-1], d[j]
+		}
+	}
+}
+
+// Crash discards all buffered pages without flushing, simulating the loss
+// of volatile state in a system failure.
+func (p *Pool) Crash() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.frames = make(map[page.ID]*frame, p.capacity)
+	p.order = nil
+}
+
+// Resident reports whether page id is currently buffered.
+func (p *Pool) IsResident(id page.ID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.frames[id]
+	return ok
+}

@@ -1,0 +1,495 @@
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/iosim"
+	"repro/internal/page"
+	"repro/internal/pagemap"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+type env struct {
+	dev  *storage.Device
+	pmap *pagemap.Map
+	log  *wal.Manager
+	pool *Pool
+}
+
+func newEnv(t *testing.T, capacity int, hooks Hooks) *env {
+	t.Helper()
+	dev := storage.NewDevice(storage.Config{PageSize: 512, Slots: 256, Profile: iosim.Instant})
+	pm := pagemap.New(pagemap.InPlace, 256)
+	log := wal.NewManager(iosim.Instant)
+	pool := NewPool(Config{Capacity: capacity, Device: dev, Map: pm, Log: log, Hooks: hooks})
+	return &env{dev: dev, pmap: pm, log: log, pool: pool}
+}
+
+// newPage allocates, creates, fills, and unpins a page, returning its ID.
+func (e *env) newPage(t *testing.T, payload string) page.ID {
+	t.Helper()
+	id := e.pmap.AllocateLogical()
+	h, err := e.pool.Create(id, page.TypeRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Lock()
+	if err := h.Page().SetPayload([]byte(payload)); err != nil {
+		t.Fatal(err)
+	}
+	lsn := e.log.Append(&wal.Record{Type: wal.TypeFormat, Txn: 1, PageID: id, Payload: []byte(payload)})
+	h.Page().SetLSN(lsn)
+	h.Unlock()
+	h.MarkDirty(lsn)
+	h.Release()
+	return id
+}
+
+func TestCreateFetchRoundTrip(t *testing.T) {
+	e := newEnv(t, 4, Hooks{})
+	id := e.newPage(t, "hello")
+	h, err := e.pool.Fetch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	h.RLock()
+	defer h.RUnlock()
+	if string(h.Page().Payload()) != "hello" {
+		t.Errorf("payload = %q", h.Page().Payload())
+	}
+}
+
+func TestFetchAfterEvictionReadsFromDevice(t *testing.T) {
+	e := newEnv(t, 4, Hooks{})
+	id := e.newPage(t, "persisted")
+	if err := e.pool.Evict(id); err != nil {
+		t.Fatal(err)
+	}
+	if e.pool.IsResident(id) {
+		t.Fatal("page still resident after evict")
+	}
+	h, err := e.pool.Fetch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	if string(h.Page().Payload()) != "persisted" {
+		t.Errorf("payload = %q", h.Page().Payload())
+	}
+	s := e.pool.Stats()
+	if s.Misses == 0 {
+		t.Error("device read not counted as miss")
+	}
+}
+
+func TestFetchUnknownAndNeverWritten(t *testing.T) {
+	e := newEnv(t, 4, Hooks{})
+	if _, err := e.pool.Fetch(999); !errors.Is(err, ErrUnknownPage) {
+		t.Errorf("unknown page: %v", err)
+	}
+	id := e.pmap.AllocateLogical()
+	if _, err := e.pool.Fetch(id); !errors.Is(err, ErrNeverWritten) {
+		t.Errorf("never-written page: %v", err)
+	}
+}
+
+func TestEvictionPressureFlushesDirtyPages(t *testing.T) {
+	e := newEnv(t, 2, Hooks{})
+	ids := []page.ID{
+		e.newPage(t, "a"), e.newPage(t, "b"), e.newPage(t, "c"), e.newPage(t, "d"),
+	}
+	// Pool holds 2 frames; creating 4 pages forced evictions with flush.
+	if e.pool.Resident() > 2 {
+		t.Fatalf("resident = %d, want <= 2", e.pool.Resident())
+	}
+	for _, id := range ids {
+		h, err := e.pool.Fetch(id)
+		if err != nil {
+			t.Fatalf("Fetch(%d): %v", id, err)
+		}
+		h.Release()
+	}
+	if e.pool.Stats().Evictions == 0 {
+		t.Error("no evictions recorded")
+	}
+}
+
+func TestPoolFullWhenAllPinned(t *testing.T) {
+	e := newEnv(t, 2, Hooks{})
+	id1 := e.pmap.AllocateLogical()
+	id2 := e.pmap.AllocateLogical()
+	id3 := e.pmap.AllocateLogical()
+	h1, err := e.pool.Create(id1, page.TypeRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := e.pool.Create(id2, page.TypeRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.pool.Create(id3, page.TypeRaw); !errors.Is(err, ErrPoolFull) {
+		t.Errorf("create with all pinned: %v", err)
+	}
+	h1.Release()
+	if _, err := e.pool.Create(id3, page.TypeRaw); err != nil {
+		t.Errorf("create after release: %v", err)
+	}
+	h2.Release()
+}
+
+func TestEvictPinnedFails(t *testing.T) {
+	e := newEnv(t, 4, Hooks{})
+	id := e.pmap.AllocateLogical()
+	h, err := e.pool.Create(id, page.TypeRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.pool.Evict(id); !errors.Is(err, ErrPinned) {
+		t.Errorf("evict pinned: %v", err)
+	}
+	h.Release()
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	e := newEnv(t, 4, Hooks{})
+	id := e.pmap.AllocateLogical()
+	h, err := e.pool.Create(id, page.TypeRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	h.Release()
+}
+
+func TestOnWriteCompleteHookOrdering(t *testing.T) {
+	var mu sync.Mutex
+	var events []string
+	hooks := Hooks{
+		OnWriteComplete: func(info WriteInfo) {
+			mu.Lock()
+			events = append(events, fmt.Sprintf("write-complete:%d@%d", info.Page, info.PageLSN))
+			mu.Unlock()
+		},
+	}
+	e := newEnv(t, 4, hooks)
+	id := e.newPage(t, "x")
+	if err := e.pool.Evict(id); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) != 1 {
+		t.Fatalf("events = %v, want one write-complete", events)
+	}
+}
+
+func TestWriteCompleteNotCalledForCleanEvict(t *testing.T) {
+	calls := 0
+	e := newEnv(t, 4, Hooks{OnWriteComplete: func(WriteInfo) { calls++ }})
+	id := e.newPage(t, "y")
+	if err := e.pool.Evict(id); err != nil {
+		t.Fatal(err)
+	}
+	h, err := e.pool.Fetch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+	if err := e.pool.Evict(id); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("write-complete calls = %d, want 1 (clean re-evict must not write)", calls)
+	}
+}
+
+func TestWALProtocolLogFlushedBeforePageWrite(t *testing.T) {
+	e := newEnv(t, 4, Hooks{})
+	id := e.newPage(t, "wal")
+	// The format record is in the volatile tail.
+	if e.log.TailSize() == 0 {
+		t.Fatal("expected unflushed log tail")
+	}
+	if err := e.pool.FlushPage(id); err != nil {
+		t.Fatal(err)
+	}
+	if e.log.TailSize() != 0 {
+		t.Error("page written while its log record was still volatile")
+	}
+}
+
+func TestDirtyPagesTable(t *testing.T) {
+	e := newEnv(t, 8, Hooks{})
+	id1 := e.newPage(t, "1")
+	id2 := e.newPage(t, "2")
+	dpt := e.pool.DirtyPages()
+	if len(dpt) != 2 {
+		t.Fatalf("dpt = %v, want 2 entries", dpt)
+	}
+	if dpt[0].Page != id1 || dpt[1].Page != id2 {
+		t.Errorf("dpt order: %v", dpt)
+	}
+	if dpt[0].RecLSN == page.ZeroLSN {
+		t.Error("recLSN missing")
+	}
+	if err := e.pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.pool.DirtyPages()) != 0 {
+		t.Error("dpt nonempty after FlushAll")
+	}
+}
+
+func TestCrashDiscardsBufferedState(t *testing.T) {
+	e := newEnv(t, 4, Hooks{})
+	id := e.newPage(t, "volatile")
+	e.pool.Crash()
+	if e.pool.IsResident(id) {
+		t.Error("page survived crash")
+	}
+	if e.pool.Resident() != 0 {
+		t.Error("frames survived crash")
+	}
+	// The page was never flushed: fetching it now fails (never written).
+	if _, err := e.pool.Fetch(id); err == nil {
+		t.Error("unflushed page readable after crash")
+	}
+}
+
+func TestReadPathDetectsCorruptionAndRecovers(t *testing.T) {
+	recovered := page.New(0, page.TypeRaw, 512) // placeholder, replaced below
+	var recoverCalls int
+	hooks := Hooks{
+		Recover: func(id page.ID) (*page.Page, error) {
+			recoverCalls++
+			pg := page.New(id, page.TypeRaw, 512)
+			if err := pg.SetPayload([]byte("recovered")); err != nil {
+				return nil, err
+			}
+			pg.SetLSN(recovered.LSN())
+			return pg, nil
+		},
+	}
+	e := newEnv(t, 4, hooks)
+	id := e.newPage(t, "original")
+	h, _ := e.pool.Fetch(id)
+	recovered.SetLSN(h.Page().LSN())
+	h.Release()
+	if err := e.pool.Evict(id); err != nil {
+		t.Fatal(err)
+	}
+	phys, _ := e.pmap.Lookup(id)
+	if err := e.dev.CorruptStored(phys); err != nil {
+		t.Fatal(err)
+	}
+
+	h, err := e.pool.Fetch(id)
+	if err != nil {
+		t.Fatalf("fetch with recovery: %v", err)
+	}
+	defer h.Release()
+	if string(h.Page().Payload()) != "recovered" {
+		t.Errorf("payload = %q", h.Page().Payload())
+	}
+	if recoverCalls != 1 {
+		t.Errorf("recover calls = %d", recoverCalls)
+	}
+	// The failed slot is retired and the page relocated.
+	if !e.dev.Retired(phys) {
+		t.Error("failed slot not retired")
+	}
+	if newPhys, _ := e.pmap.Lookup(id); newPhys == phys {
+		t.Error("page not relocated")
+	}
+	// The recovered page is dirty and its next flush persists it.
+	if !h.Dirty() {
+		t.Error("recovered page should be dirty until rewritten")
+	}
+	s := e.pool.Stats()
+	if s.Recoveries != 1 || s.ValidationFailers != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestReadPathDetectsDeviceError(t *testing.T) {
+	hooks := Hooks{
+		Recover: func(id page.ID) (*page.Page, error) {
+			pg := page.New(id, page.TypeRaw, 512)
+			return pg, nil
+		},
+	}
+	e := newEnv(t, 4, hooks)
+	id := e.newPage(t, "x")
+	if err := e.pool.Evict(id); err != nil {
+		t.Fatal(err)
+	}
+	phys, _ := e.pmap.Lookup(id)
+	e.dev.InjectFault(phys, storage.FaultReadError, true)
+	h, err := e.pool.Fetch(id)
+	if err != nil {
+		t.Fatalf("recovery after read error: %v", err)
+	}
+	h.Release()
+}
+
+func TestReadPathEscalatesWithoutRecoverHook(t *testing.T) {
+	e := newEnv(t, 4, Hooks{})
+	id := e.newPage(t, "x")
+	if err := e.pool.Evict(id); err != nil {
+		t.Fatal(err)
+	}
+	phys, _ := e.pmap.Lookup(id)
+	if err := e.dev.CorruptStored(phys); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.pool.Fetch(id); !errors.Is(err, ErrPageFailed) {
+		t.Errorf("fetch of corrupt page without recovery: %v", err)
+	}
+	if e.pool.Stats().Escalations != 1 {
+		t.Error("escalation not counted")
+	}
+}
+
+func TestReadPathEscalatesWhenRecoveryFails(t *testing.T) {
+	hooks := Hooks{
+		Recover: func(id page.ID) (*page.Page, error) {
+			return nil, errors.New("no backup")
+		},
+	}
+	e := newEnv(t, 4, hooks)
+	id := e.newPage(t, "x")
+	if err := e.pool.Evict(id); err != nil {
+		t.Fatal(err)
+	}
+	phys, _ := e.pmap.Lookup(id)
+	if err := e.dev.CorruptStored(phys); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.pool.Fetch(id); !errors.Is(err, ErrPageFailed) {
+		t.Errorf("failed recovery: %v", err)
+	}
+}
+
+func TestValidateHookRuns(t *testing.T) {
+	wantErr := errors.New("PageLSN mismatch")
+	validated := 0
+	hooks := Hooks{
+		Validate: func(pg *page.Page) error {
+			validated++
+			if validated > 1 {
+				return wantErr
+			}
+			return nil
+		},
+	}
+	e := newEnv(t, 4, hooks)
+	id := e.newPage(t, "v")
+	if err := e.pool.Evict(id); err != nil {
+		t.Fatal(err)
+	}
+	h, err := e.pool.Fetch(id) // first validation: ok
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+	if err := e.pool.Evict(id); err != nil {
+		t.Fatal(err)
+	}
+	// Second validation fails; no recovery configured → escalation.
+	if _, err := e.pool.Fetch(id); !errors.Is(err, ErrPageFailed) {
+		t.Errorf("validation failure: %v", err)
+	}
+}
+
+func TestOnRecoveredHook(t *testing.T) {
+	var info WriteInfo
+	hooks := Hooks{
+		Recover: func(id page.ID) (*page.Page, error) {
+			return page.New(id, page.TypeRaw, 512), nil
+		},
+		OnRecovered: func(i WriteInfo) { info = i },
+	}
+	e := newEnv(t, 4, hooks)
+	id := e.newPage(t, "x")
+	if err := e.pool.Evict(id); err != nil {
+		t.Fatal(err)
+	}
+	phys, _ := e.pmap.Lookup(id)
+	if err := e.dev.CorruptStored(phys); err != nil {
+		t.Fatal(err)
+	}
+	h, err := e.pool.Fetch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+	if info.Page != id || !info.HadPrev || info.Prev != phys {
+		t.Errorf("OnRecovered info = %+v", info)
+	}
+}
+
+func TestConcurrentFetches(t *testing.T) {
+	e := newEnv(t, 32, Hooks{})
+	var ids []page.ID
+	for i := 0; i < 16; i++ {
+		ids = append(ids, e.newPage(t, fmt.Sprintf("page-%d", i)))
+	}
+	if err := e.pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id := ids[(seed+i)%len(ids)]
+				h, err := e.pool.Fetch(id)
+				if err != nil {
+					errs <- err
+					return
+				}
+				h.RLock()
+				_ = h.Page().Payload()
+				h.RUnlock()
+				h.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestMarkDirtyKeepsFirstRecLSN(t *testing.T) {
+	e := newEnv(t, 4, Hooks{})
+	id := e.pmap.AllocateLogical()
+	h, err := e.pool.Create(id, page.TypeRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	// Create marks dirty with recLSN 0; flush to reset, then dirty twice.
+	if err := e.pool.FlushPage(id); err != nil {
+		t.Fatal(err)
+	}
+	h.MarkDirty(100)
+	h.MarkDirty(200)
+	dpt := e.pool.DirtyPages()
+	if len(dpt) != 1 || dpt[0].RecLSN != 100 {
+		t.Errorf("dpt = %v, want recLSN 100", dpt)
+	}
+}

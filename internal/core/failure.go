@@ -1,0 +1,89 @@
+// Package core implements the paper's primary contribution: the definition
+// of single-page failures as a fourth failure class, the page recovery
+// index that makes their repair efficient, and the single-page recovery
+// procedure itself (paper §3.2, §5.2).
+package core
+
+import "fmt"
+
+// FailureClass enumerates the four database failure classes of the paper's
+// taxonomy (§3). The first three are the traditional classes framing 30+
+// years of recovery research; the fourth is the paper's contribution.
+type FailureClass int
+
+const (
+	// TransactionFailure: a single transaction fails and must roll back
+	// to preserve all-or-nothing semantics; other transactions keep
+	// running (§3.1). Typical recovery time: under a second.
+	TransactionFailure FailureClass = iota
+	// MediaFailure: an entire storage device fails (the classic example
+	// is a head crash); all transactions touching its data fail, and
+	// recovery restores a backup plus the log — minutes to hours (§3.1).
+	MediaFailure
+	// SystemFailure: the server (and perhaps the OS) crashes; restart
+	// recovery runs log analysis, redo, and undo — about a minute (§3.1).
+	SystemFailure
+	// SinglePageFailure: "all failures to read a data page correctly and
+	// with plausible contents despite all correction attempts in lower
+	// system levels" (§3.2). Less severe than a media failure: most of
+	// the device remains intact, and with the recovery technique of
+	// §5.2 no transaction needs to terminate — affected transactions
+	// merely wait about a second.
+	SinglePageFailure
+)
+
+func (c FailureClass) String() string {
+	switch c {
+	case TransactionFailure:
+		return "transaction failure"
+	case MediaFailure:
+		return "media failure"
+	case SystemFailure:
+		return "system failure"
+	case SinglePageFailure:
+		return "single-page failure"
+	default:
+		return fmt.Sprintf("failure-class(%d)", int(c))
+	}
+}
+
+// Scope describes the blast radius of a failure, quantifying the paper's
+// Figure 1: without single-page failure support, one bad page escalates to
+// a media failure, and on single-device systems further to a system
+// failure.
+type Scope struct {
+	Class             FailureClass
+	PagesLost         int  // pages whose contents must be recovered
+	TransactionsAbort int  // transactions forcibly terminated
+	DeviceReplaced    bool // hardware replacement required
+	FullRestartNeeded bool // the whole system restarts
+}
+
+// EscalationChain returns the Figure 1 escalation for a single bad page on
+// a database of dbPages pages with activeTxns running transactions, under
+// three regimes: single-page failure supported, media failure handling, and
+// single-device system failure.
+func EscalationChain(dbPages, activeTxns int) [3]Scope {
+	return [3]Scope{
+		{
+			Class:     SinglePageFailure,
+			PagesLost: 1,
+			// §5.2.7: "it is not required to terminate the affected
+			// transaction."
+			TransactionsAbort: 0,
+		},
+		{
+			Class:             MediaFailure,
+			PagesLost:         dbPages,
+			TransactionsAbort: activeTxns,
+			DeviceReplaced:    true,
+		},
+		{
+			Class:             SystemFailure,
+			PagesLost:         dbPages,
+			TransactionsAbort: activeTxns,
+			DeviceReplaced:    true,
+			FullRestartNeeded: true,
+		},
+	}
+}

@@ -1,0 +1,112 @@
+package iosim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEstimateMatchesPaperArithmetic(t *testing.T) {
+	// §6: "restoring a backup with 100 GB of data at 100 MB/s requires
+	// 1,000 s or about 17 minutes."
+	got := Estimate(HDD, 100<<30, 1)
+	want := 1024 * time.Second // 100 GiB at 100 MiB/s
+	if got < want-HDD.Seek-time.Second || got > want+HDD.Seek+time.Second {
+		t.Errorf("100GB restore estimate = %v, want about %v", got, want)
+	}
+	// §6: "restoring a modern disk device of 2 TB at 200 MB/s requires
+	// 10,000 s or about 3 hours."
+	got2 := Estimate(ModernHDD, 2<<40, 1)
+	if got2 < 150*time.Minute || got2 > 190*time.Minute {
+		t.Errorf("2TB restore estimate = %v, want about 3 hours", got2)
+	}
+}
+
+func TestDozensOfRandomIOsAboutOneSecond(t *testing.T) {
+	// §6: "It may take dozens of I/Os ... pure I/O time should perhaps be
+	// 1 s" — 100 random 8 KiB reads on an 8 ms disk ≈ 0.8 s.
+	c := NewClock(HDD)
+	for i := 0; i < 100; i++ {
+		c.Random(8192)
+	}
+	e := c.Elapsed()
+	if e < 500*time.Millisecond || e > 2*time.Second {
+		t.Errorf("100 random I/Os = %v, want roughly 1 s", e)
+	}
+}
+
+func TestSequentialChargesNoSeek(t *testing.T) {
+	c := NewClock(HDD)
+	c.Sequential(100 << 20) // 100 MiB at 100 MiB/s = 1 s
+	e := c.Elapsed()
+	if e < 900*time.Millisecond || e > 1100*time.Millisecond {
+		t.Errorf("sequential 100MiB = %v, want ~1 s", e)
+	}
+}
+
+func TestAccessDetectsContiguity(t *testing.T) {
+	c := NewClock(HDD)
+	c.Access(0, 8192)     // random (first access)
+	c.Access(8192, 8192)  // sequential
+	c.Access(16384, 8192) // sequential
+	c.Access(0, 8192)     // random (rewind)
+	s := c.Stats()
+	if s.RandomOps != 2 || s.SequentialOps != 2 {
+		t.Errorf("random=%d sequential=%d, want 2/2", s.RandomOps, s.SequentialOps)
+	}
+	if s.BytesMoved != 4*8192 {
+		t.Errorf("bytes=%d, want %d", s.BytesMoved, 4*8192)
+	}
+}
+
+func TestInstantProfileChargesNothing(t *testing.T) {
+	c := NewClock(Instant)
+	c.Access(0, 1<<30)
+	c.Random(1 << 30)
+	c.Sequential(1 << 30)
+	if c.Elapsed() != 0 {
+		t.Errorf("instant profile elapsed = %v, want 0", c.Elapsed())
+	}
+}
+
+func TestResetAndCharge(t *testing.T) {
+	c := NewClock(SSD)
+	c.Random(4096)
+	c.Charge(3 * time.Millisecond)
+	if c.Elapsed() == 0 {
+		t.Fatal("elapsed should be nonzero")
+	}
+	c.Reset()
+	if c.Elapsed() != 0 {
+		t.Errorf("after reset elapsed = %v", c.Elapsed())
+	}
+	s := c.Stats()
+	if s.RandomOps != 0 || s.BytesMoved != 0 {
+		t.Errorf("after reset stats = %+v", s)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	c := NewClock(HDD)
+	c.Random(100)
+	if c.Stats().String() == "" {
+		t.Error("empty stats string")
+	}
+}
+
+func TestProfileAccessor(t *testing.T) {
+	c := NewClock(SSD)
+	if c.Profile().Name != "ssd" {
+		t.Errorf("profile = %q, want ssd", c.Profile().Name)
+	}
+}
+
+func TestSSDFasterThanHDDForRandom(t *testing.T) {
+	hdd, ssd := NewClock(HDD), NewClock(SSD)
+	for i := 0; i < 50; i++ {
+		hdd.Random(8192)
+		ssd.Random(8192)
+	}
+	if ssd.Elapsed() >= hdd.Elapsed() {
+		t.Errorf("ssd (%v) should beat hdd (%v) on random I/O", ssd.Elapsed(), hdd.Elapsed())
+	}
+}

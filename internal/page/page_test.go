@@ -1,0 +1,235 @@
+package page
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPageDefaults(t *testing.T) {
+	p := New(7, TypeBTree, DefaultSize)
+	if p.ID() != 7 {
+		t.Errorf("ID = %d, want 7", p.ID())
+	}
+	if p.LSN() != ZeroLSN {
+		t.Errorf("LSN = %d, want 0", p.LSN())
+	}
+	if p.Type() != TypeBTree {
+		t.Errorf("Type = %v, want btree", p.Type())
+	}
+	if p.Size() != DefaultSize {
+		t.Errorf("Size = %d, want %d", p.Size(), DefaultSize)
+	}
+	if p.Capacity() != DefaultSize-HeaderSize {
+		t.Errorf("Capacity = %d, want %d", p.Capacity(), DefaultSize-HeaderSize)
+	}
+	if len(p.Payload()) != 0 {
+		t.Errorf("fresh page payload len = %d, want 0", len(p.Payload()))
+	}
+}
+
+func TestNewPanicsOnTinySize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with tiny size did not panic")
+		}
+	}()
+	New(1, TypeRaw, 16)
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := New(42, TypeBTree, 1024)
+	p.SetLSN(98765)
+	p.SetFlags(0xBEEF)
+	if err := p.SetPayload([]byte("hello, page recovery index")); err != nil {
+		t.Fatal(err)
+	}
+	buf := p.Encode()
+	if len(buf) != 1024 {
+		t.Fatalf("encoded length = %d, want 1024", len(buf))
+	}
+	q, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if q.ID() != 42 || q.LSN() != 98765 || q.Type() != TypeBTree || q.Flags() != 0xBEEF {
+		t.Errorf("decoded header mismatch: %+v", q)
+	}
+	if !bytes.Equal(q.Payload(), p.Payload()) {
+		t.Errorf("payload mismatch: %q vs %q", q.Payload(), p.Payload())
+	}
+}
+
+func TestDecodeForWrongID(t *testing.T) {
+	p := New(5, TypeRaw, 512)
+	buf := p.Encode()
+	if _, err := DecodeFor(5, buf); err != nil {
+		t.Fatalf("DecodeFor correct id: %v", err)
+	}
+	_, err := DecodeFor(6, buf)
+	if err == nil {
+		t.Fatal("DecodeFor wrong id succeeded")
+	}
+}
+
+func TestVerifyDetectsBitFlips(t *testing.T) {
+	p := New(9, TypeRaw, 512)
+	if err := p.SetPayload(bytes.Repeat([]byte{0xAB}, 100)); err != nil {
+		t.Fatal(err)
+	}
+	buf := p.Encode()
+	if err := Verify(buf); err != nil {
+		t.Fatalf("clean image failed verify: %v", err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		img := make([]byte, len(buf))
+		copy(img, buf)
+		pos := rng.Intn(len(img))
+		img[pos] ^= 1 << uint(rng.Intn(8))
+		if err := Verify(img); err == nil {
+			t.Fatalf("single bit flip at %d not detected", pos)
+		}
+	}
+}
+
+func TestVerifyDetectsZeroedPage(t *testing.T) {
+	if err := Verify(make([]byte, 512)); err == nil {
+		t.Fatal("all-zero page verified")
+	}
+}
+
+func TestVerifyDetectsTruncatedPage(t *testing.T) {
+	if err := Verify(make([]byte, 8)); err == nil {
+		t.Fatal("truncated image verified")
+	}
+}
+
+func TestSetPayloadTooLarge(t *testing.T) {
+	p := New(1, TypeRaw, 512)
+	if err := p.SetPayload(make([]byte, 512)); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+	if err := p.SetPayload(make([]byte, 512-HeaderSize)); err != nil {
+		t.Fatalf("exact-capacity payload rejected: %v", err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := New(3, TypeRaw, 512)
+	if err := p.SetPayload([]byte("original")); err != nil {
+		t.Fatal(err)
+	}
+	q := p.Clone()
+	q.Payload()[0] = 'X'
+	q.SetLSN(77)
+	if p.Payload()[0] != 'o' {
+		t.Error("clone shares payload storage")
+	}
+	if p.LSN() == 77 {
+		t.Error("clone shares header")
+	}
+}
+
+func TestBadHeaderPayloadLength(t *testing.T) {
+	p := New(4, TypeRaw, 512)
+	buf := p.Encode()
+	// Forge an implausible payload length and fix up the checksum so only
+	// the header sanity check can catch it.
+	buf[24], buf[25], buf[26], buf[27] = 0xFF, 0xFF, 0x00, 0x00
+	sum := Checksum(buf)
+	buf[0] = byte(sum)
+	buf[1] = byte(sum >> 8)
+	buf[2] = byte(sum >> 16)
+	buf[3] = byte(sum >> 24)
+	if err := Verify(buf); err == nil {
+		t.Fatal("implausible payload length verified")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	cases := map[Type]string{
+		TypeFree: "free", TypeBTree: "btree", TypeMeta: "meta",
+		TypePRI: "pri", TypeRaw: "raw", Type(99): "type(99)",
+	}
+	for typ, want := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", typ, got, want)
+		}
+	}
+}
+
+// Property: encode/decode round-trips arbitrary payloads and headers.
+func TestQuickEncodeDecode(t *testing.T) {
+	f := func(id uint64, lsn uint64, flags uint16, payload []byte) bool {
+		const size = 2048
+		if len(payload) > size-HeaderSize {
+			payload = payload[:size-HeaderSize]
+		}
+		p := New(ID(id), TypeRaw, size)
+		p.SetLSN(LSN(lsn))
+		p.SetFlags(flags)
+		if err := p.SetPayload(payload); err != nil {
+			return false
+		}
+		q, err := Decode(p.Encode())
+		if err != nil {
+			return false
+		}
+		return q.ID() == ID(id) && q.LSN() == LSN(lsn) &&
+			q.Flags() == flags && bytes.Equal(q.Payload(), payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: any single corrupted byte anywhere in the image is detected.
+func TestQuickCorruptionDetected(t *testing.T) {
+	f := func(payload []byte, pos uint16, delta byte) bool {
+		const size = 1024
+		if len(payload) > size-HeaderSize {
+			payload = payload[:size-HeaderSize]
+		}
+		if delta == 0 {
+			delta = 1
+		}
+		p := New(11, TypeRaw, size)
+		if err := p.SetPayload(payload); err != nil {
+			return false
+		}
+		buf := p.Encode()
+		buf[int(pos)%size] ^= delta
+		return Verify(buf) != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	p := New(1, TypeBTree, DefaultSize)
+	if err := p.SetPayload(bytes.Repeat([]byte{0x5A}, 4000)); err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, DefaultSize)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.EncodeInto(buf)
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	p := New(1, TypeBTree, DefaultSize)
+	if err := p.SetPayload(bytes.Repeat([]byte{0x5A}, 4000)); err != nil {
+		b.Fatal(err)
+	}
+	buf := p.Encode()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Verify(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,381 @@
+// Package pagemap maintains the mapping from logical page identifiers to
+// physical device slots.
+//
+// The paper relies on pages being movable: after single-page recovery "the
+// page can be moved to a new location. The old, failed location can be
+// deallocated ... or registered in an appropriate data structure to prevent
+// future use" (§5.2.3), and §5.2.1 observes that in a log-structured file
+// system or a write-optimized B-tree — which allocate a new location for
+// each write — the pre-move image can serve as a page backup by merely
+// deferring space reclamation. This package provides both write policies:
+//
+//   - in-place: a logical page keeps its physical slot across writes;
+//   - copy-on-write: every write goes to a fresh slot and the previous slot
+//     becomes an implicit page backup.
+package pagemap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/page"
+	"repro/internal/storage"
+)
+
+// Mode selects the write policy.
+type Mode int
+
+const (
+	// InPlace overwrites the existing physical slot on every write.
+	InPlace Mode = iota
+	// CopyOnWrite writes every page image to a fresh physical slot,
+	// retaining the previous slot as an implicit backup copy.
+	CopyOnWrite
+)
+
+func (m Mode) String() string {
+	if m == CopyOnWrite {
+		return "copy-on-write"
+	}
+	return "in-place"
+}
+
+// Errors returned by the map.
+var (
+	ErrUnknownPage  = errors.New("pagemap: unknown logical page")
+	ErrNoFreeSlots  = errors.New("pagemap: device full")
+	ErrDoubleFree   = errors.New("pagemap: slot already free")
+	ErrSlotBusy     = errors.New("pagemap: slot still mapped")
+	ErrBadSnapshot  = errors.New("pagemap: corrupt snapshot")
+	ErrAlreadyKnown = errors.New("pagemap: logical page already mapped")
+)
+
+// noSlot marks a logical page that exists but has no physical location yet
+// (freshly allocated, never written).
+const noSlot = ^storage.PhysID(0)
+
+// Map is the logical→physical translation table. Safe for concurrent use.
+type Map struct {
+	mu        sync.RWMutex
+	mode      Mode
+	mapping   map[page.ID]storage.PhysID
+	free      []storage.PhysID
+	nextPhys  storage.PhysID
+	slotCount int
+	nextID    page.ID
+}
+
+// New creates a map for a device with slotCount physical slots.
+func New(mode Mode, slotCount int) *Map {
+	return &Map{
+		mode:      mode,
+		mapping:   make(map[page.ID]storage.PhysID),
+		slotCount: slotCount,
+		nextID:    1, // page.InvalidID == 0 stays unused
+	}
+}
+
+// Mode returns the write policy.
+func (m *Map) Mode() Mode { return m.mode }
+
+// AllocateLogical mints a fresh logical page ID. No physical slot is bound
+// until the first write.
+func (m *Map) AllocateLogical() page.ID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := m.nextID
+	m.nextID++
+	m.mapping[id] = noSlot
+	return id
+}
+
+// Adopt registers an existing logical→physical binding, e.g. while
+// rebuilding the map from a checkpoint snapshot or log records.
+func (m *Map) Adopt(id page.ID, phys storage.PhysID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.mapping[id]; ok {
+		return fmt.Errorf("%w: %d", ErrAlreadyKnown, id)
+	}
+	m.mapping[id] = phys
+	if id >= m.nextID {
+		m.nextID = id + 1
+	}
+	if phys != noSlot && phys >= m.nextPhys {
+		m.nextPhys = phys + 1
+	}
+	return nil
+}
+
+// allocSlotLocked hands out a free physical slot.
+func (m *Map) allocSlotLocked() (storage.PhysID, error) {
+	if n := len(m.free); n > 0 {
+		s := m.free[n-1]
+		m.free = m.free[:n-1]
+		return s, nil
+	}
+	if int(m.nextPhys) >= m.slotCount {
+		return 0, ErrNoFreeSlots
+	}
+	s := m.nextPhys
+	m.nextPhys++
+	return s, nil
+}
+
+// Lookup returns the physical slot currently holding logical page id. The
+// second result is false if the page is unknown or has never been written.
+func (m *Map) Lookup(id page.ID) (storage.PhysID, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	phys, ok := m.mapping[id]
+	if !ok || phys == noSlot {
+		return 0, false
+	}
+	return phys, true
+}
+
+// Known reports whether the logical page has been allocated.
+func (m *Map) Known(id page.ID) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	_, ok := m.mapping[id]
+	return ok
+}
+
+// WriteTarget returns the physical slot a write of logical page id must go
+// to, honoring the write policy. In copy-on-write mode it allocates a fresh
+// slot, remaps the page, and returns the previous slot (or false) so the
+// caller can retain it as a page backup or free it.
+func (m *Map) WriteTarget(id page.ID) (dst storage.PhysID, prev storage.PhysID, hadPrev bool, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur, ok := m.mapping[id]
+	if !ok {
+		return 0, 0, false, fmt.Errorf("%w: %d", ErrUnknownPage, id)
+	}
+	switch {
+	case m.mode == InPlace && cur != noSlot:
+		return cur, 0, false, nil
+	case m.mode == InPlace:
+		s, err := m.allocSlotLocked()
+		if err != nil {
+			return 0, 0, false, err
+		}
+		m.mapping[id] = s
+		return s, 0, false, nil
+	default: // CopyOnWrite
+		s, err := m.allocSlotLocked()
+		if err != nil {
+			return 0, 0, false, err
+		}
+		m.mapping[id] = s
+		if cur == noSlot {
+			return s, 0, false, nil
+		}
+		return s, cur, true, nil
+	}
+}
+
+// Relocate moves logical page id to a fresh physical slot and returns the
+// new slot plus the previous one. Used after single-page recovery to avoid
+// re-using the failed location, and by defragmentation/wear-leveling.
+func (m *Map) Relocate(id page.ID) (dst storage.PhysID, prev storage.PhysID, hadPrev bool, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur, ok := m.mapping[id]
+	if !ok {
+		return 0, 0, false, fmt.Errorf("%w: %d", ErrUnknownPage, id)
+	}
+	s, err := m.allocSlotLocked()
+	if err != nil {
+		return 0, 0, false, err
+	}
+	m.mapping[id] = s
+	if cur == noSlot {
+		return s, 0, false, nil
+	}
+	return s, cur, true, nil
+}
+
+// Remap binds logical page id to the given slot, e.g. when replaying page
+// moves from the log during recovery.
+func (m *Map) Remap(id page.ID, phys storage.PhysID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.mapping[id]; !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownPage, id)
+	}
+	m.mapping[id] = phys
+	if phys != noSlot && phys >= m.nextPhys {
+		m.nextPhys = phys + 1
+	}
+	return nil
+}
+
+// EnsureMapping binds logical page id to phys, creating the logical page
+// if it was never seen. Restart analysis uses it to replay completed-write
+// records into a map reconstructed from a checkpoint snapshot.
+func (m *Map) EnsureMapping(id page.ID, phys storage.PhysID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.mapping[id]; !ok {
+		m.mapping[id] = phys
+		if id >= m.nextID {
+			m.nextID = id + 1
+		}
+	} else {
+		m.mapping[id] = phys
+	}
+	if phys != noSlot && phys >= m.nextPhys {
+		m.nextPhys = phys + 1
+	}
+	return nil
+}
+
+// AdoptFresh registers a logical page with no physical slot yet (a page
+// formatted after the last checkpoint and never written before a crash).
+func (m *Map) AdoptFresh(id page.ID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.mapping[id]; !ok {
+		m.mapping[id] = noSlot
+		if id >= m.nextID {
+			m.nextID = id + 1
+		}
+	}
+}
+
+// FreeSlot returns a physical slot to the free pool (e.g. an old backup
+// copy that a newer backup supersedes, §5.2.2).
+func (m *Map) FreeSlot(s storage.PhysID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, f := range m.free {
+		if f == s {
+			return fmt.Errorf("%w: %d", ErrDoubleFree, s)
+		}
+	}
+	for id, cur := range m.mapping {
+		if cur == s {
+			return fmt.Errorf("%w: slot %d still holds page %d", ErrSlotBusy, s, id)
+		}
+	}
+	m.free = append(m.free, s)
+	return nil
+}
+
+// DropLogical removes a logical page entirely, freeing its slot.
+func (m *Map) DropLogical(id page.ID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur, ok := m.mapping[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownPage, id)
+	}
+	delete(m.mapping, id)
+	if cur != noSlot {
+		m.free = append(m.free, cur)
+	}
+	return nil
+}
+
+// Pages returns all known logical pages in ascending order.
+func (m *Map) Pages() []page.ID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]page.ID, 0, len(m.mapping))
+	for id := range m.mapping {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the number of known logical pages.
+func (m *Map) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.mapping)
+}
+
+// MappedSlots returns the set of physical slots currently bound to a
+// logical page; used by the scrubber to skip free slots.
+func (m *Map) MappedSlots() map[storage.PhysID]page.ID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make(map[storage.PhysID]page.ID, len(m.mapping))
+	for id, s := range m.mapping {
+		if s != noSlot {
+			out[s] = id
+		}
+	}
+	return out
+}
+
+// Snapshot serializes the complete map state for inclusion in a checkpoint.
+func (m *Map) Snapshot() []byte {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	ids := make([]page.ID, 0, len(m.mapping))
+	for id := range m.mapping {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	buf := make([]byte, 0, 8*4+len(ids)*16+len(m.free)*8)
+	var tmp [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		buf = append(buf, tmp[:]...)
+	}
+	put(uint64(m.mode))
+	put(uint64(m.nextID))
+	put(uint64(m.nextPhys))
+	put(uint64(len(ids)))
+	for _, id := range ids {
+		put(uint64(id))
+		put(uint64(m.mapping[id]))
+	}
+	put(uint64(len(m.free)))
+	for _, s := range m.free {
+		put(uint64(s))
+	}
+	return buf
+}
+
+// Restore rebuilds a map from a Snapshot for a device with slotCount slots.
+func Restore(snap []byte, slotCount int) (*Map, error) {
+	if len(snap) < 32 || len(snap)%8 != 0 {
+		return nil, ErrBadSnapshot
+	}
+	pos := 0
+	get := func() uint64 {
+		v := binary.LittleEndian.Uint64(snap[pos:])
+		pos += 8
+		return v
+	}
+	m := New(Mode(get()), slotCount)
+	m.nextID = page.ID(get())
+	m.nextPhys = storage.PhysID(get())
+	n := int(get())
+	if pos+n*16 > len(snap) {
+		return nil, ErrBadSnapshot
+	}
+	for i := 0; i < n; i++ {
+		id := page.ID(get())
+		m.mapping[id] = storage.PhysID(get())
+	}
+	if pos+8 > len(snap) {
+		return nil, ErrBadSnapshot
+	}
+	nf := int(get())
+	if pos+nf*8 > len(snap) {
+		return nil, ErrBadSnapshot
+	}
+	for i := 0; i < nf; i++ {
+		m.free = append(m.free, storage.PhysID(get()))
+	}
+	return m, nil
+}

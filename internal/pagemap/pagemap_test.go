@@ -1,0 +1,345 @@
+package pagemap
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/page"
+	"repro/internal/storage"
+)
+
+func TestAllocateLogicalSequence(t *testing.T) {
+	m := New(InPlace, 100)
+	a := m.AllocateLogical()
+	b := m.AllocateLogical()
+	if a == page.InvalidID || b == page.InvalidID {
+		t.Fatal("allocated InvalidID")
+	}
+	if a == b {
+		t.Fatal("duplicate logical IDs")
+	}
+	if !m.Known(a) || !m.Known(b) {
+		t.Error("allocated pages not known")
+	}
+	if m.Len() != 2 {
+		t.Errorf("Len = %d, want 2", m.Len())
+	}
+}
+
+func TestLookupBeforeFirstWrite(t *testing.T) {
+	m := New(InPlace, 100)
+	id := m.AllocateLogical()
+	if _, ok := m.Lookup(id); ok {
+		t.Error("never-written page has a physical slot")
+	}
+}
+
+func TestInPlaceWriteTargetStable(t *testing.T) {
+	m := New(InPlace, 100)
+	id := m.AllocateLogical()
+	s1, _, had, err := m.WriteTarget(id)
+	if err != nil || had {
+		t.Fatalf("first write: %v had=%v", err, had)
+	}
+	s2, _, had2, err := m.WriteTarget(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 != s1 || had2 {
+		t.Errorf("in-place write moved page: %d -> %d", s1, s2)
+	}
+}
+
+func TestCopyOnWriteMovesEveryWrite(t *testing.T) {
+	m := New(CopyOnWrite, 100)
+	id := m.AllocateLogical()
+	s1, _, had, err := m.WriteTarget(id)
+	if err != nil || had {
+		t.Fatalf("first write: %v had=%v", err, had)
+	}
+	s2, prev, had2, err := m.WriteTarget(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !had2 || prev != s1 || s2 == s1 {
+		t.Errorf("COW write: dst=%d prev=%d had=%v, want fresh slot and prev=%d", s2, prev, had2, s1)
+	}
+	if got, ok := m.Lookup(id); !ok || got != s2 {
+		t.Errorf("lookup = %d/%v, want %d", got, ok, s2)
+	}
+}
+
+func TestWriteTargetUnknownPage(t *testing.T) {
+	m := New(InPlace, 10)
+	if _, _, _, err := m.WriteTarget(55); !errors.Is(err, ErrUnknownPage) {
+		t.Errorf("unknown page: %v", err)
+	}
+}
+
+func TestDeviceFull(t *testing.T) {
+	m := New(InPlace, 2)
+	for i := 0; i < 2; i++ {
+		id := m.AllocateLogical()
+		if _, _, _, err := m.WriteTarget(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	id := m.AllocateLogical()
+	if _, _, _, err := m.WriteTarget(id); !errors.Is(err, ErrNoFreeSlots) {
+		t.Errorf("full device: %v", err)
+	}
+}
+
+func TestRelocateAndFreeSlot(t *testing.T) {
+	m := New(InPlace, 10)
+	id := m.AllocateLogical()
+	orig, _, _, err := m.WriteTarget(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, prev, had, err := m.Relocate(id)
+	if err != nil || !had || prev != orig || dst == orig {
+		t.Fatalf("relocate: dst=%d prev=%d had=%v err=%v", dst, prev, had, err)
+	}
+	// Old slot can now be freed and is reused.
+	if err := m.FreeSlot(prev); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.FreeSlot(prev); !errors.Is(err, ErrDoubleFree) {
+		t.Errorf("double free: %v", err)
+	}
+	id2 := m.AllocateLogical()
+	s2, _, _, err := m.WriteTarget(id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 != prev {
+		t.Errorf("freed slot not reused: got %d want %d", s2, prev)
+	}
+}
+
+func TestFreeSlotStillMapped(t *testing.T) {
+	m := New(InPlace, 10)
+	id := m.AllocateLogical()
+	s, _, _, err := m.WriteTarget(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.FreeSlot(s); !errors.Is(err, ErrSlotBusy) {
+		t.Errorf("freeing mapped slot: %v", err)
+	}
+}
+
+func TestDropLogical(t *testing.T) {
+	m := New(InPlace, 10)
+	id := m.AllocateLogical()
+	if _, _, _, err := m.WriteTarget(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DropLogical(id); err != nil {
+		t.Fatal(err)
+	}
+	if m.Known(id) {
+		t.Error("dropped page still known")
+	}
+	if err := m.DropLogical(id); !errors.Is(err, ErrUnknownPage) {
+		t.Errorf("double drop: %v", err)
+	}
+}
+
+func TestRemapAndAdopt(t *testing.T) {
+	m := New(InPlace, 100)
+	id := m.AllocateLogical()
+	if err := m.Remap(id, 42); err != nil {
+		t.Fatal(err)
+	}
+	if s, ok := m.Lookup(id); !ok || s != 42 {
+		t.Errorf("lookup after remap = %d/%v", s, ok)
+	}
+	if err := m.Remap(999, 1); !errors.Is(err, ErrUnknownPage) {
+		t.Errorf("remap unknown: %v", err)
+	}
+	if err := m.Adopt(50, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Adopt(50, 8); !errors.Is(err, ErrAlreadyKnown) {
+		t.Errorf("double adopt: %v", err)
+	}
+	// nextID advanced past adopted page.
+	next := m.AllocateLogical()
+	if next <= 50 {
+		t.Errorf("AllocateLogical after Adopt(50) = %d, want > 50", next)
+	}
+}
+
+func TestPagesSortedAndMappedSlots(t *testing.T) {
+	m := New(InPlace, 100)
+	var ids []page.ID
+	for i := 0; i < 5; i++ {
+		id := m.AllocateLogical()
+		ids = append(ids, id)
+		if i%2 == 0 {
+			if _, _, _, err := m.WriteTarget(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	got := m.Pages()
+	if len(got) != 5 {
+		t.Fatalf("Pages len = %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatal("Pages not sorted")
+		}
+	}
+	slots := m.MappedSlots()
+	if len(slots) != 3 {
+		t.Errorf("MappedSlots len = %d, want 3 (only written pages)", len(slots))
+	}
+	for s, id := range slots {
+		if cur, ok := m.Lookup(id); !ok || cur != s {
+			t.Errorf("slot %d maps to %d inconsistently", s, id)
+		}
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	m := New(CopyOnWrite, 64)
+	var ids []page.ID
+	for i := 0; i < 10; i++ {
+		id := m.AllocateLogical()
+		ids = append(ids, id)
+		if _, _, _, err := m.WriteTarget(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Generate some churn: relocate and free.
+	_, prev, _, err := m.Relocate(ids[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.FreeSlot(prev); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	r, err := Restore(snap, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Mode() != CopyOnWrite {
+		t.Error("mode lost")
+	}
+	if r.Len() != m.Len() {
+		t.Errorf("restored %d pages, want %d", r.Len(), m.Len())
+	}
+	for _, id := range ids {
+		ws, wok := m.Lookup(id)
+		gs, gok := r.Lookup(id)
+		if wok != gok || ws != gs {
+			t.Errorf("page %d: restored %d/%v, want %d/%v", id, gs, gok, ws, wok)
+		}
+	}
+	// Allocation sequences continue identically.
+	if a, b := m.AllocateLogical(), r.AllocateLogical(); a != b {
+		t.Errorf("post-restore allocation diverges: %d vs %d", a, b)
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	if _, err := Restore([]byte{1, 2, 3}, 10); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("short snapshot: %v", err)
+	}
+	if _, err := Restore(make([]byte, 40), 10); err != nil {
+		// 40 zero bytes decode as an empty map — acceptable.
+		_ = err
+	}
+	// Claimed huge entry count with no data must fail, not panic.
+	bad := make([]byte, 32)
+	bad[24] = 0xFF
+	if _, err := Restore(bad, 10); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("truncated snapshot: %v", err)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if InPlace.String() != "in-place" || CopyOnWrite.String() != "copy-on-write" {
+		t.Error("mode strings wrong")
+	}
+}
+
+// Property: in COW mode, no two live pages ever share a physical slot, and
+// freed slots never alias a live mapping.
+func TestQuickCOWNoAliasing(t *testing.T) {
+	f := func(ops []uint8) bool {
+		m := New(CopyOnWrite, 4096)
+		var ids []page.ID
+		for _, op := range ops {
+			switch {
+			case op%3 == 0 || len(ids) == 0:
+				ids = append(ids, m.AllocateLogical())
+			default:
+				id := ids[int(op)%len(ids)]
+				_, prev, had, err := m.WriteTarget(id)
+				if errors.Is(err, ErrNoFreeSlots) {
+					return true
+				}
+				if err != nil {
+					return false
+				}
+				if had {
+					if err := m.FreeSlot(prev); err != nil {
+						return false
+					}
+				}
+			}
+		}
+		seen := map[storage.PhysID]bool{}
+		for s := range m.MappedSlots() {
+			if seen[s] {
+				return false
+			}
+			seen[s] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: snapshot/restore is lossless for arbitrary operation sequences.
+func TestQuickSnapshotRoundTrip(t *testing.T) {
+	f := func(ops []uint8) bool {
+		m := New(InPlace, 4096)
+		var ids []page.ID
+		for _, op := range ops {
+			if op%2 == 0 || len(ids) == 0 {
+				ids = append(ids, m.AllocateLogical())
+			} else {
+				if _, _, _, err := m.WriteTarget(ids[int(op)%len(ids)]); err != nil {
+					return false
+				}
+			}
+		}
+		r, err := Restore(m.Snapshot(), 4096)
+		if err != nil {
+			return false
+		}
+		if r.Len() != m.Len() {
+			return false
+		}
+		for _, id := range m.Pages() {
+			a, aok := m.Lookup(id)
+			b, bok := r.Lookup(id)
+			if a != b || aok != bok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

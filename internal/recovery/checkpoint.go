@@ -1,0 +1,154 @@
+// Package recovery implements the recovery algorithms for the three
+// traditional failure classes (paper §5.1) and their interplay with the
+// page recovery index (§5.2.5–§5.2.6):
+//
+//   - fuzzy checkpoints that flush the dirty pages present at checkpoint
+//     start and snapshot the active transaction table, the dirty page
+//     table, the page recovery index, and the page map;
+//   - restart recovery after a system failure: log analysis, physical
+//     redo with the logged-completed-write optimization (PRI update
+//     records), and logical undo of loser transactions — including the
+//     Fig. 12 repair of PRI updates lost in the crash;
+//   - media recovery after a device failure: restore a full backup set and
+//     replay the log forward.
+package recovery
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/page"
+	"repro/internal/pagemap"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// CheckpointDeps is what a checkpoint needs.
+type CheckpointDeps struct {
+	Log  *wal.Manager
+	Pool *buffer.Pool
+	Txns *txn.Manager
+	PRI  *core.PRI
+	Map  *pagemap.Map
+}
+
+// Checkpoint takes a fuzzy checkpoint: it flushes the pages that were
+// dirty when the checkpoint started (per §5.2.6, deliberately NOT chasing
+// the tail of PRI updates caused by those very flushes), then logs a
+// checkpoint-end record carrying the ATT, the remaining DPT, and snapshots
+// of the page recovery index and page map, forces the log, and updates the
+// master record.
+func Checkpoint(d CheckpointDeps) (page.LSN, error) {
+	d.Log.Append(&wal.Record{Type: wal.TypeCheckpointBegin})
+	dirtyAtStart := d.Pool.DirtyPages()
+	for _, e := range dirtyAtStart {
+		if err := d.Pool.FlushPage(e.Page); err != nil {
+			if errors.Is(err, buffer.ErrNotResident) {
+				continue // evicted (and therefore flushed) meanwhile
+			}
+			return 0, fmt.Errorf("recovery: checkpoint flush of page %d: %w", e.Page, err)
+		}
+	}
+	payload := encodeCheckpoint(checkpointData{
+		att:  d.Txns.Active(),
+		dpt:  d.Pool.DirtyPages(),
+		pri:  d.PRI.Snapshot(),
+		pmap: d.Map.Snapshot(),
+	})
+	end := d.Log.Append(&wal.Record{Type: wal.TypeCheckpointEnd, Payload: payload})
+	d.Log.FlushAll()
+	d.Log.SetMaster(end)
+	return end, nil
+}
+
+// checkpointData is the checkpoint-end record contents.
+type checkpointData struct {
+	att  []txn.ActiveEntry
+	dpt  []buffer.DirtyPageEntry
+	pri  []byte
+	pmap []byte
+}
+
+func encodeCheckpoint(c checkpointData) []byte {
+	var buf []byte
+	var t [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(t[:], v)
+		buf = append(buf, t[:]...)
+	}
+	put(uint64(len(c.att)))
+	for _, e := range c.att {
+		put(uint64(e.ID))
+		put(uint64(e.LastLSN))
+	}
+	put(uint64(len(c.dpt)))
+	for _, e := range c.dpt {
+		put(uint64(e.Page))
+		put(uint64(e.RecLSN))
+	}
+	put(uint64(len(c.pri)))
+	buf = append(buf, c.pri...)
+	put(uint64(len(c.pmap)))
+	buf = append(buf, c.pmap...)
+	return buf
+}
+
+var errBadCheckpoint = errors.New("recovery: corrupt checkpoint record")
+
+func decodeCheckpoint(payload []byte) (checkpointData, error) {
+	var c checkpointData
+	pos := 0
+	get := func() (uint64, bool) {
+		if pos+8 > len(payload) {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint64(payload[pos:])
+		pos += 8
+		return v, true
+	}
+	n, ok := get()
+	if !ok {
+		return c, errBadCheckpoint
+	}
+	for i := uint64(0); i < n; i++ {
+		id, ok1 := get()
+		lsn, ok2 := get()
+		if !ok1 || !ok2 {
+			return c, errBadCheckpoint
+		}
+		c.att = append(c.att, txn.ActiveEntry{
+			ID: wal.TxnID(id), LastLSN: page.LSN(lsn), System: txn.IsSystemID(wal.TxnID(id)),
+		})
+	}
+	n, ok = get()
+	if !ok {
+		return c, errBadCheckpoint
+	}
+	for i := uint64(0); i < n; i++ {
+		id, ok1 := get()
+		lsn, ok2 := get()
+		if !ok1 || !ok2 {
+			return c, errBadCheckpoint
+		}
+		c.dpt = append(c.dpt, buffer.DirtyPageEntry{Page: page.ID(id), RecLSN: page.LSN(lsn)})
+	}
+	n, ok = get()
+	if !ok || pos+int(n) > len(payload) {
+		return c, errBadCheckpoint
+	}
+	c.pri = append([]byte(nil), payload[pos:pos+int(n)]...)
+	pos += int(n)
+	n, ok = get()
+	if !ok || pos+int(n) > len(payload) {
+		return c, errBadCheckpoint
+	}
+	c.pmap = append([]byte(nil), payload[pos:pos+int(n)]...)
+	pos += int(n)
+	if pos != len(payload) {
+		return c, errBadCheckpoint
+	}
+	return c, nil
+}

@@ -1,0 +1,141 @@
+package recovery
+
+import (
+	"fmt"
+
+	"repro/internal/backup"
+	"repro/internal/core"
+	"repro/internal/page"
+	"repro/internal/pagemap"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// MediaDeps is what media recovery needs. It operates directly on the
+// replacement device: unlike single-page recovery, media recovery is a
+// bulk offline process — "due to the effort of restoring a backup copy,
+// active transactions touching the failed media are aborted" (§5.1.3).
+type MediaDeps struct {
+	Log      *wal.Manager
+	Dev      *storage.Device
+	Store    *backup.Store
+	Resolver *backup.Resolver
+	Applier  core.RedoApplier
+	PageSize int
+	Mode     pagemap.Mode
+}
+
+// MediaReport quantifies one media recovery.
+type MediaReport struct {
+	PagesRestored  int
+	RecordsScanned int
+	RecordsApplied int
+}
+
+// RecoverMedia rebuilds an entire device from the full backup set plus the
+// log (§5.1.3): every page image in the set is restored to a fresh slot,
+// then the log is replayed forward from the backup point. The function
+// returns the new page map and a page recovery index whose entries point
+// at the backup set (range-compressed) refined by the replayed per-page
+// state — exactly the state a fresh full backup plus normal processing
+// would have produced.
+func RecoverMedia(d MediaDeps, setID uint64) (*pagemap.Map, *core.PRI, *MediaReport, error) {
+	rep := &MediaReport{}
+	setLSN, err := d.Store.SetLSN(setID)
+	if err != nil {
+		return nil, nil, rep, err
+	}
+	ids, err := d.Store.SetPages(setID)
+	if err != nil {
+		return nil, nil, rep, err
+	}
+	pm := pagemap.New(d.Mode, d.Dev.Slots())
+	pri := core.NewPRI()
+
+	// Restore phase: copy every backup image onto the replacement
+	// device. "Restoring to alternative media requires remapping page
+	// identifiers" (§5.1.3) — the logical page map does exactly that.
+	images := make(map[page.ID]*page.Page, len(ids))
+	for _, id := range ids {
+		pg, err := d.Resolver.FetchBackup(core.BackupRef{Kind: core.BackupFull, Loc: setID}, id)
+		if err != nil {
+			return nil, nil, rep, fmt.Errorf("recovery: restoring page %d from set %d: %w", id, setID, err)
+		}
+		images[id] = pg
+		pm.AdoptFresh(id)
+		rep.PagesRestored++
+	}
+	if len(ids) > 0 {
+		lo, hi := ids[0], ids[len(ids)-1]
+		pri.SetRange(lo, hi, core.Entry{
+			Backup: core.BackupRef{Kind: core.BackupFull, Loc: setID},
+		})
+	}
+
+	// Replay phase: forward from the backup point, applying every page
+	// op the PageLSN shows missing. PRI update records refresh the
+	// index; format records add pages born after the backup.
+	var replayErr error
+	err = d.Log.Scan(setLSN, func(rec *wal.Record) bool {
+		rep.RecordsScanned++
+		switch rec.Type {
+		case wal.TypeFormat:
+			pg, err := backup.PageFromFormatRecord(rec, d.PageSize)
+			if err != nil {
+				replayErr = err
+				return false
+			}
+			images[rec.PageID] = pg
+			pm.AdoptFresh(rec.PageID)
+			pri.Set(rec.PageID, core.Entry{
+				Backup:  core.BackupRef{Kind: core.BackupFormat, Loc: uint64(rec.LSN), AsOf: rec.LSN},
+				LastLSN: rec.LSN,
+			})
+			rep.RecordsApplied++
+		case wal.TypeUpdate, wal.TypeCLR:
+			pg, ok := images[rec.PageID]
+			if !ok || rec.PageID == page.InvalidID {
+				return true
+			}
+			if pg.LSN() >= rec.LSN {
+				return true
+			}
+			if rec.PagePrevLSN != pg.LSN() {
+				replayErr = fmt.Errorf(
+					"recovery: media replay of LSN %d on page %d out of sequence: expects %d, page at %d",
+					rec.LSN, rec.PageID, rec.PagePrevLSN, pg.LSN())
+				return false
+			}
+			if err := d.Applier.ApplyRedo(rec, pg); err != nil {
+				replayErr = fmt.Errorf("recovery: media replay of LSN %d: %w", rec.LSN, err)
+				return false
+			}
+			pg.SetLSN(rec.LSN)
+			rep.RecordsApplied++
+		case wal.TypePRIUpdate:
+			_ = core.ApplyPRIRecord(pri, nil, rec)
+		}
+		return true
+	})
+	if replayErr != nil {
+		return nil, nil, rep, replayErr
+	}
+	if err != nil {
+		return nil, nil, rep, err
+	}
+
+	// Write every restored page to the device and bind its slot.
+	for id, pg := range images {
+		dst, _, _, err := pm.WriteTarget(id)
+		if err != nil {
+			return nil, nil, rep, err
+		}
+		if err := d.Dev.Write(dst, pg.Encode()); err != nil {
+			return nil, nil, rep, fmt.Errorf("recovery: writing restored page %d: %w", id, err)
+		}
+		if _, err := pri.SetLastLSN(id, pg.LSN()); err != nil {
+			pri.Set(id, core.Entry{LastLSN: pg.LSN()})
+		}
+	}
+	return pm, pri, rep, nil
+}

@@ -1,0 +1,326 @@
+package recovery
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/backup"
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/page"
+	"repro/internal/pagemap"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// AnalysisResult is the outcome of the log-analysis pass (Fig. 12, first
+// two rows): the loser transactions, the recovery requirements (dirty page
+// table), and the reconstructed page recovery index and page map.
+type AnalysisResult struct {
+	// CheckpointLSN is the checkpoint the analysis started from
+	// (ZeroLSN when the log has no completed checkpoint).
+	CheckpointLSN page.LSN
+	// Losers maps in-flight transactions to the head of their chains.
+	Losers map[wal.TxnID]page.LSN
+	// DPT maps pages that may need redo to their earliest required LSN.
+	DPT map[page.ID]page.LSN
+	// PRI and Map are rebuilt from the checkpoint snapshots plus the
+	// PRI update records that followed.
+	PRI *core.PRI
+	Map *pagemap.Map
+	// PagesScanned counts log records visited (analysis reads only the
+	// log, no data pages — §5.1.2).
+	RecordsScanned int
+}
+
+// Analyze runs the log-analysis pass from the most recent checkpoint. It
+// reads only the log. slotCount sizes the reconstructed page map.
+func Analyze(log *wal.Manager, slotCount int) (*AnalysisResult, error) {
+	res := &AnalysisResult{
+		Losers: make(map[wal.TxnID]page.LSN),
+		DPT:    make(map[page.ID]page.LSN),
+	}
+	start := wal.FirstLSN()
+	res.PRI = core.NewPRI()
+	res.Map = pagemap.New(pagemap.InPlace, slotCount)
+
+	if master := log.Master(); master != page.ZeroLSN {
+		rec, err := log.Read(master)
+		if err != nil {
+			return nil, fmt.Errorf("recovery: reading checkpoint at %d: %w", master, err)
+		}
+		if rec.Type != wal.TypeCheckpointEnd {
+			return nil, fmt.Errorf("recovery: master LSN %d is %v, not a checkpoint end", master, rec.Type)
+		}
+		ck, err := decodeCheckpoint(rec.Payload)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range ck.att {
+			res.Losers[e.ID] = e.LastLSN
+		}
+		for _, e := range ck.dpt {
+			res.DPT[e.Page] = e.RecLSN
+		}
+		pri, err := core.RestorePRI(ck.pri)
+		if err != nil {
+			return nil, err
+		}
+		res.PRI = pri
+		pm, err := pagemap.Restore(ck.pmap, slotCount)
+		if err != nil {
+			return nil, err
+		}
+		res.Map = pm
+		res.CheckpointLSN = master
+		start = master
+	}
+
+	// pending tracks, per page, the LSNs of updates not yet confirmed
+	// written; a write-complete record confirms everything at or below
+	// its recorded PageLSN.
+	pending := make(map[page.ID][]page.LSN)
+	for p, rec := range res.DPT {
+		pending[p] = []page.LSN{rec}
+	}
+
+	err := log.Scan(start, func(rec *wal.Record) bool {
+		res.RecordsScanned++
+		switch rec.Type {
+		case wal.TypeUpdate, wal.TypeCLR:
+			res.Losers[rec.Txn] = rec.LSN
+			if rec.PageID != page.InvalidID {
+				pending[rec.PageID] = append(pending[rec.PageID], rec.LSN)
+			}
+		case wal.TypeFormat:
+			res.Losers[rec.Txn] = rec.LSN
+			res.Map.AdoptFresh(rec.PageID)
+			pending[rec.PageID] = append(pending[rec.PageID], rec.LSN)
+			// A format record is self-registering: it is the page's
+			// backup until something better comes along (§5.2.1).
+			res.PRI.Set(rec.PageID, core.Entry{
+				Backup:  core.BackupRef{Kind: core.BackupFormat, Loc: uint64(rec.LSN), AsOf: rec.LSN},
+				LastLSN: rec.LSN,
+			})
+		case wal.TypeFullImage:
+			res.Losers[rec.Txn] = rec.LSN
+		case wal.TypeCommit, wal.TypeSysCommit, wal.TypeAbort:
+			delete(res.Losers, rec.Txn)
+		case wal.TypePRIUpdate:
+			// Fig. 12 row 2: "Remove the data page from the recovery
+			// requirements; add the page in the page recovery index."
+			if op, _ := core.DecodePRIOp(rec.Payload); op == core.PRIOpWriteComplete {
+				wc, err := core.DecodeWriteComplete(rec.Payload)
+				if err == nil {
+					rest := pending[rec.PageID][:0]
+					for _, lsn := range pending[rec.PageID] {
+						if lsn > wc.PageLSN {
+							rest = append(rest, lsn)
+						}
+					}
+					pending[rec.PageID] = rest
+				}
+			}
+			if err := core.ApplyPRIRecord(res.PRI, res.Map, rec); err != nil {
+				// A malformed PRI record is not fatal to analysis;
+				// the page will simply be re-read during redo.
+				return true
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res.DPT = make(map[page.ID]page.LSN)
+	for p, lsns := range pending {
+		if len(lsns) > 0 {
+			res.DPT[p] = lsns[0]
+		}
+	}
+	return res, nil
+}
+
+// RedoDeps is what the redo pass needs.
+type RedoDeps struct {
+	Log      *wal.Manager
+	Pool     *buffer.Pool
+	Map      *pagemap.Map
+	PRI      *core.PRI
+	Applier  core.RedoApplier
+	PageSize int
+	// LogPRIRepair, when non-nil, is called for pages found already
+	// up-to-date on disk whose PRI update was lost in the crash (Fig. 12
+	// redo row: "otherwise, create a log record for the page recovery
+	// index"). The engine supplies a function that logs the repair
+	// record under a system transaction.
+	LogPRIRepair func(pageID page.ID, pageLSN page.LSN)
+}
+
+// RedoReport quantifies a redo pass — experiment E4 compares PagesRead
+// with and without the completed-write optimization.
+type RedoReport struct {
+	RecordsConsidered int
+	RecordsApplied    int
+	PagesRead         int
+	PRIRepairs        int
+}
+
+// Redo replays history forward from the earliest recovery requirement
+// ("redo is physical", §5.1.2). For every update record whose page is in
+// the DPT at or above its recLSN, the page is read (once) and the record
+// applied exactly when the PageLSN shows it missing, with the per-page
+// chain as a defensive cross-check (§5.1.4).
+func Redo(d RedoDeps, a *AnalysisResult) (*RedoReport, error) {
+	rep := &RedoReport{}
+	if len(a.DPT) == 0 {
+		return rep, nil
+	}
+	start := page.LSN(^uint64(0))
+	for _, lsn := range a.DPT {
+		if lsn < start {
+			start = lsn
+		}
+	}
+	seen := make(map[page.ID]bool)
+	var redoErr error
+	scanErr := d.Log.Scan(start, func(rec *wal.Record) bool {
+		switch rec.Type {
+		case wal.TypeUpdate, wal.TypeCLR, wal.TypeFormat:
+		default:
+			return true
+		}
+		recLSN, inDPT := a.DPT[rec.PageID]
+		if !inDPT || rec.LSN < recLSN {
+			return true
+		}
+		rep.RecordsConsidered++
+		h, err := fetchForRedo(d, rec)
+		if err != nil {
+			redoErr = err
+			return false
+		}
+		if h == nil {
+			return true // nothing to do for this record
+		}
+		if !seen[rec.PageID] {
+			seen[rec.PageID] = true
+			rep.PagesRead++
+		}
+		defer h.Release()
+		h.Lock()
+		defer h.Unlock()
+		pg := h.Page()
+		if pg.LSN() >= rec.LSN {
+			// The page already reflects the record: it was written
+			// before the crash but the PRI update was lost. Repair
+			// the index now (Fig. 12, redo row, second half).
+			if cur, err := d.PRI.Get(rec.PageID); err != nil || cur.LastLSN < pg.LSN() {
+				if _, err := d.PRI.SetLastLSN(rec.PageID, pg.LSN()); err != nil {
+					d.PRI.Set(rec.PageID, core.Entry{LastLSN: pg.LSN()})
+				}
+				if d.LogPRIRepair != nil {
+					d.LogPRIRepair(rec.PageID, pg.LSN())
+				}
+				rep.PRIRepairs++
+			}
+			return true
+		}
+		if rec.Type == wal.TypeFormat {
+			fresh, err := backup.PageFromFormatRecord(rec, d.PageSize)
+			if err != nil {
+				redoErr = err
+				return false
+			}
+			if err := pg.SetPayload(fresh.Payload()); err != nil {
+				redoErr = err
+				return false
+			}
+			pg.SetType(fresh.Type())
+		} else {
+			// Defensive per-page chain check (§5.1.4): the record's
+			// predecessor must be exactly the state on the page.
+			if rec.PagePrevLSN != pg.LSN() {
+				redoErr = fmt.Errorf(
+					"recovery: redo of LSN %d on page %d out of sequence: record expects PageLSN %d, page has %d",
+					rec.LSN, rec.PageID, rec.PagePrevLSN, pg.LSN())
+				return false
+			}
+			if err := d.Applier.ApplyRedo(rec, pg); err != nil {
+				redoErr = fmt.Errorf("recovery: redo of LSN %d on page %d: %w", rec.LSN, rec.PageID, err)
+				return false
+			}
+		}
+		pg.SetLSN(rec.LSN)
+		h.MarkDirty(rec.LSN)
+		rep.RecordsApplied++
+		return true
+	})
+	if redoErr != nil {
+		return rep, redoErr
+	}
+	return rep, scanErr
+}
+
+// fetchForRedo pins the page a redo record targets, creating it fresh for
+// format records of never-written pages.
+func fetchForRedo(d RedoDeps, rec *wal.Record) (*buffer.Handle, error) {
+	h, err := d.Pool.Fetch(rec.PageID)
+	if err == nil {
+		return h, nil
+	}
+	if errors.Is(err, buffer.ErrNeverWritten) || errors.Is(err, buffer.ErrUnknownPage) {
+		// The page never reached the database; only a format record
+		// can recreate it. Updates to it will follow the format record
+		// in the scan.
+		if rec.Type != wal.TypeFormat {
+			return nil, fmt.Errorf(
+				"recovery: redo of LSN %d targets unwritten page %d with no format record first",
+				rec.LSN, rec.PageID)
+		}
+		d.Map.AdoptFresh(rec.PageID)
+		return d.Pool.Create(rec.PageID, page.TypeRaw)
+	}
+	return nil, err
+}
+
+// UndoDeps is what the undo pass needs.
+type UndoDeps struct {
+	Txns *txn.Manager
+}
+
+// UndoReport quantifies the undo pass.
+type UndoReport struct {
+	LosersRolledBack int
+	SystemLosers     int
+}
+
+// Undo rolls back every loser transaction through the transaction
+// manager's registered Undoer (logical compensation for user updates,
+// physical inverse for system-transaction structural ops), in descending
+// order of their final LSNs as ARIES prescribes.
+func Undo(d UndoDeps, a *AnalysisResult) (*UndoReport, error) {
+	rep := &UndoReport{}
+	type loser struct {
+		id   wal.TxnID
+		last page.LSN
+	}
+	losers := make([]loser, 0, len(a.Losers))
+	for id, last := range a.Losers {
+		losers = append(losers, loser{id, last})
+	}
+	sort.Slice(losers, func(i, j int) bool { return losers[i].last > losers[j].last })
+	for _, l := range losers {
+		t := d.Txns.AdoptLoser(l.id, l.last)
+		if err := t.Abort(); err != nil {
+			return rep, fmt.Errorf("recovery: rolling back loser %d: %w", l.id, err)
+		}
+		rep.LosersRolledBack++
+		if txn.IsSystemID(l.id) {
+			rep.SystemLosers++
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,54 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("E13: recovery time", "class", "time", "ios")
+	tb.Row("single-page", 800*time.Millisecond, 26)
+	tb.Row("media", 17*time.Minute, 1)
+	tb.Caption = "simulated HDD profile"
+	out := tb.String()
+	if !strings.Contains(out, "E13: recovery time") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "single-page") || !strings.Contains(out, "17.0min") {
+		t.Errorf("rows malformed:\n%s", out)
+	}
+	if !strings.Contains(out, "simulated HDD profile") {
+		t.Error("caption missing")
+	}
+	// Aligned columns: every data line should start at the same offset.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("too few lines:\n%s", out)
+	}
+}
+
+func TestCompactDuration(t *testing.T) {
+	cases := map[time.Duration]string{
+		2 * time.Hour:           "2.0h",
+		90 * time.Second:        "1.5min",
+		1500 * time.Millisecond: "1.50s",
+		2500 * time.Microsecond: "2.50ms",
+		1500 * time.Nanosecond:  "1.5us",
+		300 * time.Nanosecond:   "300ns",
+	}
+	for d, want := range cases {
+		if got := CompactDuration(d); got != want {
+			t.Errorf("CompactDuration(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestFloatsAndMixedCells(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	tb.Row(3.14159, "s")
+	out := tb.String()
+	if !strings.Contains(out, "3.14") {
+		t.Errorf("float not rounded:\n%s", out)
+	}
+}

@@ -1,0 +1,407 @@
+// Package storage simulates a page-addressed storage device with
+// configurable fault injection.
+//
+// The paper's fourth failure class covers "all failures to read a data page
+// correctly and with plausible contents despite all correction attempts in
+// lower system levels" (§3.2). This device reproduces the lower system
+// levels: it stores raw page images in physical slots and can inject the
+// fault modes that motivate the paper — silent corruption (the RAID-5
+// anecdote of §1), explicit unrecoverable read errors (the "latent sector
+// errors" of Bairavasundaram et al.), torn writes, and lost ("stuck")
+// writes. It also implements disk scrubbing, the background re-read pass the
+// paper cites as the main discoverer of latent errors.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/iosim"
+)
+
+// PhysID is a physical slot number on a device. Slot numbering starts at 0.
+type PhysID uint64
+
+// Errors returned by device operations.
+var (
+	// ErrReadFailure is an explicit unrecoverable read error: the device
+	// firmware gave up after all retries, the paper's "latent sector
+	// error" case. The caller receives no data at all.
+	ErrReadFailure = errors.New("storage: unrecoverable read error")
+	// ErrWriteFailure is an explicit write error.
+	ErrWriteFailure = errors.New("storage: write error")
+	// ErrOutOfRange reports an access beyond the device capacity.
+	ErrOutOfRange = errors.New("storage: physical id out of range")
+	// ErrBadSlot reports an access to a slot on the bad-block list.
+	ErrBadSlot = errors.New("storage: slot retired to bad-block list")
+	// ErrDeviceFailed reports that the whole device has failed (media
+	// failure), e.g. after FailDevice.
+	ErrDeviceFailed = errors.New("storage: device failed")
+)
+
+// FaultKind selects the failure mode injected on a slot.
+type FaultKind int
+
+// Fault kinds, in rough order of nastiness.
+const (
+	// FaultNone clears any injected fault.
+	FaultNone FaultKind = iota
+	// FaultReadError makes reads return ErrReadFailure: the device knows
+	// it lost the sector. Detected trivially; data still lost.
+	FaultReadError
+	// FaultSilentCorruption flips bits in the stored image and returns it
+	// with no error — the nightmare case from the paper's introduction.
+	// In-page checks (checksum) must catch it.
+	FaultSilentCorruption
+	// FaultZeroPage returns an all-zero image with no error (firmware
+	// "recovered" the sector to zeros).
+	FaultZeroPage
+	// FaultTornWrite applies only the first half of the next write; the
+	// stored image mixes old and new halves.
+	FaultTornWrite
+	// FaultLostWrite acknowledges writes but never applies them: later
+	// reads return the stale image with a valid checksum. Only the
+	// PageLSN cross-check against the page recovery index can detect
+	// this (paper §5.2.2, the Gary Smith acknowledgment).
+	FaultLostWrite
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultReadError:
+		return "read-error"
+	case FaultSilentCorruption:
+		return "silent-corruption"
+	case FaultZeroPage:
+		return "zero-page"
+	case FaultTornWrite:
+		return "torn-write"
+	case FaultLostWrite:
+		return "lost-write"
+	default:
+		return fmt.Sprintf("fault(%d)", int(k))
+	}
+}
+
+// fault is an injected failure on one slot.
+type fault struct {
+	kind FaultKind
+	// sticky faults persist across reads; non-sticky faults fire once.
+	sticky bool
+	// armed torn/lost writes wait for the next write.
+	armed bool
+}
+
+// Stats counts device-level operations and failures.
+type Stats struct {
+	Reads          int64
+	Writes         int64
+	ReadErrors     int64
+	CorruptReturns int64
+	LostWrites     int64
+	TornWrites     int64
+	Scrubs         int64
+}
+
+// Device is an in-memory page-addressed store with fault injection.
+// All methods are safe for concurrent use.
+type Device struct {
+	mu       sync.RWMutex
+	pageSize int
+	slots    [][]byte // nil = never written
+	faults   map[PhysID]*fault
+	bad      map[PhysID]bool // bad-block list: retired slots
+	failed   bool            // whole-device (media) failure
+	clock    *iosim.Clock
+	rng      *rand.Rand
+	stats    Stats
+}
+
+// Config configures a Device.
+type Config struct {
+	// PageSize is the size of each slot in bytes.
+	PageSize int
+	// Slots is the device capacity in pages.
+	Slots int
+	// Profile selects the I/O cost model; zero value charges nothing.
+	Profile iosim.Profile
+	// Seed seeds the corruption RNG for reproducible fault campaigns.
+	Seed int64
+}
+
+// NewDevice creates a device with the given geometry.
+func NewDevice(cfg Config) *Device {
+	if cfg.PageSize <= 0 {
+		panic("storage: PageSize must be positive")
+	}
+	if cfg.Slots <= 0 {
+		panic("storage: Slots must be positive")
+	}
+	return &Device{
+		pageSize: cfg.PageSize,
+		slots:    make([][]byte, cfg.Slots),
+		faults:   make(map[PhysID]*fault),
+		bad:      make(map[PhysID]bool),
+		clock:    iosim.NewClock(cfg.Profile),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// PageSize returns the slot size in bytes.
+func (d *Device) PageSize() int { return d.pageSize }
+
+// Slots returns the device capacity in pages.
+func (d *Device) Slots() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.slots)
+}
+
+// Clock returns the device's simulated-time clock.
+func (d *Device) Clock() *iosim.Clock { return d.clock }
+
+// Stats returns a snapshot of the device counters.
+func (d *Device) Stats() Stats {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.stats
+}
+
+// Read returns a copy of the image stored in slot id, after applying any
+// injected fault. A nil error with corrupted contents models silent
+// corruption; callers must run their own in-page checks.
+func (d *Device) Read(id PhysID) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failed {
+		return nil, ErrDeviceFailed
+	}
+	if int(id) >= len(d.slots) {
+		return nil, fmt.Errorf("%w: %d >= %d", ErrOutOfRange, id, len(d.slots))
+	}
+	if d.bad[id] {
+		return nil, fmt.Errorf("%w: %d", ErrBadSlot, id)
+	}
+	d.stats.Reads++
+	d.clock.Access(int64(id)*int64(d.pageSize), int64(d.pageSize))
+
+	img := d.slots[id]
+	out := make([]byte, d.pageSize)
+	if img != nil {
+		copy(out, img)
+	}
+
+	f := d.faults[id]
+	if f == nil || f.armed {
+		return out, nil
+	}
+	switch f.kind {
+	case FaultReadError:
+		d.stats.ReadErrors++
+		d.clearIfTransient(id, f)
+		return nil, fmt.Errorf("%w: slot %d", ErrReadFailure, id)
+	case FaultSilentCorruption:
+		d.corrupt(out)
+		d.stats.CorruptReturns++
+		d.clearIfTransient(id, f)
+		return out, nil
+	case FaultZeroPage:
+		for i := range out {
+			out[i] = 0
+		}
+		d.stats.CorruptReturns++
+		d.clearIfTransient(id, f)
+		return out, nil
+	default:
+		return out, nil
+	}
+}
+
+// corrupt flips a handful of random bits, modeling media decay that slipped
+// past the device ECC.
+func (d *Device) corrupt(img []byte) {
+	nbits := 1 + d.rng.Intn(8)
+	for i := 0; i < nbits; i++ {
+		pos := d.rng.Intn(len(img))
+		bit := uint(d.rng.Intn(8))
+		img[pos] ^= 1 << bit
+	}
+}
+
+func (d *Device) clearIfTransient(id PhysID, f *fault) {
+	if !f.sticky {
+		delete(d.faults, id)
+	}
+}
+
+// Write stores a copy of img in slot id, honoring armed torn/lost write
+// faults. len(img) must equal PageSize.
+func (d *Device) Write(id PhysID, img []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failed {
+		return ErrDeviceFailed
+	}
+	if int(id) >= len(d.slots) {
+		return fmt.Errorf("%w: %d >= %d", ErrOutOfRange, id, len(d.slots))
+	}
+	if d.bad[id] {
+		return fmt.Errorf("%w: %d", ErrBadSlot, id)
+	}
+	if len(img) != d.pageSize {
+		return fmt.Errorf("storage: write of %d bytes to %d-byte slot", len(img), d.pageSize)
+	}
+	d.stats.Writes++
+	d.clock.Access(int64(id)*int64(d.pageSize), int64(d.pageSize))
+
+	if f := d.faults[id]; f != nil && f.armed {
+		switch f.kind {
+		case FaultTornWrite:
+			old := d.slots[id]
+			torn := make([]byte, d.pageSize)
+			if old != nil {
+				copy(torn, old)
+			}
+			copy(torn[:d.pageSize/2], img[:d.pageSize/2])
+			d.slots[id] = torn
+			d.stats.TornWrites++
+			d.clearIfTransient(id, f)
+			return nil
+		case FaultLostWrite:
+			// Acknowledge but drop the write.
+			d.stats.LostWrites++
+			d.clearIfTransient(id, f)
+			return nil
+		}
+	}
+	stored := make([]byte, d.pageSize)
+	copy(stored, img)
+	d.slots[id] = stored
+	return nil
+}
+
+// InjectFault arms a fault on slot id. Torn/lost-write faults trigger on the
+// next write; the others trigger on reads. sticky keeps the fault armed
+// after it fires.
+func (d *Device) InjectFault(id PhysID, kind FaultKind, sticky bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if kind == FaultNone {
+		delete(d.faults, id)
+		return
+	}
+	d.faults[id] = &fault{
+		kind:   kind,
+		sticky: sticky,
+		armed:  kind == FaultTornWrite || kind == FaultLostWrite,
+	}
+}
+
+// ClearFault removes any injected fault from slot id.
+func (d *Device) ClearFault(id PhysID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.faults, id)
+}
+
+// ClearAllFaults removes every injected fault.
+func (d *Device) ClearAllFaults() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.faults = make(map[PhysID]*fault)
+}
+
+// FaultOn reports the fault currently armed on slot id.
+func (d *Device) FaultOn(id PhysID) FaultKind {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if f := d.faults[id]; f != nil {
+		return f.kind
+	}
+	return FaultNone
+}
+
+// RetireSlot adds a slot to the bad-block list; all further accesses fail.
+// The paper's recovery procedure retires the failed location after moving
+// the recovered page elsewhere (§5.2.3).
+func (d *Device) RetireSlot(id PhysID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.bad[id] = true
+	delete(d.faults, id)
+}
+
+// Retired reports whether a slot is on the bad-block list.
+func (d *Device) Retired(id PhysID) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.bad[id]
+}
+
+// RetiredCount returns the size of the bad-block list.
+func (d *Device) RetiredCount() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.bad)
+}
+
+// FailDevice marks the entire device as failed: every subsequent operation
+// returns ErrDeviceFailed. This models the media-failure escalation of the
+// paper's Figure 1.
+func (d *Device) FailDevice() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failed = true
+}
+
+// Failed reports whether the device as a whole has failed.
+func (d *Device) Failed() bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.failed
+}
+
+// Revive replaces a failed device with a fresh, empty one of the same
+// geometry (hardware replacement before media recovery).
+func (d *Device) Revive() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failed = false
+	d.slots = make([][]byte, len(d.slots))
+	d.faults = make(map[PhysID]*fault)
+	d.bad = make(map[PhysID]bool)
+}
+
+// RawImage returns the stored image without applying faults or charging
+// I/O. Intended for tests and for the scrubber's internal comparisons; nil
+// means the slot was never written.
+func (d *Device) RawImage(id PhysID) []byte {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if int(id) >= len(d.slots) || d.slots[id] == nil {
+		return nil
+	}
+	out := make([]byte, d.pageSize)
+	copy(out, d.slots[id])
+	return out
+}
+
+// CorruptStored flips bits directly in the stored image (not just the
+// returned copy), so even fault-free reads see the damage. Models in-place
+// media decay.
+func (d *Device) CorruptStored(id PhysID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if int(id) >= len(d.slots) {
+		return fmt.Errorf("%w: %d", ErrOutOfRange, id)
+	}
+	if d.slots[id] == nil {
+		d.slots[id] = make([]byte, d.pageSize)
+	}
+	d.corrupt(d.slots[id])
+	return nil
+}

@@ -1,0 +1,417 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/iosim"
+	"repro/internal/page"
+)
+
+func testDevice(slots int) *Device {
+	return NewDevice(Config{PageSize: 512, Slots: slots, Profile: iosim.Instant, Seed: 42})
+}
+
+func encodedPage(t *testing.T, id page.ID, fill byte) []byte {
+	t.Helper()
+	p := page.New(id, page.TypeRaw, 512)
+	if err := p.SetPayload(bytes.Repeat([]byte{fill}, 64)); err != nil {
+		t.Fatal(err)
+	}
+	return p.Encode()
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := testDevice(8)
+	img := encodedPage(t, 1, 0xAA)
+	if err := d.Write(3, img); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Read(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, img) {
+		t.Error("read image differs from written image")
+	}
+}
+
+func TestReadNeverWrittenSlotReturnsZeros(t *testing.T) {
+	d := testDevice(4)
+	got, err := d.Read(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("unwritten slot returned nonzero data")
+		}
+	}
+	if page.Verify(got) == nil {
+		t.Error("zero image passed page verification")
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	d := testDevice(4)
+	if _, err := d.Read(4); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("Read out of range: %v", err)
+	}
+	if err := d.Write(9, make([]byte, 512)); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("Write out of range: %v", err)
+	}
+}
+
+func TestWrongSizeWrite(t *testing.T) {
+	d := testDevice(4)
+	if err := d.Write(0, make([]byte, 100)); err == nil {
+		t.Fatal("short write accepted")
+	}
+}
+
+func TestFaultReadError(t *testing.T) {
+	d := testDevice(4)
+	if err := d.Write(1, encodedPage(t, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	d.InjectFault(1, FaultReadError, false)
+	if _, err := d.Read(1); !errors.Is(err, ErrReadFailure) {
+		t.Fatalf("want read failure, got %v", err)
+	}
+	// Transient fault: second read succeeds.
+	if _, err := d.Read(1); err != nil {
+		t.Fatalf("transient fault persisted: %v", err)
+	}
+}
+
+func TestFaultReadErrorSticky(t *testing.T) {
+	d := testDevice(4)
+	if err := d.Write(1, encodedPage(t, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	d.InjectFault(1, FaultReadError, true)
+	for i := 0; i < 3; i++ {
+		if _, err := d.Read(1); !errors.Is(err, ErrReadFailure) {
+			t.Fatalf("sticky fault did not persist on read %d: %v", i, err)
+		}
+	}
+}
+
+func TestFaultSilentCorruption(t *testing.T) {
+	d := testDevice(4)
+	img := encodedPage(t, 1, 0x77)
+	if err := d.Write(1, img); err != nil {
+		t.Fatal(err)
+	}
+	d.InjectFault(1, FaultSilentCorruption, false)
+	got, err := d.Read(1)
+	if err != nil {
+		t.Fatalf("silent corruption must not error: %v", err)
+	}
+	if bytes.Equal(got, img) {
+		t.Fatal("corrupted read returned pristine image")
+	}
+	if page.Verify(got) == nil {
+		t.Error("in-page check failed to detect corruption")
+	}
+	// Stored image unharmed; next read clean.
+	got2, err := d.Read(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got2, img) {
+		t.Error("transient corruption damaged the stored image")
+	}
+}
+
+func TestFaultZeroPage(t *testing.T) {
+	d := testDevice(4)
+	if err := d.Write(1, encodedPage(t, 1, 0x11)); err != nil {
+		t.Fatal(err)
+	}
+	d.InjectFault(1, FaultZeroPage, false)
+	got, err := d.Read(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("zero-page fault returned nonzero byte")
+		}
+	}
+}
+
+// tornPage builds an image whose payload spans both halves of the slot, so
+// a torn write necessarily mixes content.
+func tornPage(t *testing.T, fill byte) []byte {
+	t.Helper()
+	p := page.New(1, page.TypeRaw, 512)
+	if err := p.SetPayload(bytes.Repeat([]byte{fill}, 400)); err != nil {
+		t.Fatal(err)
+	}
+	return p.Encode()
+}
+
+func TestFaultTornWrite(t *testing.T) {
+	d := testDevice(4)
+	oldImg := tornPage(t, 0x01)
+	newImg := tornPage(t, 0x02)
+	if err := d.Write(1, oldImg); err != nil {
+		t.Fatal(err)
+	}
+	d.InjectFault(1, FaultTornWrite, false)
+	if err := d.Write(1, newImg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Read(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:256], newImg[:256]) {
+		t.Error("torn write: first half should be new")
+	}
+	if !bytes.Equal(got[256:], oldImg[256:]) {
+		t.Error("torn write: second half should be old")
+	}
+	if page.Verify(got) == nil {
+		t.Error("torn image passed verification")
+	}
+}
+
+func TestFaultLostWrite(t *testing.T) {
+	d := testDevice(4)
+	oldImg := encodedPage(t, 1, 0x01)
+	newImg := encodedPage(t, 1, 0x02)
+	if err := d.Write(1, oldImg); err != nil {
+		t.Fatal(err)
+	}
+	d.InjectFault(1, FaultLostWrite, false)
+	if err := d.Write(1, newImg); err != nil {
+		t.Fatal(err) // write is acknowledged
+	}
+	got, err := d.Read(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, oldImg) {
+		t.Fatal("lost write: stale image expected")
+	}
+	// The insidious part: the stale image still verifies.
+	if err := page.Verify(got); err != nil {
+		t.Errorf("stale image should pass in-page checks: %v", err)
+	}
+}
+
+func TestRetireSlot(t *testing.T) {
+	d := testDevice(4)
+	if err := d.Write(2, encodedPage(t, 1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	d.RetireSlot(2)
+	if !d.Retired(2) {
+		t.Fatal("slot not retired")
+	}
+	if _, err := d.Read(2); !errors.Is(err, ErrBadSlot) {
+		t.Errorf("read of retired slot: %v", err)
+	}
+	if err := d.Write(2, encodedPage(t, 1, 4)); !errors.Is(err, ErrBadSlot) {
+		t.Errorf("write to retired slot: %v", err)
+	}
+	if d.RetiredCount() != 1 {
+		t.Errorf("RetiredCount = %d, want 1", d.RetiredCount())
+	}
+}
+
+func TestFailDeviceAndRevive(t *testing.T) {
+	d := testDevice(4)
+	if err := d.Write(0, encodedPage(t, 1, 5)); err != nil {
+		t.Fatal(err)
+	}
+	d.FailDevice()
+	if !d.Failed() {
+		t.Fatal("device not failed")
+	}
+	if _, err := d.Read(0); !errors.Is(err, ErrDeviceFailed) {
+		t.Errorf("read on failed device: %v", err)
+	}
+	if err := d.Write(0, encodedPage(t, 1, 6)); !errors.Is(err, ErrDeviceFailed) {
+		t.Errorf("write on failed device: %v", err)
+	}
+	d.Revive()
+	if d.Failed() {
+		t.Fatal("device still failed after revive")
+	}
+	img, err := d.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Verify(img) == nil {
+		t.Error("revived device should be empty")
+	}
+}
+
+func TestCorruptStored(t *testing.T) {
+	d := testDevice(4)
+	img := encodedPage(t, 1, 0x3C)
+	if err := d.Write(1, img); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CorruptStored(1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Read(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Verify(got) == nil {
+		t.Error("persistently corrupted image passed verification")
+	}
+	// Damage is persistent across reads.
+	got2, _ := d.Read(1)
+	if page.Verify(got2) == nil {
+		t.Error("corruption did not persist")
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	d := testDevice(8)
+	img := encodedPage(t, 1, 1)
+	for i := 0; i < 3; i++ {
+		if err := d.Write(PhysID(i), img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := d.Read(PhysID(i % 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := d.Stats()
+	if s.Writes != 3 || s.Reads != 5 {
+		t.Errorf("stats = %+v, want 3 writes 5 reads", s)
+	}
+}
+
+func TestFaultOnAndClear(t *testing.T) {
+	d := testDevice(4)
+	d.InjectFault(1, FaultSilentCorruption, true)
+	if d.FaultOn(1) != FaultSilentCorruption {
+		t.Error("FaultOn did not report injected fault")
+	}
+	d.ClearFault(1)
+	if d.FaultOn(1) != FaultNone {
+		t.Error("ClearFault did not clear")
+	}
+	d.InjectFault(2, FaultReadError, true)
+	d.ClearAllFaults()
+	if d.FaultOn(2) != FaultNone {
+		t.Error("ClearAllFaults did not clear")
+	}
+	d.InjectFault(3, FaultZeroPage, true)
+	d.InjectFault(3, FaultNone, false)
+	if d.FaultOn(3) != FaultNone {
+		t.Error("InjectFault(FaultNone) did not clear")
+	}
+}
+
+func TestFaultKindString(t *testing.T) {
+	kinds := []FaultKind{FaultNone, FaultReadError, FaultSilentCorruption,
+		FaultZeroPage, FaultTornWrite, FaultLostWrite, FaultKind(42)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("empty string for kind %d", int(k))
+		}
+	}
+}
+
+func TestScrubFindsInjectedErrors(t *testing.T) {
+	d := testDevice(32)
+	for i := 0; i < 32; i++ {
+		if err := d.Write(PhysID(i), encodedPage(t, page.ID(i+1), byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.InjectFault(5, FaultReadError, true)
+	if err := d.CorruptStored(9); err != nil {
+		t.Fatal(err)
+	}
+	res := d.Scrub(nil)
+	if res.Scanned != 32 {
+		t.Errorf("scanned %d, want 32", res.Scanned)
+	}
+	if len(res.ReadErrors) != 1 || res.ReadErrors[0] != 5 {
+		t.Errorf("read errors = %v, want [5]", res.ReadErrors)
+	}
+	if len(res.ChecksumErrors) != 1 || res.ChecksumErrors[0] != 9 {
+		t.Errorf("checksum errors = %v, want [9]", res.ChecksumErrors)
+	}
+	if got := res.Failures(); len(got) != 2 {
+		t.Errorf("failures = %v, want two entries", got)
+	}
+}
+
+func TestScrubSkipsRetiredAndSkipped(t *testing.T) {
+	d := testDevice(8)
+	for i := 0; i < 8; i++ {
+		if err := d.Write(PhysID(i), encodedPage(t, page.ID(i+1), byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.RetireSlot(0)
+	res := d.Scrub(func(id PhysID) bool { return id == 1 })
+	if res.Scanned != 6 {
+		t.Errorf("scanned %d, want 6 (8 minus retired minus skipped)", res.Scanned)
+	}
+}
+
+func TestCampaignRateAndDeterminism(t *testing.T) {
+	d1 := testDevice(1000)
+	d2 := testDevice(1000)
+	c := Campaign{Rate: 0.01, Kind: FaultReadError, Sticky: true, Seed: 7}
+	hit1 := c.Apply(d1)
+	hit2 := c.Apply(d2)
+	if len(hit1) != 10 {
+		t.Errorf("campaign hit %d slots, want 10", len(hit1))
+	}
+	if len(hit1) != len(hit2) {
+		t.Fatalf("campaign not deterministic: %d vs %d", len(hit1), len(hit2))
+	}
+	for i := range hit1 {
+		if hit1[i] != hit2[i] {
+			t.Fatalf("campaign not deterministic at %d: %d vs %d", i, hit1[i], hit2[i])
+		}
+	}
+	for _, id := range hit1 {
+		if d1.FaultOn(id) != FaultReadError {
+			t.Errorf("slot %d not armed", id)
+		}
+	}
+}
+
+func TestCampaignClustering(t *testing.T) {
+	d := testDevice(10000)
+	c := Campaign{Rate: 0.01, ClusterSize: 8, Kind: FaultSilentCorruption, Seed: 3}
+	hits := c.Apply(d)
+	if len(hits) != 100 {
+		t.Fatalf("hit %d, want 100", len(hits))
+	}
+	// With clustering, many hits should be adjacent.
+	adjacent := 0
+	for i := 1; i < len(hits); i++ {
+		if hits[i] == hits[i-1]+1 {
+			adjacent++
+		}
+	}
+	if adjacent < 20 {
+		t.Errorf("only %d adjacent pairs; clustering not effective", adjacent)
+	}
+}
+
+func TestCampaignMinimumOneSlot(t *testing.T) {
+	d := testDevice(100)
+	hits := Campaign{Rate: 0.0001, Seed: 1}.Apply(d)
+	if len(hits) != 1 {
+		t.Errorf("tiny-rate campaign hit %d slots, want 1", len(hits))
+	}
+}

@@ -1,0 +1,343 @@
+// Package txn implements transactions: user transactions with forced-log
+// commits and logical rollback, and the paper's system transactions
+// (§5.1.5, Fig. 5) — cheap transactions for contents-neutral structural
+// changes (node splits, ghost removal, page recovery index maintenance)
+// that commit without forcing the log.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/page"
+	"repro/internal/wal"
+)
+
+// systemBit marks system transaction IDs.
+const systemBit wal.TxnID = 1 << 63
+
+// State of a transaction.
+type State int
+
+const (
+	// Active transactions may log updates.
+	Active State = iota
+	// Committed transactions are durable (user) or logged (system).
+	Committed
+	// Aborted transactions have been fully rolled back.
+	Aborted
+)
+
+func (s State) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Committed:
+		return "committed"
+	case Aborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Errors returned by transaction operations.
+var (
+	ErrNotActive = errors.New("txn: transaction not active")
+	ErrNoUndoer  = errors.New("txn: no undo handler registered")
+)
+
+// Undoer performs the logical compensation for one update record during
+// rollback ("undo is logical, i.e., applies to the same key values",
+// §5.1.2). Implementations must apply the inverse operation through the
+// storage structure and log a CLR via Txn.LogCLR.
+type Undoer interface {
+	Undo(t *Txn, rec *wal.Record) error
+}
+
+// Stats counts transaction activity, separating user from system
+// transactions so experiments can reproduce the Fig. 5 comparison.
+type Stats struct {
+	UserBegun     int64
+	UserCommitted int64
+	UserAborted   int64
+	SysBegun      int64
+	SysCommitted  int64
+	SysAborted    int64
+	UpdatesLogged int64
+	CLRsLogged    int64
+	UndoneUpdates int64
+}
+
+// Manager creates and tracks transactions. Safe for concurrent use.
+type Manager struct {
+	mu     sync.Mutex
+	log    *wal.Manager
+	nextID wal.TxnID
+	active map[wal.TxnID]*Txn
+	undoer Undoer
+	stats  Stats
+}
+
+// NewManager creates a transaction manager on the given log.
+func NewManager(log *wal.Manager) *Manager {
+	return &Manager{
+		log:    log,
+		nextID: 1,
+		active: make(map[wal.TxnID]*Txn),
+	}
+}
+
+// SetUndoer registers the logical-undo handler (the storage engine).
+func (m *Manager) SetUndoer(u Undoer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.undoer = u
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Txn is a single transaction. A Txn is not safe for concurrent use by
+// multiple goroutines (as in real engines, a transaction is a thread of
+// control); the manager itself is.
+type Txn struct {
+	mgr     *Manager
+	id      wal.TxnID
+	system  bool
+	state   State
+	lastLSN page.LSN
+}
+
+// Begin starts a user transaction.
+func (m *Manager) Begin() *Txn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := &Txn{mgr: m, id: m.nextID, state: Active}
+	m.nextID++
+	m.active[t.id] = t
+	m.stats.UserBegun++
+	return t
+}
+
+// BeginSystem starts a system transaction: logged under the same machinery
+// but committed without forcing the log. "Since the system transaction is,
+// by definition, contents-neutral, a lost system transaction cannot imply
+// any data loss" (§5.1.5).
+func (m *Manager) BeginSystem() *Txn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := &Txn{mgr: m, id: m.nextID | systemBit, system: true, state: Active}
+	m.nextID++
+	m.active[t.id] = t
+	m.stats.SysBegun++
+	return t
+}
+
+// IsSystemID reports whether a log-record transaction ID belongs to a
+// system transaction.
+func IsSystemID(id wal.TxnID) bool { return id&systemBit != 0 }
+
+// ID returns the transaction's log identifier.
+func (t *Txn) ID() wal.TxnID { return t.id }
+
+// System reports whether this is a system transaction.
+func (t *Txn) System() bool { return t.system }
+
+// State returns the transaction state.
+func (t *Txn) State() State { return t.state }
+
+// LastLSN returns the most recent log record of this transaction (the head
+// of its per-transaction chain).
+func (t *Txn) LastLSN() page.LSN { return t.lastLSN }
+
+// Log appends a record on behalf of the transaction, linking it into the
+// per-transaction chain. The caller fills PageID, PagePrevLSN, Type, and
+// Payload; Txn and PrevLSN are set here. Returns the assigned LSN.
+func (t *Txn) Log(rec *wal.Record) (page.LSN, error) {
+	if t.state != Active {
+		return 0, fmt.Errorf("%w: %v", ErrNotActive, t.state)
+	}
+	rec.Txn = t.id
+	rec.PrevLSN = t.lastLSN
+	lsn := t.mgr.log.Append(rec)
+	t.lastLSN = lsn
+	if rec.Type == wal.TypeUpdate {
+		t.mgr.mu.Lock()
+		t.mgr.stats.UpdatesLogged++
+		t.mgr.mu.Unlock()
+	}
+	return lsn, nil
+}
+
+// LogUpdate is a convenience wrapper for TypeUpdate records: it links both
+// chains (per-transaction via Log, per-page via pagePrevLSN).
+func (t *Txn) LogUpdate(pageID page.ID, pagePrevLSN page.LSN, payload []byte) (page.LSN, error) {
+	return t.Log(&wal.Record{
+		Type:        wal.TypeUpdate,
+		PageID:      pageID,
+		PagePrevLSN: pagePrevLSN,
+		Payload:     payload,
+	})
+}
+
+// LogCLR appends a compensation record during rollback. undoNext names the
+// next record to undo (the PrevLSN of the record being compensated), so
+// that a rollback interrupted by a crash resumes exactly where it stopped.
+func (t *Txn) LogCLR(pageID page.ID, pagePrevLSN page.LSN, payload []byte, undoNext page.LSN) (page.LSN, error) {
+	if t.state != Active {
+		return 0, fmt.Errorf("%w: %v", ErrNotActive, t.state)
+	}
+	rec := &wal.Record{
+		Type:        wal.TypeCLR,
+		PageID:      pageID,
+		PagePrevLSN: pagePrevLSN,
+		UndoNext:    undoNext,
+		Payload:     payload,
+	}
+	rec.Txn = t.id
+	rec.PrevLSN = t.lastLSN
+	lsn := t.mgr.log.Append(rec)
+	t.lastLSN = lsn
+	t.mgr.mu.Lock()
+	t.mgr.stats.CLRsLogged++
+	t.mgr.mu.Unlock()
+	return lsn, nil
+}
+
+// Commit ends the transaction. User transactions append a commit record
+// and force the log (durability); system transactions append a sys-commit
+// record and return immediately — their commit record reaches stable
+// storage no later than the next user-transaction force (§5.1.5).
+func (t *Txn) Commit() error {
+	if t.state != Active {
+		return fmt.Errorf("%w: %v", ErrNotActive, t.state)
+	}
+	typ := wal.TypeCommit
+	if t.system {
+		typ = wal.TypeSysCommit
+	}
+	rec := &wal.Record{Type: typ, Txn: t.id, PrevLSN: t.lastLSN}
+	lsn := t.mgr.log.Append(rec)
+	t.lastLSN = lsn
+	if !t.system {
+		t.mgr.log.ForceForCommit(lsn)
+	}
+	t.state = Committed
+	t.mgr.mu.Lock()
+	delete(t.mgr.active, t.id)
+	if t.system {
+		t.mgr.stats.SysCommitted++
+	} else {
+		t.mgr.stats.UserCommitted++
+	}
+	t.mgr.mu.Unlock()
+	return nil
+}
+
+// Abort rolls the transaction back: it walks the per-transaction chain
+// backwards, invoking the registered Undoer for every update record (which
+// performs the logical compensation and logs a CLR), skipping over
+// already-compensated spans via the CLRs' UndoNext pointers, and finally
+// appends an abort record.
+func (t *Txn) Abort() error {
+	if t.state != Active {
+		return fmt.Errorf("%w: %v", ErrNotActive, t.state)
+	}
+	if err := t.rollbackTo(page.ZeroLSN); err != nil {
+		return err
+	}
+	rec := &wal.Record{Type: wal.TypeAbort, Txn: t.id, PrevLSN: t.lastLSN}
+	t.lastLSN = t.mgr.log.Append(rec)
+	t.state = Aborted
+	t.mgr.mu.Lock()
+	delete(t.mgr.active, t.id)
+	if t.system {
+		t.mgr.stats.SysAborted++
+	} else {
+		t.mgr.stats.UserAborted++
+	}
+	t.mgr.mu.Unlock()
+	return nil
+}
+
+// rollbackTo undoes the transaction's updates down to (but excluding)
+// records at or before stopAt.
+func (t *Txn) rollbackTo(stopAt page.LSN) error {
+	t.mgr.mu.Lock()
+	undoer := t.mgr.undoer
+	t.mgr.mu.Unlock()
+	lsn := t.lastLSN
+	for lsn != page.ZeroLSN && lsn > stopAt {
+		rec, err := t.mgr.log.Read(lsn)
+		if err != nil {
+			return fmt.Errorf("txn %d rollback: %w", t.id, err)
+		}
+		switch rec.Type {
+		case wal.TypeUpdate:
+			if undoer == nil {
+				return ErrNoUndoer
+			}
+			if err := undoer.Undo(t, rec); err != nil {
+				return fmt.Errorf("txn %d undo of LSN %d: %w", t.id, lsn, err)
+			}
+			t.mgr.mu.Lock()
+			t.mgr.stats.UndoneUpdates++
+			t.mgr.mu.Unlock()
+			lsn = rec.PrevLSN
+		case wal.TypeCLR:
+			// Skip the span this CLR already compensated.
+			lsn = rec.UndoNext
+		default:
+			lsn = rec.PrevLSN
+		}
+	}
+	return nil
+}
+
+// ActiveEntry is one row of the active transaction table (ATT) captured at
+// a checkpoint.
+type ActiveEntry struct {
+	ID      wal.TxnID
+	LastLSN page.LSN
+	System  bool
+}
+
+// Active returns the current active transaction table sorted by ID.
+func (m *Manager) Active() []ActiveEntry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]ActiveEntry, 0, len(m.active))
+	for _, t := range m.active {
+		out = append(out, ActiveEntry{ID: t.id, LastLSN: t.lastLSN, System: t.system})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// AdoptLoser reconstructs an in-flight transaction found during restart log
+// analysis so that the undo pass can roll it back. The restored transaction
+// is active with the given chain head.
+func (m *Manager) AdoptLoser(id wal.TxnID, lastLSN page.LSN) *Txn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := &Txn{mgr: m, id: id, system: IsSystemID(id), state: Active, lastLSN: lastLSN}
+	m.active[id] = t
+	if id&^systemBit >= m.nextID {
+		m.nextID = (id &^ systemBit) + 1
+	}
+	return t
+}
+
+// ActiveCount returns the number of in-flight transactions.
+func (m *Manager) ActiveCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.active)
+}

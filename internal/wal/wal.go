@@ -1,0 +1,419 @@
+// Package wal implements the write-ahead recovery log.
+//
+// The log is the one component the paper assumes perfectly stable (§5):
+// "once a log page has been written, it is not subsequently lost." This
+// implementation models that assumption with an in-memory append buffer
+// whose flushed prefix survives simulated crashes while the unflushed tail
+// is discarded.
+//
+// Every record carries two chain pointers:
+//
+//   - PrevLSN: the transaction's previous record — the per-transaction log
+//     chain used for rollback (§5.1.1);
+//   - PagePrevLSN: the page's previous record — the per-page log chain
+//     (§5.1.4) that single-page recovery walks backwards from the LSN stored
+//     in the page recovery index to the LSN of the backup copy.
+//
+// The per-page chain pointer also enables the defensive redo check of
+// §5.1.4: during redo, a record's PagePrevLSN must equal the PageLSN found
+// in the data page before the redo action is applied.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"repro/internal/iosim"
+	"repro/internal/page"
+)
+
+// RecType identifies the kind of a log record.
+type RecType uint8
+
+// Log record types.
+const (
+	// TypeInvalid marks an uninitialized record.
+	TypeInvalid RecType = iota
+	// TypeUpdate is a page update by a user or system transaction; the
+	// payload carries structure-specific redo and undo information.
+	TypeUpdate
+	// TypeCLR is a compensation log record written during rollback;
+	// redo-only, with UndoNext pointing at the next record to undo.
+	TypeCLR
+	// TypeCommit commits a user transaction (forces the log).
+	TypeCommit
+	// TypeSysCommit commits a system transaction (no log force, §5.1.5).
+	TypeSysCommit
+	// TypeAbort marks the end of a rolled-back transaction.
+	TypeAbort
+	// TypeFormat records the formatting of a page newly allocated from
+	// the free-space pool. Redo recreates the page from nothing, so the
+	// record substitutes for a backup copy (§5.2.1).
+	TypeFormat
+	// TypeFullImage stores a complete page image in the log — an in-log
+	// page backup (§5.2.1).
+	TypeFullImage
+	// TypePRIUpdate records an update to the page recovery index after a
+	// completed page write. It doubles as the "logging completed writes"
+	// optimization of §5.1.2 (see Fig. 12).
+	TypePRIUpdate
+	// TypeCheckpointBegin and TypeCheckpointEnd bracket a fuzzy
+	// checkpoint; the end record carries the dirty page table, the
+	// active transaction table, and PRI/page-map snapshots.
+	TypeCheckpointBegin
+	TypeCheckpointEnd
+)
+
+func (t RecType) String() string {
+	switch t {
+	case TypeUpdate:
+		return "update"
+	case TypeCLR:
+		return "clr"
+	case TypeCommit:
+		return "commit"
+	case TypeSysCommit:
+		return "sys-commit"
+	case TypeAbort:
+		return "abort"
+	case TypeFormat:
+		return "format"
+	case TypeFullImage:
+		return "full-image"
+	case TypePRIUpdate:
+		return "pri-update"
+	case TypeCheckpointBegin:
+		return "ckpt-begin"
+	case TypeCheckpointEnd:
+		return "ckpt-end"
+	default:
+		return fmt.Sprintf("rectype(%d)", uint8(t))
+	}
+}
+
+// TxnID identifies a transaction in log records. System transactions use
+// the same space with a reserved high bit set by the txn package.
+type TxnID uint64
+
+// Record is a decoded log record. The LSN of a record is the byte offset at
+// which it starts; the first record sits at LSN firstLSN (not zero, so that
+// page.ZeroLSN means "never logged").
+type Record struct {
+	LSN         page.LSN
+	Type        RecType
+	Txn         TxnID
+	PrevLSN     page.LSN // per-transaction chain
+	PageID      page.ID  // zero when the record concerns no single page
+	PagePrevLSN page.LSN // per-page chain
+	UndoNext    page.LSN // CLRs: next record to undo
+	Payload     []byte
+}
+
+// header layout:
+//
+//	offset size field
+//	0      4    total record length (header + payload + crc)
+//	4      1    type
+//	5      8    txn id
+//	13     8    prev lsn (per-txn)
+//	21     8    page id
+//	29     8    page prev lsn (per-page)
+//	37     8    undo next lsn
+//	45     ...  payload
+//	end-4  4    crc32 of bytes [0 : end-4)
+const headerSize = 45
+const trailerSize = 4
+
+// firstLSN is the LSN of the first record ever appended. Offset 0 is
+// reserved so that ZeroLSN unambiguously means "no record".
+const firstLSN page.LSN = 16
+
+// Errors returned by log operations.
+var (
+	ErrBadLSN      = errors.New("wal: LSN does not address a record")
+	ErrTornRecord  = errors.New("wal: record beyond end of log")
+	ErrCorruptRec  = errors.New("wal: record checksum mismatch")
+	ErrNotFlushed  = errors.New("wal: record not yet on stable storage")
+	ErrChainBroken = errors.New("wal: per-page chain inconsistent")
+)
+
+// Stats counts log manager activity.
+type Stats struct {
+	Appends       int64
+	BytesAppended int64
+	Flushes       int64 // explicit flush calls that did work
+	ForcedCommits int64 // commit-triggered forces
+	RecordsRead   int64
+}
+
+// Manager is the log manager. It is safe for concurrent use.
+type Manager struct {
+	mu      sync.Mutex
+	buf     []byte
+	flushed page.LSN // stable prefix ends here (exclusive)
+	master  page.LSN // LSN of last completed checkpoint's end record
+	clock   *iosim.Clock
+	stats   Stats
+}
+
+// NewManager creates an empty log charging I/O against the given profile.
+func NewManager(profile iosim.Profile) *Manager {
+	return &Manager{
+		buf:     make([]byte, firstLSN),
+		flushed: firstLSN,
+		clock:   iosim.NewClock(profile),
+	}
+}
+
+// Clock returns the simulated-time clock for the log device.
+func (m *Manager) Clock() *iosim.Clock { return m.clock }
+
+// Stats returns a snapshot of manager counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// EndLSN returns the LSN one past the last appended record (the next
+// record's LSN).
+func (m *Manager) EndLSN() page.LSN {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return page.LSN(len(m.buf))
+}
+
+// FlushedLSN returns the exclusive upper bound of the stable prefix.
+func (m *Manager) FlushedLSN() page.LSN {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.flushed
+}
+
+// Append encodes rec, assigns it the next LSN, and appends it to the
+// volatile tail. It returns the assigned LSN. The record is not stable
+// until a Flush covers it.
+func (m *Manager) Append(rec *Record) page.LSN {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	lsn := page.LSN(len(m.buf))
+	rec.LSN = lsn
+	total := headerSize + len(rec.Payload) + trailerSize
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(total))
+	hdr[4] = byte(rec.Type)
+	binary.LittleEndian.PutUint64(hdr[5:], uint64(rec.Txn))
+	binary.LittleEndian.PutUint64(hdr[13:], uint64(rec.PrevLSN))
+	binary.LittleEndian.PutUint64(hdr[21:], uint64(rec.PageID))
+	binary.LittleEndian.PutUint64(hdr[29:], uint64(rec.PagePrevLSN))
+	binary.LittleEndian.PutUint64(hdr[37:], uint64(rec.UndoNext))
+	start := len(m.buf)
+	m.buf = append(m.buf, hdr[:]...)
+	m.buf = append(m.buf, rec.Payload...)
+	crc := crc32.Checksum(m.buf[start:], crcTable)
+	var tail [trailerSize]byte
+	binary.LittleEndian.PutUint32(tail[:], crc)
+	m.buf = append(m.buf, tail[:]...)
+	m.stats.Appends++
+	m.stats.BytesAppended += int64(total)
+	return lsn
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Flush forces the log up to and including the record at upTo onto stable
+// storage. Flushing an already-stable LSN is a no-op.
+func (m *Manager) Flush(upTo page.LSN) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.flushTo(upTo)
+}
+
+func (m *Manager) flushTo(upTo page.LSN) {
+	if upTo < m.flushed {
+		return
+	}
+	// Find the end of the record containing upTo.
+	end := page.LSN(len(m.buf))
+	if upTo >= end {
+		upTo = end - 1
+	}
+	// Walk forward from flushed to locate the record boundary past upTo.
+	pos := m.flushed
+	for pos <= upTo && pos < end {
+		total := binary.LittleEndian.Uint32(m.buf[pos:])
+		pos += page.LSN(total)
+	}
+	if pos > m.flushed {
+		m.clock.Sequential(int64(pos - m.flushed))
+		m.flushed = pos
+		m.stats.Flushes++
+	}
+}
+
+// FlushAll forces the entire log.
+func (m *Manager) FlushAll() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.flushTo(page.LSN(len(m.buf)) - 1)
+}
+
+// ForceForCommit flushes up to lsn and counts the force against commit
+// statistics — the cost that system transactions avoid (§5.1.5, Fig. 5).
+func (m *Manager) ForceForCommit(lsn page.LSN) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	before := m.flushed
+	m.flushTo(lsn)
+	if m.flushed > before {
+		m.stats.ForcedCommits++
+	}
+}
+
+// Crash simulates a system failure: the volatile tail vanishes; the stable
+// prefix and the master LSN survive.
+func (m *Manager) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.buf = m.buf[:m.flushed]
+}
+
+// SetMaster records the LSN of the most recent checkpoint-end record in the
+// (stable) master location. Callers must flush the checkpoint records first.
+func (m *Manager) SetMaster(lsn page.LSN) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.master = lsn
+	m.clock.Random(8) // master record write
+}
+
+// Master returns the LSN of the last completed checkpoint's end record, or
+// ZeroLSN if no checkpoint ever completed.
+func (m *Manager) Master() page.LSN {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.master
+}
+
+// Read decodes the record starting at lsn. Each call charges one random log
+// I/O, matching the paper's cost accounting for single-page recovery
+// ("dozens of I/Os in order to read the required log records", §6).
+func (m *Manager) Read(lsn page.LSN) (*Record, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, size, err := m.decodeAt(lsn)
+	if err != nil {
+		return nil, err
+	}
+	m.clock.Random(int64(size))
+	m.stats.RecordsRead++
+	return rec, nil
+}
+
+func (m *Manager) decodeAt(lsn page.LSN) (*Record, int, error) {
+	if lsn < firstLSN || int(lsn)+headerSize+trailerSize > len(m.buf) {
+		return nil, 0, fmt.Errorf("%w: %d", ErrBadLSN, lsn)
+	}
+	total := binary.LittleEndian.Uint32(m.buf[lsn:])
+	if total < headerSize+trailerSize || int(lsn)+int(total) > len(m.buf) {
+		return nil, 0, fmt.Errorf("%w: at %d", ErrTornRecord, lsn)
+	}
+	raw := m.buf[lsn : int(lsn)+int(total)]
+	stored := binary.LittleEndian.Uint32(raw[len(raw)-trailerSize:])
+	if crc := crc32.Checksum(raw[:len(raw)-trailerSize], crcTable); crc != stored {
+		return nil, 0, fmt.Errorf("%w: at %d", ErrCorruptRec, lsn)
+	}
+	rec := &Record{
+		LSN:         lsn,
+		Type:        RecType(raw[4]),
+		Txn:         TxnID(binary.LittleEndian.Uint64(raw[5:])),
+		PrevLSN:     page.LSN(binary.LittleEndian.Uint64(raw[13:])),
+		PageID:      page.ID(binary.LittleEndian.Uint64(raw[21:])),
+		PagePrevLSN: page.LSN(binary.LittleEndian.Uint64(raw[29:])),
+		UndoNext:    page.LSN(binary.LittleEndian.Uint64(raw[37:])),
+		Payload:     append([]byte(nil), raw[headerSize:len(raw)-trailerSize]...),
+	}
+	return rec, int(total), nil
+}
+
+// Scan iterates records in LSN order starting at from (use FirstLSN for the
+// whole log), invoking fn for each until the end of the log or fn returns
+// false. The pass is charged as sequential I/O, matching the efficient log
+// analysis pass of §5.1.2.
+func (m *Manager) Scan(from page.LSN, fn func(*Record) bool) error {
+	if from < firstLSN {
+		from = firstLSN
+	}
+	for {
+		m.mu.Lock()
+		if int(from) >= len(m.buf) {
+			m.mu.Unlock()
+			return nil
+		}
+		rec, size, err := m.decodeAt(from)
+		if err != nil {
+			m.mu.Unlock()
+			return err
+		}
+		m.clock.Sequential(int64(size))
+		m.stats.RecordsRead++
+		m.mu.Unlock()
+		if !fn(rec) {
+			return nil
+		}
+		from += page.LSN(size)
+	}
+}
+
+// FirstLSN returns the LSN of the first record position in any log.
+func FirstLSN() page.LSN { return firstLSN }
+
+// RecordSize returns the encoded size of rec in the log, so that
+// rec.LSN + RecordSize(rec) is the next record's LSN.
+func RecordSize(rec *Record) int {
+	return headerSize + len(rec.Payload) + trailerSize
+}
+
+// WalkPageChain follows the per-page log chain backwards from the record at
+// start until (and excluding) records at or below stopAfter, returning the
+// records encountered in reverse chronological order (newest first). Every
+// record on the chain must name pageID; a mismatch indicates a broken chain
+// and yields ErrChainBroken.
+//
+// This is the heart of single-page recovery (§5.2.3): the caller pushes the
+// returned records onto a LIFO stack (the returned order already is that
+// stack) and then applies redo from oldest to newest.
+func (m *Manager) WalkPageChain(start page.LSN, stopAfter page.LSN, pageID page.ID) ([]*Record, error) {
+	var chain []*Record
+	lsn := start
+	for lsn != page.ZeroLSN && lsn > stopAfter {
+		rec, err := m.Read(lsn)
+		if err != nil {
+			return nil, fmt.Errorf("walking chain for page %d: %w", pageID, err)
+		}
+		if rec.PageID != pageID {
+			return nil, fmt.Errorf("%w: record at %d names page %d, want %d",
+				ErrChainBroken, lsn, rec.PageID, pageID)
+		}
+		chain = append(chain, rec)
+		lsn = rec.PagePrevLSN
+	}
+	return chain, nil
+}
+
+// TailSize returns the number of unflushed bytes (volatile tail length).
+func (m *Manager) TailSize() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.buf) - int(m.flushed)
+}
+
+// Size returns the total log length in bytes including the volatile tail.
+func (m *Manager) Size() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.buf)
+}

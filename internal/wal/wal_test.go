@@ -1,0 +1,355 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/iosim"
+	"repro/internal/page"
+)
+
+func newTestLog() *Manager { return NewManager(iosim.Instant) }
+
+func TestAppendAssignsMonotonicLSNs(t *testing.T) {
+	m := newTestLog()
+	var last page.LSN
+	for i := 0; i < 10; i++ {
+		lsn := m.Append(&Record{Type: TypeUpdate, Txn: 1, Payload: []byte{byte(i)}})
+		if lsn <= last {
+			t.Fatalf("LSN %d not greater than previous %d", lsn, last)
+		}
+		last = lsn
+	}
+	if m.EndLSN() <= last {
+		t.Error("EndLSN should exceed last record LSN")
+	}
+}
+
+func TestFirstRecordAtFirstLSN(t *testing.T) {
+	m := newTestLog()
+	lsn := m.Append(&Record{Type: TypeCommit, Txn: 1})
+	if lsn != FirstLSN() {
+		t.Errorf("first record at %d, want %d", lsn, FirstLSN())
+	}
+	if lsn == page.ZeroLSN {
+		t.Error("first LSN must not be ZeroLSN")
+	}
+}
+
+func TestReadRoundTrip(t *testing.T) {
+	m := newTestLog()
+	want := &Record{
+		Type:        TypeUpdate,
+		Txn:         42,
+		PrevLSN:     100,
+		PageID:      7,
+		PagePrevLSN: 55,
+		UndoNext:    33,
+		Payload:     []byte("redo+undo bytes"),
+	}
+	lsn := m.Append(want)
+	got, err := m.Read(lsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LSN != lsn || got.Type != want.Type || got.Txn != want.Txn ||
+		got.PrevLSN != want.PrevLSN || got.PageID != want.PageID ||
+		got.PagePrevLSN != want.PagePrevLSN || got.UndoNext != want.UndoNext ||
+		!bytes.Equal(got.Payload, want.Payload) {
+		t.Errorf("round trip mismatch: got %+v want %+v", got, want)
+	}
+}
+
+func TestReadBadLSN(t *testing.T) {
+	m := newTestLog()
+	m.Append(&Record{Type: TypeCommit, Txn: 1})
+	if _, err := m.Read(page.LSN(3)); !errors.Is(err, ErrBadLSN) {
+		t.Errorf("read below firstLSN: %v", err)
+	}
+	if _, err := m.Read(m.EndLSN()); !errors.Is(err, ErrBadLSN) {
+		t.Errorf("read at end: %v", err)
+	}
+	// An LSN in the middle of a record fails the CRC or bounds check.
+	if _, err := m.Read(FirstLSN() + 5); err == nil {
+		t.Error("read of mid-record offset succeeded")
+	}
+}
+
+func TestFlushAndCrashSemantics(t *testing.T) {
+	m := newTestLog()
+	l1 := m.Append(&Record{Type: TypeUpdate, Txn: 1, Payload: []byte("a")})
+	l2 := m.Append(&Record{Type: TypeUpdate, Txn: 1, Payload: []byte("b")})
+	l3 := m.Append(&Record{Type: TypeUpdate, Txn: 1, Payload: []byte("c")})
+	m.Flush(l2)
+	if m.FlushedLSN() <= l2 {
+		t.Fatalf("flushed %d, want past %d", m.FlushedLSN(), l2)
+	}
+	if m.FlushedLSN() > l3 {
+		t.Fatalf("flushed %d, must not cover record at %d", m.FlushedLSN(), l3)
+	}
+	m.Crash()
+	// l1, l2 survive; l3 is gone.
+	if _, err := m.Read(l1); err != nil {
+		t.Errorf("flushed record lost in crash: %v", err)
+	}
+	if _, err := m.Read(l2); err != nil {
+		t.Errorf("flushed record lost in crash: %v", err)
+	}
+	if _, err := m.Read(l3); err == nil {
+		t.Error("unflushed record survived crash")
+	}
+	// Appends continue at the truncated position.
+	l4 := m.Append(&Record{Type: TypeUpdate, Txn: 2, Payload: []byte("d")})
+	if l4 != l3 {
+		t.Errorf("post-crash append at %d, want %d", l4, l3)
+	}
+}
+
+func TestFlushAllAndTailSize(t *testing.T) {
+	m := newTestLog()
+	m.Append(&Record{Type: TypeUpdate, Txn: 1, Payload: make([]byte, 100)})
+	if m.TailSize() == 0 {
+		t.Fatal("tail should be nonzero before flush")
+	}
+	m.FlushAll()
+	if m.TailSize() != 0 {
+		t.Errorf("tail = %d after FlushAll", m.TailSize())
+	}
+	m.Crash()
+	if m.Size() == 0 {
+		t.Error("flushed log vanished in crash")
+	}
+}
+
+func TestFlushIdempotent(t *testing.T) {
+	m := newTestLog()
+	l1 := m.Append(&Record{Type: TypeCommit, Txn: 1})
+	m.Flush(l1)
+	f := m.FlushedLSN()
+	m.Flush(l1)
+	if m.FlushedLSN() != f {
+		t.Error("second flush moved the flushed LSN")
+	}
+	s := m.Stats()
+	if s.Flushes != 1 {
+		t.Errorf("flushes = %d, want 1 (no-op flush must not count)", s.Flushes)
+	}
+}
+
+func TestForceForCommitCountsOnlyRealForces(t *testing.T) {
+	m := newTestLog()
+	l1 := m.Append(&Record{Type: TypeCommit, Txn: 1})
+	m.ForceForCommit(l1)
+	m.ForceForCommit(l1) // already stable: no force
+	s := m.Stats()
+	if s.ForcedCommits != 1 {
+		t.Errorf("forced commits = %d, want 1", s.ForcedCommits)
+	}
+}
+
+func TestScanVisitsAllInOrder(t *testing.T) {
+	m := newTestLog()
+	var want []page.LSN
+	for i := 0; i < 25; i++ {
+		want = append(want, m.Append(&Record{Type: TypeUpdate, Txn: TxnID(i), Payload: []byte{byte(i)}}))
+	}
+	var got []page.LSN
+	if err := m.Scan(FirstLSN(), func(r *Record) bool {
+		got = append(got, r.LSN)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scanned %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d at %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScanFromMidLogAndEarlyStop(t *testing.T) {
+	m := newTestLog()
+	var lsns []page.LSN
+	for i := 0; i < 10; i++ {
+		lsns = append(lsns, m.Append(&Record{Type: TypeUpdate, Txn: 1}))
+	}
+	count := 0
+	if err := m.Scan(lsns[5], func(r *Record) bool {
+		count++
+		return count < 3
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Errorf("visited %d, want 3 (early stop)", count)
+	}
+}
+
+func TestWalkPageChain(t *testing.T) {
+	m := newTestLog()
+	const pid page.ID = 9
+	// Build a chain of 5 updates to page 9 interleaved with noise.
+	var chainLSNs []page.LSN
+	prev := page.ZeroLSN
+	for i := 0; i < 5; i++ {
+		m.Append(&Record{Type: TypeUpdate, Txn: 99, PageID: 1000}) // noise
+		lsn := m.Append(&Record{
+			Type: TypeUpdate, Txn: 1, PageID: pid,
+			PagePrevLSN: prev, Payload: []byte{byte(i)},
+		})
+		chainLSNs = append(chainLSNs, lsn)
+		prev = lsn
+	}
+	// Walk the full chain.
+	recs, err := m.WalkPageChain(prev, page.ZeroLSN, pid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("chain length %d, want 5", len(recs))
+	}
+	// Newest first.
+	for i, r := range recs {
+		if r.LSN != chainLSNs[4-i] {
+			t.Errorf("chain[%d] = %d, want %d", i, r.LSN, chainLSNs[4-i])
+		}
+	}
+	// Walk a suffix only: stop after the second record.
+	recs2, err := m.WalkPageChain(prev, chainLSNs[1], pid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs2) != 3 {
+		t.Errorf("partial chain length %d, want 3", len(recs2))
+	}
+}
+
+func TestWalkPageChainDetectsWrongPage(t *testing.T) {
+	m := newTestLog()
+	l1 := m.Append(&Record{Type: TypeUpdate, Txn: 1, PageID: 5})
+	// A record for page 6 whose chain pointer wrongly names l1 (page 5).
+	l2 := m.Append(&Record{Type: TypeUpdate, Txn: 1, PageID: 6, PagePrevLSN: l1})
+	_, err := m.WalkPageChain(l2, page.ZeroLSN, 6)
+	if !errors.Is(err, ErrChainBroken) {
+		t.Errorf("want ErrChainBroken, got %v", err)
+	}
+}
+
+func TestMasterRecord(t *testing.T) {
+	m := newTestLog()
+	if m.Master() != page.ZeroLSN {
+		t.Error("fresh log has a master record")
+	}
+	lsn := m.Append(&Record{Type: TypeCheckpointEnd})
+	m.FlushAll()
+	m.SetMaster(lsn)
+	if m.Master() != lsn {
+		t.Errorf("master = %d, want %d", m.Master(), lsn)
+	}
+	m.Crash()
+	if m.Master() != lsn {
+		t.Error("master lost in crash despite flushed checkpoint")
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	m := newTestLog()
+	for i := 0; i < 4; i++ {
+		m.Append(&Record{Type: TypeUpdate, Txn: 1, Payload: make([]byte, 10)})
+	}
+	m.FlushAll()
+	if _, err := m.Read(FirstLSN()); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Stats()
+	if s.Appends != 4 || s.BytesAppended == 0 || s.RecordsRead != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestRecTypeStrings(t *testing.T) {
+	for ty := TypeInvalid; ty <= TypeCheckpointEnd+1; ty++ {
+		if ty.String() == "" {
+			t.Errorf("empty name for type %d", ty)
+		}
+	}
+}
+
+// Property: any sequence of appended payloads reads back verbatim via Scan.
+func TestQuickAppendScanRoundTrip(t *testing.T) {
+	f := func(payloads [][]byte) bool {
+		m := newTestLog()
+		for i, p := range payloads {
+			m.Append(&Record{Type: TypeUpdate, Txn: TxnID(i), Payload: p})
+		}
+		i := 0
+		ok := true
+		err := m.Scan(FirstLSN(), func(r *Record) bool {
+			if r.Txn != TxnID(i) || !bytes.Equal(r.Payload, payloads[i]) {
+				ok = false
+				return false
+			}
+			i++
+			return true
+		})
+		return err == nil && ok && i == len(payloads)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: per-page chains of arbitrary interleavings are fully recovered.
+func TestQuickPageChains(t *testing.T) {
+	f := func(pageChoices []uint8) bool {
+		m := newTestLog()
+		last := map[page.ID]page.LSN{}
+		count := map[page.ID]int{}
+		for _, c := range pageChoices {
+			pid := page.ID(c%4) + 1
+			lsn := m.Append(&Record{
+				Type: TypeUpdate, Txn: 1, PageID: pid, PagePrevLSN: last[pid],
+			})
+			last[pid] = lsn
+			count[pid]++
+		}
+		for pid, head := range last {
+			recs, err := m.WalkPageChain(head, page.ZeroLSN, pid)
+			if err != nil || len(recs) != count[pid] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAppend(b *testing.B) {
+	m := newTestLog()
+	payload := make([]byte, 100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Append(&Record{Type: TypeUpdate, Txn: 1, PageID: 5, Payload: payload})
+	}
+}
+
+func BenchmarkWalkPageChain100(b *testing.B) {
+	m := newTestLog()
+	prev := page.ZeroLSN
+	for i := 0; i < 100; i++ {
+		prev = m.Append(&Record{Type: TypeUpdate, Txn: 1, PageID: 3, PagePrevLSN: prev, Payload: make([]byte, 50)})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.WalkPageChain(prev, page.ZeroLSN, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+// Package workload generates reproducible key-value workloads for the
+// experiment harness: uniform and zipfian key popularity, configurable
+// read/update/insert mixes, and fixed-size keys and values.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// OpKind is one workload operation type.
+type OpKind int
+
+const (
+	// OpInsert adds a new key.
+	OpInsert OpKind = iota
+	// OpUpdate overwrites an existing key.
+	OpUpdate
+	// OpRead looks up an existing key.
+	OpRead
+	// OpDelete removes an existing key.
+	OpDelete
+	// OpScan reads a short range.
+	OpScan
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpInsert:
+		return "insert"
+	case OpUpdate:
+		return "update"
+	case OpRead:
+		return "read"
+	case OpDelete:
+		return "delete"
+	case OpScan:
+		return "scan"
+	default:
+		return fmt.Sprintf("op(%d)", int(k))
+	}
+}
+
+// Op is one generated operation.
+type Op struct {
+	Kind  OpKind
+	Key   []byte
+	Value []byte
+}
+
+// Mix describes operation proportions; they need not sum to 1 (they are
+// normalized).
+type Mix struct {
+	Inserts float64
+	Updates float64
+	Reads   float64
+	Deletes float64
+	Scans   float64
+}
+
+// UpdateHeavy is a write-intensive mix exercising per-page log chains.
+var UpdateHeavy = Mix{Updates: 0.8, Reads: 0.2}
+
+// ReadMostly is a lookup-dominated mix exercising read-path detection.
+var ReadMostly = Mix{Updates: 0.05, Reads: 0.9, Scans: 0.05}
+
+// Generator produces a deterministic operation stream.
+type Generator struct {
+	rng      *rand.Rand
+	mix      Mix
+	zipf     *rand.Zipf
+	keyCount int
+	nextKey  int
+	valueLen int
+	cdf      [5]float64
+}
+
+// Config configures a Generator.
+type Config struct {
+	// Seed fixes the stream.
+	Seed int64
+	// Mix selects operation proportions.
+	Mix Mix
+	// InitialKeys is the number of pre-existing keys (inserted by Load).
+	InitialKeys int
+	// ValueLen is the value size in bytes (default 64).
+	ValueLen int
+	// ZipfS > 1 enables zipfian key popularity with the given skew;
+	// 0 selects uniform.
+	ZipfS float64
+}
+
+// New creates a generator.
+func New(cfg Config) *Generator {
+	if cfg.ValueLen == 0 {
+		cfg.ValueLen = 64
+	}
+	g := &Generator{
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		mix:      cfg.Mix,
+		keyCount: cfg.InitialKeys,
+		nextKey:  cfg.InitialKeys,
+		valueLen: cfg.ValueLen,
+	}
+	if cfg.ZipfS > 1 {
+		n := uint64(cfg.InitialKeys)
+		if n == 0 {
+			n = 1
+		}
+		g.zipf = rand.NewZipf(g.rng, cfg.ZipfS, 1, n-1)
+	}
+	total := cfg.Mix.Inserts + cfg.Mix.Updates + cfg.Mix.Reads + cfg.Mix.Deletes + cfg.Mix.Scans
+	if total == 0 {
+		total = 1
+		g.mix.Reads = 1
+	}
+	acc := 0.0
+	for i, w := range []float64{g.mix.Inserts, g.mix.Updates, g.mix.Reads, g.mix.Deletes, g.mix.Scans} {
+		acc += w / total
+		g.cdf[i] = acc
+	}
+	return g
+}
+
+// Key renders key index i in fixed-width form (preserves ordering).
+func Key(i int) []byte { return []byte(fmt.Sprintf("user%010d", i)) }
+
+// InitialOps returns the load phase: one insert per initial key.
+func (g *Generator) InitialOps() []Op {
+	ops := make([]Op, g.keyCount)
+	for i := range ops {
+		ops[i] = Op{Kind: OpInsert, Key: Key(i), Value: g.value()}
+	}
+	return ops
+}
+
+func (g *Generator) value() []byte {
+	v := make([]byte, g.valueLen)
+	for i := range v {
+		v[i] = byte('a' + g.rng.Intn(26))
+	}
+	return v
+}
+
+// pick selects an existing key index, zipfian or uniform.
+func (g *Generator) pick() int {
+	if g.keyCount == 0 {
+		return 0
+	}
+	if g.zipf != nil {
+		return int(g.zipf.Uint64()) % g.keyCount
+	}
+	return g.rng.Intn(g.keyCount)
+}
+
+// Next produces the next operation.
+func (g *Generator) Next() Op {
+	r := g.rng.Float64()
+	switch {
+	case r < g.cdf[0]:
+		k := g.nextKey
+		g.nextKey++
+		g.keyCount = g.nextKey
+		return Op{Kind: OpInsert, Key: Key(k), Value: g.value()}
+	case r < g.cdf[1]:
+		return Op{Kind: OpUpdate, Key: Key(g.pick()), Value: g.value()}
+	case r < g.cdf[2]:
+		return Op{Kind: OpRead, Key: Key(g.pick())}
+	case r < g.cdf[3]:
+		return Op{Kind: OpDelete, Key: Key(g.pick())}
+	default:
+		return Op{Kind: OpScan, Key: Key(g.pick())}
+	}
+}
+
+// Batch produces n operations.
+func (g *Generator) Batch(n int) []Op {
+	ops := make([]Op, n)
+	for i := range ops {
+		ops[i] = g.Next()
+	}
+	return ops
+}
+
+// HotPages estimates how skewed a zipfian distribution is: the fraction of
+// accesses hitting the hottest p fraction of keys (analytical, for
+// reporting).
+func HotPages(s float64, n int, p float64) float64 {
+	if s <= 1 || n <= 1 {
+		return p
+	}
+	hot := int(math.Ceil(float64(n) * p))
+	var hotMass, total float64
+	for i := 1; i <= n; i++ {
+		w := math.Pow(float64(i), -s)
+		total += w
+		if i <= hot {
+			hotMass += w
+		}
+	}
+	return hotMass / total
+}

@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Seed: 7, Mix: UpdateHeavy, InitialKeys: 100}
+	a := New(cfg).Batch(500)
+	b := New(cfg).Batch(500)
+	for i := range a {
+		if a[i].Kind != b[i].Kind || !bytes.Equal(a[i].Key, b[i].Key) || !bytes.Equal(a[i].Value, b[i].Value) {
+			t.Fatalf("stream diverges at %d", i)
+		}
+	}
+}
+
+func TestMixProportions(t *testing.T) {
+	g := New(Config{Seed: 1, Mix: Mix{Updates: 0.5, Reads: 0.5}, InitialKeys: 100})
+	counts := map[OpKind]int{}
+	for _, op := range g.Batch(10000) {
+		counts[op.Kind]++
+	}
+	if counts[OpInsert] != 0 || counts[OpDelete] != 0 {
+		t.Errorf("unexpected ops: %v", counts)
+	}
+	if counts[OpUpdate] < 4500 || counts[OpUpdate] > 5500 {
+		t.Errorf("updates = %d, want ~5000", counts[OpUpdate])
+	}
+}
+
+func TestInsertsGrowKeySpace(t *testing.T) {
+	g := New(Config{Seed: 2, Mix: Mix{Inserts: 1}, InitialKeys: 10})
+	ops := g.Batch(50)
+	seen := map[string]bool{}
+	for _, op := range ops {
+		if op.Kind != OpInsert {
+			t.Fatalf("kind = %v", op.Kind)
+		}
+		if seen[string(op.Key)] {
+			t.Fatalf("duplicate insert key %q", op.Key)
+		}
+		seen[string(op.Key)] = true
+	}
+}
+
+func TestZipfSkewsPicks(t *testing.T) {
+	g := New(Config{Seed: 3, Mix: Mix{Updates: 1}, InitialKeys: 1000, ZipfS: 1.5})
+	counts := map[string]int{}
+	for _, op := range g.Batch(20000) {
+		counts[string(op.Key)]++
+	}
+	// The hottest key should absorb far more than 1/1000 of accesses.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 1000 {
+		t.Errorf("hottest key got %d of 20000 accesses; zipf not skewed", max)
+	}
+}
+
+func TestKeyOrderingPreserved(t *testing.T) {
+	if !(string(Key(1)) < string(Key(2)) && string(Key(9)) < string(Key(10))) {
+		t.Error("Key is not order-preserving")
+	}
+}
+
+func TestInitialOps(t *testing.T) {
+	g := New(Config{Seed: 4, InitialKeys: 25, ValueLen: 16})
+	ops := g.InitialOps()
+	if len(ops) != 25 {
+		t.Fatalf("initial ops = %d", len(ops))
+	}
+	for _, op := range ops {
+		if op.Kind != OpInsert || len(op.Value) != 16 {
+			t.Fatalf("bad initial op %+v", op)
+		}
+	}
+}
+
+func TestDefaultMixIsReadOnly(t *testing.T) {
+	g := New(Config{Seed: 5, InitialKeys: 10})
+	for _, op := range g.Batch(100) {
+		if op.Kind != OpRead {
+			t.Fatalf("default mix produced %v", op.Kind)
+		}
+	}
+}
+
+func TestHotPages(t *testing.T) {
+	uniform := HotPages(0, 1000, 0.1)
+	if uniform != 0.1 {
+		t.Errorf("uniform hot fraction = %f", uniform)
+	}
+	skewed := HotPages(1.5, 1000, 0.1)
+	if skewed <= 0.5 {
+		t.Errorf("zipf(1.5) hot fraction = %f, want > 0.5", skewed)
+	}
+}
+
+func TestOpKindStrings(t *testing.T) {
+	for k := OpInsert; k <= OpScan+1; k++ {
+		if k.String() == "" {
+			t.Errorf("empty name for op %d", k)
+		}
+	}
+}

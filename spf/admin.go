@@ -1,0 +1,467 @@
+package spf
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/backup"
+	"repro/internal/btree"
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/page"
+	"repro/internal/pagemap"
+	"repro/internal/recovery"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// Checkpoint takes a fuzzy checkpoint (§5.2.6) and returns the LSN of the
+// checkpoint-end record.
+func (db *DB) Checkpoint() (LSN, error) {
+	if db.isCrashed() {
+		return 0, ErrCrashed
+	}
+	if err := db.runDueBackups(); err != nil {
+		return 0, err
+	}
+	return recovery.Checkpoint(recovery.CheckpointDeps{
+		Log: db.log, Pool: db.pool, Txns: db.txns, PRI: db.pri, Map: db.pmap,
+	})
+}
+
+// BackupDatabase takes a full database backup into the backup store and
+// installs it as the backup source for every page (range-compressed PRI
+// entries, §5.2.2). Returns the backup set ID.
+func (db *DB) BackupDatabase() (uint64, error) {
+	if db.isCrashed() {
+		return 0, ErrCrashed
+	}
+	// Flush everything so the backup captures a write-consistent state.
+	if err := db.pool.FlushAll(); err != nil {
+		return 0, err
+	}
+	db.log.FlushAll()
+	w := db.store.BeginFullSet(db.log.EndLSN())
+	ids := db.pmap.Pages()
+	for _, id := range ids {
+		h, err := db.pool.Fetch(id)
+		if err != nil {
+			return 0, fmt.Errorf("spf: backing up page %d: %w", id, err)
+		}
+		h.RLock()
+		pg := h.Page().Clone()
+		h.RUnlock()
+		h.Release()
+		if err := w.Add(pg); err != nil {
+			return 0, err
+		}
+	}
+	w.Commit()
+	if db.opts.DisableSinglePageRecovery {
+		return w.SetID(), nil
+	}
+	// One range-compressed PRI entry per contiguous run of page IDs.
+	for run := 0; run < len(ids); {
+		end := run
+		for end+1 < len(ids) && ids[end+1] == ids[end]+1 {
+			end++
+		}
+		e := core.Entry{Backup: core.BackupRef{Kind: core.BackupFull, Loc: w.SetID()}}
+		db.pri.SetRange(ids[run], ids[end], e)
+		db.log.Append(&wal.Record{
+			Type:    wal.TypePRIUpdate,
+			PageID:  ids[run],
+			Payload: core.EncodeSetRange(ids[run], ids[end], e),
+		})
+		run = end + 1
+	}
+	db.log.FlushAll()
+	return w.SetID(), nil
+}
+
+// BackupPage takes an explicit backup copy of one page ("a conservative
+// policy might take such a copy after every 100 updates", §5.2.1) and
+// frees the superseded backup.
+func (db *DB) BackupPage(id PageID) error {
+	if db.isCrashed() {
+		return ErrCrashed
+	}
+	// The backup must capture the durable state: flush first if dirty.
+	if db.pool.IsResident(id) {
+		if err := db.pool.FlushPage(id); err != nil && !errors.Is(err, buffer.ErrNotResident) {
+			return err
+		}
+	}
+	h, err := db.pool.Fetch(id)
+	if err != nil {
+		return err
+	}
+	h.RLock()
+	pg := h.Page().Clone()
+	h.RUnlock()
+	h.Release()
+	ref, err := db.store.PutPage(pg)
+	if err != nil {
+		return err
+	}
+	old, err := db.pri.SetBackup(id, ref)
+	if err != nil {
+		db.pri.Set(id, core.Entry{Backup: ref, LastLSN: pg.LSN()})
+	} else {
+		db.releaseBackup(old)
+	}
+	db.log.Append(&wal.Record{
+		Type: wal.TypePRIUpdate, PageID: id,
+		Payload: core.EncodeSetBackup(ref),
+	})
+	return nil
+}
+
+// runDueBackups services the backup-every-N-updates policy.
+func (db *DB) runDueBackups() error {
+	db.mu.Lock()
+	due := make([]page.ID, 0, len(db.backupsDue))
+	for id := range db.backupsDue {
+		due = append(due, id)
+	}
+	db.backupsDue = make(map[page.ID]bool)
+	db.mu.Unlock()
+	for _, id := range due {
+		if err := db.BackupPage(id); err != nil {
+			return fmt.Errorf("spf: policy backup of page %d: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// InjectPageFault arms a fault on the physical slot currently holding the
+// logical page.
+func (db *DB) InjectPageFault(id PageID, kind FaultKind, sticky bool) error {
+	phys, ok := db.pmap.Lookup(id)
+	if !ok {
+		return fmt.Errorf("spf: page %d has no physical slot yet", id)
+	}
+	db.dev.InjectFault(phys, kind, sticky)
+	return nil
+}
+
+// CorruptPage flips bits in the stored image of the logical page —
+// persistent silent damage.
+func (db *DB) CorruptPage(id PageID) error {
+	phys, ok := db.pmap.Lookup(id)
+	if !ok {
+		return fmt.Errorf("spf: page %d has no physical slot yet", id)
+	}
+	return db.dev.CorruptStored(phys)
+}
+
+// EvictPage forces a page out of the buffer pool (writing it back first if
+// dirty) so the next access exercises the full read path.
+func (db *DB) EvictPage(id PageID) error {
+	err := db.pool.Evict(id)
+	if errors.Is(err, buffer.ErrNotResident) {
+		return nil
+	}
+	return err
+}
+
+// FlushAll writes every dirty page back to the device.
+func (db *DB) FlushAll() error { return db.pool.FlushAll() }
+
+// ScrubReport summarizes one scrubbing pass plus the repairs it triggered.
+type ScrubReport struct {
+	Scanned   int
+	BadSlots  int
+	Recovered int
+	Escalated int
+}
+
+// Scrub re-reads every mapped slot verifying checksums (the paper's "disk
+// scrubbing", §1) and immediately repairs every failure it finds through
+// the normal single-page recovery path.
+func (db *DB) Scrub() (ScrubReport, error) {
+	if db.isCrashed() {
+		return ScrubReport{}, ErrCrashed
+	}
+	mapped := db.pmap.MappedSlots()
+	res := db.dev.Scrub(func(slot storage.PhysID) bool {
+		_, ok := mapped[slot]
+		return !ok
+	})
+	rep := ScrubReport{Scanned: res.Scanned, BadSlots: len(res.Failures())}
+	for _, slot := range res.Failures() {
+		id, ok := mapped[slot]
+		if !ok {
+			continue
+		}
+		// Evict any clean copy, then re-read through the validating
+		// path: detection plus recovery in one step.
+		_ = db.EvictPage(id)
+		h, err := db.pool.Fetch(id)
+		if err != nil {
+			rep.Escalated++
+			continue
+		}
+		h.Release()
+		rep.Recovered++
+	}
+	return rep, nil
+}
+
+// RecoverPageNow runs single-page recovery for one page explicitly and
+// returns the recovery report (normally recovery happens transparently on
+// the read path).
+func (db *DB) RecoverPageNow(id PageID) (core.Report, error) {
+	_ = db.EvictPage(id)
+	_, rep, err := db.rec.RecoverPage(id)
+	return rep, err
+}
+
+// Crash simulates a system failure: the buffer pool and the unflushed log
+// tail vanish; the devices and the stable log survive.
+func (db *DB) Crash() {
+	db.mu.Lock()
+	db.crashed = true
+	db.mu.Unlock()
+	db.log.Crash()
+	db.pool.Crash()
+}
+
+// RestartReport quantifies a restart recovery.
+type RestartReport struct {
+	Analysis recovery.AnalysisResult
+	Redo     recovery.RedoReport
+	Undo     recovery.UndoReport
+	Duration time.Duration
+}
+
+// Restart performs ARIES-style restart recovery (analysis, redo, undo —
+// §5.1.2) over the surviving log and device and returns a fresh, usable
+// DB. The page recovery index is reconstructed during analysis and
+// repaired during redo exactly per Fig. 12.
+func (db *DB) Restart() (*DB, *RestartReport, error) {
+	start := time.Now()
+	ndb := &DB{
+		opts:         db.opts,
+		dev:          db.dev,
+		store:        db.store,
+		log:          db.log,
+		trees:        make(map[string]*btree.Tree),
+		updateCounts: make(map[page.ID]int),
+		backupsDue:   make(map[page.ID]bool),
+	}
+	ndb.txns = txn.NewManager(ndb.log)
+	ndb.txns.SetUndoer(undoer{ndb})
+
+	analysis, err := recovery.Analyze(ndb.log, db.opts.DataSlots)
+	if err != nil {
+		return nil, nil, fmt.Errorf("spf: restart analysis: %w", err)
+	}
+	ndb.pmap = analysis.Map
+	ndb.pri = analysis.PRI
+	ndb.res = &backup.Resolver{Store: ndb.store, Log: ndb.log, PageSize: db.opts.PageSize, Data: ndb.dev}
+	ndb.rec = core.NewRecoverer(ndb.log, ndb.pri, ndb.res, btree.Applier{})
+	ndb.pool = buffer.NewPool(buffer.Config{
+		Capacity: db.opts.PoolFrames, Device: ndb.dev, Map: ndb.pmap, Log: ndb.log,
+		Hooks: ndb.hooks(),
+	})
+
+	redoRep, err := recovery.Redo(recovery.RedoDeps{
+		Log: ndb.log, Pool: ndb.pool, Map: ndb.pmap, PRI: ndb.pri,
+		Applier: btree.Applier{}, PageSize: db.opts.PageSize,
+		LogPRIRepair: func(pid page.ID, lsn page.LSN) {
+			ndb.log.Append(&wal.Record{
+				Type: wal.TypePRIUpdate, PageID: pid,
+				Payload: core.EncodeWriteComplete(core.WriteCompletePayload{PageLSN: lsn}),
+			})
+		},
+	}, analysis)
+	if err != nil {
+		return nil, nil, fmt.Errorf("spf: restart redo: %w", err)
+	}
+
+	undoRep, err := recovery.Undo(recovery.UndoDeps{Txns: ndb.txns}, analysis)
+	if err != nil {
+		return nil, nil, fmt.Errorf("spf: restart undo: %w", err)
+	}
+
+	if err := ndb.reopenCatalog(); err != nil {
+		return nil, nil, err
+	}
+	if _, err := ndb.Checkpoint(); err != nil {
+		return nil, nil, err
+	}
+	rep := &RestartReport{
+		Analysis: *analysis, Redo: *redoRep, Undo: *undoRep,
+		Duration: time.Since(start),
+	}
+	return ndb, rep, nil
+}
+
+// reopenCatalog finds the meta page (the lowest TypeMeta page) and reloads
+// the index registry.
+func (db *DB) reopenCatalog() error {
+	for _, id := range db.pmap.Pages() {
+		h, err := db.pool.Fetch(id)
+		if err != nil {
+			continue
+		}
+		typ := h.Page().Type()
+		if typ != page.TypeMeta {
+			h.Release()
+			continue
+		}
+		db.metaID = id
+		h.RLock()
+		reg, derr := btree.DecodeRegistry(h.Page().Payload())
+		h.RUnlock()
+		h.Release()
+		if derr != nil {
+			return derr
+		}
+		for name, root := range reg {
+			db.trees[name] = btree.Open(name, root, db)
+		}
+		return nil
+	}
+	return errors.New("spf: meta page not found after restart")
+}
+
+// FailDevice simulates a whole-device media failure.
+func (db *DB) FailDevice() {
+	db.mu.Lock()
+	db.crashed = true
+	db.mu.Unlock()
+	db.dev.FailDevice()
+	db.pool.Crash()
+}
+
+// MediaRecoveryReport quantifies a media recovery.
+type MediaRecoveryReport struct {
+	Media    recovery.MediaReport
+	Undo     recovery.UndoReport
+	Duration time.Duration
+}
+
+// RecoverMedia replaces the failed device and rebuilds it from the most
+// recent full backup plus the log (§5.1.3). All transactions that were
+// active are rolled back. Returns a fresh, usable DB.
+func (db *DB) RecoverMedia() (*DB, *MediaRecoveryReport, error) {
+	start := time.Now()
+	setID := db.store.LatestSet()
+	if setID == 0 {
+		return nil, nil, errors.New("spf: no full backup available for media recovery")
+	}
+	db.dev.Revive()
+	ndb := &DB{
+		opts:         db.opts,
+		dev:          db.dev,
+		store:        db.store,
+		log:          db.log,
+		trees:        make(map[string]*btree.Tree),
+		updateCounts: make(map[page.ID]int),
+		backupsDue:   make(map[page.ID]bool),
+	}
+	ndb.txns = txn.NewManager(ndb.log)
+	ndb.txns.SetUndoer(undoer{ndb})
+	ndb.res = &backup.Resolver{Store: ndb.store, Log: ndb.log, PageSize: db.opts.PageSize, Data: ndb.dev}
+
+	pm, pri, mediaRep, err := recovery.RecoverMedia(recovery.MediaDeps{
+		Log: ndb.log, Dev: ndb.dev, Store: ndb.store, Resolver: ndb.res,
+		Applier: btree.Applier{}, PageSize: db.opts.PageSize, Mode: db.opts.WriteMode,
+	}, setID)
+	if err != nil {
+		return nil, nil, fmt.Errorf("spf: media recovery: %w", err)
+	}
+	ndb.pmap = pm
+	ndb.pri = pri
+	ndb.rec = core.NewRecoverer(ndb.log, ndb.pri, ndb.res, btree.Applier{})
+	ndb.pool = buffer.NewPool(buffer.Config{
+		Capacity: db.opts.PoolFrames, Device: ndb.dev, Map: ndb.pmap, Log: ndb.log,
+		Hooks: ndb.hooks(),
+	})
+
+	// Roll back transactions that were in flight at the failure.
+	analysis, err := recovery.Analyze(ndb.log, db.opts.DataSlots)
+	if err != nil {
+		return nil, nil, err
+	}
+	undoRep, err := recovery.Undo(recovery.UndoDeps{Txns: ndb.txns}, analysis)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := ndb.reopenCatalog(); err != nil {
+		return nil, nil, err
+	}
+	if _, err := ndb.Checkpoint(); err != nil {
+		return nil, nil, err
+	}
+	rep := &MediaRecoveryReport{Media: *mediaRep, Undo: *undoRep, Duration: time.Since(start)}
+	return ndb, rep, nil
+}
+
+// Stats aggregates engine counters for experiments and monitoring.
+type Stats struct {
+	Pool      buffer.Stats
+	Device    storage.Stats
+	Log       wal.Stats
+	Txns      txn.Stats
+	Recovery  core.Stats
+	PRIRanges int
+	PRIBytes  int
+	PRIPages  int
+	DBPages   int
+	Retired   int
+}
+
+// Stats returns a snapshot of all engine counters.
+func (db *DB) Stats() Stats {
+	return Stats{
+		Pool:      db.pool.Stats(),
+		Device:    db.dev.Stats(),
+		Log:       db.log.Stats(),
+		Txns:      db.txns.Stats(),
+		Recovery:  db.rec.Stats(),
+		PRIRanges: db.pri.RangeCount(),
+		PRIBytes:  db.pri.SizeBytes(),
+		PRIPages:  db.pri.PageCount(),
+		DBPages:   db.pmap.Len(),
+		Retired:   db.dev.RetiredCount(),
+	}
+}
+
+// SimulatedIO returns the accumulated simulated I/O time of the data
+// device, the log, and the backup store.
+func (db *DB) SimulatedIO() (data, log, bak time.Duration) {
+	return db.dev.Clock().Elapsed(), db.log.Clock().Elapsed(), db.store.Device().Clock().Elapsed()
+}
+
+// ResetSimulatedIO zeroes all three clocks.
+func (db *DB) ResetSimulatedIO() {
+	db.dev.Clock().Reset()
+	db.log.Clock().Reset()
+	db.store.Device().Clock().Reset()
+}
+
+// PRI exposes the page recovery index for inspection by experiments.
+func (db *DB) PRI() *core.PRI { return db.pri }
+
+// LogManager exposes the write-ahead log for inspection by experiments.
+func (db *DB) LogManager() *wal.Manager { return db.log }
+
+// Device exposes the data device for fault campaigns.
+func (db *DB) Device() *storage.Device { return db.dev }
+
+// PageMapLen reports how many logical pages exist.
+func (db *DB) PageMapLen() int { return db.pmap.Len() }
+
+// Pages lists all logical page IDs in ascending order.
+func (db *DB) Pages() []PageID { return db.pmap.Pages() }
+
+// PhysicalSlot resolves a logical page to its current device slot.
+func (db *DB) PhysicalSlot(id PageID) (storage.PhysID, bool) { return db.pmap.Lookup(id) }
+
+// WriteMode reports the configured page-write policy.
+func (db *DB) WriteMode() pagemap.Mode { return db.opts.WriteMode }

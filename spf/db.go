@@ -1,0 +1,463 @@
+package spf
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/backup"
+	"repro/internal/btree"
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/page"
+	"repro/internal/pagemap"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// Re-exported types so applications need only import this package.
+type (
+	// Txn is a transaction handle.
+	Txn = txn.Txn
+	// PageID identifies a logical page.
+	PageID = page.ID
+	// LSN is a log sequence number.
+	LSN = page.LSN
+	// FaultKind selects an injected fault mode.
+	FaultKind = storage.FaultKind
+	// Entry is one key/value pair visited by Index.Scan.
+	Entry = btree.Entry
+	// FailureClass is the paper's four-class failure taxonomy.
+	FailureClass = core.FailureClass
+)
+
+// Re-exported fault kinds for injection experiments.
+const (
+	FaultReadError        = storage.FaultReadError
+	FaultSilentCorruption = storage.FaultSilentCorruption
+	FaultZeroPage         = storage.FaultZeroPage
+	FaultTornWrite        = storage.FaultTornWrite
+	FaultLostWrite        = storage.FaultLostWrite
+)
+
+// Errors surfaced by the engine. ErrPageFailed wraps unrecoverable
+// single-page failures (escalation to media recovery required).
+var (
+	ErrPageFailed   = buffer.ErrPageFailed
+	ErrKeyNotFound  = btree.ErrKeyNotFound
+	ErrKeyExists    = btree.ErrKeyExists
+	ErrDetected     = btree.ErrDetected
+	ErrCrashed      = errors.New("spf: database is crashed; call Restart")
+	ErrUnknownIndex = errors.New("spf: unknown index")
+)
+
+// DB is a single-device transactional storage engine with single-page
+// failure detection and recovery.
+type DB struct {
+	opts Options
+
+	dev   *storage.Device
+	store *backup.Store
+	log   *wal.Manager
+	pmap  *pagemap.Map
+	pool  *buffer.Pool
+	txns  *txn.Manager
+	pri   *core.PRI
+	rec   *core.Recoverer
+	res   *backup.Resolver
+
+	mu           sync.Mutex
+	metaID       page.ID
+	trees        map[string]*btree.Tree
+	updateCounts map[page.ID]int
+	backupsDue   map[page.ID]bool
+	crashed      bool
+}
+
+// Open creates a fresh database.
+func Open(opts Options) (*DB, error) {
+	opts = opts.withDefaults()
+	db := &DB{
+		opts: opts,
+		dev: storage.NewDevice(storage.Config{
+			PageSize: opts.PageSize, Slots: opts.DataSlots,
+			Profile: opts.DataProfile, Seed: opts.Seed,
+		}),
+		log:          wal.NewManager(opts.LogProfile),
+		pmap:         pagemap.New(opts.WriteMode, opts.DataSlots),
+		pri:          core.NewPRI(),
+		trees:        make(map[string]*btree.Tree),
+		updateCounts: make(map[page.ID]int),
+		backupsDue:   make(map[page.ID]bool),
+	}
+	db.store = backup.NewStore(storage.NewDevice(storage.Config{
+		PageSize: opts.PageSize, Slots: opts.BackupSlots,
+		Profile: opts.BackupProfile, Seed: opts.Seed + 1,
+	}))
+	db.txns = txn.NewManager(db.log)
+	db.txns.SetUndoer(undoer{db})
+	db.res = &backup.Resolver{Store: db.store, Log: db.log, PageSize: opts.PageSize, Data: db.dev}
+	db.rec = core.NewRecoverer(db.log, db.pri, db.res, btree.Applier{})
+	db.pool = buffer.NewPool(buffer.Config{
+		Capacity: opts.PoolFrames, Device: db.dev, Map: db.pmap, Log: db.log,
+		Hooks: db.hooks(),
+	})
+
+	// Bootstrap: the meta page holding the index registry.
+	st := db.txns.BeginSystem()
+	h, err := db.AllocateNode(st, page.TypeMeta, nil)
+	if err != nil {
+		return nil, fmt.Errorf("spf: bootstrapping meta page: %w", err)
+	}
+	db.metaID = h.ID()
+	h.Release()
+	if err := st.Commit(); err != nil {
+		return nil, err
+	}
+	if _, err := db.Checkpoint(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// hooks wires the buffer pool to detection, recovery, and PRI maintenance.
+func (db *DB) hooks() buffer.Hooks {
+	h := buffer.Hooks{
+		OnWriteComplete: db.onWriteComplete,
+		OnMarkDirty:     db.onMarkDirty,
+	}
+	if !db.opts.DisablePageLSNCheck && !db.opts.DisableSinglePageRecovery {
+		h.Validate = db.validatePage
+	}
+	if !db.opts.DisableSinglePageRecovery {
+		h.Recover = db.recoverPage
+	}
+	return h
+}
+
+// validatePage is the PageLSN cross-check of §5.2.2: a page read from the
+// database must carry at least the LSN the page recovery index recorded at
+// its last completed write. An OLDER page is a lost write — the only
+// failure mode checksums cannot catch. A NEWER page is not a page failure
+// at all: it means the PRI update was lost in a crash (the page write
+// completed, its log record did not), exactly the condition restart redo
+// repairs per Fig. 12.
+func (db *DB) validatePage(pg *page.Page) error {
+	entry, err := db.pri.Get(pg.ID())
+	if err != nil {
+		return nil // no expectation recorded
+	}
+	if entry.LastLSN != page.ZeroLSN && pg.LSN() < entry.LastLSN {
+		return fmt.Errorf("PageLSN %d below page recovery index expectation %d (lost write)",
+			pg.LSN(), entry.LastLSN)
+	}
+	return nil
+}
+
+// recoverPage adapts the single-page recoverer to the buffer pool hook.
+func (db *DB) recoverPage(id page.ID) (*page.Page, error) {
+	pg, _, err := db.rec.RecoverPage(id)
+	return pg, err
+}
+
+// onMarkDirty counts page updates for the backup-every-N policy ("the
+// number of updates can be counted within the page, incremented whenever
+// the PageLSN changes", §6).
+func (db *DB) onMarkDirty(id page.ID) {
+	if db.opts.BackupEveryNUpdates <= 0 {
+		return
+	}
+	db.mu.Lock()
+	db.updateCounts[id]++
+	if db.updateCounts[id] >= db.opts.BackupEveryNUpdates {
+		db.backupsDue[id] = true
+		db.updateCounts[id] = 0
+	}
+	db.mu.Unlock()
+}
+
+// onWriteComplete is the Fig. 11 sequence: after a dirty page reached the
+// database, update the page recovery index and log the update — before the
+// buffer pool may evict the frame. The record is a system-transaction-
+// style record that needs no log force (§5.2.4) and doubles as a logged
+// completed write (§5.1.2).
+func (db *DB) onWriteComplete(info buffer.WriteInfo) {
+	if db.opts.DisableSinglePageRecovery {
+		return
+	}
+	// Copy-on-write: the superseded slot is a ready-made page backup.
+	if info.HadPrev && db.opts.WriteMode == pagemap.CopyOnWrite {
+		prevEntry, err := db.pri.Get(info.Page)
+		if err == nil {
+			ref := core.BackupRef{
+				Kind: core.BackupDataSlot,
+				Loc:  uint64(info.Prev),
+				AsOf: prevEntry.LastLSN,
+			}
+			old, err := db.pri.SetBackup(info.Page, ref)
+			if err == nil {
+				db.log.Append(&wal.Record{
+					Type: wal.TypePRIUpdate, PageID: info.Page,
+					Payload: core.EncodeSetBackup(ref),
+				})
+				db.releaseBackup(old)
+			}
+		}
+	}
+	if _, err := db.pri.SetLastLSN(info.Page, info.PageLSN); err != nil {
+		db.pri.Set(info.Page, core.Entry{LastLSN: info.PageLSN})
+	}
+	db.log.Append(&wal.Record{
+		Type: wal.TypePRIUpdate, PageID: info.Page,
+		Payload: core.EncodeWriteComplete(core.WriteCompletePayload{
+			PageLSN: info.PageLSN, Dest: info.Dest,
+			Prev: info.Prev, HadPrev: info.HadPrev,
+		}),
+	})
+}
+
+// releaseBackup frees the resource behind a superseded backup reference
+// ("when a new backup page is taken ... the old backup page may be freed
+// and the page recovery index gives fast access to its identifier",
+// §5.2.2).
+func (db *DB) releaseBackup(old core.BackupRef) {
+	switch old.Kind {
+	case core.BackupPage:
+		db.store.FreeSlot(old.Loc)
+	case core.BackupDataSlot:
+		// Best effort: the slot may have been retired after a failure.
+		_ = db.pmap.FreeSlot(storage.PhysID(old.Loc))
+	}
+}
+
+// undoer adapts the engine to the transaction manager's rollback.
+type undoer struct{ db *DB }
+
+func (u undoer) Undo(t *txn.Txn, rec *wal.Record) error {
+	return btree.Compensate(t, u.db, rec)
+}
+
+// AllocateNode implements btree.Pager: it allocates a logical page,
+// installs it dirty in the pool, logs its format record under t, and
+// registers that record as the page's backup in the page recovery index.
+func (db *DB) AllocateNode(t *txn.Txn, typ page.Type, initialPayload []byte) (*buffer.Handle, error) {
+	if db.isCrashed() {
+		return nil, ErrCrashed
+	}
+	id := db.pmap.AllocateLogical()
+	h, err := db.pool.Create(id, typ)
+	if err != nil {
+		return nil, err
+	}
+	h.Lock()
+	defer h.Unlock()
+	if err := h.Page().SetPayload(initialPayload); err != nil {
+		h.Release()
+		return nil, err
+	}
+	lsn, err := t.Log(&wal.Record{
+		Type:    wal.TypeFormat,
+		PageID:  id,
+		Payload: backup.FormatPayload(typ, initialPayload),
+	})
+	if err != nil {
+		h.Release()
+		return nil, err
+	}
+	h.Page().SetLSN(lsn)
+	h.MarkDirty(lsn)
+	if !db.opts.DisableSinglePageRecovery {
+		db.pri.Set(id, core.Entry{
+			Backup:  core.BackupRef{Kind: core.BackupFormat, Loc: uint64(lsn), AsOf: lsn},
+			LastLSN: lsn,
+		})
+	}
+	return h, nil
+}
+
+// Fetch implements btree.Pager via the validating buffer pool.
+func (db *DB) Fetch(id page.ID) (*buffer.Handle, error) {
+	if db.isCrashed() {
+		return nil, ErrCrashed
+	}
+	return db.pool.Fetch(id)
+}
+
+// BeginSystem implements btree.Pager.
+func (db *DB) BeginSystem() *txn.Txn { return db.txns.BeginSystem() }
+
+// Begin starts a user transaction.
+func (db *DB) Begin() *Txn { return db.txns.Begin() }
+
+// Commit commits a transaction and runs any page backups the
+// backup-every-N-updates policy scheduled.
+func (db *DB) Commit(t *Txn) error {
+	if err := t.Commit(); err != nil {
+		return err
+	}
+	return db.runDueBackups()
+}
+
+func (db *DB) isCrashed() bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.crashed
+}
+
+// CreateIndex creates a named Foster B-tree index.
+func (db *DB) CreateIndex(name string) (*Index, error) {
+	db.mu.Lock()
+	if db.crashed {
+		db.mu.Unlock()
+		return nil, ErrCrashed
+	}
+	if _, ok := db.trees[name]; ok {
+		db.mu.Unlock()
+		return nil, fmt.Errorf("spf: index %q already exists", name)
+	}
+	// Reserve the name while the tree is built; the entry is replaced or
+	// removed below. The mutex cannot be held across tree construction:
+	// AllocateNode and the dirty-page hook take it too.
+	db.trees[name] = nil
+	db.mu.Unlock()
+	fail := func(err error) (*Index, error) {
+		db.mu.Lock()
+		delete(db.trees, name)
+		db.mu.Unlock()
+		return nil, err
+	}
+
+	st := db.txns.BeginSystem()
+	tr, err := btree.Create(st, name, db)
+	if err != nil {
+		_ = st.Abort()
+		return fail(err)
+	}
+	// Register in the meta page.
+	h, err := db.pool.Fetch(db.metaID)
+	if err != nil {
+		return fail(err)
+	}
+	h.Lock()
+	err = db.logMetaPut(st, h, name, tr.Root(), page.InvalidID)
+	h.Unlock()
+	h.Release()
+	if err != nil {
+		return fail(err)
+	}
+	if err := st.Commit(); err != nil {
+		return fail(err)
+	}
+	db.mu.Lock()
+	db.trees[name] = tr
+	db.mu.Unlock()
+	return &Index{db: db, tree: tr}, nil
+}
+
+func (db *DB) logMetaPut(t *txn.Txn, h *buffer.Handle, name string, root, oldRoot page.ID) error {
+	op := btree.EncodeMetaPut(name, root, oldRoot)
+	lsn, err := t.Log(&wal.Record{
+		Type: wal.TypeUpdate, PageID: h.ID(), PagePrevLSN: h.Page().LSN(), Payload: op,
+	})
+	if err != nil {
+		return err
+	}
+	if err := (btree.Applier{}).ApplyRedo(&wal.Record{Payload: op}, h.Page()); err != nil {
+		return err
+	}
+	h.Page().SetLSN(lsn)
+	h.MarkDirty(lsn)
+	return nil
+}
+
+// Index returns a previously created index.
+func (db *DB) Index(name string) (*Index, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.crashed {
+		return nil, ErrCrashed
+	}
+	if tr, ok := db.trees[name]; ok && tr != nil {
+		return &Index{db: db, tree: tr}, nil
+	}
+	return nil, fmt.Errorf("%w: %q", ErrUnknownIndex, name)
+}
+
+// Indexes lists the registered index names from the meta page.
+func (db *DB) Indexes() ([]string, error) {
+	h, err := db.Fetch(db.metaID)
+	if err != nil {
+		return nil, err
+	}
+	defer h.Release()
+	h.RLock()
+	defer h.RUnlock()
+	reg, err := btree.DecodeRegistry(h.Page().Payload())
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(reg))
+	for name := range reg {
+		names = append(names, name)
+	}
+	sortStrings(names)
+	return names, nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Index is a named key-value index backed by a Foster B-tree.
+type Index struct {
+	db   *DB
+	tree *btree.Tree
+}
+
+// Insert adds key=val under t.
+func (ix *Index) Insert(t *Txn, key, val []byte) error { return ix.tree.Insert(t, key, val) }
+
+// Update replaces the value of key under t.
+func (ix *Index) Update(t *Txn, key, val []byte) error { return ix.tree.Update(t, key, val) }
+
+// Delete removes key under t (logically, via a ghost record).
+func (ix *Index) Delete(t *Txn, key []byte) error { return ix.tree.Delete(t, key) }
+
+// Get returns the value for key.
+func (ix *Index) Get(key []byte) ([]byte, error) { return ix.tree.Get(key) }
+
+// Scan visits live entries in [start, end) in key order.
+func (ix *Index) Scan(start, end []byte, fn func(Entry) bool) error {
+	return ix.tree.Scan(start, end, fn)
+}
+
+// Verify exhaustively checks the index's structural invariants and returns
+// human-readable violations (empty = clean).
+func (ix *Index) Verify() ([]string, error) {
+	viols, err := ix.tree.VerifyAll()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(viols))
+	for i, v := range viols {
+		out[i] = v.String()
+	}
+	return out, nil
+}
+
+// TreeStats returns structural statistics of the index.
+func (ix *Index) TreeStats() (btree.Stats, error) { return ix.tree.WalkStats() }
+
+// Root exposes the root page ID (stable).
+func (ix *Index) Root() PageID { return ix.tree.Root() }
+
+// Counters reports cumulative structural changes (foster splits,
+// adoptions, root growths).
+func (ix *Index) Counters() (splits, adoptions, rootGrows int64) {
+	return ix.tree.Counters()
+}

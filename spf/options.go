@@ -1,0 +1,70 @@
+// Package spf is a transactional storage engine built to reproduce Graefe
+// and Kuno's "Definition, Detection, and Recovery of Single-Page Failures,
+// a Fourth Class of Database Failures" (PVLDB 5(7), 2012).
+//
+// The engine provides named Foster B-tree indexes over a simulated,
+// fault-injectable storage device, with write-ahead logging, ARIES-style
+// restart recovery, full-backup media recovery, and — the paper's
+// contribution — a page recovery index enabling single-page recovery: a
+// page that fails its read-path checks is rebuilt from its most recent
+// backup plus the per-page log chain while the reading transaction merely
+// waits, instead of escalating to a media failure.
+package spf
+
+import (
+	"repro/internal/iosim"
+	"repro/internal/pagemap"
+)
+
+// Options configures a database.
+type Options struct {
+	// PageSize is the page size in bytes (default 8192).
+	PageSize int
+	// DataSlots is the data device capacity in pages (default 65536).
+	DataSlots int
+	// BackupSlots is the backup device capacity in pages (default
+	// 2*DataSlots).
+	BackupSlots int
+	// PoolFrames is the buffer pool size in frames (default 1024).
+	PoolFrames int
+	// WriteMode selects in-place or copy-on-write page writes. Copy-on-
+	// write retains each page's pre-move image as an implicit backup
+	// (paper §5.2.1).
+	WriteMode pagemap.Mode
+	// DataProfile, LogProfile, BackupProfile select the simulated I/O
+	// cost models. Zero value charges nothing (unit-test speed).
+	DataProfile   iosim.Profile
+	LogProfile    iosim.Profile
+	BackupProfile iosim.Profile
+	// SinglePageRecovery enables the page recovery index and the
+	// recovery path (default on via Open; set DisableSinglePageRecovery
+	// to model a traditional engine that escalates to media failure —
+	// the Fig. 1 baseline).
+	DisableSinglePageRecovery bool
+	// DisablePageLSNCheck turns off the PageLSN cross-check against the
+	// page recovery index on every buffer-pool read (ablation A2). Lost
+	// writes then go undetected until a fence check or checksum fails.
+	DisablePageLSNCheck bool
+	// BackupEveryNUpdates takes an explicit per-page backup after a page
+	// has accumulated N updates (0 disables the policy). Bounds the
+	// per-page log chain and hence single-page recovery time (§6).
+	BackupEveryNUpdates int
+	// Seed makes fault injection reproducible.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.PageSize == 0 {
+		o.PageSize = 8192
+	}
+	if o.DataSlots == 0 {
+		o.DataSlots = 65536
+	}
+	if o.BackupSlots == 0 {
+		o.BackupSlots = 2 * o.DataSlots
+	}
+	if o.PoolFrames == 0 {
+		o.PoolFrames = 1024
+	}
+	return o
+}
