@@ -10,9 +10,18 @@ package repro
 // The same experiments are available as a CLI via cmd/spfbench.
 
 import (
+	"errors"
+	"fmt"
+	"sync/atomic"
 	"testing"
 
+	"repro/internal/buffer"
 	"repro/internal/experiments"
+	"repro/internal/iosim"
+	"repro/internal/page"
+	"repro/internal/pagemap"
+	"repro/internal/storage"
+	"repro/internal/wal"
 )
 
 func BenchmarkE01FailureEscalation(b *testing.B) {
@@ -298,5 +307,123 @@ func BenchmarkE16SilentCorruption(b *testing.B) {
 		if i == 0 {
 			b.Log("\n" + res.Table.String())
 		}
+	}
+}
+
+// benchPool builds a standalone buffer pool with nPages raw pages created,
+// flushed, and (optionally) evicted, for the parallel fetch benchmarks
+// E17/E18. The returned ids are the logical page IDs in creation order.
+func benchPool(b *testing.B, capacity, nPages, slots int, hooks buffer.Hooks) (*buffer.Pool, *storage.Device, *pagemap.Map, []page.ID) {
+	b.Helper()
+	dev := storage.NewDevice(storage.Config{PageSize: 4096, Slots: slots, Profile: iosim.Instant})
+	pm := pagemap.New(pagemap.InPlace, slots)
+	log := wal.NewManager(iosim.Instant)
+	pool := buffer.NewPool(buffer.Config{Capacity: capacity, Device: dev, Map: pm, Log: log, Hooks: hooks})
+	ids := make([]page.ID, nPages)
+	for i := range ids {
+		id := pm.AllocateLogical()
+		h, err := pool.Create(id, page.TypeRaw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h.Lock()
+		if err := h.Page().SetPayload([]byte(fmt.Sprintf("bench-page-%d", id))); err != nil {
+			b.Fatal(err)
+		}
+		lsn := log.Append(&wal.Record{Type: wal.TypeFormat, Txn: 1, PageID: id})
+		h.Page().SetLSN(lsn)
+		h.MarkDirty(lsn)
+		h.Unlock()
+		h.Release()
+		ids[i] = id
+	}
+	if err := pool.FlushAll(); err != nil {
+		b.Fatal(err)
+	}
+	return pool, dev, pm, ids
+}
+
+// BenchmarkE17ParallelFetchHit measures the buffer pool's hot path: all
+// pages resident, every Fetch a hit. With the sharded pool this path takes
+// no locks (sync.Map lookup + atomic pin) and performs zero allocations
+// per operation; throughput should scale with GOMAXPROCS.
+func BenchmarkE17ParallelFetchHit(b *testing.B) {
+	const nPages = 512
+	pool, _, _, ids := benchPool(b, 1024, nPages, 8192, buffer.Hooks{})
+	var worker atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(worker.Add(1)) * 7919 // stagger workers across pages
+		for pb.Next() {
+			h, err := pool.Fetch(ids[i%nPages])
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			h.Release()
+			i++
+		}
+	})
+	b.StopTimer()
+	if s := pool.Stats(); s.Misses > int64(nPages) {
+		b.Fatalf("hit benchmark missed: %+v", s)
+	}
+}
+
+// BenchmarkE18ParallelFetchMissRecover measures the validated read path
+// under eviction pressure (working set 4x the pool) with a slice of the
+// pages silently corrupted, so the run includes full Fig. 8 single-page
+// recoveries — detect, recover, relocate, retire — amid ordinary misses.
+func BenchmarkE18ParallelFetchMissRecover(b *testing.B) {
+	const (
+		nPages    = 256
+		capacity  = 64
+		corrupted = 32
+	)
+	hooks := buffer.Hooks{
+		Recover: func(id page.ID) (*page.Page, error) {
+			pg := page.New(id, page.TypeRaw, 4096)
+			if err := pg.SetPayload([]byte(fmt.Sprintf("recovered-%d", id))); err != nil {
+				return nil, err
+			}
+			return pg, nil
+		},
+	}
+	pool, dev, pm, ids := benchPool(b, capacity, nPages, 16384, hooks)
+	for _, id := range ids {
+		// Setup eviction pressure already displaced most pages; only the
+		// stragglers are still resident.
+		if err := pool.Evict(id); err != nil && !errors.Is(err, buffer.ErrNotResident) {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < corrupted; i++ {
+		phys, ok := pm.Lookup(ids[i*(nPages/corrupted)])
+		if !ok {
+			b.Fatal("corrupt target has no slot")
+		}
+		if err := dev.CorruptStored(phys); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var worker atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(worker.Add(1)) * 6151
+		for pb.Next() {
+			h, err := pool.Fetch(ids[i%nPages])
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			h.Release()
+			i++
+		}
+	})
+	b.StopTimer()
+	if s := pool.Stats(); s.Escalations != 0 {
+		b.Fatalf("unexpected escalations: %+v", s)
 	}
 }

@@ -10,4 +10,28 @@
 // from scratch in internal/. The experiment harness reproducing every
 // figure and quantitative claim of the paper lives in internal/experiments,
 // driven by bench_test.go at this root and by cmd/spfbench.
+//
+// # Performance architecture
+//
+// Because the paper puts failure detection on the hot read path ("each
+// page read ... immediately verified", §4.2), the buffer pool is built to
+// scale with cores rather than serialize on one mutex:
+//
+//   - internal/buffer partitions frames across a power-of-two number of
+//     shards (default max(8, GOMAXPROCS)), each with its own lock-free
+//     frame index (sync.Map) and clock second-chance eviction ring;
+//   - pin counts and clock reference bits are atomics, and each frame
+//     embeds its Handle, so fetching a resident page takes no locks and
+//     allocates nothing (see BenchmarkE17ParallelFetchHit);
+//   - eviction claims a victim by compare-and-swapping its pin count from
+//     zero to a negative sentinel, which cannot race with pinners;
+//   - page images move through pooled scratch buffers and
+//     storage.Device.ReadInto, so flushes and validated reads are
+//     allocation-free (a miss pays only the decoded page, see
+//     BenchmarkE18ParallelFetchMissRecover);
+//   - internal/pagemap stripes its logical→physical table by page ID so
+//     fetch-path lookups do not contend with write-target allocation.
+//
+// Single-page recovery semantics (detect → Recover hook → Relocate →
+// RetireSlot, Fig. 8 and §5.2.3) are unchanged; they now run per shard.
 package repro

@@ -1,0 +1,191 @@
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/iosim"
+	"repro/internal/page"
+	"repro/internal/pagemap"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// TestConcurrentMixedOpsWithFaults hammers one sharded pool from many
+// goroutines running the full operation mix — Fetch, MarkDirty, Release,
+// FlushPage, Evict — while device faults are injected underneath, and then
+// checks that every single-page failure was recovered by relocation: the
+// recovered pages live on fresh slots and every failed slot is on the
+// bad-block list. Run with -race.
+func TestConcurrentMixedOpsWithFaults(t *testing.T) {
+	const (
+		workers  = 8
+		opsPer   = 400
+		nPages   = 48
+		capacity = 16
+		slots    = 4096
+	)
+	recoverPayload := []byte("rebuilt-by-single-page-recovery")
+	var recoverCalls atomic.Int64
+	hooks := Hooks{
+		Recover: func(id page.ID) (*page.Page, error) {
+			recoverCalls.Add(1)
+			pg := page.New(id, page.TypeRaw, 512)
+			if err := pg.SetPayload(recoverPayload); err != nil {
+				return nil, err
+			}
+			return pg, nil
+		},
+	}
+	dev := storage.NewDevice(storage.Config{PageSize: 512, Slots: slots, Profile: iosim.Instant})
+	pm := pagemap.New(pagemap.InPlace, slots)
+	log := wal.NewManager(iosim.Instant)
+	pool := NewPool(Config{Capacity: capacity, Device: dev, Map: pm, Log: log, Hooks: hooks})
+
+	ids := make([]page.ID, nPages)
+	for i := range ids {
+		id := pm.AllocateLogical()
+		h, err := pool.Create(id, page.TypeRaw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Lock()
+		if err := h.Page().SetPayload([]byte(fmt.Sprintf("initial-%d", id))); err != nil {
+			t.Fatal(err)
+		}
+		lsn := log.Append(&wal.Record{Type: wal.TypeFormat, Txn: 1, PageID: id})
+		h.Page().SetLSN(lsn)
+		h.Unlock()
+		h.MarkDirty(lsn)
+		h.Release()
+		ids[i] = id
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				id := ids[(seed*31+i)%nPages]
+				switch i % 6 {
+				case 0, 1: // plain read
+					h, err := fetchRetry(pool, id)
+					if err != nil {
+						errs <- fmt.Errorf("fetch %d: %w", id, err)
+						return
+					}
+					h.RLock()
+					_ = h.Page().Payload()
+					h.RUnlock()
+					h.Release()
+				case 2: // logged update
+					h, err := fetchRetry(pool, id)
+					if err != nil {
+						errs <- fmt.Errorf("fetch-for-update %d: %w", id, err)
+						return
+					}
+					h.Lock()
+					lsn := log.Append(&wal.Record{Type: wal.TypeUpdate, Txn: wal.TxnID(seed + 2), PageID: id})
+					if err := h.Page().SetPayload([]byte(fmt.Sprintf("w%d-i%d", seed, i))); err != nil {
+						h.Unlock()
+						h.Release()
+						errs <- err
+						return
+					}
+					h.Page().SetLSN(lsn)
+					h.MarkDirty(lsn)
+					h.Unlock()
+					h.Release()
+				case 3: // write-back
+					if err := pool.FlushPage(id); err != nil && !errors.Is(err, ErrNotResident) {
+						errs <- fmt.Errorf("flush %d: %w", id, err)
+						return
+					}
+				case 4: // forced eviction
+					err := pool.Evict(id)
+					if err != nil && !errors.Is(err, ErrNotResident) && !errors.Is(err, ErrPinned) {
+						errs <- fmt.Errorf("evict %d: %w", id, err)
+						return
+					}
+				case 5: // fault injection on the page's current slot
+					if phys, ok := pm.Lookup(id); ok && !dev.Retired(phys) {
+						kind := storage.FaultSilentCorruption
+						if i%2 == 0 {
+							kind = storage.FaultReadError
+						}
+						dev.InjectFault(phys, kind, false)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Faults were injected on live slots and the working set vastly
+	// exceeds the pool capacity, so some reads must have hit a fault and
+	// recovered through the hook.
+	stats := pool.Stats()
+	if stats.Recoveries == 0 || recoverCalls.Load() == 0 {
+		t.Fatalf("no recoveries recorded: stats=%+v hookCalls=%d", stats, recoverCalls.Load())
+	}
+	if stats.Escalations != 0 {
+		t.Fatalf("unexpected escalations: %+v", stats)
+	}
+	// Every recovery must have relocated: the failed slots are retired,
+	// and no live mapping points at a retired slot.
+	if dev.RetiredCount() == 0 {
+		t.Fatal("recoveries happened but no slot was retired")
+	}
+	for slot, id := range pm.MappedSlots() {
+		if dev.Retired(slot) {
+			t.Errorf("page %d still mapped to retired slot %d", id, slot)
+		}
+	}
+	// The pool must still be coherent: every page fetchable, capacity
+	// respected, and a final flush leaves no dirty pages behind.
+	if r := pool.Resident(); r > capacity {
+		t.Errorf("resident %d exceeds capacity %d", r, capacity)
+	}
+	for _, id := range ids {
+		h, err := fetchRetry(pool, id)
+		if err != nil {
+			t.Fatalf("post-run fetch %d: %v", id, err)
+		}
+		h.Release()
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if dpt := pool.DirtyPages(); len(dpt) != 0 {
+		t.Errorf("dirty pages after FlushAll: %v", dpt)
+	}
+}
+
+// fetchRetry absorbs transient ErrPoolFull: under heavy contention every
+// frame can momentarily be pinned by the other workers.
+func fetchRetry(pool *Pool, id page.ID) (*Handle, error) {
+	var err error
+	for i := 0; i < 64; i++ {
+		var h *Handle
+		h, err = pool.Fetch(id)
+		if err == nil {
+			return h, nil
+		}
+		if !errors.Is(err, ErrPoolFull) {
+			return nil, err
+		}
+	}
+	return nil, err
+}

@@ -10,12 +10,36 @@
 //   - the write-back path (paper Fig. 11) writes the dirty page, then
 //     reports the completed write so the engine can log the page recovery
 //     index update, and only then allows eviction.
+//
+// Because every page read is verified, the fetch path is the throughput
+// bottleneck of the whole engine, so the pool is built to scale with cores:
+//
+//   - frames are partitioned across a power-of-two number of shards, each
+//     owning its own frame index and clock (second-chance) eviction ring,
+//     so fetches of different pages rarely touch shared state;
+//   - pin counts and clock reference bits are atomics, and the per-shard
+//     frame index is a sync.Map, so a fetch of a resident page — the hot
+//     path — takes no locks and performs no allocations (each frame embeds
+//     its Handle);
+//   - eviction claims a victim by atomically swinging its pin count from 0
+//     to a negative "dead" sentinel, which cannot race with concurrent
+//     pinners;
+//   - statistics are atomic counters, read-modify-written without locks;
+//   - page images move through a sync.Pool of page-sized scratch buffers,
+//     so a flush or a device read allocates nothing.
+//
+// Total residency is still bounded by one global capacity, maintained as an
+// atomic reservation counter: a loader reserves a slot before reading and
+// either fills it or runs the clock over the shards to free one.
 package buffer
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/page"
 	"repro/internal/pagemap"
@@ -74,27 +98,67 @@ type Hooks struct {
 
 // Stats counts pool activity.
 type Stats struct {
-	Hits              int64
-	Misses            int64
-	Evictions         int64
-	Writes            int64
-	ValidationFailers int64
-	Recoveries        int64
-	Escalations       int64
+	Hits               int64
+	Misses             int64
+	Evictions          int64
+	Writes             int64
+	ValidationFailures int64
+	Recoveries         int64
+	Escalations        int64
 }
 
-// frame is one buffer slot. pins is guarded by the pool mutex; dirty and
-// recLSN are guarded by metaMu so that MarkDirty can be called while
-// holding the page latch without touching the pool mutex (avoiding a lock
-// cycle with the flush path, which holds the pool mutex and acquires the
-// latch).
+// counters is the internal, contention-free form of Stats.
+type counters struct {
+	hits               atomic.Int64
+	misses             atomic.Int64
+	evictions          atomic.Int64
+	writes             atomic.Int64
+	validationFailures atomic.Int64
+	recoveries         atomic.Int64
+	escalations        atomic.Int64
+}
+
+// pinsDead is the pin-count sentinel marking a frame claimed for eviction.
+// A fetcher's tryPin fails against it, and an evictor installs it only via
+// a compare-and-swap from zero, so claiming cannot race with pinning.
+const pinsDead int32 = -1 << 30
+
+// frame is one buffer slot. pins and ref are atomics so the hit path never
+// locks; dirty and recLSN are guarded by metaMu so that MarkDirty can be
+// called while holding the page latch without touching any pool lock
+// (avoiding a lock cycle with the flush path, which acquires the latch).
+// flushMu serializes write-back of this frame so two flushers cannot both
+// consume a copy-on-write slot for the same image. ringIdx is the frame's
+// position in its shard's clock ring, guarded by the shard mutex.
 type frame struct {
-	latch  sync.RWMutex
-	pg     *page.Page
-	pins   int
+	id    page.ID
+	latch sync.RWMutex
+	pg    *page.Page
+	pins  atomic.Int32
+	ref   atomic.Bool // clock reference bit (second chance)
+	h     Handle      // shared pinned-reference value; avoids per-Fetch allocs
+
+	flushMu sync.Mutex
+
 	metaMu sync.Mutex
 	dirty  bool
 	recLSN page.LSN // LSN that first dirtied the page since last clean
+
+	ringIdx int
+}
+
+// tryPin increments the pin count unless the frame has been claimed for
+// eviction.
+func (f *frame) tryPin() bool {
+	for {
+		p := f.pins.Load()
+		if p < 0 {
+			return false
+		}
+		if f.pins.CompareAndSwap(p, p+1) {
+			return true
+		}
+	}
 }
 
 func (f *frame) isDirty() bool {
@@ -103,27 +167,72 @@ func (f *frame) isDirty() bool {
 	return f.dirty
 }
 
+func (f *frame) setClean() {
+	f.metaMu.Lock()
+	f.dirty = false
+	f.recLSN = page.ZeroLSN
+	f.metaMu.Unlock()
+}
+
+// shard is one partition of the pool: a lock-free frame index for the hit
+// path plus a mutex-guarded clock ring for installs and eviction.
+type shard struct {
+	mu     sync.Mutex
+	frames sync.Map // page.ID -> *frame
+	ring   []*frame // clock ring; positions tracked in frame.ringIdx
+	hand   int
+	count  atomic.Int64
+}
+
+// installLocked adds a frame to the shard. Caller holds s.mu.
+func (s *shard) installLocked(f *frame) {
+	f.ringIdx = len(s.ring)
+	s.ring = append(s.ring, f)
+	s.frames.Store(f.id, f)
+	s.count.Add(1)
+}
+
+// removeLocked deletes a claimed (dead) frame. Caller holds s.mu.
+func (s *shard) removeLocked(f *frame) {
+	s.frames.Delete(f.id)
+	i := f.ringIdx
+	last := len(s.ring) - 1
+	s.ring[i] = s.ring[last]
+	s.ring[i].ringIdx = i
+	s.ring[last] = nil
+	s.ring = s.ring[:last]
+	if s.hand > last {
+		s.hand = 0
+	}
+	s.count.Add(-1)
+}
+
 // Pool is the buffer pool. Safe for concurrent use.
 type Pool struct {
-	mu       sync.Mutex
-	frames   map[page.ID]*frame
-	order    []page.ID // FIFO-with-second-chance eviction order
+	shards   []*shard
+	shift    uint // 64 - log2(len(shards)), for the multiplicative hash
 	capacity int
+	used     atomic.Int64 // frames resident or reserved by in-flight loads
+	rotor    atomic.Uint64
 	dev      *storage.Device
 	pmap     *pagemap.Map
 	log      *wal.Manager
-	hooks    Hooks
-	stats    Stats
+	hooks    atomic.Pointer[Hooks]
+	stats    counters
+	scratch  sync.Pool // *[]byte of dev.PageSize() bytes
 }
 
 // Config configures a pool.
 type Config struct {
-	// Capacity is the number of frames.
+	// Capacity is the total number of frames across all shards.
 	Capacity int
-	Device   *storage.Device
-	Map      *pagemap.Map
-	Log      *wal.Manager
-	Hooks    Hooks
+	// Shards is the number of shards, rounded up to a power of two.
+	// Zero selects max(8, GOMAXPROCS).
+	Shards int
+	Device *storage.Device
+	Map    *pagemap.Map
+	Log    *wal.Manager
+	Hooks  Hooks
 }
 
 // NewPool creates a buffer pool.
@@ -131,43 +240,100 @@ func NewPool(cfg Config) *Pool {
 	if cfg.Capacity <= 0 {
 		panic("buffer: capacity must be positive")
 	}
-	return &Pool{
-		frames:   make(map[page.ID]*frame, cfg.Capacity),
+	n := cfg.Shards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+		if n < 8 {
+			n = 8
+		}
+	}
+	n = nextPow2(n)
+	shards := make([]*shard, n)
+	for i := range shards {
+		shards[i] = &shard{}
+	}
+	shift := uint(64)
+	for m := n; m > 1; m >>= 1 {
+		shift--
+	}
+	p := &Pool{
+		shards:   shards,
+		shift:    shift,
 		capacity: cfg.Capacity,
 		dev:      cfg.Device,
 		pmap:     cfg.Map,
 		log:      cfg.Log,
-		hooks:    cfg.Hooks,
 	}
+	hooks := cfg.Hooks
+	p.hooks.Store(&hooks)
+	pageSize := cfg.Device.PageSize()
+	p.scratch.New = func() any {
+		b := make([]byte, pageSize)
+		return &b
+	}
+	return p
 }
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// shardOf routes a page ID to its shard via a multiplicative hash, so
+// sequentially allocated IDs spread evenly.
+func (p *Pool) shardOf(id page.ID) *shard {
+	if p.shift == 64 {
+		return p.shards[0]
+	}
+	return p.shards[(uint64(id)*0x9E3779B97F4A7C15)>>p.shift]
+}
+
+func (p *Pool) getHooks() *Hooks { return p.hooks.Load() }
 
 // SetHooks replaces the hook set; intended for engine wiring during startup.
 func (p *Pool) SetHooks(h Hooks) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.hooks = h
+	p.hooks.Store(&h)
 }
 
 // Stats returns a snapshot of the counters.
 func (p *Pool) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	return Stats{
+		Hits:               p.stats.hits.Load(),
+		Misses:             p.stats.misses.Load(),
+		Evictions:          p.stats.evictions.Load(),
+		Writes:             p.stats.writes.Load(),
+		ValidationFailures: p.stats.validationFailures.Load(),
+		Recoveries:         p.stats.recoveries.Load(),
+		Escalations:        p.stats.escalations.Load(),
+	}
 }
 
 // Capacity returns the number of frames.
 func (p *Pool) Capacity() int { return p.capacity }
 
+// Shards returns the number of shards.
+func (p *Pool) Shards() int { return len(p.shards) }
+
 // Resident returns the number of pages currently buffered.
 func (p *Pool) Resident() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.frames)
+	var n int64
+	for _, s := range p.shards {
+		n += s.count.Load()
+	}
+	return int(n)
 }
+
+func (p *Pool) getScratch() *[]byte  { return p.scratch.Get().(*[]byte) }
+func (p *Pool) putScratch(b *[]byte) { p.scratch.Put(b) }
 
 // Handle is a pinned reference to a buffered page. Callers must Release it.
 // The embedded latch (Lock/RLock) protects the page contents; callers
-// updating the page must hold the write latch.
+// updating the page must hold the write latch. Handles carry no per-caller
+// state: concurrent fetchers of the same page share one Handle value, which
+// is what makes the hit path allocation-free.
 type Handle struct {
 	pool *Pool
 	id   page.ID
@@ -197,7 +363,7 @@ func (h *Handle) RUnlock() { h.f.latch.RUnlock() }
 // given LSN. The first dirtying LSN since the page was last clean is kept
 // as the recovery LSN for checkpointing (the ARIES dirty page table).
 func (h *Handle) MarkDirty(lsn page.LSN) {
-	if fn := h.pool.hooks.OnMarkDirty; fn != nil {
+	if fn := h.pool.getHooks().OnMarkDirty; fn != nil {
 		fn(h.id)
 	}
 	h.f.metaMu.Lock()
@@ -219,30 +385,47 @@ func (h *Handle) Dirty() bool {
 
 // Release unpins the page.
 func (h *Handle) Release() {
-	h.pool.mu.Lock()
-	defer h.pool.mu.Unlock()
-	if h.f.pins <= 0 {
-		panic("buffer: release of unpinned handle")
+	for {
+		n := h.f.pins.Load()
+		if n <= 0 {
+			panic("buffer: release of unpinned handle")
+		}
+		if h.f.pins.CompareAndSwap(n, n-1) {
+			return
+		}
 	}
-	h.f.pins--
+}
+
+func (p *Pool) newFrame(id page.ID, pg *page.Page) *frame {
+	f := &frame{id: id, pg: pg}
+	f.h = Handle{pool: p, id: id, f: f}
+	return f
 }
 
 // Create installs a brand-new page (freshly allocated logical ID) in the
 // pool, pinned and dirty. The caller is responsible for logging the page
 // format record and setting the page's LSN.
 func (p *Pool) Create(id page.ID, typ page.Type) (*Handle, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if _, ok := p.frames[id]; ok {
+	s := p.shardOf(id)
+	if _, ok := s.frames.Load(id); ok {
 		return nil, fmt.Errorf("buffer: page %d already resident", id)
 	}
-	if err := p.makeRoomLocked(); err != nil {
+	if err := p.reserveFrame(); err != nil {
 		return nil, err
 	}
-	f := &frame{pg: page.New(id, typ, p.dev.PageSize()), pins: 1, dirty: true}
-	p.frames[id] = f
-	p.order = append(p.order, id)
-	return &Handle{pool: p, id: id, f: f}, nil
+	f := p.newFrame(id, page.New(id, typ, p.dev.PageSize()))
+	f.pins.Store(1)
+	f.ref.Store(true)
+	f.dirty = true
+	s.mu.Lock()
+	if _, ok := s.frames.Load(id); ok {
+		s.mu.Unlock()
+		p.unreserve()
+		return nil, fmt.Errorf("buffer: page %d already resident", id)
+	}
+	s.installLocked(f)
+	s.mu.Unlock()
+	return &f.h, nil
 }
 
 // Fetch pins page id, reading and validating it if not resident. A read
@@ -250,70 +433,79 @@ func (p *Pool) Create(id page.ID, typ page.Type) (*Handle, error) {
 // only if that also fails does Fetch return an error (wrapping
 // ErrPageFailed) — the caller may then escalate to media recovery.
 func (p *Pool) Fetch(id page.ID) (*Handle, error) {
-	p.mu.Lock()
-	if f, ok := p.frames[id]; ok {
-		f.pins++
-		p.stats.Hits++
-		p.mu.Unlock()
-		return &Handle{pool: p, id: id, f: f}, nil
+	s := p.shardOf(id)
+	if v, ok := s.frames.Load(id); ok {
+		f := v.(*frame)
+		if f.tryPin() {
+			f.ref.Store(true)
+			p.stats.hits.Add(1)
+			return &f.h, nil
+		}
+		// Claimed for eviction between Load and tryPin: treat as a miss.
 	}
-	p.stats.Misses++
+	p.stats.misses.Add(1)
 	if !p.pmap.Known(id) {
-		p.mu.Unlock()
 		return nil, fmt.Errorf("%w: %d", ErrUnknownPage, id)
 	}
 	phys, written := p.pmap.Lookup(id)
 	if !written {
-		p.mu.Unlock()
 		return nil, fmt.Errorf("%w: %d", ErrNeverWritten, id)
 	}
-	if err := p.makeRoomLocked(); err != nil {
-		p.mu.Unlock()
+	if err := p.reserveFrame(); err != nil {
 		return nil, err
 	}
-	hooks := p.hooks
-	p.mu.Unlock()
+	hooks := p.getHooks()
 
-	// Read and validate outside the pool mutex (Fig. 8).
+	// Read and validate outside all locks (Fig. 8).
 	pg, failure := p.readAndValidate(id, phys, hooks)
 	if failure != nil {
-		p.mu.Lock()
-		p.stats.ValidationFailers++
-		p.mu.Unlock()
+		p.stats.validationFailures.Add(1)
 		recovered, err := p.recoverFailedPage(id, phys, hooks, failure)
 		if err != nil {
+			p.unreserve()
 			return nil, err
 		}
 		pg = recovered
 	}
 
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if f, ok := p.frames[id]; ok {
-		// Someone else loaded it while we read; use theirs.
-		f.pins++
-		return &Handle{pool: p, id: id, f: f}, nil
-	}
-	f := &frame{pg: pg, pins: 1}
+	f := p.newFrame(id, pg)
+	f.pins.Store(1)
+	f.ref.Store(true)
 	if failure != nil {
 		// The recovered page lives at a new location but has not been
 		// written there yet: keep it dirty so write-back persists it.
 		f.dirty = true
 		f.recLSN = pg.LSN()
 	}
-	p.frames[id] = f
-	p.order = append(p.order, id)
-	return &Handle{pool: p, id: id, f: f}, nil
+	s.mu.Lock()
+	if v, ok := s.frames.Load(id); ok {
+		// Someone else loaded it while we read; use theirs. A mapped
+		// frame cannot be claimed while we hold the shard mutex, so
+		// tryPin only retries against concurrent pinners.
+		other := v.(*frame)
+		if other.tryPin() {
+			other.ref.Store(true)
+			s.mu.Unlock()
+			p.unreserve()
+			return &other.h, nil
+		}
+	}
+	s.installLocked(f)
+	s.mu.Unlock()
+	return &f.h, nil
 }
 
 // readAndValidate performs the Fig. 8 read path: device read, in-page
-// verification, and the engine's PageLSN cross-check.
-func (p *Pool) readAndValidate(id page.ID, phys storage.PhysID, hooks Hooks) (*page.Page, error) {
-	img, err := p.dev.Read(phys)
-	if err != nil {
+// verification, and the engine's PageLSN cross-check. The device image
+// lands in a pooled scratch buffer, so a miss costs no per-read buffer
+// allocation.
+func (p *Pool) readAndValidate(id page.ID, phys storage.PhysID, hooks *Hooks) (*page.Page, error) {
+	buf := p.getScratch()
+	defer p.putScratch(buf)
+	if err := p.dev.ReadInto(phys, *buf); err != nil {
 		return nil, fmt.Errorf("device read of page %d (slot %d): %w", id, phys, err)
 	}
-	pg, err := page.DecodeFor(id, img)
+	pg, err := page.DecodeFor(id, *buf)
 	if err != nil {
 		return nil, fmt.Errorf("in-page checks of page %d (slot %d): %w", id, phys, err)
 	}
@@ -328,18 +520,14 @@ func (p *Pool) readAndValidate(id page.ID, phys storage.PhysID, hooks Hooks) (*p
 // recoverFailedPage runs the single-page recovery path: the Recover hook
 // rebuilds the contents, the page is relocated away from the failed slot,
 // and the old slot is retired (§5.2.3).
-func (p *Pool) recoverFailedPage(id page.ID, failedSlot storage.PhysID, hooks Hooks, cause error) (*page.Page, error) {
+func (p *Pool) recoverFailedPage(id page.ID, failedSlot storage.PhysID, hooks *Hooks, cause error) (*page.Page, error) {
 	if hooks.Recover == nil {
-		p.mu.Lock()
-		p.stats.Escalations++
-		p.mu.Unlock()
+		p.stats.escalations.Add(1)
 		return nil, fmt.Errorf("%w: %v (no recovery configured)", ErrPageFailed, cause)
 	}
 	pg, err := hooks.Recover(id)
 	if err != nil {
-		p.mu.Lock()
-		p.stats.Escalations++
-		p.mu.Unlock()
+		p.stats.escalations.Add(1)
 		return nil, fmt.Errorf("%w: %v; recovery failed: %v", ErrPageFailed, cause, err)
 	}
 	// Move the page to a fresh slot; never reuse the failed location, and
@@ -353,9 +541,7 @@ func (p *Pool) recoverFailedPage(id page.ID, failedSlot storage.PhysID, hooks Ho
 		failedSlot = prev
 	}
 	p.dev.RetireSlot(failedSlot)
-	p.mu.Lock()
-	p.stats.Recoveries++
-	p.mu.Unlock()
+	p.stats.recoveries.Add(1)
 	if hooks.OnRecovered != nil {
 		hooks.OnRecovered(WriteInfo{
 			Page: id, PageLSN: pg.LSN(), Dest: dst, Prev: failedSlot, HadPrev: true,
@@ -364,113 +550,187 @@ func (p *Pool) recoverFailedPage(id page.ID, failedSlot storage.PhysID, hooks Ho
 	return pg, nil
 }
 
-// makeRoomLocked ensures a free frame exists, evicting (and if necessary
-// flushing) an unpinned page. Caller holds p.mu.
-func (p *Pool) makeRoomLocked() error {
-	if len(p.frames) < p.capacity {
-		return nil
+// reserveFrame acquires the right to install one frame: either free
+// capacity exists, or the clock frees a victim and its slot transfers to
+// the caller (used is not decremented). Callers that fail to install must
+// call unreserve.
+//
+// A failed eviction sweep is not immediately ErrPoolFull: capacity may be
+// held by in-flight loads that have reserved but not yet installed (their
+// frames are not evictable because they do not exist yet). Those resolve
+// within a few scheduler quanta — they install or unreserve — so spin
+// briefly before declaring the pool full, which is then the durable
+// everything-pinned condition.
+func (p *Pool) reserveFrame() error {
+	const sweeps = 64
+	for attempt := 0; ; attempt++ {
+		u := p.used.Load()
+		if u < int64(p.capacity) {
+			if p.used.CompareAndSwap(u, u+1) {
+				return nil
+			}
+			continue // lost the CAS race; not a failed sweep
+		}
+		evicted, err := p.evictOne()
+		if err != nil {
+			return err
+		}
+		if evicted {
+			return nil
+		}
+		if attempt >= sweeps {
+			return ErrPoolFull
+		}
+		runtime.Gosched()
 	}
-	for _, id := range append([]page.ID(nil), p.order...) {
-		f := p.frames[id]
-		if f == nil || f.pins > 0 {
+}
+
+func (p *Pool) unreserve() { p.used.Add(-1) }
+
+// evictOne runs the clock over the shards, starting at a rotating shard,
+// until one victim is freed. The freed slot remains accounted in used (it
+// transfers to the caller's reservation).
+func (p *Pool) evictOne() (bool, error) {
+	start := p.rotor.Add(1)
+	for i := 0; i < len(p.shards); i++ {
+		s := p.shards[(start+uint64(i))&uint64(len(p.shards)-1)]
+		evicted, err := p.evictFromShard(s)
+		if err != nil || evicted {
+			return evicted, err
+		}
+	}
+	return false, nil
+}
+
+// evictFromShard advances the shard's clock hand looking for an unpinned,
+// unreferenced victim, flushing it first if dirty (Fig. 11: the completed-
+// write hook runs before the frame is truly evicted).
+func (p *Pool) evictFromShard(s *shard) (bool, error) {
+	s.mu.Lock()
+	// Two sweeps: the first clears reference bits, the second finds a
+	// victim unless everything is pinned or re-referenced.
+	limit := 2*len(s.ring) + 2
+	for a := 0; a < limit; a++ {
+		if len(s.ring) == 0 {
+			break
+		}
+		if s.hand >= len(s.ring) {
+			s.hand = 0
+		}
+		f := s.ring[s.hand]
+		s.hand++
+		if f.pins.Load() != 0 {
 			continue
 		}
+		if f.ref.Swap(false) {
+			continue // second chance
+		}
 		if f.isDirty() {
-			if err := p.flushFrameLocked(id, f); err != nil {
-				return err
+			// Write back outside the shard mutex so the completed-write
+			// hook (which appends log records and updates the page
+			// recovery index) runs without pool locks.
+			s.mu.Unlock()
+			err := p.flushFrame(f)
+			s.mu.Lock()
+			if err != nil {
+				s.mu.Unlock()
+				return false, err
 			}
-			// The mutex was released during the write-complete hook:
-			// re-validate the victim before evicting it.
-			if p.frames[id] != f || f.pins > 0 || f.isDirty() {
+			// The shard was unlocked during the write: re-validate the
+			// victim before claiming it.
+			if v, ok := s.frames.Load(f.id); !ok || v.(*frame) != f || f.isDirty() {
 				continue
 			}
 		}
-		delete(p.frames, id)
-		p.removeFromOrderLocked(id)
-		p.stats.Evictions++
-		return nil
-	}
-	return ErrPoolFull
-}
-
-func (p *Pool) removeFromOrderLocked(id page.ID) {
-	for i, oid := range p.order {
-		if oid == id {
-			p.order = append(p.order[:i], p.order[i+1:]...)
-			return
+		if !f.pins.CompareAndSwap(0, pinsDead) {
+			continue
 		}
+		if f.isDirty() {
+			// Dirtied between the check and the claim (pin, MarkDirty,
+			// Release): give the frame back and keep scanning.
+			f.pins.Store(0)
+			continue
+		}
+		s.removeLocked(f)
+		s.mu.Unlock()
+		p.stats.evictions.Add(1)
+		return true, nil
 	}
+	s.mu.Unlock()
+	return false, nil
 }
 
-// flushFrameLocked writes a dirty frame back to the device, observing the
+// flushFrame writes a dirty frame back to the device, observing the
 // write-ahead-log protocol (force the log up to the PageLSN first) and the
 // Fig. 11 sequence (completed-write hook before the frame can be evicted).
-// Caller holds p.mu.
-func (p *Pool) flushFrameLocked(id page.ID, f *frame) error {
-	// Exclude concurrent page mutators while encoding: updaters hold the
-	// write latch across the modify+MarkDirty sequence.
+// It takes no shard lock; per-frame flushMu serializes concurrent flushers
+// of the same page so a copy-on-write slot is consumed at most once per
+// image.
+func (p *Pool) flushFrame(f *frame) error {
+	f.flushMu.Lock()
+	defer f.flushMu.Unlock()
+	// Exclude concurrent page mutators while encoding: updaters mutate
+	// content (including SetLSN) only under the write latch. MarkDirty may
+	// trail the latch release; the worst case is encoding a fully-updated
+	// image and then seeing the trailing dirty mark, which re-flushes the
+	// same image — never a lost update.
 	f.latch.RLock()
-	f.metaMu.Lock()
-	if !f.dirty {
-		f.metaMu.Unlock()
+	if !f.isDirty() {
 		f.latch.RUnlock()
 		return nil
 	}
-	f.metaMu.Unlock()
 	// WAL protocol: no dirty page reaches the database before its log.
 	p.log.Flush(f.pg.LSN())
-	dst, prev, hadPrev, err := p.pmap.WriteTarget(id)
+	dst, prev, hadPrev, err := p.pmap.WriteTarget(f.id)
 	if err != nil {
 		f.latch.RUnlock()
-		return fmt.Errorf("buffer: flush of page %d: %w", id, err)
+		return fmt.Errorf("buffer: flush of page %d: %w", f.id, err)
 	}
-	img := f.pg.Encode()
+	buf := p.getScratch()
+	f.pg.EncodeInto(*buf)
 	lsn := f.pg.LSN()
-	if err := p.dev.Write(dst, img); err != nil {
+	if err := p.dev.Write(dst, *buf); err != nil {
+		p.putScratch(buf)
 		f.latch.RUnlock()
-		return fmt.Errorf("buffer: flush of page %d to slot %d: %w", id, dst, err)
+		return fmt.Errorf("buffer: flush of page %d to slot %d: %w", f.id, dst, err)
 	}
-	f.metaMu.Lock()
-	f.dirty = false
-	f.recLSN = page.ZeroLSN
-	f.metaMu.Unlock()
+	p.putScratch(buf)
+	f.setClean()
 	f.latch.RUnlock()
-	p.stats.Writes++
-	if p.hooks.OnWriteComplete != nil {
-		info := WriteInfo{Page: id, PageLSN: lsn, Dest: dst, Prev: prev, HadPrev: hadPrev}
-		// Run the hook without the pool mutex: it appends log records
-		// and updates the page recovery index.
-		p.mu.Unlock()
-		p.hooks.OnWriteComplete(info)
-		p.mu.Lock()
+	p.stats.writes.Add(1)
+	if hooks := p.getHooks(); hooks.OnWriteComplete != nil {
+		hooks.OnWriteComplete(WriteInfo{Page: f.id, PageLSN: lsn, Dest: dst, Prev: prev, HadPrev: hadPrev})
 	}
 	return nil
 }
 
 // FlushPage writes page id back if it is resident and dirty.
 func (p *Pool) FlushPage(id page.ID) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	f, ok := p.frames[id]
+	v, ok := p.shardOf(id).frames.Load(id)
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNotResident, id)
 	}
-	return p.flushFrameLocked(id, f)
+	return p.flushFrame(v.(*frame))
 }
 
 // FlushAll writes every dirty page back (checkpoint support). Pages pinned
 // by concurrent transactions are flushed too — pins guard residency, not
 // cleanliness; callers serialize content mutation via page latches.
 func (p *Pool) FlushAll() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, id := range append([]page.ID(nil), p.order...) {
-		f, ok := p.frames[id]
-		if !ok || !f.isDirty() {
-			continue
-		}
-		if err := p.flushFrameLocked(id, f); err != nil {
-			return err
+	for _, s := range p.shards {
+		var frames []*frame
+		s.frames.Range(func(_, v any) bool {
+			frames = append(frames, v.(*frame))
+			return true
+		})
+		sort.Slice(frames, func(i, j int) bool { return frames[i].id < frames[j].id })
+		for _, f := range frames {
+			if !f.isDirty() {
+				continue
+			}
+			if err := p.flushFrame(f); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -479,28 +739,42 @@ func (p *Pool) FlushAll() error {
 // Evict removes page id from the pool, flushing it first if dirty. It
 // fails if the page is pinned.
 func (p *Pool) Evict(id page.ID) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	f, ok := p.frames[id]
+	s := p.shardOf(id)
+	v, ok := s.frames.Load(id)
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNotResident, id)
 	}
-	if f.pins > 0 {
-		return fmt.Errorf("%w: %d (%d pins)", ErrPinned, id, f.pins)
+	f := v.(*frame)
+	if n := f.pins.Load(); n > 0 {
+		return fmt.Errorf("%w: %d (%d pins)", ErrPinned, id, n)
 	}
-	if err := p.flushFrameLocked(id, f); err != nil {
-		return err
+	for attempt := 0; attempt < 8; attempt++ {
+		if err := p.flushFrame(f); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if v, ok := s.frames.Load(id); !ok || v.(*frame) != f {
+			s.mu.Unlock()
+			return nil // replaced while the hook ran
+		}
+		if !f.pins.CompareAndSwap(0, pinsDead) {
+			s.mu.Unlock()
+			return fmt.Errorf("%w: %d (pinned during flush)", ErrPinned, id)
+		}
+		if f.isDirty() {
+			// Re-dirtied between flush and claim: release the claim and
+			// flush again.
+			f.pins.Store(0)
+			s.mu.Unlock()
+			continue
+		}
+		s.removeLocked(f)
+		s.mu.Unlock()
+		p.used.Add(-1)
+		p.stats.evictions.Add(1)
+		return nil
 	}
-	if p.frames[id] != f {
-		return nil // replaced while the hook ran
-	}
-	if f.pins > 0 {
-		return fmt.Errorf("%w: %d (pinned during flush)", ErrPinned, id)
-	}
-	delete(p.frames, id)
-	p.removeFromOrderLocked(id)
-	p.stats.Evictions++
-	return nil
+	return fmt.Errorf("%w: %d (kept being re-dirtied)", ErrPinned, id)
 }
 
 // DirtyPageEntry is one row of the dirty page table for checkpoints.
@@ -511,43 +785,46 @@ type DirtyPageEntry struct {
 
 // DirtyPages returns the current dirty page table, sorted by page ID.
 func (p *Pool) DirtyPages() []DirtyPageEntry {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	var out []DirtyPageEntry
-	for _, id := range p.order {
-		if f := p.frames[id]; f != nil {
+	for _, s := range p.shards {
+		s.frames.Range(func(_, v any) bool {
+			f := v.(*frame)
 			f.metaMu.Lock()
 			if f.dirty {
-				out = append(out, DirtyPageEntry{Page: id, RecLSN: f.recLSN})
+				out = append(out, DirtyPageEntry{Page: f.id, RecLSN: f.recLSN})
 			}
 			f.metaMu.Unlock()
-		}
+			return true
+		})
 	}
 	sortDirty(out)
 	return out
 }
 
 func sortDirty(d []DirtyPageEntry) {
-	for i := 1; i < len(d); i++ {
-		for j := i; j > 0 && d[j].Page < d[j-1].Page; j-- {
-			d[j], d[j-1] = d[j-1], d[j]
-		}
-	}
+	sort.Slice(d, func(i, j int) bool { return d[i].Page < d[j].Page })
 }
 
 // Crash discards all buffered pages without flushing, simulating the loss
 // of volatile state in a system failure.
 func (p *Pool) Crash() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.frames = make(map[page.ID]*frame, p.capacity)
-	p.order = nil
+	for _, s := range p.shards {
+		s.mu.Lock()
+		s.frames.Range(func(k, _ any) bool {
+			s.frames.Delete(k)
+			return true
+		})
+		n := int64(len(s.ring))
+		s.ring = nil
+		s.hand = 0
+		s.count.Store(0)
+		s.mu.Unlock()
+		p.used.Add(-n)
+	}
 }
 
-// Resident reports whether page id is currently buffered.
+// IsResident reports whether page id is currently buffered.
 func (p *Pool) IsResident(id page.ID) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	_, ok := p.frames[id]
+	_, ok := p.shardOf(id).frames.Load(id)
 	return ok
 }

@@ -316,7 +316,7 @@ func TestReadPathDetectsCorruptionAndRecovers(t *testing.T) {
 		t.Error("recovered page should be dirty until rewritten")
 	}
 	s := e.pool.Stats()
-	if s.Recoveries != 1 || s.ValidationFailers != 1 {
+	if s.Recoveries != 1 || s.ValidationFailures != 1 {
 		t.Errorf("stats = %+v", s)
 	}
 }

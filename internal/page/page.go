@@ -185,13 +185,12 @@ func (p *Page) Encode() []byte {
 }
 
 // EncodeInto materializes the page into buf, which must be exactly Size()
-// bytes long.
+// bytes long. buf may hold stale prior contents (the buffer pool reuses
+// scratch buffers): every byte is overwritten — header and payload
+// directly, the slack beyond the payload with zeros.
 func (p *Page) EncodeInto(buf []byte) {
 	if len(buf) != p.size {
 		panic(fmt.Sprintf("page.EncodeInto: buffer %d bytes, page %d", len(buf), p.size))
-	}
-	for i := range buf {
-		buf[i] = 0
 	}
 	binary.LittleEndian.PutUint64(buf[4:], uint64(p.id))
 	binary.LittleEndian.PutUint64(buf[12:], uint64(p.lsn))
@@ -199,7 +198,11 @@ func (p *Page) EncodeInto(buf []byte) {
 	binary.LittleEndian.PutUint16(buf[22:], p.flags)
 	binary.LittleEndian.PutUint32(buf[24:], uint32(len(p.payload)))
 	binary.LittleEndian.PutUint32(buf[28:], magic)
-	copy(buf[HeaderSize:], p.payload)
+	n := copy(buf[HeaderSize:], p.payload)
+	tail := buf[HeaderSize+n:]
+	for i := range tail {
+		tail[i] = 0
+	}
 	sum := crc32.Checksum(buf[4:], crcTable)
 	binary.LittleEndian.PutUint32(buf[0:], sum)
 }

@@ -12,6 +12,13 @@
 //   - in-place: a logical page keeps its physical slot across writes;
 //   - copy-on-write: every write goes to a fresh slot and the previous slot
 //     becomes an implicit page backup.
+//
+// The translation table is lock-striped by page ID so the buffer pool's
+// fetch path (Known/Lookup) does not contend with concurrent write-target
+// allocation for unrelated pages. Slot allocation state (free list,
+// high-water mark, next logical ID) lives behind a separate allocMu. Lock
+// order: stripe mutexes (ascending index, when more than one is needed)
+// before allocMu; allocMu is never held while acquiring a stripe.
 package pagemap
 
 import (
@@ -57,25 +64,42 @@ var (
 // (freshly allocated, never written).
 const noSlot = ^storage.PhysID(0)
 
+// stripeCount is the number of lock stripes; a power of two so sequential
+// page IDs spread across all stripes.
+const stripeCount = 16
+
+type stripe struct {
+	mu sync.RWMutex
+	m  map[page.ID]storage.PhysID
+}
+
 // Map is the logical→physical translation table. Safe for concurrent use.
 type Map struct {
-	mu        sync.RWMutex
 	mode      Mode
-	mapping   map[page.ID]storage.PhysID
-	free      []storage.PhysID
-	nextPhys  storage.PhysID
 	slotCount int
-	nextID    page.ID
+	stripes   [stripeCount]stripe
+
+	allocMu  sync.Mutex
+	free     []storage.PhysID
+	nextPhys storage.PhysID
+	nextID   page.ID
 }
 
 // New creates a map for a device with slotCount physical slots.
 func New(mode Mode, slotCount int) *Map {
-	return &Map{
+	m := &Map{
 		mode:      mode,
-		mapping:   make(map[page.ID]storage.PhysID),
 		slotCount: slotCount,
 		nextID:    1, // page.InvalidID == 0 stays unused
 	}
+	for i := range m.stripes {
+		m.stripes[i].m = make(map[page.ID]storage.PhysID)
+	}
+	return m
+}
+
+func (m *Map) stripeFor(id page.ID) *stripe {
+	return &m.stripes[uint64(id)&(stripeCount-1)]
 }
 
 // Mode returns the write policy.
@@ -84,34 +108,52 @@ func (m *Map) Mode() Mode { return m.mode }
 // AllocateLogical mints a fresh logical page ID. No physical slot is bound
 // until the first write.
 func (m *Map) AllocateLogical() page.ID {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.allocMu.Lock()
 	id := m.nextID
 	m.nextID++
-	m.mapping[id] = noSlot
+	m.allocMu.Unlock()
+	st := m.stripeFor(id)
+	st.mu.Lock()
+	st.m[id] = noSlot
+	st.mu.Unlock()
 	return id
 }
 
-// Adopt registers an existing logical→physical binding, e.g. while
-// rebuilding the map from a checkpoint snapshot or log records.
-func (m *Map) Adopt(id page.ID, phys storage.PhysID) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, ok := m.mapping[id]; ok {
-		return fmt.Errorf("%w: %d", ErrAlreadyKnown, id)
-	}
-	m.mapping[id] = phys
+// raiseWatermarks advances nextID past id and nextPhys past phys. Callers
+// raise only after a successful insert, so a rejected Adopt/Remap does not
+// consume ID or slot address space. (Rebuild-time adopters are not
+// concurrent with AllocateLogical, so the insert→raise window is safe.)
+func (m *Map) raiseWatermarks(id page.ID, phys storage.PhysID) {
+	m.allocMu.Lock()
 	if id >= m.nextID {
 		m.nextID = id + 1
 	}
 	if phys != noSlot && phys >= m.nextPhys {
 		m.nextPhys = phys + 1
 	}
+	m.allocMu.Unlock()
+}
+
+// Adopt registers an existing logical→physical binding, e.g. while
+// rebuilding the map from a checkpoint snapshot or log records.
+func (m *Map) Adopt(id page.ID, phys storage.PhysID) error {
+	st := m.stripeFor(id)
+	st.mu.Lock()
+	if _, ok := st.m[id]; ok {
+		st.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrAlreadyKnown, id)
+	}
+	st.m[id] = phys
+	st.mu.Unlock()
+	m.raiseWatermarks(id, phys)
 	return nil
 }
 
-// allocSlotLocked hands out a free physical slot.
-func (m *Map) allocSlotLocked() (storage.PhysID, error) {
+// allocSlot hands out a free physical slot. May be called with a stripe
+// mutex held (stripe→alloc is the sanctioned lock order).
+func (m *Map) allocSlot() (storage.PhysID, error) {
+	m.allocMu.Lock()
+	defer m.allocMu.Unlock()
 	if n := len(m.free); n > 0 {
 		s := m.free[n-1]
 		m.free = m.free[:n-1]
@@ -128,9 +170,10 @@ func (m *Map) allocSlotLocked() (storage.PhysID, error) {
 // Lookup returns the physical slot currently holding logical page id. The
 // second result is false if the page is unknown or has never been written.
 func (m *Map) Lookup(id page.ID) (storage.PhysID, bool) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	phys, ok := m.mapping[id]
+	st := m.stripeFor(id)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	phys, ok := st.m[id]
 	if !ok || phys == noSlot {
 		return 0, false
 	}
@@ -139,9 +182,10 @@ func (m *Map) Lookup(id page.ID) (storage.PhysID, bool) {
 
 // Known reports whether the logical page has been allocated.
 func (m *Map) Known(id page.ID) bool {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	_, ok := m.mapping[id]
+	st := m.stripeFor(id)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	_, ok := st.m[id]
 	return ok
 }
 
@@ -150,9 +194,10 @@ func (m *Map) Known(id page.ID) bool {
 // slot, remaps the page, and returns the previous slot (or false) so the
 // caller can retain it as a page backup or free it.
 func (m *Map) WriteTarget(id page.ID) (dst storage.PhysID, prev storage.PhysID, hadPrev bool, err error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	cur, ok := m.mapping[id]
+	st := m.stripeFor(id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	cur, ok := st.m[id]
 	if !ok {
 		return 0, 0, false, fmt.Errorf("%w: %d", ErrUnknownPage, id)
 	}
@@ -160,18 +205,18 @@ func (m *Map) WriteTarget(id page.ID) (dst storage.PhysID, prev storage.PhysID, 
 	case m.mode == InPlace && cur != noSlot:
 		return cur, 0, false, nil
 	case m.mode == InPlace:
-		s, err := m.allocSlotLocked()
+		s, err := m.allocSlot()
 		if err != nil {
 			return 0, 0, false, err
 		}
-		m.mapping[id] = s
+		st.m[id] = s
 		return s, 0, false, nil
 	default: // CopyOnWrite
-		s, err := m.allocSlotLocked()
+		s, err := m.allocSlot()
 		if err != nil {
 			return 0, 0, false, err
 		}
-		m.mapping[id] = s
+		st.m[id] = s
 		if cur == noSlot {
 			return s, 0, false, nil
 		}
@@ -183,17 +228,18 @@ func (m *Map) WriteTarget(id page.ID) (dst storage.PhysID, prev storage.PhysID, 
 // new slot plus the previous one. Used after single-page recovery to avoid
 // re-using the failed location, and by defragmentation/wear-leveling.
 func (m *Map) Relocate(id page.ID) (dst storage.PhysID, prev storage.PhysID, hadPrev bool, err error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	cur, ok := m.mapping[id]
+	st := m.stripeFor(id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	cur, ok := st.m[id]
 	if !ok {
 		return 0, 0, false, fmt.Errorf("%w: %d", ErrUnknownPage, id)
 	}
-	s, err := m.allocSlotLocked()
+	s, err := m.allocSlot()
 	if err != nil {
 		return 0, 0, false, err
 	}
-	m.mapping[id] = s
+	st.m[id] = s
 	if cur == noSlot {
 		return s, 0, false, nil
 	}
@@ -203,15 +249,15 @@ func (m *Map) Relocate(id page.ID) (dst storage.PhysID, prev storage.PhysID, had
 // Remap binds logical page id to the given slot, e.g. when replaying page
 // moves from the log during recovery.
 func (m *Map) Remap(id page.ID, phys storage.PhysID) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, ok := m.mapping[id]; !ok {
+	st := m.stripeFor(id)
+	st.mu.Lock()
+	if _, ok := st.m[id]; !ok {
+		st.mu.Unlock()
 		return fmt.Errorf("%w: %d", ErrUnknownPage, id)
 	}
-	m.mapping[id] = phys
-	if phys != noSlot && phys >= m.nextPhys {
-		m.nextPhys = phys + 1
-	}
+	st.m[id] = phys
+	st.mu.Unlock()
+	m.raiseWatermarks(0, phys)
 	return nil
 }
 
@@ -219,48 +265,51 @@ func (m *Map) Remap(id page.ID, phys storage.PhysID) error {
 // if it was never seen. Restart analysis uses it to replay completed-write
 // records into a map reconstructed from a checkpoint snapshot.
 func (m *Map) EnsureMapping(id page.ID, phys storage.PhysID) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, ok := m.mapping[id]; !ok {
-		m.mapping[id] = phys
-		if id >= m.nextID {
-			m.nextID = id + 1
-		}
-	} else {
-		m.mapping[id] = phys
-	}
-	if phys != noSlot && phys >= m.nextPhys {
-		m.nextPhys = phys + 1
-	}
+	st := m.stripeFor(id)
+	st.mu.Lock()
+	st.m[id] = phys
+	st.mu.Unlock()
+	m.raiseWatermarks(id, phys)
 	return nil
 }
 
 // AdoptFresh registers a logical page with no physical slot yet (a page
 // formatted after the last checkpoint and never written before a crash).
 func (m *Map) AdoptFresh(id page.ID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, ok := m.mapping[id]; !ok {
-		m.mapping[id] = noSlot
-		if id >= m.nextID {
-			m.nextID = id + 1
-		}
+	st := m.stripeFor(id)
+	st.mu.Lock()
+	_, known := st.m[id]
+	if !known {
+		st.m[id] = noSlot
+	}
+	st.mu.Unlock()
+	if !known {
+		m.raiseWatermarks(id, noSlot)
 	}
 }
 
 // FreeSlot returns a physical slot to the free pool (e.g. an old backup
 // copy that a newer backup supersedes, §5.2.2).
 func (m *Map) FreeSlot(s storage.PhysID) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	// Slot-busy scan across every stripe. A slot below the high-water mark
+	// that is neither mapped nor free is unreachable by allocation, so the
+	// scan does not race with a concurrent WriteTarget mapping it.
+	for i := range m.stripes {
+		st := &m.stripes[i]
+		st.mu.RLock()
+		for id, cur := range st.m {
+			if cur == s {
+				st.mu.RUnlock()
+				return fmt.Errorf("%w: slot %d still holds page %d", ErrSlotBusy, s, id)
+			}
+		}
+		st.mu.RUnlock()
+	}
+	m.allocMu.Lock()
+	defer m.allocMu.Unlock()
 	for _, f := range m.free {
 		if f == s {
 			return fmt.Errorf("%w: %d", ErrDoubleFree, s)
-		}
-	}
-	for id, cur := range m.mapping {
-		if cur == s {
-			return fmt.Errorf("%w: slot %d still holds page %d", ErrSlotBusy, s, id)
 		}
 	}
 	m.free = append(m.free, s)
@@ -269,26 +318,33 @@ func (m *Map) FreeSlot(s storage.PhysID) error {
 
 // DropLogical removes a logical page entirely, freeing its slot.
 func (m *Map) DropLogical(id page.ID) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	cur, ok := m.mapping[id]
+	st := m.stripeFor(id)
+	st.mu.Lock()
+	cur, ok := st.m[id]
 	if !ok {
+		st.mu.Unlock()
 		return fmt.Errorf("%w: %d", ErrUnknownPage, id)
 	}
-	delete(m.mapping, id)
+	delete(st.m, id)
+	st.mu.Unlock()
 	if cur != noSlot {
+		m.allocMu.Lock()
 		m.free = append(m.free, cur)
+		m.allocMu.Unlock()
 	}
 	return nil
 }
 
 // Pages returns all known logical pages in ascending order.
 func (m *Map) Pages() []page.ID {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	out := make([]page.ID, 0, len(m.mapping))
-	for id := range m.mapping {
-		out = append(out, id)
+	var out []page.ID
+	for i := range m.stripes {
+		st := &m.stripes[i]
+		st.mu.RLock()
+		for id := range st.m {
+			out = append(out, id)
+		}
+		st.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -296,31 +352,61 @@ func (m *Map) Pages() []page.ID {
 
 // Len returns the number of known logical pages.
 func (m *Map) Len() int {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return len(m.mapping)
+	n := 0
+	for i := range m.stripes {
+		st := &m.stripes[i]
+		st.mu.RLock()
+		n += len(st.m)
+		st.mu.RUnlock()
+	}
+	return n
 }
 
 // MappedSlots returns the set of physical slots currently bound to a
 // logical page; used by the scrubber to skip free slots.
 func (m *Map) MappedSlots() map[storage.PhysID]page.ID {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	out := make(map[storage.PhysID]page.ID, len(m.mapping))
-	for id, s := range m.mapping {
-		if s != noSlot {
-			out[s] = id
+	out := make(map[storage.PhysID]page.ID)
+	for i := range m.stripes {
+		st := &m.stripes[i]
+		st.mu.RLock()
+		for id, s := range st.m {
+			if s != noSlot {
+				out[s] = id
+			}
 		}
+		st.mu.RUnlock()
 	}
 	return out
 }
 
+// lockAll acquires every stripe (ascending) plus allocMu for a consistent
+// full-table view; unlockAll releases in reverse.
+func (m *Map) lockAll() {
+	for i := range m.stripes {
+		m.stripes[i].mu.RLock()
+	}
+	m.allocMu.Lock()
+}
+
+func (m *Map) unlockAll() {
+	m.allocMu.Unlock()
+	for i := len(m.stripes) - 1; i >= 0; i-- {
+		m.stripes[i].mu.RUnlock()
+	}
+}
+
 // Snapshot serializes the complete map state for inclusion in a checkpoint.
 func (m *Map) Snapshot() []byte {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	ids := make([]page.ID, 0, len(m.mapping))
-	for id := range m.mapping {
+	m.lockAll()
+	defer m.unlockAll()
+	mapping := make(map[page.ID]storage.PhysID)
+	for i := range m.stripes {
+		for id, s := range m.stripes[i].m {
+			mapping[id] = s
+		}
+	}
+	ids := make([]page.ID, 0, len(mapping))
+	for id := range mapping {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
@@ -336,7 +422,7 @@ func (m *Map) Snapshot() []byte {
 	put(uint64(len(ids)))
 	for _, id := range ids {
 		put(uint64(id))
-		put(uint64(m.mapping[id]))
+		put(uint64(mapping[id]))
 	}
 	put(uint64(len(m.free)))
 	for _, s := range m.free {
@@ -365,7 +451,7 @@ func Restore(snap []byte, slotCount int) (*Map, error) {
 	}
 	for i := 0; i < n; i++ {
 		id := page.ID(get())
-		m.mapping[id] = storage.PhysID(get())
+		m.stripeFor(id).m[id] = storage.PhysID(get())
 	}
 	if pos+8 > len(snap) {
 		return nil, ErrBadSnapshot

@@ -175,49 +175,70 @@ func (d *Device) Stats() Stats {
 // injected fault. A nil error with corrupted contents models silent
 // corruption; callers must run their own in-page checks.
 func (d *Device) Read(id PhysID) ([]byte, error) {
+	out := make([]byte, d.pageSize)
+	if err := d.ReadInto(id, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadInto reads the image stored in slot id into buf, which must be
+// exactly PageSize bytes, after applying any injected fault. It exists so
+// hot read paths (the buffer pool's fetch-and-validate) can reuse scratch
+// buffers instead of allocating per read. On error buf contents are
+// unspecified.
+func (d *Device) ReadInto(id PhysID, buf []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.failed {
-		return nil, ErrDeviceFailed
+		return ErrDeviceFailed
 	}
 	if int(id) >= len(d.slots) {
-		return nil, fmt.Errorf("%w: %d >= %d", ErrOutOfRange, id, len(d.slots))
+		return fmt.Errorf("%w: %d >= %d", ErrOutOfRange, id, len(d.slots))
 	}
 	if d.bad[id] {
-		return nil, fmt.Errorf("%w: %d", ErrBadSlot, id)
+		return fmt.Errorf("%w: %d", ErrBadSlot, id)
+	}
+	if len(buf) != d.pageSize {
+		return fmt.Errorf("storage: read of %d-byte slot into %d-byte buffer", d.pageSize, len(buf))
 	}
 	d.stats.Reads++
 	d.clock.Access(int64(id)*int64(d.pageSize), int64(d.pageSize))
 
 	img := d.slots[id]
-	out := make([]byte, d.pageSize)
 	if img != nil {
-		copy(out, img)
+		copy(buf, img)
+	} else {
+		zero(buf)
 	}
 
 	f := d.faults[id]
 	if f == nil || f.armed {
-		return out, nil
+		return nil
 	}
 	switch f.kind {
 	case FaultReadError:
 		d.stats.ReadErrors++
 		d.clearIfTransient(id, f)
-		return nil, fmt.Errorf("%w: slot %d", ErrReadFailure, id)
+		return fmt.Errorf("%w: slot %d", ErrReadFailure, id)
 	case FaultSilentCorruption:
-		d.corrupt(out)
+		d.corrupt(buf)
 		d.stats.CorruptReturns++
 		d.clearIfTransient(id, f)
-		return out, nil
+		return nil
 	case FaultZeroPage:
-		for i := range out {
-			out[i] = 0
-		}
+		zero(buf)
 		d.stats.CorruptReturns++
 		d.clearIfTransient(id, f)
-		return out, nil
+		return nil
 	default:
-		return out, nil
+		return nil
+	}
+}
+
+func zero(b []byte) {
+	for i := range b {
+		b[i] = 0
 	}
 }
 
@@ -261,13 +282,10 @@ func (d *Device) Write(id PhysID, img []byte) error {
 	if f := d.faults[id]; f != nil && f.armed {
 		switch f.kind {
 		case FaultTornWrite:
-			old := d.slots[id]
-			torn := make([]byte, d.pageSize)
-			if old != nil {
-				copy(torn, old)
-			}
-			copy(torn[:d.pageSize/2], img[:d.pageSize/2])
-			d.slots[id] = torn
+			// Apply only the first half; the stored second half (zeros if
+			// never written) survives.
+			dst := d.storedBuf(id)
+			copy(dst[:d.pageSize/2], img[:d.pageSize/2])
 			d.stats.TornWrites++
 			d.clearIfTransient(id, f)
 			return nil
@@ -278,10 +296,18 @@ func (d *Device) Write(id PhysID, img []byte) error {
 			return nil
 		}
 	}
-	stored := make([]byte, d.pageSize)
-	copy(stored, img)
-	d.slots[id] = stored
+	copy(d.storedBuf(id), img)
 	return nil
+}
+
+// storedBuf returns the slot's backing buffer, allocating it on first
+// write. Reusing the buffer across overwrites keeps the steady-state write
+// path allocation-free.
+func (d *Device) storedBuf(id PhysID) []byte {
+	if d.slots[id] == nil {
+		d.slots[id] = make([]byte, d.pageSize)
+	}
+	return d.slots[id]
 }
 
 // InjectFault arms a fault on slot id. Torn/lost-write faults trigger on the

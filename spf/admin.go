@@ -264,7 +264,8 @@ func (db *DB) Restart() (*DB, *RestartReport, error) {
 	ndb.res = &backup.Resolver{Store: ndb.store, Log: ndb.log, PageSize: db.opts.PageSize, Data: ndb.dev}
 	ndb.rec = core.NewRecoverer(ndb.log, ndb.pri, ndb.res, btree.Applier{})
 	ndb.pool = buffer.NewPool(buffer.Config{
-		Capacity: db.opts.PoolFrames, Device: ndb.dev, Map: ndb.pmap, Log: ndb.log,
+		Capacity: db.opts.PoolFrames, Shards: db.opts.PoolShards,
+		Device: ndb.dev, Map: ndb.pmap, Log: ndb.log,
 		Hooks: ndb.hooks(),
 	})
 
@@ -379,7 +380,8 @@ func (db *DB) RecoverMedia() (*DB, *MediaRecoveryReport, error) {
 	ndb.pri = pri
 	ndb.rec = core.NewRecoverer(ndb.log, ndb.pri, ndb.res, btree.Applier{})
 	ndb.pool = buffer.NewPool(buffer.Config{
-		Capacity: db.opts.PoolFrames, Device: ndb.dev, Map: ndb.pmap, Log: ndb.log,
+		Capacity: db.opts.PoolFrames, Shards: db.opts.PoolShards,
+		Device: ndb.dev, Map: ndb.pmap, Log: ndb.log,
 		Hooks: ndb.hooks(),
 	})
 

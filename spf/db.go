@@ -100,7 +100,8 @@ func Open(opts Options) (*DB, error) {
 	db.res = &backup.Resolver{Store: db.store, Log: db.log, PageSize: opts.PageSize, Data: db.dev}
 	db.rec = core.NewRecoverer(db.log, db.pri, db.res, btree.Applier{})
 	db.pool = buffer.NewPool(buffer.Config{
-		Capacity: opts.PoolFrames, Device: db.dev, Map: db.pmap, Log: db.log,
+		Capacity: opts.PoolFrames, Shards: opts.PoolShards,
+		Device: db.dev, Map: db.pmap, Log: db.log,
 		Hooks: db.hooks(),
 	})
 

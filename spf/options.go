@@ -27,6 +27,10 @@ type Options struct {
 	BackupSlots int
 	// PoolFrames is the buffer pool size in frames (default 1024).
 	PoolFrames int
+	// PoolShards is the number of buffer-pool shards, rounded up to a
+	// power of two. Zero selects max(8, GOMAXPROCS). More shards reduce
+	// contention between concurrent page fetches.
+	PoolShards int
 	// WriteMode selects in-place or copy-on-write page writes. Copy-on-
 	// write retains each page's pre-move image as an implicit backup
 	// (paper §5.2.1).
