@@ -10,10 +10,14 @@ package repro
 // The same experiments are available as a CLI via cmd/spfbench.
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/buffer"
 	"repro/internal/experiments"
@@ -22,6 +26,7 @@ import (
 	"repro/internal/pagemap"
 	"repro/internal/storage"
 	"repro/internal/wal"
+	"repro/internal/walbench"
 )
 
 func BenchmarkE01FailureEscalation(b *testing.B) {
@@ -426,4 +431,78 @@ func BenchmarkE18ParallelFetchMissRecover(b *testing.B) {
 	if s := pool.Stats(); s.Escalations != 0 {
 		b.Fatalf("unexpected escalations: %+v", s)
 	}
+}
+
+// mutexWAL replicates the seed's single-mutex append protocol (one lock
+// around encode+copy into a growing []byte). It exists purely as the
+// before-side of BenchmarkE19ParallelAppend, so the reserve-then-fill
+// speedup stays measurable after the old code is gone.
+type mutexWAL struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+var mutexWALCRC = crc32.MakeTable(crc32.Castagnoli)
+
+func (m *mutexWAL) append(rec *wal.Record) page.LSN {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	lsn := page.LSN(len(m.buf))
+	const headerSize, trailerSize = 45, 4
+	total := headerSize + len(rec.Payload) + trailerSize
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(total))
+	hdr[4] = byte(rec.Type)
+	binary.LittleEndian.PutUint64(hdr[5:], uint64(rec.Txn))
+	binary.LittleEndian.PutUint64(hdr[13:], uint64(rec.PrevLSN))
+	binary.LittleEndian.PutUint64(hdr[21:], uint64(rec.PageID))
+	binary.LittleEndian.PutUint64(hdr[29:], uint64(rec.PagePrevLSN))
+	binary.LittleEndian.PutUint64(hdr[37:], uint64(rec.UndoNext))
+	start := len(m.buf)
+	m.buf = append(m.buf, hdr[:]...)
+	m.buf = append(m.buf, rec.Payload...)
+	crc := crc32.Checksum(m.buf[start:], mutexWALCRC)
+	var tail [trailerSize]byte
+	binary.LittleEndian.PutUint32(tail[:], crc)
+	m.buf = append(m.buf, tail[:]...)
+	return lsn
+}
+
+// BenchmarkE19ParallelAppend measures WAL append throughput under
+// parallelism: the reserve-then-fill log (one atomic reservation, encode
+// outside any lock, ordered publication) against the seed's single-mutex
+// protocol. At -cpu 8 reserve-fill must be ≥2× the mutex baseline. The
+// reserve-fill driver lives in internal/walbench, shared with
+// `spfbench -benchjson`.
+func BenchmarkE19ParallelAppend(b *testing.B) {
+	b.Run("reserve-fill", walbench.ParallelAppend)
+	b.Run("mutex-baseline", func(b *testing.B) {
+		m := &mutexWAL{buf: make([]byte, 16)}
+		payload := make([]byte, walbench.AppendPayloadSize)
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				m.append(&wal.Record{Type: wal.TypeUpdate, Txn: 1, PageID: 5, Payload: payload})
+			}
+		})
+	})
+}
+
+// BenchmarkE20GroupCommitThroughput measures commit throughput with many
+// concurrent committers (driver in internal/walbench, shared with
+// `spfbench -benchjson`). The grouped variants coalesce all commits
+// landing inside the window into one sequential flush; the commits/flush
+// metric reports the coalescing factor (1.0 = the seed's
+// force-per-commit).
+func BenchmarkE20GroupCommitThroughput(b *testing.B) {
+	const committers = 32
+	run := func(b *testing.B, window time.Duration) {
+		s := walbench.GroupCommit(b, window, committers)
+		if s.Flushes > 0 {
+			b.ReportMetric(float64(b.N)/float64(s.Flushes), "commits/flush")
+		}
+	}
+	b.Run("window=0", func(b *testing.B) { run(b, 0) })
+	b.Run("window=50us", func(b *testing.B) { run(b, 50*time.Microsecond) })
+	b.Run("window=500us", func(b *testing.B) { run(b, 500*time.Microsecond) })
 }

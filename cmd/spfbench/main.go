@@ -3,20 +3,29 @@
 //
 // Usage:
 //
-//	spfbench            # run all experiments
-//	spfbench E1 E10     # run selected experiments
-//	spfbench -list      # list experiment IDs
+//	spfbench                      # run all experiments
+//	spfbench E1 E10               # run selected experiments
+//	spfbench -list                # list experiment IDs
+//	spfbench -benchjson FILE      # run the engine micro-benchmarks
+//	                              # (E19 parallel append, E20 group
+//	                              # commit) and write BENCH_*.json entries
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
+	"testing"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/report"
+	"repro/internal/wal"
+	"repro/internal/walbench"
 )
 
 type experiment struct {
@@ -141,9 +150,71 @@ func all() []experiment {
 	}
 }
 
+// benchEntry is one BENCH_*.json record, comparable across PRs.
+type benchEntry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Ops         int     `json:"ops"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
+	Metric      float64 `json:"metric,omitempty"`
+	MetricName  string  `json:"metric_name,omitempty"`
+}
+
+// runBenchJSON measures the WAL hot paths with testing.Benchmark and
+// writes the entries as JSON, so CI and CHANGES.md baselines have one
+// machine-readable source. The drivers live in internal/walbench and are
+// the exact functions behind BenchmarkE19ParallelAppend/reserve-fill and
+// BenchmarkE20GroupCommitThroughput.
+func runBenchJSON(path string) error {
+	var entries []benchEntry
+
+	// E19: parallel append throughput of the reserve-then-fill log.
+	r := testing.Benchmark(walbench.ParallelAppend)
+	entries = append(entries, benchEntry{
+		Name:    "BenchmarkE19ParallelAppend/reserve-fill",
+		NsPerOp: float64(r.NsPerOp()), AllocsPerOp: r.AllocsPerOp(),
+		Ops: r.N, GoMaxProcs: runtime.GOMAXPROCS(0),
+	})
+
+	// E20: group-commit throughput and coalescing factor.
+	const committers = 32
+	for _, window := range []time.Duration{0, 500 * time.Microsecond} {
+		var stats wal.Stats
+		r := testing.Benchmark(func(b *testing.B) {
+			stats = walbench.GroupCommit(b, window, committers)
+		})
+		e := benchEntry{
+			Name:    fmt.Sprintf("BenchmarkE20GroupCommitThroughput/window=%v", window),
+			NsPerOp: float64(r.NsPerOp()), AllocsPerOp: r.AllocsPerOp(),
+			Ops: r.N, GoMaxProcs: runtime.GOMAXPROCS(0),
+		}
+		if stats.Flushes > 0 {
+			e.Metric = float64(r.N) / float64(stats.Flushes)
+			e.MetricName = "commits/flush"
+		}
+		entries = append(entries, e)
+	}
+
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	benchJSON := flag.String("benchjson", "", "run the WAL micro-benchmarks and write BENCH entries to this JSON file")
 	flag.Parse()
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *benchJSON)
+		return
+	}
 	exps := all()
 	if *list {
 		for _, e := range exps {

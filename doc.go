@@ -32,6 +32,36 @@
 //   - internal/pagemap stripes its logical→physical table by page ID so
 //     fetch-path lookups do not contend with write-target allocation.
 //
+// The write/commit side scales the same way:
+//
+//   - internal/wal appends with a reserve-then-fill protocol: one atomic
+//     add reserves the record's LSN range in a chunked, never-moving
+//     segment buffer, the record is encoded outside any lock, and a
+//     bounded CAS (with a parked-range handoff rather than an unbounded
+//     spin) publishes the contiguous ready prefix in LSN order (see
+//     BenchmarkE19ParallelAppend);
+//   - commits coalesce: with spf.Options.GroupCommitWindow set, every
+//     ForceForCommit parks on a flush group served by one flusher
+//     goroutine, folding concurrent commits into a single sequential
+//     flush (BenchmarkE20GroupCommitThroughput reports the commits/flush
+//     coalescing factor); window zero keeps the deterministic
+//     force-per-commit accounting of §5.1.5;
+//   - flush cost is O(1) in record count (the target boundary comes from
+//     the record's own validated length header); the restart scan uses
+//     zero-copy decode (the reused Scan record, valid inside the log's
+//     reentrant read gate), while the copying wal.Read serves callers
+//     that retain records — WalkPageChain among them, since its chain is
+//     applied after the walk;
+//   - wal.Crash quiesces in-flight appends and bumps a crash epoch;
+//     commit forces and transactional appends are epoch-checked, so a
+//     commit racing a crash reports wal.ErrCommitLost instead of claiming
+//     durability, and zombie transactions cannot write into the
+//     post-crash log (their reserved space is neutralized to inert
+//     records);
+//   - storage.Device reads take only the shared side of an RWMutex with
+//     atomic statistics and a sync.Map fault table, so fault-free
+//     validated reads never serialize on an exclusive device lock.
+//
 // Single-page recovery semantics (detect → Recover hook → Relocate →
 // RetireSlot, Fig. 8 and §5.2.3) are unchanged; they now run per shard.
 package repro

@@ -1,0 +1,88 @@
+package storage
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentReadsFaultFree hammers ReadInto from many goroutines; the
+// fault-free path takes only the shared lock, so this is primarily a -race
+// check plus a stats sanity check.
+func TestConcurrentReadsFaultFree(t *testing.T) {
+	d := NewDevice(Config{PageSize: 256, Slots: 64})
+	img := make([]byte, 256)
+	for i := range img {
+		img[i] = byte(i)
+	}
+	for s := 0; s < 64; s++ {
+		if err := d.Write(PhysID(s), img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const workers = 8
+	const perWorker = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]byte, 256)
+			for i := 0; i < perWorker; i++ {
+				id := PhysID((w*perWorker + i) % 64)
+				if err := d.ReadInto(id, buf); err != nil {
+					t.Errorf("read slot %d: %v", id, err)
+					return
+				}
+				if buf[10] != 10 {
+					t.Errorf("slot %d returned corrupt image", id)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := d.Stats().Reads; got != workers*perWorker {
+		t.Errorf("reads = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestTransientFaultFiresExactlyOnceUnderConcurrency: a non-sticky read
+// error is claimed by exactly one of many concurrent readers.
+func TestTransientFaultFiresExactlyOnceUnderConcurrency(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		d := NewDevice(Config{PageSize: 128, Slots: 4})
+		img := make([]byte, 128)
+		if err := d.Write(1, img); err != nil {
+			t.Fatal(err)
+		}
+		d.InjectFault(1, FaultReadError, false)
+		const readers = 8
+		var wg sync.WaitGroup
+		var failures int64
+		var mu sync.Mutex
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				buf := make([]byte, 128)
+				if err := d.ReadInto(1, buf); err != nil {
+					if !errors.Is(err, ErrReadFailure) {
+						t.Errorf("unexpected error: %v", err)
+						return
+					}
+					mu.Lock()
+					failures++
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		if failures != 1 {
+			t.Fatalf("round %d: transient fault fired %d times, want exactly 1", round, failures)
+		}
+		if d.Stats().ReadErrors != 1 {
+			t.Fatalf("round %d: ReadErrors = %d, want 1", round, d.Stats().ReadErrors)
+		}
+	}
+}

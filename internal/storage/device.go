@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/iosim"
 )
@@ -87,7 +88,9 @@ func (k FaultKind) String() string {
 	}
 }
 
-// fault is an injected failure on one slot.
+// fault is an injected failure on one slot. A fault value is immutable
+// after publication in the fault table; firing a transient fault removes
+// the whole entry.
 type fault struct {
 	kind FaultKind
 	// sticky faults persist across reads; non-sticky faults fire once.
@@ -107,18 +110,38 @@ type Stats struct {
 	Scrubs         int64
 }
 
+// statsCounters is the contention-free internal form of Stats.
+type statsCounters struct {
+	reads          atomic.Int64
+	writes         atomic.Int64
+	readErrors     atomic.Int64
+	corruptReturns atomic.Int64
+	lostWrites     atomic.Int64
+	tornWrites     atomic.Int64
+	scrubs         atomic.Int64
+}
+
 // Device is an in-memory page-addressed store with fault injection.
 // All methods are safe for concurrent use.
+//
+// Reads are the engine's hot path (every buffer-pool miss lands here, and
+// single-page detection rides on it), so the fault-free read takes only
+// the shared side of an RWMutex and mutates no shared state: statistics
+// are atomic counters and the fault table is a sync.Map whose lookup
+// misses cost one lock-free load. The exclusive lock is reserved for
+// mutations of the slot array and device-wide state (writes, retirement,
+// media failure, revival).
 type Device struct {
 	mu       sync.RWMutex
 	pageSize int
-	slots    [][]byte // nil = never written
-	faults   map[PhysID]*fault
-	bad      map[PhysID]bool // bad-block list: retired slots
-	failed   bool            // whole-device (media) failure
+	slots    [][]byte        // nil = never written
+	faults   sync.Map        // PhysID -> *fault
+	bad      map[PhysID]bool // bad-block list: retired slots; written under mu
+	failed   bool            // whole-device (media) failure; written under mu
 	clock    *iosim.Clock
+	rngMu    sync.Mutex
 	rng      *rand.Rand
-	stats    Stats
+	stats    statsCounters
 }
 
 // Config configures a Device.
@@ -144,7 +167,6 @@ func NewDevice(cfg Config) *Device {
 	return &Device{
 		pageSize: cfg.PageSize,
 		slots:    make([][]byte, cfg.Slots),
-		faults:   make(map[PhysID]*fault),
 		bad:      make(map[PhysID]bool),
 		clock:    iosim.NewClock(cfg.Profile),
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
@@ -166,9 +188,15 @@ func (d *Device) Clock() *iosim.Clock { return d.clock }
 
 // Stats returns a snapshot of the device counters.
 func (d *Device) Stats() Stats {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return d.stats
+	return Stats{
+		Reads:          d.stats.reads.Load(),
+		Writes:         d.stats.writes.Load(),
+		ReadErrors:     d.stats.readErrors.Load(),
+		CorruptReturns: d.stats.corruptReturns.Load(),
+		LostWrites:     d.stats.lostWrites.Load(),
+		TornWrites:     d.stats.tornWrites.Load(),
+		Scrubs:         d.stats.scrubs.Load(),
+	}
 }
 
 // Read returns a copy of the image stored in slot id, after applying any
@@ -188,8 +216,8 @@ func (d *Device) Read(id PhysID) ([]byte, error) {
 // buffers instead of allocating per read. On error buf contents are
 // unspecified.
 func (d *Device) ReadInto(id PhysID, buf []byte) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if d.failed {
 		return ErrDeviceFailed
 	}
@@ -202,7 +230,7 @@ func (d *Device) ReadInto(id PhysID, buf []byte) error {
 	if len(buf) != d.pageSize {
 		return fmt.Errorf("storage: read of %d-byte slot into %d-byte buffer", d.pageSize, len(buf))
 	}
-	d.stats.Reads++
+	d.stats.reads.Add(1)
 	d.clock.Access(int64(id)*int64(d.pageSize), int64(d.pageSize))
 
 	img := d.slots[id]
@@ -212,28 +240,44 @@ func (d *Device) ReadInto(id PhysID, buf []byte) error {
 		zero(buf)
 	}
 
-	f := d.faults[id]
-	if f == nil || f.armed {
+	f := d.readFault(id)
+	if f == nil {
 		return nil
 	}
 	switch f.kind {
 	case FaultReadError:
-		d.stats.ReadErrors++
-		d.clearIfTransient(id, f)
+		d.stats.readErrors.Add(1)
 		return fmt.Errorf("%w: slot %d", ErrReadFailure, id)
 	case FaultSilentCorruption:
 		d.corrupt(buf)
-		d.stats.CorruptReturns++
-		d.clearIfTransient(id, f)
+		d.stats.corruptReturns.Add(1)
 		return nil
 	case FaultZeroPage:
 		zero(buf)
-		d.stats.CorruptReturns++
-		d.clearIfTransient(id, f)
+		d.stats.corruptReturns.Add(1)
 		return nil
 	default:
 		return nil
 	}
+}
+
+// readFault claims the fault (if any) that the current read should apply.
+// Transient faults fire exactly once even under concurrent readers: the
+// reader that wins the CompareAndDelete applies it, everyone else reads
+// clean. Armed write faults never affect reads.
+func (d *Device) readFault(id PhysID) *fault {
+	v, ok := d.faults.Load(id)
+	if !ok {
+		return nil
+	}
+	f := v.(*fault)
+	if f.armed {
+		return nil
+	}
+	if !f.sticky && !d.faults.CompareAndDelete(id, v) {
+		return nil
+	}
+	return f
 }
 
 func zero(b []byte) {
@@ -243,19 +287,16 @@ func zero(b []byte) {
 }
 
 // corrupt flips a handful of random bits, modeling media decay that slipped
-// past the device ECC.
+// past the device ECC. The RNG has its own lock so corrupting reads can run
+// under the shared device lock.
 func (d *Device) corrupt(img []byte) {
+	d.rngMu.Lock()
+	defer d.rngMu.Unlock()
 	nbits := 1 + d.rng.Intn(8)
 	for i := 0; i < nbits; i++ {
 		pos := d.rng.Intn(len(img))
 		bit := uint(d.rng.Intn(8))
 		img[pos] ^= 1 << bit
-	}
-}
-
-func (d *Device) clearIfTransient(id PhysID, f *fault) {
-	if !f.sticky {
-		delete(d.faults, id)
 	}
 }
 
@@ -276,24 +317,30 @@ func (d *Device) Write(id PhysID, img []byte) error {
 	if len(img) != d.pageSize {
 		return fmt.Errorf("storage: write of %d bytes to %d-byte slot", len(img), d.pageSize)
 	}
-	d.stats.Writes++
+	d.stats.writes.Add(1)
 	d.clock.Access(int64(id)*int64(d.pageSize), int64(d.pageSize))
 
-	if f := d.faults[id]; f != nil && f.armed {
-		switch f.kind {
-		case FaultTornWrite:
-			// Apply only the first half; the stored second half (zeros if
-			// never written) survives.
-			dst := d.storedBuf(id)
-			copy(dst[:d.pageSize/2], img[:d.pageSize/2])
-			d.stats.TornWrites++
-			d.clearIfTransient(id, f)
-			return nil
-		case FaultLostWrite:
-			// Acknowledge but drop the write.
-			d.stats.LostWrites++
-			d.clearIfTransient(id, f)
-			return nil
+	if v, ok := d.faults.Load(id); ok {
+		if f := v.(*fault); f.armed {
+			switch f.kind {
+			case FaultTornWrite:
+				// Apply only the first half; the stored second half (zeros
+				// if never written) survives.
+				dst := d.storedBuf(id)
+				copy(dst[:d.pageSize/2], img[:d.pageSize/2])
+				d.stats.tornWrites.Add(1)
+				if !f.sticky {
+					d.faults.CompareAndDelete(id, v)
+				}
+				return nil
+			case FaultLostWrite:
+				// Acknowledge but drop the write.
+				d.stats.lostWrites.Add(1)
+				if !f.sticky {
+					d.faults.CompareAndDelete(id, v)
+				}
+				return nil
+			}
 		}
 	}
 	copy(d.storedBuf(id), img)
@@ -314,39 +361,31 @@ func (d *Device) storedBuf(id PhysID) []byte {
 // next write; the others trigger on reads. sticky keeps the fault armed
 // after it fires.
 func (d *Device) InjectFault(id PhysID, kind FaultKind, sticky bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	if kind == FaultNone {
-		delete(d.faults, id)
+		d.faults.Delete(id)
 		return
 	}
-	d.faults[id] = &fault{
+	d.faults.Store(id, &fault{
 		kind:   kind,
 		sticky: sticky,
 		armed:  kind == FaultTornWrite || kind == FaultLostWrite,
-	}
+	})
 }
 
 // ClearFault removes any injected fault from slot id.
 func (d *Device) ClearFault(id PhysID) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	delete(d.faults, id)
+	d.faults.Delete(id)
 }
 
 // ClearAllFaults removes every injected fault.
 func (d *Device) ClearAllFaults() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.faults = make(map[PhysID]*fault)
+	d.faults.Clear()
 }
 
 // FaultOn reports the fault currently armed on slot id.
 func (d *Device) FaultOn(id PhysID) FaultKind {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	if f := d.faults[id]; f != nil {
-		return f.kind
+	if v, ok := d.faults.Load(id); ok {
+		return v.(*fault).kind
 	}
 	return FaultNone
 }
@@ -358,7 +397,7 @@ func (d *Device) RetireSlot(id PhysID) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.bad[id] = true
-	delete(d.faults, id)
+	d.faults.Delete(id)
 }
 
 // Retired reports whether a slot is on the bad-block list.
@@ -398,8 +437,8 @@ func (d *Device) Revive() {
 	defer d.mu.Unlock()
 	d.failed = false
 	d.slots = make([][]byte, len(d.slots))
-	d.faults = make(map[PhysID]*fault)
 	d.bad = make(map[PhysID]bool)
+	d.faults.Clear()
 }
 
 // RawImage returns the stored image without applying faults or charging

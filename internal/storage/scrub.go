@@ -44,9 +44,7 @@ func (d *Device) Scrub(skip func(PhysID) bool) ScrubResult {
 			continue
 		}
 		res.Scanned++
-		d.mu.Lock()
-		d.stats.Scrubs++
-		d.mu.Unlock()
+		d.stats.scrubs.Add(1)
 		img, err := d.Read(id)
 		if err != nil {
 			res.ReadErrors = append(res.ReadErrors, id)

@@ -113,13 +113,18 @@ type Txn struct {
 	system  bool
 	state   State
 	lastLSN page.LSN
+	// epoch is the log's crash epoch at Begin: if a simulated crash
+	// intervenes before the commit force completes, records of this
+	// transaction may have vanished from the volatile tail, and Commit
+	// reports wal.ErrCommitLost instead of claiming durability.
+	epoch uint64
 }
 
 // Begin starts a user transaction.
 func (m *Manager) Begin() *Txn {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	t := &Txn{mgr: m, id: m.nextID, state: Active}
+	t := &Txn{mgr: m, id: m.nextID, state: Active, epoch: m.log.Epoch()}
 	m.nextID++
 	m.active[t.id] = t
 	m.stats.UserBegun++
@@ -133,7 +138,7 @@ func (m *Manager) Begin() *Txn {
 func (m *Manager) BeginSystem() *Txn {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	t := &Txn{mgr: m, id: m.nextID | systemBit, system: true, state: Active}
+	t := &Txn{mgr: m, id: m.nextID | systemBit, system: true, state: Active, epoch: m.log.Epoch()}
 	m.nextID++
 	m.active[t.id] = t
 	m.stats.SysBegun++
@@ -166,7 +171,10 @@ func (t *Txn) Log(rec *wal.Record) (page.LSN, error) {
 	}
 	rec.Txn = t.id
 	rec.PrevLSN = t.lastLSN
-	lsn := t.mgr.log.Append(rec)
+	lsn, err := t.mgr.log.AppendSince(rec, t.epoch)
+	if err != nil {
+		return 0, fmt.Errorf("txn %d: %w", t.id, err)
+	}
 	t.lastLSN = lsn
 	if rec.Type == wal.TypeUpdate {
 		t.mgr.mu.Lock()
@@ -203,7 +211,10 @@ func (t *Txn) LogCLR(pageID page.ID, pagePrevLSN page.LSN, payload []byte, undoN
 	}
 	rec.Txn = t.id
 	rec.PrevLSN = t.lastLSN
-	lsn := t.mgr.log.Append(rec)
+	lsn, err := t.mgr.log.AppendSince(rec, t.epoch)
+	if err != nil {
+		return 0, fmt.Errorf("txn %d: %w", t.id, err)
+	}
 	t.lastLSN = lsn
 	t.mgr.mu.Lock()
 	t.mgr.stats.CLRsLogged++
@@ -224,10 +235,22 @@ func (t *Txn) Commit() error {
 		typ = wal.TypeSysCommit
 	}
 	rec := &wal.Record{Type: typ, Txn: t.id, PrevLSN: t.lastLSN}
-	lsn := t.mgr.log.Append(rec)
+	lsn, err := t.mgr.log.AppendSince(rec, t.epoch)
+	if err != nil {
+		return fmt.Errorf("txn %d commit not durable: %w", t.id, err)
+	}
 	t.lastLSN = lsn
 	if !t.system {
-		t.mgr.log.ForceForCommit(lsn)
+		// The force coalesces with concurrent commits when the log runs
+		// group commit. A crash that leaves the commit unprovable
+		// surfaces here; the transaction stays active, and restart
+		// decides its fate — usually rolled back as a loser, but a
+		// commit record that reached stable storage before the crash is
+		// replayed, so callers must consult post-restart state before
+		// retrying.
+		if err := t.mgr.log.ForceForCommitSince(lsn, t.epoch); err != nil {
+			return fmt.Errorf("txn %d commit not durable: %w", t.id, err)
+		}
 	}
 	t.state = Committed
 	t.mgr.mu.Lock()
@@ -254,7 +277,11 @@ func (t *Txn) Abort() error {
 		return err
 	}
 	rec := &wal.Record{Type: wal.TypeAbort, Txn: t.id, PrevLSN: t.lastLSN}
-	t.lastLSN = t.mgr.log.Append(rec)
+	lsn, err := t.mgr.log.AppendSince(rec, t.epoch)
+	if err != nil {
+		return fmt.Errorf("txn %d abort: %w", t.id, err)
+	}
+	t.lastLSN = lsn
 	t.state = Aborted
 	t.mgr.mu.Lock()
 	delete(t.mgr.active, t.id)
@@ -327,7 +354,7 @@ func (m *Manager) Active() []ActiveEntry {
 func (m *Manager) AdoptLoser(id wal.TxnID, lastLSN page.LSN) *Txn {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	t := &Txn{mgr: m, id: id, system: IsSystemID(id), state: Active, lastLSN: lastLSN}
+	t := &Txn{mgr: m, id: id, system: IsSystemID(id), state: Active, lastLSN: lastLSN, epoch: m.log.Epoch()}
 	m.active[id] = t
 	if id&^systemBit >= m.nextID {
 		m.nextID = (id &^ systemBit) + 1

@@ -17,6 +17,31 @@
 // The per-page chain pointer also enables the defensive redo check of
 // §5.1.4: during redo, a record's PagePrevLSN must equal the PageLSN found
 // in the data page before the redo action is applied.
+//
+// # Concurrency architecture
+//
+// Every page update in the engine appends a log record, so Append is a
+// whole-engine hot path and must not serialize on a mutex:
+//
+//   - Append reserves its LSN range with one atomic add on the reservation
+//     watermark, encodes the record into that range of a chunked,
+//     never-moving segment buffer without holding any lock, and then
+//     publishes it by advancing the "ready" watermark (a short CAS spin
+//     that commits ranges in LSN order — the publication seqlock);
+//   - readers (Read, Scan, WalkPageChain, flush) see exactly the records
+//     below the ready watermark; the acquire/release ordering of the
+//     watermark makes the record bytes visible without further locking;
+//   - the segment buffer grows by appending fixed-size chunks, so already
+//     written bytes never move and fillers never block behind a growth
+//     copy;
+//   - commits coalesce: with a nonzero GroupCommitWindow, ForceForCommit
+//     parks the caller on a waiter list served by a single flusher
+//     goroutine that folds every pending commit into one sequential log
+//     flush (§5.1.5 counts these forces; a batch counts once);
+//   - Crash quiesces in-flight appends, truncates the volatile tail at the
+//     flushed record boundary, and bumps the crash epoch; commits that
+//     cannot prove their records reached stable storage before a crash
+//     report ErrCommitLost instead of lying about durability.
 package wal
 
 import (
@@ -24,7 +49,10 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/iosim"
 	"repro/internal/page"
@@ -131,6 +159,13 @@ const trailerSize = 4
 // reserved so that ZeroLSN unambiguously means "no record".
 const firstLSN page.LSN = 16
 
+// The append buffer is a sequence of fixed-size chunks. Chunks are
+// allocated on demand and never move or shrink, so a filler encoding into
+// its reserved range can never be invalidated by concurrent growth.
+const chunkShift = 20 // 1 MiB
+const chunkSize = 1 << chunkShift
+const chunkMask = chunkSize - 1
+
 // Errors returned by log operations.
 var (
 	ErrBadLSN      = errors.New("wal: LSN does not address a record")
@@ -138,6 +173,15 @@ var (
 	ErrCorruptRec  = errors.New("wal: record checksum mismatch")
 	ErrNotFlushed  = errors.New("wal: record not yet on stable storage")
 	ErrChainBroken = errors.New("wal: per-page chain inconsistent")
+	// ErrCommitLost reports that a simulated crash wiped a commit record
+	// before it provably reached stable storage: the transaction must be
+	// treated as a loser, not as durably committed.
+	ErrCommitLost = errors.New("wal: commit lost in crash before reaching stable storage")
+	// ErrEpochChanged reports an append on behalf of a transaction that
+	// began before a crash: earlier records of the transaction vanished
+	// with the volatile tail, so appending more of them would corrupt the
+	// post-crash log. The reserved space is filled with an inert record.
+	ErrEpochChanged = errors.New("wal: append from a transaction that predates a crash")
 )
 
 // Stats counts log manager activity.
@@ -145,27 +189,137 @@ type Stats struct {
 	Appends       int64
 	BytesAppended int64
 	Flushes       int64 // explicit flush calls that did work
-	ForcedCommits int64 // commit-triggered forces
+	ForcedCommits int64 // commit-triggered forces (a group batch counts once)
 	RecordsRead   int64
+	// GroupCommitBatches and GroupCommitWaiters quantify coalescing:
+	// waiters/batches is the average number of commits served by one
+	// sequential flush.
+	GroupCommitBatches int64
+	GroupCommitWaiters int64
+}
+
+type counters struct {
+	appends       atomic.Int64
+	bytesAppended atomic.Int64
+	flushes       atomic.Int64
+	forcedCommits atomic.Int64
+	recordsRead   atomic.Int64
+	groupBatches  atomic.Int64
+	groupWaiters  atomic.Int64
+}
+
+// Options configures a Manager.
+type Options struct {
+	// Profile selects the simulated I/O cost model for the log device.
+	Profile iosim.Profile
+	// GroupCommitWindow is how long a commit force waits for other
+	// commits to coalesce into the same flush. Zero flushes synchronously
+	// per commit — deterministic, one force per user commit, the §5.1.5
+	// accounting the experiments assert.
+	GroupCommitWindow time.Duration
+}
+
+// gcWaiter is one transaction parked in ForceForCommit awaiting the group
+// flush that covers its commit record.
+type gcWaiter struct {
+	lsn   page.LSN
+	epoch uint64
+	done  chan error
+}
+
+// groupCommit is the flush-group state: a waiter list plus a lazily
+// started flusher goroutine that serves it.
+type groupCommit struct {
+	window  time.Duration
+	mu      sync.Mutex
+	queue   []gcWaiter
+	wake    chan struct{}
+	quit    chan struct{}
+	started bool
+	closed  bool
 }
 
 // Manager is the log manager. It is safe for concurrent use.
+//
+// Watermarks (all byte offsets, i.e. LSNs):
+//
+//	flushed ≤ ready ≤ reserved
+//
+// reserved is the next LSN to hand out; ready bounds the contiguous prefix
+// of fully encoded records (publication happens in LSN order); flushed
+// bounds the stable prefix that survives Crash. flushed and ready always
+// lie on record boundaries.
 type Manager struct {
-	mu      sync.Mutex
-	buf     []byte
-	flushed page.LSN // stable prefix ends here (exclusive)
-	master  page.LSN // LSN of last completed checkpoint's end record
-	clock   *iosim.Clock
-	stats   Stats
+	reserved atomic.Int64
+	ready    atomic.Int64
+	flushed  atomic.Int64
+
+	chunks  atomic.Pointer[[][]byte]
+	allocMu sync.Mutex // extends the chunk table
+
+	// Publication handoff for out-of-order completions: a filler that is
+	// not next in line parks its completed range here and sleeps; the
+	// publisher holding the lowest range sweeps the ready watermark
+	// forward through every parked successor and wakes them.
+	pubMu       sync.Mutex
+	pubCond     *sync.Cond
+	parked      map[int64]*parkedRange // start -> completed, unpublished range
+	parkedCount atomic.Int64
+
+	// readers and truncating form a reentrant read gate (see rlock):
+	// readers count in-flight log reads, and Crash flips truncating only
+	// in a moment with zero readers, so bytes freed by truncation are
+	// never reused under a concurrent reader. Unlike an RWMutex, a
+	// waiting Crash never blocks new readers — a read nested inside a
+	// Scan callback can always proceed, so reader reentrancy cannot
+	// deadlock. truncating also gates new append reservations: because it
+	// implies zero readers, an appender invoked from inside the read gate
+	// (restart redo's eviction write-complete records) never waits on it
+	// while holding the gate, so it cannot livelock a concurrent Crash.
+	readers    atomic.Int64
+	truncating atomic.Bool
+	// crashMu serializes whole Crash calls: a second crasher must not
+	// observe (or clobber) the gate flags of one already in progress.
+	crashMu sync.Mutex
+
+	// flushMu serializes flushed advances and makes the epoch check in
+	// commit forces atomic with respect to Crash (which truncates while
+	// holding it). prevCrashEpoch/prevCrashFlushed record, for the most
+	// recent crash, the epoch it closed and the flushed boundary that
+	// survived it — commit forces use them to prove durability of commits
+	// that were flushed before the crash (flushed never rolls back). Both
+	// are guarded by flushMu.
+	flushMu          sync.Mutex
+	epoch            atomic.Uint64
+	prevCrashEpoch   uint64
+	prevCrashFlushed int64
+
+	master atomic.Int64
+	clock  *iosim.Clock
+	stats  counters
+	gc     groupCommit
 }
 
-// NewManager creates an empty log charging I/O against the given profile.
+// NewManager creates an empty log charging I/O against the given profile,
+// with synchronous (non-grouped) commit forces.
 func NewManager(profile iosim.Profile) *Manager {
-	return &Manager{
-		buf:     make([]byte, firstLSN),
-		flushed: firstLSN,
-		clock:   iosim.NewClock(profile),
-	}
+	return NewManagerOpts(Options{Profile: profile})
+}
+
+// NewManagerOpts creates an empty log with full configuration.
+func NewManagerOpts(opts Options) *Manager {
+	m := &Manager{clock: iosim.NewClock(opts.Profile)}
+	m.parked = make(map[int64]*parkedRange)
+	m.pubCond = sync.NewCond(&m.pubMu)
+	m.reserved.Store(int64(firstLSN))
+	m.ready.Store(int64(firstLSN))
+	m.flushed.Store(int64(firstLSN))
+	empty := make([][]byte, 0)
+	m.chunks.Store(&empty)
+	m.gc.window = opts.GroupCommitWindow
+	m.gc.wake = make(chan struct{}, 1)
+	m.gc.quit = make(chan struct{})
+	return m
 }
 
 // Clock returns the simulated-time clock for the log device.
@@ -173,198 +327,690 @@ func (m *Manager) Clock() *iosim.Clock { return m.clock }
 
 // Stats returns a snapshot of manager counters.
 func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	return Stats{
+		Appends:            m.stats.appends.Load(),
+		BytesAppended:      m.stats.bytesAppended.Load(),
+		Flushes:            m.stats.flushes.Load(),
+		ForcedCommits:      m.stats.forcedCommits.Load(),
+		RecordsRead:        m.stats.recordsRead.Load(),
+		GroupCommitBatches: m.stats.groupBatches.Load(),
+		GroupCommitWaiters: m.stats.groupWaiters.Load(),
+	}
 }
 
-// EndLSN returns the LSN one past the last appended record (the next
-// record's LSN).
-func (m *Manager) EndLSN() page.LSN {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return page.LSN(len(m.buf))
-}
+// EndLSN returns the LSN one past the last published record (the next
+// record's LSN once in-flight appends drain).
+func (m *Manager) EndLSN() page.LSN { return page.LSN(m.ready.Load()) }
 
 // FlushedLSN returns the exclusive upper bound of the stable prefix.
-func (m *Manager) FlushedLSN() page.LSN {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.flushed
+func (m *Manager) FlushedLSN() page.LSN { return page.LSN(m.flushed.Load()) }
+
+// Epoch returns the crash epoch: it increments on every Crash. Commit
+// protocols capture it when a transaction begins and pass it to
+// ForceForCommitSince to detect commits whose records a crash wiped.
+func (m *Manager) Epoch() uint64 { return m.epoch.Load() }
+
+// rlock enters the read gate. The Dekker-style handshake with Crash (see
+// there) guarantees a reader proceeds only when no truncation is mutating
+// the buffer: either the reader's increment is seen by Crash's recheck
+// (Crash retries) or the reader sees truncating set (reader backs off).
+// The gate is reentrant — a reader that already holds it can always enter
+// again, because truncating can never be set while readers > 0.
+func (m *Manager) rlock() {
+	for {
+		m.readers.Add(1)
+		if !m.truncating.Load() {
+			return
+		}
+		m.readers.Add(-1)
+		for m.truncating.Load() {
+			runtime.Gosched()
+		}
+	}
+}
+
+// runlock leaves the read gate.
+func (m *Manager) runlock() { m.readers.Add(-1) }
+
+// table returns the current chunk table.
+func (m *Manager) table() [][]byte { return *m.chunks.Load() }
+
+// ensure grows the chunk table until it covers end bytes and returns it.
+// Existing chunks never move, so concurrent fillers are unaffected.
+func (m *Manager) ensure(end int64) [][]byte {
+	t := m.table()
+	if int64(len(t))<<chunkShift >= end {
+		return t
+	}
+	m.allocMu.Lock()
+	defer m.allocMu.Unlock()
+	t = m.table()
+	need := int((end + chunkMask) >> chunkShift)
+	if len(t) < need {
+		nt := make([][]byte, need)
+		copy(nt, t)
+		for i := len(t); i < need; i++ {
+			nt[i] = make([]byte, chunkSize)
+		}
+		m.chunks.Store(&nt)
+		t = nt
+	}
+	return t
+}
+
+// writeAt scatters src into the chunk table starting at byte offset pos.
+func writeAt(t [][]byte, pos int64, src []byte) {
+	for len(src) > 0 {
+		c := t[pos>>chunkShift]
+		n := copy(c[pos&chunkMask:], src)
+		src = src[n:]
+		pos += int64(n)
+	}
+}
+
+// readAt gathers n bytes at pos into dst.
+func readAt(t [][]byte, pos int64, dst []byte) {
+	for len(dst) > 0 {
+		c := t[pos>>chunkShift]
+		n := copy(dst, c[pos&chunkMask:])
+		dst = dst[n:]
+		pos += int64(n)
+	}
+}
+
+// bytesAt returns n bytes starting at pos. When the range lies inside one
+// chunk the returned slice aliases the log buffer (zero copy); otherwise it
+// is a freshly gathered copy. Records rarely span the 1 MiB chunk seam.
+func (m *Manager) bytesAt(pos, n int64) []byte {
+	t := m.table()
+	if pos>>chunkShift == (pos+n-1)>>chunkShift {
+		c := t[pos>>chunkShift]
+		off := pos & chunkMask
+		return c[off : off+n : off+n]
+	}
+	out := make([]byte, n)
+	readAt(t, pos, out)
+	return out
+}
+
+// lengthAt reads the 4-byte total-length field of the record at pos.
+func (m *Manager) lengthAt(pos int64) int64 {
+	var b [4]byte
+	readAt(m.table(), pos, b[:])
+	return int64(binary.LittleEndian.Uint32(b[:]))
 }
 
 // Append encodes rec, assigns it the next LSN, and appends it to the
 // volatile tail. It returns the assigned LSN. The record is not stable
 // until a Flush covers it.
+//
+// Append takes no locks: it reserves the record's LSN range with one
+// atomic add, encodes into the reserved range, and publishes by advancing
+// the ready watermark in LSN order.
 func (m *Manager) Append(rec *Record) page.LSN {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	lsn := page.LSN(len(m.buf))
-	rec.LSN = lsn
-	total := headerSize + len(rec.Payload) + trailerSize
+	lsn, _ := m.append(rec, 0, false)
+	return lsn
+}
+
+// AppendSince appends on behalf of a transaction that captured the crash
+// epoch when it began. If a Crash happened since, the transaction's
+// earlier records vanished with the volatile tail; appending more of them
+// would leave dangling chains that corrupt restart redo. The check is
+// atomic with Crash: the reserved space is published as an inert
+// TypeInvalid record (every recovery pass ignores it) and ErrEpochChanged
+// is returned, so the log stays contiguous and the caller knows the
+// transaction is a loser.
+func (m *Manager) AppendSince(rec *Record, epoch uint64) (page.LSN, error) {
+	return m.append(rec, epoch, true)
+}
+
+func (m *Manager) append(rec *Record, epoch uint64, check bool) (page.LSN, error) {
+	total := int64(headerSize + len(rec.Payload) + trailerSize)
+	// Crash gate: no new reservations while a truncation is in progress.
+	// Reservations made after this point are either fully published
+	// before the truncation point is chosen, or land in the fresh
+	// post-crash tail.
+	for m.truncating.Load() {
+		runtime.Gosched()
+	}
+	start := m.reserved.Add(total) - total
+	end := start + total
+	t := m.ensure(end)
+
+	// Once the range is reserved, Crash cannot complete before this
+	// record publishes — so if the epoch still matches here, the record
+	// lands in the pre-crash tail and ordinary truncation semantics
+	// apply; if it does not, neutralize the record in place.
+	stale := check && m.epoch.Load() != epoch
+
+	lsn := page.LSN(start)
 	var hdr [headerSize]byte
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(total))
-	hdr[4] = byte(rec.Type)
-	binary.LittleEndian.PutUint64(hdr[5:], uint64(rec.Txn))
-	binary.LittleEndian.PutUint64(hdr[13:], uint64(rec.PrevLSN))
-	binary.LittleEndian.PutUint64(hdr[21:], uint64(rec.PageID))
-	binary.LittleEndian.PutUint64(hdr[29:], uint64(rec.PagePrevLSN))
-	binary.LittleEndian.PutUint64(hdr[37:], uint64(rec.UndoNext))
-	start := len(m.buf)
-	m.buf = append(m.buf, hdr[:]...)
-	m.buf = append(m.buf, rec.Payload...)
-	crc := crc32.Checksum(m.buf[start:], crcTable)
+	if !stale {
+		rec.LSN = lsn
+		hdr[4] = byte(rec.Type)
+		binary.LittleEndian.PutUint64(hdr[5:], uint64(rec.Txn))
+		binary.LittleEndian.PutUint64(hdr[13:], uint64(rec.PrevLSN))
+		binary.LittleEndian.PutUint64(hdr[21:], uint64(rec.PageID))
+		binary.LittleEndian.PutUint64(hdr[29:], uint64(rec.PagePrevLSN))
+		binary.LittleEndian.PutUint64(hdr[37:], uint64(rec.UndoNext))
+	}
+	crc := crc32.Update(0, crcTable, hdr[:])
+	crc = crc32.Update(crc, crcTable, rec.Payload)
 	var tail [trailerSize]byte
 	binary.LittleEndian.PutUint32(tail[:], crc)
-	m.buf = append(m.buf, tail[:]...)
-	m.stats.Appends++
-	m.stats.BytesAppended += int64(total)
-	return lsn
+
+	writeAt(t, start, hdr[:])
+	writeAt(t, start+headerSize, rec.Payload)
+	writeAt(t, end-trailerSize, tail[:])
+
+	m.publish(start, end)
+	m.stats.appends.Add(1)
+	m.stats.bytesAppended.Add(total)
+	if stale {
+		return page.ZeroLSN, ErrEpochChanged
+	}
+	return lsn, nil
+}
+
+// parkedRange is one completed-but-unpublished range awaiting the sweep.
+// The pointer doubles as the owner's wait token: the owner sleeps until
+// its exact entry disappears from the table, which is a monotone condition
+// — a Crash that later rolls the ready watermark back cannot re-arm it
+// (the watermark itself would not be monotone for this purpose).
+type parkedRange struct {
+	end int64
+}
+
+// publish commits the filled range [start, end) to the ready watermark and
+// returns only once the record has been visible (ready reached end) — so
+// Append-then-read/flush works immediately. Ranges publish in LSN order:
+// the common case (we are next in line, or the predecessor finishes within
+// a short spin) is a single CAS; a filler overtaken by the scheduler parks
+// its range and sleeps, and the publisher currently holding the lowest
+// range sweeps the watermark past every parked successor and wakes them.
+// No unbounded spin exists to convoy on, which matters when cores are
+// scarce and a mid-fill predecessor gets descheduled.
+func (m *Manager) publish(start, end int64) {
+	for spins := 0; spins < 16; spins++ {
+		if m.ready.CompareAndSwap(start, end) {
+			if m.parkedCount.Load() != 0 {
+				m.pubMu.Lock()
+				m.sweepLocked()
+				m.pubMu.Unlock()
+			}
+			return
+		}
+	}
+	m.pubMu.Lock()
+	tok := &parkedRange{end: end}
+	m.parked[start] = tok
+	m.parkedCount.Add(1)
+	// Sweep our own range too: the predecessor may have published while
+	// we were parking, and its parkedCount check may have missed us.
+	m.sweepLocked()
+	for m.parked[start] == tok {
+		m.pubCond.Wait()
+	}
+	m.pubMu.Unlock()
+}
+
+// sweepLocked advances ready through consecutive parked ranges and wakes
+// their (sleeping) owners. The caller holds pubMu.
+func (m *Manager) sweepLocked() {
+	advanced := false
+	for {
+		r := m.ready.Load()
+		t, ok := m.parked[r]
+		if !ok {
+			break
+		}
+		delete(m.parked, r)
+		m.parkedCount.Add(-1)
+		m.ready.Store(t.end)
+		advanced = true
+	}
+	if advanced {
+		m.pubCond.Broadcast()
+	}
 }
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // Flush forces the log up to and including the record at upTo onto stable
-// storage. Flushing an already-stable LSN is a no-op.
+// storage. upTo should be a record's LSN (any value at or beyond the
+// published end flushes everything). Flushing an already-stable LSN is a
+// no-op.
 func (m *Manager) Flush(upTo page.LSN) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.flushMu.Lock()
+	defer m.flushMu.Unlock()
 	m.flushTo(upTo)
 }
 
+// flushTo advances the stable prefix past the record at upTo. The caller
+// holds flushMu. Cost is O(1) in record count: the target boundary comes
+// from the record's own length header (validated by checksum), not from a
+// forward walk of every unflushed record.
 func (m *Manager) flushTo(upTo page.LSN) {
-	if upTo < m.flushed {
+	f := m.flushed.Load()
+	if int64(upTo) < f {
 		return
 	}
-	// Find the end of the record containing upTo.
-	end := page.LSN(len(m.buf))
-	if upTo >= end {
-		upTo = end - 1
+	ready := m.ready.Load()
+	target := ready
+	if p := int64(upTo); p < ready && p+headerSize+trailerSize <= ready {
+		if total := m.lengthAt(p); total >= headerSize+trailerSize && p+total <= ready {
+			raw := m.bytesAt(p, total)
+			stored := binary.LittleEndian.Uint32(raw[total-trailerSize:])
+			if crc32.Checksum(raw[:total-trailerSize], crcTable) == stored {
+				target = p + total
+			}
+			// A checksum mismatch means upTo is not a record start;
+			// conservatively flush the whole published prefix, which is
+			// always a valid boundary.
+		}
 	}
-	// Walk forward from flushed to locate the record boundary past upTo.
-	pos := m.flushed
-	for pos <= upTo && pos < end {
-		total := binary.LittleEndian.Uint32(m.buf[pos:])
-		pos += page.LSN(total)
-	}
-	if pos > m.flushed {
-		m.clock.Sequential(int64(pos - m.flushed))
-		m.flushed = pos
-		m.stats.Flushes++
+	if target > f {
+		m.clock.Sequential(target - f)
+		m.flushed.Store(target)
+		m.stats.flushes.Add(1)
 	}
 }
 
-// FlushAll forces the entire log.
+// FlushAll forces the entire published log.
 func (m *Manager) FlushAll() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.flushTo(page.LSN(len(m.buf)) - 1)
+	m.flushMu.Lock()
+	defer m.flushMu.Unlock()
+	m.flushTo(page.LSN(m.ready.Load()))
 }
 
 // ForceForCommit flushes up to lsn and counts the force against commit
 // statistics — the cost that system transactions avoid (§5.1.5, Fig. 5).
-func (m *Manager) ForceForCommit(lsn page.LSN) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	before := m.flushed
-	m.flushTo(lsn)
-	if m.flushed > before {
-		m.stats.ForcedCommits++
+// With a group-commit window configured, the caller is parked on the flush
+// group and served by the shared flusher. A non-nil error (ErrCommitLost)
+// means a crash intervened and the commit record cannot be proven durable.
+func (m *Manager) ForceForCommit(lsn page.LSN) error {
+	return m.ForceForCommitSince(lsn, m.epoch.Load())
+}
+
+// ForceForCommitSince is ForceForCommit for callers that captured the
+// crash epoch when their transaction began: if any Crash happened since,
+// earlier records of the transaction may have vanished from the volatile
+// tail, so the commit is reported lost rather than durable.
+func (m *Manager) ForceForCommitSince(lsn page.LSN, epoch uint64) error {
+	if m.gc.window > 0 {
+		return m.groupWait(lsn, epoch)
+	}
+	m.flushMu.Lock()
+	defer m.flushMu.Unlock()
+	return m.forceLocked(lsn, epoch)
+}
+
+// forceLocked performs one synchronous commit force under flushMu.
+func (m *Manager) forceLocked(lsn page.LSN, epoch uint64) error {
+	if m.epoch.Load() == epoch {
+		before := m.flushed.Load()
+		m.flushTo(lsn)
+		if m.flushed.Load() > before {
+			m.stats.forcedCommits.Add(1)
+		}
+	}
+	return m.commitVerdictLocked(lsn, epoch)
+}
+
+// commitVerdictLocked decides whether the commit record at lsn, appended
+// by a transaction that began in the given epoch, is provably durable.
+// The caller holds flushMu. flushed always sits on a record boundary, so
+// covering a record's start covers all of it.
+func (m *Manager) commitVerdictLocked(lsn page.LSN, epoch uint64) error {
+	cur := m.epoch.Load()
+	if epoch == cur {
+		// No crash since the transaction began: the record is intact and
+		// durable exactly when the flushed boundary passed it.
+		if m.flushed.Load() > int64(lsn) {
+			return nil
+		}
+		return ErrCommitLost
+	}
+	if epoch == cur-1 {
+		if m.prevCrashEpoch == epoch {
+			// The crash that closed the transaction's epoch already
+			// truncated; the record survived only if the flushed
+			// boundary recorded at that crash covered it (flushed never
+			// rolls back, so that coverage is proof forever).
+			if int64(lsn) < m.prevCrashFlushed {
+				return nil
+			}
+			return ErrCommitLost
+		}
+		// The crash bumped the epoch but has not yet truncated — it is
+		// still draining readers or waiting for flushMu, which we hold.
+		// flushed is untouched state from the transaction's own epoch,
+		// so coverage now is proof the record is stable and will survive
+		// the pending truncation.
+		if m.flushed.Load() > int64(lsn) {
+			return nil
+		}
+		return ErrCommitLost
+	}
+	// Several crashes ago: conservatively lost.
+	return ErrCommitLost
+}
+
+// groupWait parks the caller on the flush group and returns the verdict of
+// the batch flush that served it.
+func (m *Manager) groupWait(lsn page.LSN, epoch uint64) error {
+	g := &m.gc
+	g.mu.Lock()
+	if g.closed {
+		// Re-arm after Close: Restart reuses the log manager across a
+		// Crash+Close, and the configured window must survive it.
+		g.closed = false
+		g.started = false
+		g.quit = make(chan struct{})
+	}
+	if !g.started {
+		g.started = true
+		go m.flusherLoop(g.quit)
+	}
+	done := make(chan error, 1)
+	g.queue = append(g.queue, gcWaiter{lsn: lsn, epoch: epoch, done: done})
+	g.mu.Unlock()
+	select {
+	case g.wake <- struct{}{}:
+	default:
+	}
+	return <-done
+}
+
+// takeBatch atomically claims the pending waiter list.
+func (m *Manager) takeBatch() []gcWaiter {
+	g := &m.gc
+	g.mu.Lock()
+	batch := g.queue
+	g.queue = nil
+	g.mu.Unlock()
+	return batch
+}
+
+// flusherLoop is the dedicated group-commit flusher: it waits for the
+// first commit of a group, lets the window elapse so concurrent commits
+// pile on, then serves the whole batch with one sequential flush. quit is
+// captured at spawn time because Close+re-arm replaces the channel.
+func (m *Manager) flusherLoop(quit chan struct{}) {
+	g := &m.gc
+	for {
+		select {
+		case <-quit:
+			m.serveBatch(m.takeBatch())
+			return
+		case <-g.wake:
+		}
+		if g.window > 0 {
+			// The coalescing wait; Close interrupts it so shutdown never
+			// strands a waiter behind a long window.
+			t := time.NewTimer(g.window)
+			select {
+			case <-t.C:
+			case <-quit:
+				t.Stop()
+			}
+		}
+		m.serveBatch(m.takeBatch())
 	}
 }
 
-// Crash simulates a system failure: the volatile tail vanishes; the stable
-// prefix and the master LSN survive.
+// serveBatch flushes through the highest commit LSN of the batch and
+// reports durability to every waiter.
+func (m *Manager) serveBatch(batch []gcWaiter) {
+	if len(batch) == 0 {
+		return
+	}
+	maxLSN := batch[0].lsn
+	for _, w := range batch[1:] {
+		if w.lsn > maxLSN {
+			maxLSN = w.lsn
+		}
+	}
+	m.flushMu.Lock()
+	before := m.flushed.Load()
+	m.flushTo(maxLSN)
+	if m.flushed.Load() > before {
+		m.stats.forcedCommits.Add(1)
+	}
+	m.stats.groupBatches.Add(1)
+	m.stats.groupWaiters.Add(int64(len(batch)))
+	verdicts := make([]error, len(batch))
+	for i, w := range batch {
+		verdicts[i] = m.commitVerdictLocked(w.lsn, w.epoch)
+	}
+	m.flushMu.Unlock()
+	for i, w := range batch {
+		w.done <- verdicts[i]
+	}
+}
+
+// Close shuts the group-commit flusher down after serving every pending
+// waiter. Close is idempotent and safe on managers that never started a
+// flusher; a later grouped commit re-arms the flusher (Restart reuses the
+// manager across a Crash+Close, and the configured window survives it).
+func (m *Manager) Close() {
+	g := &m.gc
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return
+	}
+	g.closed = true
+	started := g.started
+	quit := g.quit
+	g.mu.Unlock()
+	if started {
+		close(quit)
+	} else {
+		m.serveBatch(m.takeBatch())
+	}
+}
+
+// Crash simulates a system failure: the volatile tail vanishes at the
+// flushed record boundary; the stable prefix and the master LSN survive.
+// In-flight appends are quiesced first, concurrent commit forces observe
+// the epoch bump, and the read gate ensures no reader still holds a view
+// of bytes the truncation frees for reuse.
 func (m *Manager) Crash() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.buf = m.buf[:m.flushed]
+	m.crashMu.Lock()
+	defer m.crashMu.Unlock()
+	// Bump the epoch before truncating: an appender that slipped past the
+	// truncating gate and reserves after the truncation CAS below is then
+	// guaranteed to observe the new epoch (its reservation orders after
+	// the CAS, which orders after this bump), so an epoch-checked append
+	// can never lay a live record with dangling chain pointers into the
+	// post-crash tail. Appenders that reserved before the CAS land in the
+	// pre-crash tail and are quiesced below, whatever epoch they saw.
+	m.epoch.Add(1)
+	// Drain readers before touching flushMu: a Scan callback holds the
+	// read gate and may itself flush the log (restart redo evicts dirty
+	// pages), so Crash must take the gate first and flushMu second — the
+	// same order every reader-then-flusher path uses. The truncating flip
+	// happens only in an instant with zero readers (the rlock handshake
+	// makes the two checks race-free), and holds new readers out for the
+	// rest of the truncation.
+	for {
+		if m.readers.Load() == 0 {
+			m.truncating.Store(true)
+			if m.readers.Load() == 0 {
+				break
+			}
+			m.truncating.Store(false)
+		}
+		runtime.Gosched()
+	}
+	m.flushMu.Lock()
+	f := m.flushed.Load()
+	// Record the boundary this crash preserves: commits of the epoch just
+	// closed whose records sit below it are durable no matter what.
+	m.prevCrashEpoch = m.epoch.Load() - 1
+	m.prevCrashFlushed = f
+	for {
+		r := m.reserved.Load()
+		if m.ready.Load() != r {
+			// A parked publisher cannot advance the watermark by
+			// itself; sweep on its behalf or this quiesce never
+			// completes.
+			m.pubMu.Lock()
+			m.sweepLocked()
+			m.pubMu.Unlock()
+			runtime.Gosched()
+			continue
+		}
+		if r == f {
+			// Nothing volatile to discard. Touching the watermarks here
+			// could roll back a gate-evading appender that published a
+			// legitimate post-crash record in this very window — leave
+			// them alone.
+			break
+		}
+		if !m.reserved.CompareAndSwap(r, f) {
+			// A late reservation extended the pre-crash chain between
+			// the check and the swap; wait for it to publish and retry.
+			// The truncating gate admits no new appenders, so this
+			// terminates.
+			continue
+		}
+		if m.ready.CompareAndSwap(r, f) {
+			break
+		}
+		// Unreachable for r > f: pre-crash ranges are all published (the
+		// quiesce above), post-reset ranges start at f and so cannot CAS
+		// ready off r, and sweeps cannot advance past r either. Retry
+		// defensively.
+	}
+	// A gate-evader may instead have parked its completed range while
+	// ready still sat at the pre-crash watermark; sweep (and wake) it now
+	// or it sleeps forever.
+	m.pubMu.Lock()
+	m.sweepLocked()
+	m.pubMu.Unlock()
+	m.flushMu.Unlock()
+	m.truncating.Store(false)
 }
 
 // SetMaster records the LSN of the most recent checkpoint-end record in the
 // (stable) master location. Callers must flush the checkpoint records first.
 func (m *Manager) SetMaster(lsn page.LSN) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.master = lsn
+	m.master.Store(int64(lsn))
 	m.clock.Random(8) // master record write
 }
 
 // Master returns the LSN of the last completed checkpoint's end record, or
 // ZeroLSN if no checkpoint ever completed.
-func (m *Manager) Master() page.LSN {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.master
-}
+func (m *Manager) Master() page.LSN { return page.LSN(m.master.Load()) }
 
-// Read decodes the record starting at lsn. Each call charges one random log
-// I/O, matching the paper's cost accounting for single-page recovery
-// ("dozens of I/Os in order to read the required log records", §6).
+// Read decodes the record starting at lsn into a fresh Record whose
+// payload is an independent copy, safe to retain indefinitely. Each call
+// charges one random log I/O, matching the paper's cost accounting for
+// single-page recovery ("dozens of I/Os in order to read the required log
+// records", §6).
 func (m *Manager) Read(lsn page.LSN) (*Record, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	rec, size, err := m.decodeAt(lsn)
-	if err != nil {
+	rec := new(Record)
+	if err := m.readRecord(lsn, rec, true); err != nil {
 		return nil, err
 	}
-	m.clock.Random(int64(size))
-	m.stats.RecordsRead++
 	return rec, nil
 }
 
-func (m *Manager) decodeAt(lsn page.LSN) (*Record, int, error) {
-	if lsn < firstLSN || int(lsn)+headerSize+trailerSize > len(m.buf) {
-		return nil, 0, fmt.Errorf("%w: %d", ErrBadLSN, lsn)
+// ReadView decodes the record at lsn into rec without copying the payload:
+// rec.Payload aliases the log's internal buffer. The view stays valid
+// until the next Crash truncates the log (truncated bytes are reused by
+// later appends); callers that retain records across crashes, or mutate
+// payloads, must use Read. I/O accounting matches Read.
+func (m *Manager) ReadView(lsn page.LSN, rec *Record) error {
+	return m.readRecord(lsn, rec, false)
+}
+
+func (m *Manager) readRecord(lsn page.LSN, rec *Record, copyPayload bool) error {
+	m.rlock()
+	defer m.runlock()
+	size, err := m.decodeAt(lsn, rec, copyPayload)
+	if err != nil {
+		return err
 	}
-	total := binary.LittleEndian.Uint32(m.buf[lsn:])
-	if total < headerSize+trailerSize || int(lsn)+int(total) > len(m.buf) {
-		return nil, 0, fmt.Errorf("%w: at %d", ErrTornRecord, lsn)
+	m.clock.Random(int64(size))
+	m.stats.recordsRead.Add(1)
+	return nil
+}
+
+// decodeAt decodes the record at lsn into rec and returns its encoded
+// size. The caller holds the read gate.
+func (m *Manager) decodeAt(lsn page.LSN, rec *Record, copyPayload bool) (int, error) {
+	ready := m.ready.Load()
+	p := int64(lsn)
+	if lsn < firstLSN || p+headerSize+trailerSize > ready {
+		return 0, fmt.Errorf("%w: %d", ErrBadLSN, lsn)
 	}
-	raw := m.buf[lsn : int(lsn)+int(total)]
-	stored := binary.LittleEndian.Uint32(raw[len(raw)-trailerSize:])
-	if crc := crc32.Checksum(raw[:len(raw)-trailerSize], crcTable); crc != stored {
-		return nil, 0, fmt.Errorf("%w: at %d", ErrCorruptRec, lsn)
+	total := m.lengthAt(p)
+	if total < headerSize+trailerSize || p+total > ready {
+		return 0, fmt.Errorf("%w: at %d", ErrTornRecord, lsn)
 	}
-	rec := &Record{
-		LSN:         lsn,
-		Type:        RecType(raw[4]),
-		Txn:         TxnID(binary.LittleEndian.Uint64(raw[5:])),
-		PrevLSN:     page.LSN(binary.LittleEndian.Uint64(raw[13:])),
-		PageID:      page.ID(binary.LittleEndian.Uint64(raw[21:])),
-		PagePrevLSN: page.LSN(binary.LittleEndian.Uint64(raw[29:])),
-		UndoNext:    page.LSN(binary.LittleEndian.Uint64(raw[37:])),
-		Payload:     append([]byte(nil), raw[headerSize:len(raw)-trailerSize]...),
+	raw := m.bytesAt(p, total)
+	stored := binary.LittleEndian.Uint32(raw[total-trailerSize:])
+	if crc := crc32.Checksum(raw[:total-trailerSize], crcTable); crc != stored {
+		return 0, fmt.Errorf("%w: at %d", ErrCorruptRec, lsn)
 	}
-	return rec, int(total), nil
+	rec.LSN = lsn
+	rec.Type = RecType(raw[4])
+	rec.Txn = TxnID(binary.LittleEndian.Uint64(raw[5:]))
+	rec.PrevLSN = page.LSN(binary.LittleEndian.Uint64(raw[13:]))
+	rec.PageID = page.ID(binary.LittleEndian.Uint64(raw[21:]))
+	rec.PagePrevLSN = page.LSN(binary.LittleEndian.Uint64(raw[29:]))
+	rec.UndoNext = page.LSN(binary.LittleEndian.Uint64(raw[37:]))
+	payload := raw[headerSize : total-trailerSize]
+	if copyPayload {
+		rec.Payload = append([]byte(nil), payload...)
+	} else {
+		rec.Payload = payload
+	}
+	return int(total), nil
 }
 
 // Scan iterates records in LSN order starting at from (use FirstLSN for the
 // whole log), invoking fn for each until the end of the log or fn returns
 // false. The pass is charged as sequential I/O, matching the efficient log
 // analysis pass of §5.1.2.
+//
+// Scan is zero-copy: one Record is reused across invocations and its
+// Payload aliases the log's internal buffer. The callback runs inside the
+// log's read gate, so a concurrent Crash cannot invalidate the view
+// mid-callback; the gate is reentrant, so callbacks may perform nested log
+// reads (restart redo does, via single-page recovery), but must not call
+// Crash or Close. Callbacks that retain the record or its payload beyond
+// their own return must copy them (every in-tree consumer — analysis,
+// redo, the mirror — already copies what it keeps).
 func (m *Manager) Scan(from page.LSN, fn func(*Record) bool) error {
 	if from < firstLSN {
 		from = firstLSN
 	}
+	pos := int64(from)
+	var rec Record
 	for {
-		m.mu.Lock()
-		if int(from) >= len(m.buf) {
-			m.mu.Unlock()
+		m.rlock()
+		if pos >= m.ready.Load() {
+			m.runlock()
 			return nil
 		}
-		rec, size, err := m.decodeAt(from)
+		size, err := m.decodeAt(page.LSN(pos), &rec, false)
 		if err != nil {
-			m.mu.Unlock()
+			m.runlock()
 			return err
 		}
 		m.clock.Sequential(int64(size))
-		m.stats.RecordsRead++
-		m.mu.Unlock()
-		if !fn(rec) {
+		m.stats.recordsRead.Add(1)
+		cont := fn(&rec)
+		m.runlock()
+		if !cont {
 			return nil
 		}
-		from += page.LSN(size)
+		pos += int64(size)
 	}
 }
 
@@ -385,13 +1031,16 @@ func RecordSize(rec *Record) int {
 //
 // This is the heart of single-page recovery (§5.2.3): the caller pushes the
 // returned records onto a LIFO stack (the returned order already is that
-// stack) and then applies redo from oldest to newest.
+// stack) and then applies redo from oldest to newest. The returned records
+// own their payloads: the chain is retained and applied after the walk,
+// possibly racing a concurrent Crash whose truncation would invalidate
+// zero-copy views (retaining callers use the copying decode by design).
 func (m *Manager) WalkPageChain(start page.LSN, stopAfter page.LSN, pageID page.ID) ([]*Record, error) {
 	var chain []*Record
 	lsn := start
 	for lsn != page.ZeroLSN && lsn > stopAfter {
-		rec, err := m.Read(lsn)
-		if err != nil {
+		rec := new(Record)
+		if err := m.readRecord(lsn, rec, true); err != nil {
 			return nil, fmt.Errorf("walking chain for page %d: %w", pageID, err)
 		}
 		if rec.PageID != pageID {
@@ -405,15 +1054,12 @@ func (m *Manager) WalkPageChain(start page.LSN, stopAfter page.LSN, pageID page.
 }
 
 // TailSize returns the number of unflushed bytes (volatile tail length).
+// flushed is loaded first so a concurrent append+flush between the two
+// loads can only enlarge the result, never drive it negative.
 func (m *Manager) TailSize() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.buf) - int(m.flushed)
+	f := m.flushed.Load()
+	return int(m.ready.Load() - f)
 }
 
 // Size returns the total log length in bytes including the volatile tail.
-func (m *Manager) Size() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.buf)
-}
+func (m *Manager) Size() int { return int(m.ready.Load()) }

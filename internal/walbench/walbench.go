@@ -1,0 +1,66 @@
+// Package walbench holds the shared drivers for the WAL hot-path
+// benchmarks (E19 parallel append, E20 group commit). Both the root
+// bench_test.go (go test -bench) and cmd/spfbench -benchjson run these
+// same functions, so the numbers in BENCH_*.json always measure exactly
+// what CI smoke-tests.
+package walbench
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/iosim"
+	"repro/internal/wal"
+)
+
+// AppendPayloadSize is the record payload used by the append driver — the
+// same 100 bytes the seed's BenchmarkAppend used.
+const AppendPayloadSize = 100
+
+// ParallelAppend drives b.N appends from RunParallel workers against a
+// fresh reserve-then-fill manager and verifies every record published.
+func ParallelAppend(b *testing.B) {
+	m := wal.NewManager(iosim.Instant)
+	payload := make([]byte, AppendPayloadSize)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			m.Append(&wal.Record{Type: wal.TypeUpdate, Txn: 1, PageID: 5, Payload: payload})
+		}
+	})
+	b.StopTimer()
+	if got := m.Stats().Appends; got != int64(b.N) {
+		b.Fatalf("published %d records, want %d", got, b.N)
+	}
+}
+
+// GroupCommit drives b.N commits from `committers` concurrent goroutines,
+// each appending a commit record and forcing it through ForceForCommit
+// with the given window, and returns the final log stats (Flushes yields
+// the coalescing factor: b.N / Flushes commits per flush).
+func GroupCommit(b *testing.B, window time.Duration, committers int) wal.Stats {
+	m := wal.NewManagerOpts(wal.Options{Profile: iosim.Instant, GroupCommitWindow: window})
+	defer m.Close()
+	var ops atomic.Int64
+	ops.Store(int64(b.N))
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for c := 0; c < committers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for ops.Add(-1) >= 0 {
+				lsn := m.Append(&wal.Record{Type: wal.TypeCommit, Txn: wal.TxnID(c)})
+				if err := m.ForceForCommit(lsn); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	b.StopTimer()
+	return m.Stats()
+}

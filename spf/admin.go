@@ -219,6 +219,24 @@ func (db *DB) RecoverPageNow(id PageID) (core.Report, error) {
 	return rep, err
 }
 
+// Close shuts the database down cleanly: every dirty page and the whole
+// log are flushed, and the group-commit flusher (if running) drains its
+// pending waiters and stops. A crashed database only stops the flusher —
+// its state is already frozen for Restart. Close is idempotent.
+func (db *DB) Close() error {
+	if db.isCrashed() {
+		db.log.Close()
+		return nil
+	}
+	if err := db.pool.FlushAll(); err != nil {
+		db.log.Close()
+		return err
+	}
+	db.log.FlushAll()
+	db.log.Close()
+	return nil
+}
+
 // Crash simulates a system failure: the buffer pool and the unflushed log
 // tail vanish; the devices and the stable log survive.
 func (db *DB) Crash() {

@@ -44,10 +44,16 @@ const (
 // Errors surfaced by the engine. ErrPageFailed wraps unrecoverable
 // single-page failures (escalation to media recovery required).
 var (
-	ErrPageFailed   = buffer.ErrPageFailed
-	ErrKeyNotFound  = btree.ErrKeyNotFound
-	ErrKeyExists    = btree.ErrKeyExists
-	ErrDetected     = btree.ErrDetected
+	ErrPageFailed  = buffer.ErrPageFailed
+	ErrKeyNotFound = btree.ErrKeyNotFound
+	ErrKeyExists   = btree.ErrKeyExists
+	ErrDetected    = btree.ErrDetected
+	// ErrCommitLost reports a commit that cannot be proven durable
+	// because a simulated crash intervened: its log records were wiped
+	// with the volatile tail (restart rolls the transaction back) or, in
+	// rare multi-crash races, durability simply cannot be established.
+	// Callers must consult post-restart state before retrying.
+	ErrCommitLost   = wal.ErrCommitLost
 	ErrCrashed      = errors.New("spf: database is crashed; call Restart")
 	ErrUnknownIndex = errors.New("spf: unknown index")
 )
@@ -84,7 +90,10 @@ func Open(opts Options) (*DB, error) {
 			PageSize: opts.PageSize, Slots: opts.DataSlots,
 			Profile: opts.DataProfile, Seed: opts.Seed,
 		}),
-		log:          wal.NewManager(opts.LogProfile),
+		log: wal.NewManagerOpts(wal.Options{
+			Profile:           opts.LogProfile,
+			GroupCommitWindow: opts.GroupCommitWindow,
+		}),
 		pmap:         pagemap.New(opts.WriteMode, opts.DataSlots),
 		pri:          core.NewPRI(),
 		trees:        make(map[string]*btree.Tree),

@@ -12,6 +12,8 @@
 package spf
 
 import (
+	"time"
+
 	"repro/internal/iosim"
 	"repro/internal/pagemap"
 )
@@ -40,6 +42,15 @@ type Options struct {
 	DataProfile   iosim.Profile
 	LogProfile    iosim.Profile
 	BackupProfile iosim.Profile
+	// GroupCommitWindow is how long a committing transaction waits for
+	// concurrent commits to coalesce into one log flush. Zero (the
+	// default) flushes synchronously per commit: deterministic, exactly
+	// one force per user commit (the §5.1.5 accounting). Nonzero trades
+	// a bounded commit latency for far fewer log flushes under highly
+	// concurrent commit load; commits interrupted by a simulated Crash
+	// report wal.ErrCommitLost instead of claiming durability. The window
+	// survives Restart (the log manager carries it across crashes).
+	GroupCommitWindow time.Duration
 	// SinglePageRecovery enables the page recovery index and the
 	// recovery path (default on via Open; set DisableSinglePageRecovery
 	// to model a traditional engine that escalates to media failure —
