@@ -22,6 +22,7 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/experiments"
 	"repro/internal/iosim"
+	"repro/internal/maintbench"
 	"repro/internal/page"
 	"repro/internal/pagemap"
 	"repro/internal/storage"
@@ -505,4 +506,76 @@ func BenchmarkE20GroupCommitThroughput(b *testing.B) {
 	b.Run("window=0", func(b *testing.B) { run(b, 0) })
 	b.Run("window=50us", func(b *testing.B) { run(b, 50*time.Microsecond) })
 	b.Run("window=500us", func(b *testing.B) { run(b, 500*time.Microsecond) })
+}
+
+// BenchmarkE21AsyncWriteBack measures dirty-page flush throughput on a hot
+// update workload (drivers in internal/maintbench, shared with `spfbench
+// -benchjson`). The sync variant is the old foreground discipline — every
+// update pays a synchronous write-back (device write + per-page PRI log
+// append) inline; the async variant marks dirty and lets the maintenance
+// flusher drain batches (grouped PRI appends, re-dirty coalescing). Both
+// end fully durable. writes/update reports the write amplification each
+// policy pays — the async coalescing is what buys the ≥2× throughput.
+func BenchmarkE21AsyncWriteBack(b *testing.B) {
+	var syncNs, asyncNs int64
+	b.Run("sync", func(b *testing.B) {
+		res := maintbench.WriteBack(b, false, 0)
+		b.ReportMetric(float64(res.DeviceWrites)/float64(res.Updates), "writes/update")
+		if b.N > 1 {
+			syncNs = b.Elapsed().Nanoseconds() / int64(b.N)
+		}
+		// Shape: write-through pays one device write and one PRI append
+		// per update, and nothing is grouped.
+		if res.DeviceWrites < res.Updates {
+			b.Fatalf("sync mode wrote %d pages for %d updates", res.DeviceWrites, res.Updates)
+		}
+		if res.BatchAppends != 0 {
+			b.Fatalf("sync mode used %d grouped appends", res.BatchAppends)
+		}
+	})
+	b.Run("async", func(b *testing.B) {
+		res := maintbench.WriteBack(b, true, 1)
+		b.ReportMetric(float64(res.DeviceWrites)/float64(res.Updates), "writes/update")
+		if b.N > 1 {
+			asyncNs = b.Elapsed().Nanoseconds() / int64(b.N)
+		}
+		if res.DeviceWrites > res.Updates {
+			b.Fatalf("async mode wrote %d pages for %d updates", res.DeviceWrites, res.Updates)
+		}
+		// Shape (only meaningful once the workload dwarfs the hot set):
+		// batching must group PRI appends and coalesce re-dirtied pages
+		// to well under half the synchronous write count.
+		if b.N >= 4096 {
+			if res.BatchAppends == 0 {
+				b.Fatal("async mode never grouped a PRI append")
+			}
+			if 2*res.DeviceWrites >= res.Updates {
+				b.Fatalf("async coalescing too weak: %d writes for %d updates",
+					res.DeviceWrites, res.Updates)
+			}
+		}
+	})
+	if syncNs > 0 && asyncNs > 0 {
+		b.Logf("foreground update latency: sync=%dns async=%dns (%.1fx)",
+			syncNs, asyncNs, float64(syncNs)/float64(asyncNs))
+	}
+}
+
+// BenchmarkE22ScrubCampaignOverhead measures what the continuous scrub
+// campaign costs foreground traffic: b.N buffer-hit fetches with the
+// campaign off (baseline) and scanning 50k pages/s with live repairs. The
+// off/on ns/op delta is the overhead; the campaign must actually make
+// progress (pages scrubbed, injected corruption repaired) for the on
+// number to mean anything.
+func BenchmarkE22ScrubCampaignOverhead(b *testing.B) {
+	b.Run("off", func(b *testing.B) {
+		maintbench.ScrubOverhead(b, 0)
+	})
+	b.Run("on", func(b *testing.B) {
+		res := maintbench.ScrubOverhead(b, 50000)
+		b.ReportMetric(float64(res.PagesScrubbed), "pages-scrubbed")
+		if res.PagesScrubbed == 0 {
+			b.Fatal("campaign made no progress during the run")
+		}
+	})
 }

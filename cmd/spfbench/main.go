@@ -8,7 +8,15 @@
 //	spfbench -list                # list experiment IDs
 //	spfbench -benchjson FILE      # run the engine micro-benchmarks
 //	                              # (E19 parallel append, E20 group
-//	                              # commit) and write BENCH_*.json entries
+//	                              # commit, E21 async write-back, E22
+//	                              # scrub overhead) and write BENCH_*.json
+//	                              # entries
+//	spfbench -benchcompare FILE -baselines A.json,B.json [-threshold 3]
+//	                              # compare a fresh -benchjson run against
+//	                              # the committed baselines; exit nonzero
+//	                              # on a regression beyond the threshold
+//	                              # or a benchmark missing from the fresh
+//	                              # run (the CI regression gate)
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/maintbench"
 	"repro/internal/report"
 	"repro/internal/wal"
 	"repro/internal/walbench"
@@ -196,6 +205,54 @@ func runBenchJSON(path string) error {
 		entries = append(entries, e)
 	}
 
+	// E21: dirty-page flush throughput, synchronous write-through vs the
+	// maintenance subsystem's batched async write-back. The metric is the
+	// write amplification (device writes per update); async coalescing
+	// drives it far below the synchronous 1.0.
+	for _, async := range []bool{false, true} {
+		var res maintbench.WriteBackResult
+		r := testing.Benchmark(func(b *testing.B) {
+			res = maintbench.WriteBack(b, async, 1)
+		})
+		name := "BenchmarkE21AsyncWriteBack/sync"
+		if async {
+			name = "BenchmarkE21AsyncWriteBack/async"
+		}
+		e := benchEntry{
+			Name:    name,
+			NsPerOp: float64(r.NsPerOp()), AllocsPerOp: r.AllocsPerOp(),
+			Ops: r.N, GoMaxProcs: runtime.GOMAXPROCS(0),
+		}
+		if res.Updates > 0 {
+			e.Metric = float64(res.DeviceWrites) / float64(res.Updates)
+			e.MetricName = "writes/update"
+		}
+		entries = append(entries, e)
+	}
+
+	// E22: foreground fetch cost with the scrub campaign off vs scanning
+	// 50k pages/s with live repairs underneath.
+	for _, rate := range []int{0, 50000} {
+		var res maintbench.ScrubResult
+		r := testing.Benchmark(func(b *testing.B) {
+			res = maintbench.ScrubOverhead(b, rate)
+		})
+		name := "BenchmarkE22ScrubCampaignOverhead/off"
+		if rate > 0 {
+			name = "BenchmarkE22ScrubCampaignOverhead/on"
+		}
+		e := benchEntry{
+			Name:    name,
+			NsPerOp: float64(r.NsPerOp()), AllocsPerOp: r.AllocsPerOp(),
+			Ops: r.N, GoMaxProcs: runtime.GOMAXPROCS(0),
+		}
+		if rate > 0 {
+			e.Metric = float64(res.PagesScrubbed)
+			e.MetricName = "pages-scrubbed"
+		}
+		entries = append(entries, e)
+	}
+
 	data, err := json.MarshalIndent(entries, "", "  ")
 	if err != nil {
 		return err
@@ -203,9 +260,87 @@ func runBenchJSON(path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// loadBenchEntries reads one BENCH_*.json file.
+func loadBenchEntries(path string) ([]benchEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []benchEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return entries, nil
+}
+
+// runBenchCompare is the CI regression gate: every benchmark present in a
+// baseline file must exist in the fresh run and be no slower than
+// threshold times its baseline ns/op. The threshold is deliberately
+// generous — shared CI runners are noisy — so only real regressions (or
+// benchmarks rotting out of the tracked set) fail the gate. Fresh entries
+// without a baseline are reported but pass: they are new benchmarks whose
+// baseline lands with the PR that adds them.
+func runBenchCompare(freshPath string, baselinePaths []string, threshold float64) error {
+	fresh, err := loadBenchEntries(freshPath)
+	if err != nil {
+		return err
+	}
+	freshByName := make(map[string]benchEntry, len(fresh))
+	for _, e := range fresh {
+		freshByName[e.Name] = e
+	}
+	var failures []string
+	compared := make(map[string]bool)
+	for _, bp := range baselinePaths {
+		baseline, err := loadBenchEntries(bp)
+		if err != nil {
+			return err
+		}
+		for _, base := range baseline {
+			compared[base.Name] = true
+			got, ok := freshByName[base.Name]
+			if !ok {
+				failures = append(failures,
+					fmt.Sprintf("%s: in baseline %s but missing from fresh run (benchmark rotted out of the tracked set?)", base.Name, bp))
+				continue
+			}
+			ratio := 0.0
+			if base.NsPerOp > 0 {
+				ratio = got.NsPerOp / base.NsPerOp
+			}
+			status := "ok"
+			if base.NsPerOp > 0 && got.NsPerOp > threshold*base.NsPerOp {
+				status = "REGRESSION"
+				failures = append(failures,
+					fmt.Sprintf("%s: %.1f ns/op vs baseline %.1f (%.2fx > %.2fx threshold)",
+						base.Name, got.NsPerOp, base.NsPerOp, ratio, threshold))
+			}
+			fmt.Printf("%-55s base=%10.1f fresh=%10.1f ratio=%5.2fx  %s\n",
+				base.Name, base.NsPerOp, got.NsPerOp, ratio, status)
+		}
+	}
+	for _, e := range fresh {
+		if !compared[e.Name] {
+			fmt.Printf("%-55s (new benchmark, no baseline yet)\n", e.Name)
+		}
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbench regression gate failed:\n")
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "  - %s\n", f)
+		}
+		return fmt.Errorf("%d benchmark failure(s)", len(failures))
+	}
+	fmt.Printf("\nbench regression gate passed (threshold %.1fx)\n", threshold)
+	return nil
+}
+
 func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
-	benchJSON := flag.String("benchjson", "", "run the WAL micro-benchmarks and write BENCH entries to this JSON file")
+	benchJSON := flag.String("benchjson", "", "run the engine micro-benchmarks and write BENCH entries to this JSON file")
+	benchCompare := flag.String("benchcompare", "", "compare this fresh -benchjson file against -baselines (CI regression gate)")
+	baselines := flag.String("baselines", "", "comma-separated committed BENCH_*.json baselines for -benchcompare")
+	threshold := flag.Float64("threshold", 3.0, "allowed ns/op slowdown factor for -benchcompare (generous: CI runners are noisy)")
 	flag.Parse()
 	if *benchJSON != "" {
 		if err := runBenchJSON(*benchJSON); err != nil {
@@ -213,6 +348,17 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *benchJSON)
+		return
+	}
+	if *benchCompare != "" {
+		if *baselines == "" {
+			fmt.Fprintln(os.Stderr, "-benchcompare requires -baselines")
+			os.Exit(2)
+		}
+		if err := runBenchCompare(*benchCompare, strings.Split(*baselines, ","), *threshold); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcompare: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 	exps := all()

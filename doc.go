@@ -64,4 +64,52 @@
 //
 // Single-page recovery semantics (detect → Recover hook → Relocate →
 // RetireSlot, Fig. 8 and §5.2.3) are unchanged; they now run per shard.
+//
+// # Background maintenance
+//
+// internal/maintenance turns the recovery primitives into a system that
+// keeps itself healthy under load. Enabled via spf.Options.Maintenance, a
+// background service owned by spf.DB runs two campaigns:
+//
+//   - asynchronous write-back: flusher goroutines drain dirty pages in
+//     batches, triggered by a dirty watermark (the pool's mark-dirty hook
+//     prods the service once buffer.Pool.DirtyCount crosses it) and by age
+//     (a periodic tick bounds how long a page stays dirty). The foreground
+//     path stops paying synchronous write+log latency: evictions mostly
+//     find clean frames, checkpoints flush an already-drained dirty page
+//     table through the same batched path (buffer.Pool.FlushPages), and
+//     re-dirtied hot pages coalesce into one device write per drain. Each
+//     batch logs its page-recovery-index updates with one grouped
+//     reserve-fill append (wal.Manager.AppendBatch — one reservation and
+//     one publication for the whole batch) instead of one append per page;
+//     deferring only the log records is safe because PRI updates need no
+//     force (§5.2.4) and a crash that wipes them leaves exactly the
+//     "page written, PRI record lost" state restart redo repairs (Fig. 12).
+//     BenchmarkE21AsyncWriteBack compares the two disciplines (writes/update
+//     is the write-amplification metric; async must be ≥2× sync);
+//   - a continuous scrub campaign: an incremental, rate-limited cursor
+//     (storage.Device.ScrubRange, spf.Options.Maintenance.ScrubPagesPerSecond)
+//     re-reads and verifies mapped slots so latent single-page failures
+//     are detected early — the paper cites scrubbing as the discoverer of
+//     most latent sector errors (§1) — and every failure found is routed
+//     through the ordinary single-page recovery path (evict, validating
+//     re-read, relocate, retire) while foreground traffic continues.
+//     BenchmarkE22ScrubCampaignOverhead measures what the campaign costs
+//     foreground fetches; spf.DB.MaintenanceStats reports campaign
+//     progress (pages scrubbed, sweeps, latent failures found/repaired/
+//     escalated).
+//
+// Crash-safety: spf.DB.Crash and Close quiesce the service before touching
+// the log or pool — every worker goroutine is joined, so no background
+// write can land after the log truncates its volatile tail, and every
+// acknowledged commit remains durable with async write-back enabled (the
+// -race fault-injection stress in spf/maintenance_test.go proves both
+// properties, plus online detection+repair of every injected latent
+// error).
+//
+// CI runs a benchmark-regression gate on every PR: `spfbench -benchjson`
+// regenerates the tracked set (E19-E22) and `spfbench -benchcompare`
+// fails the build if any entry regresses more than 3x against the
+// committed BENCH_wal.json / BENCH_maintenance.json baselines or drops
+// out of the tracked set.
 package repro

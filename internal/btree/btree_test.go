@@ -45,11 +45,10 @@ func newTestPager(t *testing.T, pageSize, slots, frames int) *testPager {
 	p.pool = buffer.NewPool(buffer.Config{
 		Capacity: frames, Device: p.dev, Map: p.pmap, Log: p.log,
 		Hooks: buffer.Hooks{
-			OnWriteComplete: func(info buffer.WriteInfo) {
+			CompleteWrite: func(info buffer.WriteInfo) []*wal.Record {
 				// Minimal Fig. 11 maintenance for the tests.
-				if _, err := p.pri.SetLastLSN(info.Page, info.PageLSN); err == nil {
-					return
-				}
+				_, _ = p.pri.SetLastLSN(info.Page, info.PageLSN)
+				return nil
 			},
 		},
 	})

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/iosim"
 	"repro/internal/page"
@@ -188,4 +189,97 @@ func fetchRetry(pool *Pool, id page.ID) (*Handle, error) {
 		}
 	}
 	return nil, err
+}
+
+// TestConcurrentFlushBatchWithMutators races two background batch
+// flushers against foreground updaters and explicit evictions: dirty
+// accounting must stay exact (never negative, zero once quiesced and
+// drained) and no update may be lost to a flush/dirty race.
+func TestConcurrentFlushBatchWithMutators(t *testing.T) {
+	e := newEnv(t, 64, Hooks{})
+	const nPages = 32
+	ids := make([]page.ID, nPages)
+	for i := range ids {
+		ids[i] = e.newPage(t, fmt.Sprintf("seed-%d", i))
+	}
+	if err := e.pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	versions := make([]atomic.Int64, nPages)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				k := (w*7 + i*3) % nPages
+				h, err := e.pool.Fetch(ids[k])
+				if err != nil {
+					t.Errorf("fetch: %v", err)
+					return
+				}
+				h.Lock()
+				v := versions[k].Add(1)
+				if err := h.Page().SetPayload([]byte(fmt.Sprintf("p%d-v%d", k, v))); err != nil {
+					t.Errorf("set payload: %v", err)
+				}
+				lsn := e.log.Append(&wal.Record{Type: wal.TypeUpdate, Txn: 1, PageID: ids[k]})
+				h.Page().SetLSN(lsn)
+				h.MarkDirty(lsn)
+				h.Unlock()
+				h.Release()
+			}
+		}(w)
+	}
+	for f := 0; f < 2; f++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if _, err := e.pool.FlushBatch(8); err != nil {
+					t.Errorf("flush batch: %v", err)
+					return
+				}
+				if n := e.pool.DirtyCount(); n < 0 {
+					t.Errorf("dirty count went negative: %d", n)
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(200 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+
+	for e.pool.DirtyCount() > 0 {
+		if _, err := e.pool.FlushBatch(8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every page's latest version must be durable: evict and re-read.
+	for k, id := range ids {
+		if err := e.pool.Evict(id); err != nil && !errors.Is(err, ErrNotResident) {
+			t.Fatal(err)
+		}
+		h, err := e.pool.Fetch(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.RLock()
+		got := string(h.Page().Payload())
+		h.RUnlock()
+		h.Release()
+		want := fmt.Sprintf("p%d-v%d", k, versions[k].Load())
+		if versions[k].Load() == 0 {
+			want = fmt.Sprintf("seed-%d", k)
+		}
+		if got != want {
+			t.Errorf("page %d: durable payload %q, want %q", id, got, want)
+		}
+	}
+	if n := e.pool.DirtyCount(); n != 0 {
+		t.Errorf("dirty count %d after full drain", n)
+	}
 }

@@ -81,11 +81,21 @@ type Hooks struct {
 	// page contents. If it fails, the read escalates: the pool returns
 	// the recovery error wrapped in ErrPageFailed.
 	Recover func(id page.ID) (*page.Page, error)
-	// OnWriteComplete runs after a dirty page has been written to the
-	// device and before the frame may be evicted or reused (Fig. 11:
-	// "a log record describing the appropriate update in the page
-	// recovery index is written before the data page is truly evicted").
-	OnWriteComplete func(info WriteInfo)
+	// CompleteWrite runs after a dirty page has been written to the
+	// device, while the write is still serialized against other flushes
+	// of the same page (inside the frame's flush mutex, after the page
+	// latch is released). The engine updates its page recovery index here
+	// — the serialization guarantees per-page notifications arrive in
+	// write order, so index state like the copy-on-write backup chain is
+	// captured consistently — and returns the log records describing the
+	// update. The pool appends them: immediately for a per-page flush
+	// (eviction, FlushPage — the Fig. 11 "record written before the page
+	// is truly evicted" sequence), or as one grouped reserve-fill append
+	// per batch for FlushBatch/FlushPages/FlushAll. A batch's records may
+	// therefore trail the device writes briefly; a crash inside that
+	// window leaves exactly the "page written, PRI record lost" state
+	// restart redo repairs (Fig. 12).
+	CompleteWrite func(info WriteInfo) []*wal.Record
 	// OnRecovered runs after a successful single-page recovery with the
 	// relocation details (new slot, retired slot).
 	OnRecovered func(info WriteInfo)
@@ -167,9 +177,14 @@ func (f *frame) isDirty() bool {
 	return f.dirty
 }
 
-func (f *frame) setClean() {
+// setClean clears a frame's dirty state and maintains the pool's dirty
+// count (the watermark signal for background write-back).
+func (p *Pool) setClean(f *frame) {
 	f.metaMu.Lock()
-	f.dirty = false
+	if f.dirty {
+		f.dirty = false
+		p.dirty.Add(-1)
+	}
 	f.recLSN = page.ZeroLSN
 	f.metaMu.Unlock()
 }
@@ -213,6 +228,7 @@ type Pool struct {
 	shift    uint // 64 - log2(len(shards)), for the multiplicative hash
 	capacity int
 	used     atomic.Int64 // frames resident or reserved by in-flight loads
+	dirty    atomic.Int64 // frames currently dirty (write-back watermark)
 	rotor    atomic.Uint64
 	dev      *storage.Device
 	pmap     *pagemap.Map
@@ -317,6 +333,10 @@ func (p *Pool) Capacity() int { return p.capacity }
 // Shards returns the number of shards.
 func (p *Pool) Shards() int { return len(p.shards) }
 
+// DirtyCount returns the number of dirty frames — one atomic load, cheap
+// enough for the background flusher's watermark check on every MarkDirty.
+func (p *Pool) DirtyCount() int { return int(p.dirty.Load()) }
+
 // Resident returns the number of pages currently buffered.
 func (p *Pool) Resident() int {
 	var n int64
@@ -371,6 +391,7 @@ func (h *Handle) MarkDirty(lsn page.LSN) {
 	if !h.f.dirty {
 		h.f.dirty = true
 		h.f.recLSN = lsn
+		h.pool.dirty.Add(1)
 	} else if h.f.recLSN == page.ZeroLSN {
 		// Freshly created pages are born dirty before their first log
 		// record exists; adopt the first logged LSN as the recovery LSN.
@@ -417,10 +438,15 @@ func (p *Pool) Create(id page.ID, typ page.Type) (*Handle, error) {
 	f.pins.Store(1)
 	f.ref.Store(true)
 	f.dirty = true
+	// Count the born-dirty frame before it becomes visible: a concurrent
+	// flusher that cleans it right after install must never drive the
+	// dirty count negative.
+	p.dirty.Add(1)
 	s.mu.Lock()
 	if _, ok := s.frames.Load(id); ok {
 		s.mu.Unlock()
 		p.unreserve()
+		p.dirty.Add(-1)
 		return nil, fmt.Errorf("buffer: page %d already resident", id)
 	}
 	s.installLocked(f)
@@ -476,6 +502,7 @@ func (p *Pool) Fetch(id page.ID) (*Handle, error) {
 		// written there yet: keep it dirty so write-back persists it.
 		f.dirty = true
 		f.recLSN = pg.LSN()
+		p.dirty.Add(1)
 	}
 	s.mu.Lock()
 	if v, ok := s.frames.Load(id); ok {
@@ -487,6 +514,9 @@ func (p *Pool) Fetch(id page.ID) (*Handle, error) {
 			other.ref.Store(true)
 			s.mu.Unlock()
 			p.unreserve()
+			if failure != nil {
+				p.dirty.Add(-1)
+			}
 			return &other.h, nil
 		}
 	}
@@ -662,11 +692,28 @@ func (p *Pool) evictFromShard(s *shard) (bool, error) {
 
 // flushFrame writes a dirty frame back to the device, observing the
 // write-ahead-log protocol (force the log up to the PageLSN first) and the
-// Fig. 11 sequence (completed-write hook before the frame can be evicted).
-// It takes no shard lock; per-frame flushMu serializes concurrent flushers
-// of the same page so a copy-on-write slot is consumed at most once per
-// image.
+// Fig. 11 sequence (completed-write records appended before the frame can
+// be evicted). It takes no shard lock; per-frame flushMu serializes
+// concurrent flushers of the same page so a copy-on-write slot is consumed
+// at most once per image.
 func (p *Pool) flushFrame(f *frame) error {
+	recs, _, err := p.writeBack(f)
+	if err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		p.log.Append(rec)
+	}
+	return nil
+}
+
+// writeBack is the core of a frame flush: WAL force, write target
+// resolution, encode, device write, clean transition, and the
+// completed-write notification — all serialized per frame by flushMu, so
+// the engine sees each page's writes in order. It returns the log records
+// the engine wants appended for this write (the caller appends them,
+// singly or batched) and whether a write actually happened.
+func (p *Pool) writeBack(f *frame) ([]*wal.Record, bool, error) {
 	f.flushMu.Lock()
 	defer f.flushMu.Unlock()
 	// Exclude concurrent page mutators while encoding: updaters mutate
@@ -677,14 +724,14 @@ func (p *Pool) flushFrame(f *frame) error {
 	f.latch.RLock()
 	if !f.isDirty() {
 		f.latch.RUnlock()
-		return nil
+		return nil, false, nil
 	}
 	// WAL protocol: no dirty page reaches the database before its log.
 	p.log.Flush(f.pg.LSN())
 	dst, prev, hadPrev, err := p.pmap.WriteTarget(f.id)
 	if err != nil {
 		f.latch.RUnlock()
-		return fmt.Errorf("buffer: flush of page %d: %w", f.id, err)
+		return nil, false, fmt.Errorf("buffer: flush of page %d: %w", f.id, err)
 	}
 	buf := p.getScratch()
 	f.pg.EncodeInto(*buf)
@@ -692,16 +739,106 @@ func (p *Pool) flushFrame(f *frame) error {
 	if err := p.dev.Write(dst, *buf); err != nil {
 		p.putScratch(buf)
 		f.latch.RUnlock()
-		return fmt.Errorf("buffer: flush of page %d to slot %d: %w", f.id, dst, err)
+		return nil, false, fmt.Errorf("buffer: flush of page %d to slot %d: %w", f.id, dst, err)
 	}
 	p.putScratch(buf)
-	f.setClean()
+	p.setClean(f)
 	f.latch.RUnlock()
 	p.stats.writes.Add(1)
-	if hooks := p.getHooks(); hooks.OnWriteComplete != nil {
-		hooks.OnWriteComplete(WriteInfo{Page: f.id, PageLSN: lsn, Dest: dst, Prev: prev, HadPrev: hadPrev})
+	var recs []*wal.Record
+	if hooks := p.getHooks(); hooks.CompleteWrite != nil {
+		recs = hooks.CompleteWrite(WriteInfo{
+			Page: f.id, PageLSN: lsn, Dest: dst, Prev: prev, HadPrev: hadPrev,
+		})
 	}
-	return nil
+	return recs, true, nil
+}
+
+// FlushBatch writes back up to max dirty frames as one batch: the log is
+// forced once for the whole group (per-frame forces become no-ops unless a
+// page was updated mid-batch), and the batch's completed-write records are
+// appended as one grouped reserve-fill block (wal.AppendBatch) instead of
+// one append per page. Frames are gathered round-robin across shards so
+// concurrent flusher workers spread out. Returns the number of pages
+// written.
+//
+// FlushBatch is the background flusher's drain primitive; it is safe to
+// run concurrently with foreground traffic, evictions, and checkpoints:
+// per-frame flushMu serializes double flushes and keeps each page's
+// completed-write notifications in write order, and frames dirtied
+// mid-batch stay dirty and are caught by the next drain.
+func (p *Pool) FlushBatch(max int) (int, error) {
+	if max <= 0 || p.dirty.Load() == 0 {
+		return 0, nil
+	}
+	victims := make([]*frame, 0, max)
+	start := p.rotor.Add(1)
+	for i := 0; i < len(p.shards) && len(victims) < max; i++ {
+		s := p.shards[(start+uint64(i))&uint64(len(p.shards)-1)]
+		s.frames.Range(func(_, v any) bool {
+			f := v.(*frame)
+			if f.isDirty() {
+				victims = append(victims, f)
+			}
+			return len(victims) < max
+		})
+	}
+	if len(victims) == 0 {
+		return 0, nil
+	}
+	// One sequential force covers every victim's PageLSN (they are all
+	// already published); the per-frame force inside writeBack then only
+	// fires for pages updated after this point.
+	p.log.FlushAll()
+	var recs []*wal.Record
+	wrote := 0
+	var firstErr error
+	for _, f := range victims {
+		r, did, err := p.writeBack(f)
+		if err != nil {
+			firstErr = err
+			break
+		}
+		if did {
+			wrote++
+			recs = append(recs, r...)
+		}
+	}
+	if len(recs) > 0 {
+		p.log.AppendBatch(recs)
+	}
+	return wrote, firstErr
+}
+
+// FlushPages writes back the named pages (skipping any no longer resident
+// — eviction already flushed those) with one log force and one grouped
+// append of the completed-write records. Checkpoints use it to flush the
+// dirty page table without paying per-page log appends, and without racing
+// the background flusher: whichever reaches a frame first cleans it, the
+// other skips it.
+func (p *Pool) FlushPages(ids []page.ID) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	p.log.FlushAll()
+	var recs []*wal.Record
+	var firstErr error
+	for _, id := range ids {
+		v, ok := p.shardOf(id).frames.Load(id)
+		if !ok {
+			continue
+		}
+		r, _, err := p.writeBack(v.(*frame))
+		if err != nil {
+			firstErr = err
+			break
+		}
+		recs = append(recs, r...)
+	}
+	if len(recs) > 0 {
+		p.log.AppendBatch(recs)
+	}
+	return firstErr
 }
 
 // FlushPage writes page id back if it is resident and dirty.
@@ -715,25 +852,22 @@ func (p *Pool) FlushPage(id page.ID) error {
 
 // FlushAll writes every dirty page back (checkpoint support). Pages pinned
 // by concurrent transactions are flushed too — pins guard residency, not
-// cleanliness; callers serialize content mutation via page latches.
+// cleanliness; callers serialize content mutation via page latches. The
+// writes ride the batched path: one log force and one grouped
+// write-complete delivery per shard's worth of dirty pages.
 func (p *Pool) FlushAll() error {
+	var ids []page.ID
 	for _, s := range p.shards {
-		var frames []*frame
 		s.frames.Range(func(_, v any) bool {
-			frames = append(frames, v.(*frame))
+			f := v.(*frame)
+			if f.isDirty() {
+				ids = append(ids, f.id)
+			}
 			return true
 		})
-		sort.Slice(frames, func(i, j int) bool { return frames[i].id < frames[j].id })
-		for _, f := range frames {
-			if !f.isDirty() {
-				continue
-			}
-			if err := p.flushFrame(f); err != nil {
-				return err
-			}
-		}
 	}
-	return nil
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return p.FlushPages(ids)
 }
 
 // Evict removes page id from the pool, flushing it first if dirty. It
@@ -806,7 +940,10 @@ func sortDirty(d []DirtyPageEntry) {
 }
 
 // Crash discards all buffered pages without flushing, simulating the loss
-// of volatile state in a system failure.
+// of volatile state in a system failure. The dirty count resets with them;
+// the pool is dead after a crash (the engine builds a fresh one at
+// restart), so stragglers still holding handles cannot meaningfully skew
+// it.
 func (p *Pool) Crash() {
 	for _, s := range p.shards {
 		s.mu.Lock()
@@ -821,6 +958,7 @@ func (p *Pool) Crash() {
 		s.mu.Unlock()
 		p.used.Add(-n)
 	}
+	p.dirty.Store(0)
 }
 
 // IsResident reports whether page id is currently buffered.

@@ -175,10 +175,11 @@ func TestOnWriteCompleteHookOrdering(t *testing.T) {
 	var mu sync.Mutex
 	var events []string
 	hooks := Hooks{
-		OnWriteComplete: func(info WriteInfo) {
+		CompleteWrite: func(info WriteInfo) []*wal.Record {
 			mu.Lock()
 			events = append(events, fmt.Sprintf("write-complete:%d@%d", info.Page, info.PageLSN))
 			mu.Unlock()
+			return nil
 		},
 	}
 	e := newEnv(t, 4, hooks)
@@ -195,7 +196,7 @@ func TestOnWriteCompleteHookOrdering(t *testing.T) {
 
 func TestWriteCompleteNotCalledForCleanEvict(t *testing.T) {
 	calls := 0
-	e := newEnv(t, 4, Hooks{OnWriteComplete: func(WriteInfo) { calls++ }})
+	e := newEnv(t, 4, Hooks{CompleteWrite: func(WriteInfo) []*wal.Record { calls++; return nil }})
 	id := e.newPage(t, "y")
 	if err := e.pool.Evict(id); err != nil {
 		t.Fatal(err)
@@ -491,5 +492,152 @@ func TestMarkDirtyKeepsFirstRecLSN(t *testing.T) {
 	dpt := e.pool.DirtyPages()
 	if len(dpt) != 1 || dpt[0].RecLSN != 100 {
 		t.Errorf("dpt = %v, want recLSN 100", dpt)
+	}
+}
+
+func TestDirtyCountTracksTransitions(t *testing.T) {
+	e := newEnv(t, 8, Hooks{})
+	if n := e.pool.DirtyCount(); n != 0 {
+		t.Fatalf("fresh pool dirty count %d", n)
+	}
+	ids := []page.ID{e.newPage(t, "a"), e.newPage(t, "b"), e.newPage(t, "c")}
+	if n := e.pool.DirtyCount(); n != 3 {
+		t.Fatalf("dirty count after 3 creates = %d, want 3", n)
+	}
+	if err := e.pool.FlushPage(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.pool.DirtyCount(); n != 2 {
+		t.Fatalf("dirty count after one flush = %d, want 2", n)
+	}
+	// Re-dirtying a dirty page must not double count.
+	h, err := e.pool.Fetch(ids[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.MarkDirty(99)
+	h.MarkDirty(100)
+	h.Release()
+	if n := e.pool.DirtyCount(); n != 2 {
+		t.Fatalf("dirty count after re-dirty = %d, want 2", n)
+	}
+	if err := e.pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.pool.DirtyCount(); n != 0 {
+		t.Fatalf("dirty count after FlushAll = %d, want 0", n)
+	}
+	e.pool.Crash()
+	if n := e.pool.DirtyCount(); n != 0 {
+		t.Fatalf("dirty count after Crash = %d, want 0", n)
+	}
+}
+
+func TestFlushBatchDrainsAndGroupsAppends(t *testing.T) {
+	var mu sync.Mutex
+	var completed []page.ID
+	hooks := Hooks{
+		CompleteWrite: func(info WriteInfo) []*wal.Record {
+			mu.Lock()
+			completed = append(completed, info.Page)
+			mu.Unlock()
+			return []*wal.Record{{Type: wal.TypePRIUpdate, PageID: info.Page}}
+		},
+	}
+	e := newEnv(t, 16, hooks)
+	var ids []page.ID
+	for i := 0; i < 10; i++ {
+		ids = append(ids, e.newPage(t, fmt.Sprintf("page-%d", i)))
+	}
+	appendsBefore := e.log.Stats()
+	n, err := e.pool.FlushBatch(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("first batch flushed %d, want 4", n)
+	}
+	if e.pool.DirtyCount() != 6 {
+		t.Fatalf("dirty after first batch = %d, want 6", e.pool.DirtyCount())
+	}
+	for e.pool.DirtyCount() > 0 {
+		if _, err := e.pool.FlushBatch(4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err = e.pool.FlushBatch(4)
+	if err != nil || n != 0 {
+		t.Fatalf("drained pool flushed %d (err %v), want 0", n, err)
+	}
+	// The batch path groups appends: one AppendBatch per non-empty batch,
+	// one record per flushed page, no page flushed twice.
+	ls := e.log.Stats()
+	gotBatches := ls.BatchAppends - appendsBefore.BatchAppends
+	if gotBatches < 3 {
+		t.Fatalf("grouped appends = %d, want >= 3 (10 pages at batch cap 4)", gotBatches)
+	}
+	seen := make(map[page.ID]bool)
+	for _, id := range completed {
+		if seen[id] {
+			t.Fatalf("page %d flushed twice", id)
+		}
+		seen[id] = true
+	}
+	if len(completed) != len(ids) {
+		t.Fatalf("completed-write hook covered %d pages, want %d", len(completed), len(ids))
+	}
+	// Everything must actually be on the device.
+	for _, id := range ids {
+		if err := e.pool.Evict(id); err != nil {
+			t.Fatal(err)
+		}
+		h, err := e.pool.Fetch(id)
+		if err != nil {
+			t.Fatalf("refetching %d: %v", id, err)
+		}
+		h.Release()
+	}
+}
+
+func TestFlushPagesSkipsNonResident(t *testing.T) {
+	var batched int
+	e := newEnv(t, 8, Hooks{
+		CompleteWrite: func(WriteInfo) []*wal.Record { batched++; return nil },
+	})
+	a := e.newPage(t, "a")
+	b := e.newPage(t, "b")
+	if err := e.pool.Evict(a); err != nil { // flushes + removes a
+		t.Fatal(err)
+	}
+	batched = 0
+	if err := e.pool.FlushPages([]page.ID{a, b, 999}); err != nil {
+		t.Fatal(err)
+	}
+	if batched != 1 {
+		t.Fatalf("batched hook saw %d writes, want 1 (only b)", batched)
+	}
+	if e.pool.DirtyCount() != 0 {
+		t.Fatalf("dirty count %d after FlushPages", e.pool.DirtyCount())
+	}
+}
+
+func TestPerPageFlushAppendsImmediately(t *testing.T) {
+	// Per-page flushes (eviction, FlushPage) append their completed-write
+	// records singly — no grouped append — preserving the Fig. 11
+	// record-before-eviction sequence.
+	e := newEnv(t, 8, Hooks{CompleteWrite: func(info WriteInfo) []*wal.Record {
+		return []*wal.Record{{Type: wal.TypePRIUpdate, PageID: info.Page}}
+	}})
+	a := e.newPage(t, "x")
+	before := e.log.Stats()
+	if err := e.pool.FlushPage(a); err != nil {
+		t.Fatal(err)
+	}
+	ls := e.log.Stats()
+	if got := ls.BatchAppends - before.BatchAppends; got != 0 {
+		t.Fatalf("per-page flush used %d grouped appends", got)
+	}
+	if got := ls.Appends - before.Appends; got != 1 {
+		t.Fatalf("per-page flush appended %d records, want 1", got)
 	}
 }

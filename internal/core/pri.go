@@ -223,6 +223,14 @@ func (p *PRI) Set(id page.ID, e Entry) {
 // SetLastLSN records the most recent log record for page id after its
 // dirty image has been written back to the database (§5.2.4), preserving
 // the page's existing backup reference. It returns the updated entry.
+//
+// The update is monotone: a page's newest-record LSN never moves
+// backwards, so a completed-write notification delivered late — batched
+// write-back racing an eviction flush of the same page, or an old
+// PRIUpdate record replayed after a newer one during restart analysis —
+// cannot regress the index below history that is already durable (a
+// regressed LastLSN would make a later single-page recovery stop its
+// chain walk early and silently lose committed updates).
 func (p *PRI) SetLastLSN(id page.ID, lsn page.LSN) (Entry, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -231,8 +239,10 @@ func (p *PRI) SetLastLSN(id page.ID, lsn page.LSN) (Entry, error) {
 		return Entry{}, fmt.Errorf("%w: %d", ErrNoEntry, id)
 	}
 	e := p.ranges[i].e
-	e.LastLSN = lsn
-	p.setRangeLocked(id, id, e)
+	if lsn > e.LastLSN {
+		e.LastLSN = lsn
+		p.setRangeLocked(id, id, e)
+	}
 	return e, nil
 }
 

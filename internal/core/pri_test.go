@@ -292,8 +292,10 @@ func TestQuickPRIMatchesNaiveModel(t *testing.T) {
 						return false
 					}
 					ne := naive[lo]
-					ne.LastLSN = page.LSN(lsn)
-					naive[lo] = ne
+					if page.LSN(lsn) > ne.LastLSN { // SetLastLSN is monotone
+						ne.LastLSN = page.LSN(lsn)
+						naive[lo] = ne
+					}
 				}
 			}
 			if p.Validate() != nil {
@@ -361,5 +363,21 @@ func TestFailureClassStringsAndEscalation(t *testing.T) {
 	}
 	if !chain[2].FullRestartNeeded {
 		t.Error("system failure must need a full restart")
+	}
+}
+
+func TestSetLastLSNIsMonotone(t *testing.T) {
+	p := NewPRI()
+	p.SetRange(1, 10, fullEntry(1, 10))
+	p.mustSetLastLSN(t, 5, 80)
+	// A late, stale completed-write notification must not regress the
+	// index below durable history.
+	p.mustSetLastLSN(t, 5, 40)
+	if e, _ := p.Get(5); e.LastLSN != 80 {
+		t.Errorf("LastLSN regressed to %d, want 80", e.LastLSN)
+	}
+	p.mustSetLastLSN(t, 5, 90)
+	if e, _ := p.Get(5); e.LastLSN != 90 {
+		t.Errorf("LastLSN = %d, want raised to 90", e.LastLSN)
 	}
 }

@@ -1,0 +1,296 @@
+// Package maintbench holds the shared drivers for the maintenance
+// subsystem benchmarks (E21 async write-back, E22 scrub campaign
+// overhead). Both the root bench_test.go (go test -bench) and cmd/spfbench
+// -benchjson run these same functions, so the numbers in BENCH_*.json
+// always measure exactly what CI smoke-tests.
+package maintbench
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/iosim"
+	"repro/internal/maintenance"
+	"repro/internal/page"
+	"repro/internal/pagemap"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// WriteBackResult quantifies one write-back run.
+type WriteBackResult struct {
+	// Updates is the number of foreground page updates performed (b.N).
+	Updates int64
+	// DeviceWrites is how many page images reached the device for them.
+	// DeviceWrites/Updates is the write amplification of the flush policy:
+	// synchronous write-through pays ~1.0; batched background write-back
+	// coalesces re-dirtied hot pages and pays a fraction.
+	DeviceWrites int64
+	// PRIAppends counts completed-write log records; BatchAppends counts
+	// the grouped reserve-fill appends that carried them (0 in the
+	// synchronous mode, which appends one record per page write).
+	PRIAppends   int64
+	BatchAppends int64
+}
+
+// writeBackEnv is the standalone engine slice the driver runs against: a
+// buffer pool over a simulated device, with hooks that mimic the engine's
+// completed-write logging (one PRI update record per page write, grouped
+// through AppendBatch on the batched path).
+type writeBackEnv struct {
+	dev  *storage.Device
+	pmap *pagemap.Map
+	log  *wal.Manager
+	pool *buffer.Pool
+	pri  atomic.Int64 // PRI update records logged
+}
+
+func newWriteBackEnv(b *testing.B, capacity, slots int) *writeBackEnv {
+	b.Helper()
+	e := &writeBackEnv{
+		dev:  storage.NewDevice(storage.Config{PageSize: 4096, Slots: slots, Profile: iosim.Instant}),
+		pmap: pagemap.New(pagemap.InPlace, slots),
+		log:  wal.NewManager(iosim.Instant),
+	}
+	priPayload := make([]byte, 32)
+	e.pool = buffer.NewPool(buffer.Config{
+		Capacity: capacity, Device: e.dev, Map: e.pmap, Log: e.log,
+		Hooks: buffer.Hooks{
+			// Mimic the engine's completed-write logging: one PRI update
+			// record per page write, appended by the pool (singly on the
+			// synchronous path, grouped per batch on the async path).
+			CompleteWrite: func(info buffer.WriteInfo) []*wal.Record {
+				e.pri.Add(1)
+				return []*wal.Record{{
+					Type: wal.TypePRIUpdate, PageID: info.Page, Payload: priPayload,
+				}}
+			},
+		},
+	})
+	return e
+}
+
+func (e *writeBackEnv) seedPages(b *testing.B, n int) []page.ID {
+	b.Helper()
+	ids := make([]page.ID, n)
+	payload := []byte("maintbench-seed-payload")
+	for i := range ids {
+		id := e.pmap.AllocateLogical()
+		h, err := e.pool.Create(id, page.TypeRaw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h.Lock()
+		if err := h.Page().SetPayload(payload); err != nil {
+			b.Fatal(err)
+		}
+		lsn := e.log.Append(&wal.Record{Type: wal.TypeFormat, Txn: 1, PageID: id})
+		h.Page().SetLSN(lsn)
+		h.MarkDirty(lsn)
+		h.Unlock()
+		h.Release()
+		ids[i] = id
+	}
+	if err := e.pool.FlushAll(); err != nil {
+		b.Fatal(err)
+	}
+	return ids
+}
+
+// WriteBack drives b.N page updates over a hot set of pages and makes them
+// all durable, comparing the flush policies the maintenance subsystem
+// replaces and provides:
+//
+//   - async=false — the old foreground discipline: every update pays a
+//     synchronous write-back (write + PRI log append) before the next
+//     update proceeds, the latency evictions and checkpoints used to pay.
+//   - async=true — updates only mark pages dirty and prod the maintenance
+//     service; flusher workers drain batches concurrently (watermark- and
+//     age-triggered), each batch logging its PRI updates as one grouped
+//     append. Re-dirtied hot pages coalesce into one write per drain.
+//
+// Both modes end fully flushed (the async run stops the service and drains
+// the remainder), so the durability work is equivalent.
+func WriteBack(b *testing.B, async bool, workers int) WriteBackResult {
+	const (
+		hotPages = 64
+		capacity = 1024
+	)
+	e := newWriteBackEnv(b, capacity, 16384)
+	ids := e.seedPages(b, hotPages)
+	// Everything below reports deltas: seeding itself flushed (and
+	// group-appended) once.
+	writesBefore := e.dev.Stats().Writes
+	priBefore := e.pri.Load()
+	batchesBefore := e.log.Stats().BatchAppends
+
+	var svc *maintenance.Service
+	if async {
+		svc = maintenance.New(maintenance.Config{
+			FlushWorkers:       workers,
+			FlushBatchPages:    hotPages,
+			FlushInterval:      2 * time.Millisecond,
+			DirtyHighWatermark: 0.25,
+			// Scrubbing off: E22 measures the campaign separately.
+			ScrubPagesPerSecond: -1,
+		}, maintenance.Deps{Pool: e.pool})
+		svc.Start()
+	}
+
+	payload := make([]byte, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		id := ids[n%hotPages]
+		h, err := e.pool.Fetch(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h.Lock()
+		if err := h.Page().SetPayload(payload); err != nil {
+			b.Fatal(err)
+		}
+		lsn := e.log.Append(&wal.Record{Type: wal.TypeUpdate, Txn: 1, PageID: id})
+		h.Page().SetLSN(lsn)
+		h.MarkDirty(lsn)
+		h.Unlock()
+		h.Release()
+		if async {
+			svc.NotifyDirty()
+		} else if err := e.pool.FlushPage(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if async {
+		svc.Stop()
+		if err := e.pool.FlushAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if d := e.pool.DirtyCount(); d != 0 {
+		b.Fatalf("%d pages left dirty", d)
+	}
+	return WriteBackResult{
+		Updates:      int64(b.N),
+		DeviceWrites: e.dev.Stats().Writes - writesBefore,
+		PRIAppends:   e.pri.Load() - priBefore,
+		BatchAppends: e.log.Stats().BatchAppends - batchesBefore,
+	}
+}
+
+// ScrubResult quantifies one scrub-overhead run.
+type ScrubResult struct {
+	// Reads is the number of foreground page fetches performed (b.N).
+	Reads int64
+	// PagesScrubbed and Sweeps report campaign progress during the run;
+	// Repaired counts latent errors it fixed along the way.
+	PagesScrubbed int64
+	Sweeps        int64
+	Repaired      int64
+}
+
+// ScrubOverhead drives b.N foreground fetches (buffer hits — the engine's
+// hot path) while a scrub campaign runs at the given page rate underneath
+// (rate <= 0 disables the campaign: the baseline). A slice of cold pages
+// carries persistent corruption, so an enabled campaign does real repair
+// work, not just clean scans. The interesting number is the foreground
+// ns/op delta between rate=0 and rate>0: the campaign's overhead on
+// foreground traffic.
+func ScrubOverhead(b *testing.B, rate int) ScrubResult {
+	const (
+		nPages    = 256
+		capacity  = 1024
+		corrupted = 8
+	)
+	// A tight slot space keeps full sweeps short (a sweep is what finds
+	// the injected damage), which matters on starved single-core runners.
+	e := newWriteBackEnv(b, capacity, 2048)
+	// The pool needs a recovery hook for repairs.
+	hooks := buffer.Hooks{
+		Recover: func(id page.ID) (*page.Page, error) {
+			pg := page.New(id, page.TypeRaw, 4096)
+			if err := pg.SetPayload([]byte(fmt.Sprintf("recovered-%d", id))); err != nil {
+				return nil, err
+			}
+			return pg, nil
+		},
+	}
+	e.pool.SetHooks(hooks)
+	ids := e.seedPages(b, nPages)
+	// Latent damage on cold (evicted) pages only: the resident hot set
+	// keeps serving the foreground; only the campaign goes to the device.
+	for i := 0; i < corrupted; i++ {
+		id := ids[nPages-1-i]
+		if err := e.pool.Evict(id); err != nil {
+			b.Fatal(err)
+		}
+		slot, ok := e.pmap.Lookup(id)
+		if !ok {
+			b.Fatal("cold page has no slot")
+		}
+		if err := e.dev.CorruptStored(slot); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	var svc *maintenance.Service
+	if rate > 0 {
+		svc = maintenance.New(maintenance.Config{
+			ScrubPagesPerSecond: rate,
+			ScrubBatchPages:     64,
+			FlushInterval:       5 * time.Millisecond,
+		}, maintenance.Deps{
+			Pool:        e.pool,
+			Dev:         e.dev,
+			MappedSlots: e.pmap.MappedSlots,
+			Repair: func(id page.ID) error {
+				// Cold pages are unpinned; not-resident just means no
+				// cached copy to drop.
+				if err := e.pool.Evict(id); err != nil && !errors.Is(err, buffer.ErrNotResident) {
+					return err
+				}
+				h, err := e.pool.Fetch(id)
+				if err != nil {
+					return err
+				}
+				h.Release()
+				return nil
+			},
+		})
+		svc.Start()
+	}
+
+	hot := nPages - corrupted
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		h, err := e.pool.Fetch(ids[n%hot])
+		if err != nil {
+			b.Fatal(err)
+		}
+		h.Release()
+	}
+	b.StopTimer()
+	res := ScrubResult{Reads: int64(b.N)}
+	if svc != nil {
+		// Outside the timed region, give the campaign a moment to show
+		// life: on a single-core runner the foreground loop starves the
+		// scrub goroutine, and asserting progress without this grace
+		// window would be a scheduler lottery.
+		deadline := time.Now().Add(2 * time.Second)
+		for svc.Stats().PagesScrubbed == 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		svc.Stop()
+		s := svc.Stats()
+		res.PagesScrubbed = s.PagesScrubbed
+		res.Sweeps = s.Sweeps
+		res.Repaired = s.Repaired
+	}
+	return res
+}

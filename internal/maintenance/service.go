@@ -1,0 +1,368 @@
+// Package maintenance runs the background work that keeps the engine
+// healthy under load, turning the paper's recovery primitives into a
+// continuously self-repairing system:
+//
+//   - asynchronous write-back: a pool of flusher goroutines drains dirty
+//     pages from the buffer pool in batches, triggered either by a dirty
+//     watermark (the engine prods the service from its mark-dirty hook) or
+//     by age (a periodic tick bounds how long a page stays dirty). The
+//     foreground path — evictions, checkpoints, commits — stops paying
+//     synchronous write+log latency, and each batch logs its page recovery
+//     index updates as one grouped WAL append (wal.AppendBatch) instead of
+//     one append per page;
+//   - a continuous scrub campaign: an incremental, rate-limited cursor
+//     over the device (storage.Device.ScrubRange) re-reads and verifies
+//     mapped slots, so latent single-page failures are detected early —
+//     the paper cites scrubbing as the discoverer of most latent sector
+//     errors (§1) — and every failure found is immediately routed through
+//     the engine's single-page recovery path while foreground traffic
+//     continues.
+//
+// The service owns only goroutines, never durability: all write ordering
+// (WAL before page, completed-write logging) lives in the buffer pool and
+// the engine hooks. Stop quiesces deterministically — it joins every
+// worker — so a simulated Crash can stop the service first and then
+// truncate the log knowing no background append or device write is in
+// flight, exactly as it quiesces foreground appenders.
+package maintenance
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/page"
+	"repro/internal/storage"
+)
+
+// Config tunes the service. Zero values select the defaults noted on each
+// field.
+type Config struct {
+	// FlushWorkers is the number of flusher goroutines (default 1; more
+	// help only when write-back is device-bound, since batches already
+	// amortize log work).
+	FlushWorkers int
+	// FlushBatchPages caps how many pages one flush batch writes — and
+	// therefore how many PRI updates one grouped WAL append carries
+	// (default 64).
+	FlushBatchPages int
+	// FlushInterval is the age trigger: every interval, the flushers
+	// drain all dirty pages regardless of the watermark, bounding the
+	// redo work a crash can accumulate (default 25ms).
+	FlushInterval time.Duration
+	// DirtyHighWatermark is the fraction of pool capacity that, once
+	// dirty, kicks the flushers immediately (default 0.25).
+	DirtyHighWatermark float64
+	// ScrubPagesPerSecond rate-limits the scrub campaign (default 2000).
+	// Negative disables scrubbing; zero selects the default.
+	ScrubPagesPerSecond int
+	// ScrubBatchPages is how many slots one scrub tick examines
+	// (default 64). The tick interval is derived from the rate.
+	ScrubBatchPages int
+}
+
+func (c Config) withDefaults() Config {
+	if c.FlushWorkers <= 0 {
+		c.FlushWorkers = 1
+	}
+	if c.FlushBatchPages <= 0 {
+		c.FlushBatchPages = 64
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 25 * time.Millisecond
+	}
+	if c.DirtyHighWatermark <= 0 || c.DirtyHighWatermark > 1 {
+		c.DirtyHighWatermark = 0.25
+	}
+	if c.ScrubPagesPerSecond == 0 {
+		c.ScrubPagesPerSecond = 2000
+	}
+	if c.ScrubBatchPages <= 0 {
+		c.ScrubBatchPages = 64
+	}
+	return c
+}
+
+// Deps wires the service to the engine. Pool is required for write-back;
+// the scrub campaign runs only when Dev, MappedSlots, and Repair are all
+// non-nil (and the configured rate is positive).
+type Deps struct {
+	// Pool is the buffer pool whose dirty pages the flushers drain.
+	Pool *buffer.Pool
+	// Dev is the data device the scrub cursor walks.
+	Dev *storage.Device
+	// MappedSlots snapshots the slot→logical-page mapping; the scrubber
+	// uses it to skip free slots and to route a bad slot to the logical
+	// page whose recovery repairs it. Called once per full device sweep —
+	// building the snapshot costs O(pages), so paying it per 64-slot tick
+	// would dwarf the scanning itself on large databases.
+	MappedSlots func() map[storage.PhysID]page.ID
+	// Repair routes one detected latent failure through single-page
+	// recovery (evict any stale copy, then a validating re-read). A nil
+	// error means the page was repaired (or the damage had already been
+	// overwritten); an error counts as an escalation.
+	Repair func(page.ID) error
+}
+
+// Stats counts service activity. All fields are cumulative.
+type Stats struct {
+	// FlushBatches and PagesFlushed quantify write-back; PagesFlushed /
+	// FlushBatches is the realized grouping factor of the batched PRI
+	// appends.
+	FlushBatches int64
+	PagesFlushed int64
+	FlushErrors  int64
+	// ScrubTicks, PagesScrubbed, and Sweeps quantify campaign progress;
+	// a Sweep is one complete pass over the device.
+	ScrubTicks    int64
+	PagesScrubbed int64
+	Sweeps        int64
+	// LatentFound counts bad slots detected; Repaired and Escalated split
+	// them by repair outcome.
+	LatentFound int64
+	Repaired    int64
+	Escalated   int64
+}
+
+type counters struct {
+	flushBatches  atomic.Int64
+	pagesFlushed  atomic.Int64
+	flushErrors   atomic.Int64
+	scrubTicks    atomic.Int64
+	pagesScrubbed atomic.Int64
+	sweeps        atomic.Int64
+	latentFound   atomic.Int64
+	repaired      atomic.Int64
+	escalated     atomic.Int64
+}
+
+// Service is the background maintenance runner. Create with New, start
+// with Start, stop with Stop (idempotent, joins every goroutine). A
+// Service is single-use: after Stop it stays stopped; restart recovery
+// builds a fresh one.
+type Service struct {
+	cfg  Config
+	deps Deps
+	high int // dirty-frame watermark, in frames
+
+	kick chan struct{}
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	mu      sync.Mutex
+	started bool
+	stopped bool
+
+	// cursor and mapped are owned by the scrub goroutine: the incremental
+	// sweep position and the slot→page snapshot taken at the start of the
+	// current sweep. A snapshot can go stale within one sweep — a slot
+	// remapped mid-sweep routes its repair to the old owner (a harmless
+	// validating re-read) and newly mapped slots wait for the next sweep —
+	// which is the standard scrubbing trade: coverage is per sweep, not
+	// per instant.
+	cursor storage.PhysID
+	mapped map[storage.PhysID]page.ID
+	stats  counters
+}
+
+// New builds a service. Defaults are applied to cfg here, so Config()
+// reports the effective values.
+func New(cfg Config, deps Deps) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:  cfg,
+		deps: deps,
+		kick: make(chan struct{}, 1),
+		quit: make(chan struct{}),
+	}
+	if deps.Pool != nil {
+		s.high = int(cfg.DirtyHighWatermark * float64(deps.Pool.Capacity()))
+		if s.high < 1 {
+			s.high = 1
+		}
+	}
+	return s
+}
+
+// Config returns the effective configuration.
+func (s *Service) Config() Config { return s.cfg }
+
+// Start launches the flusher workers and, when fully wired, the scrub
+// campaign. Start is not idempotent; call it exactly once.
+func (s *Service) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started || s.stopped {
+		return
+	}
+	s.started = true
+	if s.deps.Pool != nil {
+		for i := 0; i < s.cfg.FlushWorkers; i++ {
+			s.wg.Add(1)
+			go s.flushLoop()
+		}
+	}
+	if s.scrubEnabled() {
+		s.wg.Add(1)
+		go s.scrubLoop()
+	}
+}
+
+func (s *Service) scrubEnabled() bool {
+	return s.cfg.ScrubPagesPerSecond > 0 &&
+		s.deps.Dev != nil && s.deps.MappedSlots != nil && s.deps.Repair != nil
+}
+
+// Stop quiesces the service: no new batches start, in-flight batch work
+// (device writes plus the grouped PRI append) completes, and every worker
+// goroutine is joined before Stop returns. Idempotent and safe to call
+// concurrently.
+func (s *Service) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		s.wg.Wait() // a concurrent Stop may still be joining
+		return
+	}
+	s.stopped = true
+	started := s.started
+	s.mu.Unlock()
+	close(s.quit)
+	if started {
+		s.wg.Wait()
+	}
+}
+
+// NotifyDirty is the engine's watermark prod, called from the buffer
+// pool's mark-dirty hook. It is cheap (one atomic load, one non-blocking
+// channel send) and only wakes the flushers once the dirty count crosses
+// the high watermark.
+func (s *Service) NotifyDirty() {
+	if s.deps.Pool == nil || s.deps.Pool.DirtyCount() < s.high {
+		return
+	}
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Kick wakes the flushers unconditionally (tests, checkpoint preludes).
+func (s *Service) Kick() {
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() Stats {
+	return Stats{
+		FlushBatches:  s.stats.flushBatches.Load(),
+		PagesFlushed:  s.stats.pagesFlushed.Load(),
+		FlushErrors:   s.stats.flushErrors.Load(),
+		ScrubTicks:    s.stats.scrubTicks.Load(),
+		PagesScrubbed: s.stats.pagesScrubbed.Load(),
+		Sweeps:        s.stats.sweeps.Load(),
+		LatentFound:   s.stats.latentFound.Load(),
+		Repaired:      s.stats.repaired.Load(),
+		Escalated:     s.stats.escalated.Load(),
+	}
+}
+
+// flushLoop is one flusher worker: it sleeps until the watermark kick or
+// the age tick, then drains the pool in batches.
+func (s *Service) flushLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.FlushInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-s.kick:
+		case <-ticker.C:
+		}
+		s.drain()
+	}
+}
+
+// drain writes back batches until the pool reports no dirty pages or the
+// service is stopping. Concurrent workers cooperate naturally: FlushBatch
+// gathers from a rotating shard start, and a frame another worker already
+// cleaned is skipped.
+func (s *Service) drain() {
+	for {
+		select {
+		case <-s.quit:
+			return
+		default:
+		}
+		n, err := s.deps.Pool.FlushBatch(s.cfg.FlushBatchPages)
+		if n > 0 {
+			s.stats.flushBatches.Add(1)
+			s.stats.pagesFlushed.Add(int64(n))
+		}
+		if err != nil {
+			s.stats.flushErrors.Add(1)
+			return
+		}
+		if n == 0 {
+			return
+		}
+	}
+}
+
+// scrubLoop runs the campaign: one ScrubBatchPages-sized tick per
+// interval, with the interval derived from the configured page rate.
+func (s *Service) scrubLoop() {
+	defer s.wg.Done()
+	interval := time.Duration(float64(s.cfg.ScrubBatchPages) /
+		float64(s.cfg.ScrubPagesPerSecond) * float64(time.Second))
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-ticker.C:
+			s.scrubTick()
+		}
+	}
+}
+
+// scrubTick advances the cursor one batch and routes every failure it
+// finds through the repair path.
+func (s *Service) scrubTick() {
+	if s.mapped == nil || s.cursor == 0 {
+		s.mapped = s.deps.MappedSlots() // refresh once per sweep
+	}
+	mapped := s.mapped
+	res, next, wrapped := s.deps.Dev.ScrubRange(s.cursor, s.cfg.ScrubBatchPages,
+		func(slot storage.PhysID) bool {
+			_, ok := mapped[slot]
+			return !ok
+		})
+	s.cursor = next
+	s.stats.scrubTicks.Add(1)
+	s.stats.pagesScrubbed.Add(int64(res.Scanned))
+	if wrapped {
+		s.stats.sweeps.Add(1)
+	}
+	for _, slot := range res.Failures() {
+		id, ok := mapped[slot]
+		if !ok {
+			continue
+		}
+		s.stats.latentFound.Add(1)
+		if err := s.deps.Repair(id); err != nil {
+			s.stats.escalated.Add(1)
+		} else {
+			s.stats.repaired.Add(1)
+		}
+	}
+}

@@ -41,16 +41,22 @@ type CheckpointDeps struct {
 // checkpoint-end record carrying the ATT, the remaining DPT, and snapshots
 // of the page recovery index and page map, forces the log, and updates the
 // master record.
+//
+// The flush rides the buffer pool's batched write-back path: one log force
+// and one grouped PRI append cover the whole dirty page table, and the
+// checkpoint composes with in-flight background write-back — a page the
+// maintenance flusher cleans first is simply skipped (per-frame flush
+// serialization guarantees no page is written twice for one image), and a
+// page evicted meanwhile was flushed by the eviction.
 func Checkpoint(d CheckpointDeps) (page.LSN, error) {
 	d.Log.Append(&wal.Record{Type: wal.TypeCheckpointBegin})
 	dirtyAtStart := d.Pool.DirtyPages()
-	for _, e := range dirtyAtStart {
-		if err := d.Pool.FlushPage(e.Page); err != nil {
-			if errors.Is(err, buffer.ErrNotResident) {
-				continue // evicted (and therefore flushed) meanwhile
-			}
-			return 0, fmt.Errorf("recovery: checkpoint flush of page %d: %w", e.Page, err)
-		}
+	ids := make([]page.ID, len(dirtyAtStart))
+	for i, e := range dirtyAtStart {
+		ids[i] = e.Page
+	}
+	if err := d.Pool.FlushPages(ids); err != nil {
+		return 0, fmt.Errorf("recovery: checkpoint flush: %w", err)
 	}
 	payload := encodeCheckpoint(checkpointData{
 		att:  d.Txns.Active(),

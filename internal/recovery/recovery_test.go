@@ -36,21 +36,21 @@ func newRig(t *testing.T) *rig {
 	r.txns = txn.NewManager(r.log)
 	r.pool = buffer.NewPool(buffer.Config{
 		Capacity: 128, Device: r.dev, Map: r.pmap, Log: r.log,
-		Hooks: buffer.Hooks{OnWriteComplete: r.onWriteComplete},
+		Hooks: buffer.Hooks{CompleteWrite: r.completeWrite},
 	})
 	return r
 }
 
-func (r *rig) onWriteComplete(info buffer.WriteInfo) {
+func (r *rig) completeWrite(info buffer.WriteInfo) []*wal.Record {
 	if _, err := r.pri.SetLastLSN(info.Page, info.PageLSN); err != nil {
 		r.pri.Set(info.Page, core.Entry{LastLSN: info.PageLSN})
 	}
-	r.log.Append(&wal.Record{
+	return []*wal.Record{{
 		Type: wal.TypePRIUpdate, PageID: info.Page,
 		Payload: core.EncodeWriteComplete(core.WriteCompletePayload{
 			PageLSN: info.PageLSN, Dest: info.Dest, Prev: info.Prev, HadPrev: info.HadPrev,
 		}),
-	})
+	}}
 }
 
 // newRawPage formats a raw page under a committed transaction.

@@ -415,3 +415,77 @@ func TestCampaignMinimumOneSlot(t *testing.T) {
 		t.Errorf("tiny-rate campaign hit %d slots, want 1", len(hits))
 	}
 }
+
+func TestScrubRangeIncrementalCursor(t *testing.T) {
+	d := testDevice(16)
+	for i := 0; i < 10; i++ {
+		if err := d.Write(PhysID(i), encodedPage(t, page.ID(i+1), byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.InjectFault(3, FaultReadError, true)
+	if err := d.CorruptStored(7); err != nil {
+		t.Fatal(err)
+	}
+
+	var failures []PhysID
+	cursor := PhysID(0)
+	sweeps := 0
+	calls := 0
+	for {
+		res, next, wrapped := d.ScrubRange(cursor, 4, nil)
+		failures = append(failures, res.Failures()...)
+		calls++
+		cursor = next
+		if wrapped {
+			sweeps++
+			break
+		}
+		if calls > 16 {
+			t.Fatal("cursor never wrapped")
+		}
+	}
+	// 16 slots at 4 per call = 4 calls to finish one sweep.
+	if calls != 4 {
+		t.Fatalf("full sweep took %d calls, want 4", calls)
+	}
+	if sweeps != 1 {
+		t.Fatalf("sweeps = %d", sweeps)
+	}
+	if len(failures) != 2 || failures[0] != 3 || failures[1] != 7 {
+		t.Fatalf("failures = %v, want [3 7]", failures)
+	}
+	// The wrapped cursor restarts from 0 and finds the sticky fault again.
+	res, next, _ := d.ScrubRange(cursor, 4, nil)
+	if next != 4 {
+		t.Fatalf("next cursor after restart = %d, want 4", next)
+	}
+	if len(res.ReadErrors) != 1 || res.ReadErrors[0] != 3 {
+		t.Fatalf("restarted sweep missed sticky fault: %+v", res)
+	}
+}
+
+func TestScrubRangeClampsAndCounts(t *testing.T) {
+	d := testDevice(8)
+	for i := 0; i < 8; i++ {
+		if err := d.Write(PhysID(i), encodedPage(t, page.ID(i+1), byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Out-of-range cursor snaps to 0.
+	res, next, wrapped := d.ScrubRange(99, 3, nil)
+	if res.Scanned != 3 || next != 3 || wrapped {
+		t.Fatalf("clamped call: scanned=%d next=%d wrapped=%v", res.Scanned, next, wrapped)
+	}
+	// max covering past the end completes the sweep without wrapping into
+	// the next one.
+	res, next, wrapped = d.ScrubRange(3, 100, nil)
+	if res.Scanned != 5 || next != 0 || !wrapped {
+		t.Fatalf("tail call: scanned=%d next=%d wrapped=%v", res.Scanned, next, wrapped)
+	}
+	// Zero budget is a no-op that holds the cursor.
+	res, next, wrapped = d.ScrubRange(2, 0, nil)
+	if res.Scanned != 0 || next != 2 || wrapped {
+		t.Fatalf("zero budget: scanned=%d next=%d wrapped=%v", res.Scanned, next, wrapped)
+	}
+}

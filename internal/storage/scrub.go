@@ -27,9 +27,31 @@ func (r ScrubResult) Failures() []PhysID {
 // of most latent sector errors. skip reports slots the caller knows are not
 // page-formatted (e.g., free); it may be nil.
 func (d *Device) Scrub(skip func(PhysID) bool) ScrubResult {
+	res, _, _ := d.ScrubRange(0, d.Slots(), skip)
+	return res
+}
+
+// ScrubRange is the incremental form of Scrub: it examines up to max slot
+// positions starting at start (clamped into range) and stops at the end of
+// the device without wrapping. It returns the scrub result, the cursor for
+// the next call (0 when the pass reached the device end), and whether this
+// call completed a full sweep (reached the end). A background scrub
+// campaign calls it on a rate-limited tick, so latent errors surface
+// continuously instead of only when someone remembers to run a full pass.
+func (d *Device) ScrubRange(start PhysID, max int, skip func(PhysID) bool) (ScrubResult, PhysID, bool) {
 	n := d.Slots()
 	var res ScrubResult
-	for i := 0; i < n; i++ {
+	if max <= 0 {
+		return res, start, false
+	}
+	if int(start) >= n {
+		start = 0
+	}
+	end := int(start) + max
+	if end > n {
+		end = n
+	}
+	for i := int(start); i < end; i++ {
 		id := PhysID(i)
 		if d.Retired(id) {
 			continue
@@ -54,5 +76,8 @@ func (d *Device) Scrub(skip func(PhysID) bool) ScrubResult {
 			res.ChecksumErrors = append(res.ChecksumErrors, id)
 		}
 	}
-	return res
+	if end >= n {
+		return res, 0, true
+	}
+	return res, PhysID(end), false
 }

@@ -404,3 +404,76 @@ func TestConcurrentAppendCommitCrashScan(t *testing.T) {
 		t.Fatalf("final scan ended at %d, want %d", pos, m.EndLSN())
 	}
 }
+
+// TestParallelAppendBatchInterleaved drives single appends and batches
+// concurrently and verifies the log stays a seamless sequence of valid
+// records (batches land contiguously; nothing tears or interleaves inside
+// a batch).
+func TestParallelAppendBatchInterleaved(t *testing.T) {
+	m := NewManager(iosim.Instant)
+	const (
+		workers        = 8
+		batchesEach    = 50
+		recordsPerBtch = 7
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < batchesEach; i++ {
+				if i%2 == 0 {
+					recs := make([]*Record, recordsPerBtch)
+					for j := range recs {
+						// Tag batch membership so the scan can verify
+						// contiguity: payload = worker, batch, index.
+						recs[j] = &Record{
+							Type:    TypePRIUpdate,
+							PageID:  page.ID(w + 1),
+							Payload: []byte{byte(w), byte(i), byte(j)},
+						}
+					}
+					m.AppendBatch(recs)
+				} else {
+					m.Append(&Record{Type: TypeUpdate, Txn: TxnID(w + 1), Payload: []byte{byte(w), byte(i)}})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total int
+	lastIdx := make(map[int]int)      // worker -> index within current batch
+	lastLSN := make(map[int]page.LSN) // worker -> LSN of previous batch record
+	batchRecSize := page.LSN(RecordSize(&Record{Payload: []byte{0, 0, 0}}))
+	if err := m.Scan(FirstLSN(), func(rec *Record) bool {
+		total++
+		if rec.Type == TypePRIUpdate {
+			w := int(rec.Payload[0])
+			j := int(rec.Payload[2])
+			if j != 0 {
+				if lastIdx[w] != j-1 {
+					t.Errorf("batch of worker %d interleaved: index %d follows %d", w, j, lastIdx[w])
+					return false
+				}
+				if rec.LSN != lastLSN[w]+batchRecSize {
+					t.Errorf("batch of worker %d not contiguous: record %d at LSN %d, predecessor at %d",
+						w, j, rec.LSN, lastLSN[w])
+					return false
+				}
+			}
+			lastIdx[w] = j
+			lastLSN[w] = rec.LSN
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	wantBatches := workers * (batchesEach / 2)
+	want := wantBatches*recordsPerBtch + workers*(batchesEach/2)
+	if total != want {
+		t.Fatalf("scanned %d records, want %d", total, want)
+	}
+	if got := m.Stats().BatchAppends; got != int64(wantBatches) {
+		t.Fatalf("BatchAppends = %d, want %d", got, wantBatches)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/btree"
 	"repro/internal/buffer"
 	"repro/internal/core"
+	"repro/internal/maintenance"
 	"repro/internal/page"
 	"repro/internal/pagemap"
 	"repro/internal/recovery"
@@ -219,11 +220,14 @@ func (db *DB) RecoverPageNow(id PageID) (core.Report, error) {
 	return rep, err
 }
 
-// Close shuts the database down cleanly: every dirty page and the whole
-// log are flushed, and the group-commit flusher (if running) drains its
-// pending waiters and stops. A crashed database only stops the flusher —
-// its state is already frozen for Restart. Close is idempotent.
+// Close shuts the database down cleanly: the maintenance service stops
+// (deterministically — every background goroutine is joined), every dirty
+// page and the whole log are flushed, and the group-commit flusher (if
+// running) drains its pending waiters and stops. A crashed database only
+// stops the background goroutines — its state is already frozen for
+// Restart. Close is idempotent.
 func (db *DB) Close() error {
+	db.stopMaintenance()
 	if db.isCrashed() {
 		db.log.Close()
 		return nil
@@ -238,11 +242,18 @@ func (db *DB) Close() error {
 }
 
 // Crash simulates a system failure: the buffer pool and the unflushed log
-// tail vanish; the devices and the stable log survive.
+// tail vanish; the devices and the stable log survive. The maintenance
+// service is quiesced first, the same way the log quiesces in-flight
+// appenders: an in-flight flush batch or scrub repair completes (its
+// writes and appends then predate the crash), and no background work runs
+// while the log truncates its volatile tail — a flusher racing the
+// truncation could otherwise write a page whose log just vanished,
+// breaking the WAL rule.
 func (db *DB) Crash() {
 	db.mu.Lock()
 	db.crashed = true
 	db.mu.Unlock()
+	db.stopMaintenance()
 	db.log.Crash()
 	db.pool.Crash()
 }
@@ -312,6 +323,7 @@ func (db *DB) Restart() (*DB, *RestartReport, error) {
 	if _, err := ndb.Checkpoint(); err != nil {
 		return nil, nil, err
 	}
+	ndb.startMaintenance()
 	rep := &RestartReport{
 		Analysis: *analysis, Redo: *redoRep, Undo: *undoRep,
 		Duration: time.Since(start),
@@ -348,11 +360,14 @@ func (db *DB) reopenCatalog() error {
 	return errors.New("spf: meta page not found after restart")
 }
 
-// FailDevice simulates a whole-device media failure.
+// FailDevice simulates a whole-device media failure. Maintenance stops
+// first: a scrub campaign sweeping a failed device would only report every
+// slot as an escalation.
 func (db *DB) FailDevice() {
 	db.mu.Lock()
 	db.crashed = true
 	db.mu.Unlock()
+	db.stopMaintenance()
 	db.dev.FailDevice()
 	db.pool.Crash()
 }
@@ -418,27 +433,29 @@ func (db *DB) RecoverMedia() (*DB, *MediaRecoveryReport, error) {
 	if _, err := ndb.Checkpoint(); err != nil {
 		return nil, nil, err
 	}
+	ndb.startMaintenance()
 	rep := &MediaRecoveryReport{Media: *mediaRep, Undo: *undoRep, Duration: time.Since(start)}
 	return ndb, rep, nil
 }
 
 // Stats aggregates engine counters for experiments and monitoring.
 type Stats struct {
-	Pool      buffer.Stats
-	Device    storage.Stats
-	Log       wal.Stats
-	Txns      txn.Stats
-	Recovery  core.Stats
-	PRIRanges int
-	PRIBytes  int
-	PRIPages  int
-	DBPages   int
-	Retired   int
+	Pool        buffer.Stats
+	Device      storage.Stats
+	Log         wal.Stats
+	Txns        txn.Stats
+	Recovery    core.Stats
+	Maintenance maintenance.Stats
+	PRIRanges   int
+	PRIBytes    int
+	PRIPages    int
+	DBPages     int
+	Retired     int
 }
 
 // Stats returns a snapshot of all engine counters.
 func (db *DB) Stats() Stats {
-	return Stats{
+	s := Stats{
 		Pool:      db.pool.Stats(),
 		Device:    db.dev.Stats(),
 		Log:       db.log.Stats(),
@@ -449,6 +466,31 @@ func (db *DB) Stats() Stats {
 		PRIPages:  db.pri.PageCount(),
 		DBPages:   db.pmap.Len(),
 		Retired:   db.dev.RetiredCount(),
+	}
+	if db.maint != nil {
+		s.Maintenance = db.maint.Stats()
+	}
+	return s
+}
+
+// MaintenanceStats reports the background maintenance counters: flush
+// batches and pages written back asynchronously, and the scrub campaign's
+// running ScrubReport-style tallies (pages scrubbed, sweeps completed,
+// latent failures found, repaired online, escalated). Zero when the
+// service is disabled.
+func (db *DB) MaintenanceStats() maintenance.Stats {
+	if db.maint == nil {
+		return maintenance.Stats{}
+	}
+	return db.maint.Stats()
+}
+
+// KickMaintenance wakes the background flushers immediately (useful in
+// tests and before measuring a quiesced state). No-op when maintenance is
+// disabled.
+func (db *DB) KickMaintenance() {
+	if db.maint != nil {
+		db.maint.Kick()
 	}
 }
 

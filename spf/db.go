@@ -4,11 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/backup"
 	"repro/internal/btree"
 	"repro/internal/buffer"
 	"repro/internal/core"
+	"repro/internal/maintenance"
 	"repro/internal/page"
 	"repro/internal/pagemap"
 	"repro/internal/storage"
@@ -72,6 +74,7 @@ type DB struct {
 	pri   *core.PRI
 	rec   *core.Recoverer
 	res   *backup.Resolver
+	maint *maintenance.Service // nil unless Options.Maintenance.Enabled
 
 	mu           sync.Mutex
 	metaID       page.ID
@@ -128,14 +131,78 @@ func Open(opts Options) (*DB, error) {
 	if _, err := db.Checkpoint(); err != nil {
 		return nil, err
 	}
+	db.startMaintenance()
 	return db, nil
+}
+
+// startMaintenance launches the background maintenance service when the
+// options ask for it. Called once per DB, after bootstrap/recovery traffic
+// has settled, from the single goroutine constructing the DB.
+func (db *DB) startMaintenance() {
+	mo := db.opts.Maintenance
+	if !mo.Enabled {
+		return
+	}
+	db.maint = maintenance.New(maintenance.Config{
+		FlushWorkers:        mo.FlushWorkers,
+		FlushBatchPages:     mo.FlushBatchPages,
+		FlushInterval:       mo.FlushInterval,
+		DirtyHighWatermark:  mo.DirtyHighWatermark,
+		ScrubPagesPerSecond: mo.ScrubPagesPerSecond,
+		ScrubBatchPages:     mo.ScrubBatchPages,
+	}, maintenance.Deps{
+		Pool:        db.pool,
+		Dev:         db.dev,
+		MappedSlots: db.pmap.MappedSlots,
+		Repair:      db.repairLatent,
+	})
+	db.maint.Start()
+}
+
+// stopMaintenance quiesces the service (idempotent; in-flight batches
+// complete). Crash and Close call it before touching the log or the pool,
+// so background write-back is quiesced exactly like foreground appenders.
+func (db *DB) stopMaintenance() {
+	if db.maint != nil {
+		db.maint.Stop()
+	}
+}
+
+// repairLatent routes a latent failure the scrub campaign found through
+// the ordinary single-page recovery path: drop any buffered copy, then a
+// validating re-read detects the damage and recovers the page, exactly as
+// a foreground read would (Fig. 8). The recovered page is installed dirty
+// and relocated; write-back persists it. A page pinned by concurrent
+// foreground readers cannot be evicted this instant — that is congestion,
+// not an unrecoverable failure, so the repair waits it out briefly (the
+// campaign would rediscover the slot next sweep anyway).
+func (db *DB) repairLatent(id page.ID) error {
+	for attempt := 0; ; attempt++ {
+		if db.isCrashed() {
+			return ErrCrashed
+		}
+		err := db.EvictPage(id)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, buffer.ErrPinned) || attempt >= 500 {
+			return err
+		}
+		time.Sleep(time.Millisecond)
+	}
+	h, err := db.pool.Fetch(id)
+	if err != nil {
+		return err
+	}
+	h.Release()
+	return nil
 }
 
 // hooks wires the buffer pool to detection, recovery, and PRI maintenance.
 func (db *DB) hooks() buffer.Hooks {
 	h := buffer.Hooks{
-		OnWriteComplete: db.onWriteComplete,
-		OnMarkDirty:     db.onMarkDirty,
+		CompleteWrite: db.completeWrite,
+		OnMarkDirty:   db.onMarkDirty,
 	}
 	if !db.opts.DisablePageLSNCheck && !db.opts.DisableSinglePageRecovery {
 		h.Validate = db.validatePage
@@ -173,8 +240,12 @@ func (db *DB) recoverPage(id page.ID) (*page.Page, error) {
 
 // onMarkDirty counts page updates for the backup-every-N policy ("the
 // number of updates can be counted within the page, incremented whenever
-// the PageLSN changes", §6).
+// the PageLSN changes", §6) and prods the maintenance flushers when the
+// pool's dirty count crosses their watermark.
 func (db *DB) onMarkDirty(id page.ID) {
+	if m := db.maint; m != nil {
+		m.NotifyDirty()
+	}
 	if db.opts.BackupEveryNUpdates <= 0 {
 		return
 	}
@@ -187,15 +258,26 @@ func (db *DB) onMarkDirty(id page.ID) {
 	db.mu.Unlock()
 }
 
-// onWriteComplete is the Fig. 11 sequence: after a dirty page reached the
-// database, update the page recovery index and log the update — before the
-// buffer pool may evict the frame. The record is a system-transaction-
-// style record that needs no log force (§5.2.4) and doubles as a logged
-// completed write (§5.1.2).
-func (db *DB) onWriteComplete(info buffer.WriteInfo) {
+// completeWrite is the Fig. 11 sequence: after a dirty page reached the
+// database, update the page recovery index and describe the update in log
+// records, which the buffer pool appends — immediately on per-page flushes
+// (before the frame may be evicted), or as one grouped reserve-fill append
+// per flush batch. The records are system-transaction-style records that
+// need no log force (§5.2.4) and double as logged completed writes
+// (§5.1.2); the pool invokes this hook under per-frame flush
+// serialization, so each page's index updates happen in write order.
+func (db *DB) completeWrite(info buffer.WriteInfo) []*wal.Record {
 	if db.opts.DisableSinglePageRecovery {
-		return
+		return nil
 	}
+	return db.completedWrite(info, nil)
+}
+
+// completedWrite applies one completed write to the in-memory page
+// recovery index and appends the log records describing it to recs
+// (SetBackup first for a copy-on-write supersession, then the completed
+// write itself).
+func (db *DB) completedWrite(info buffer.WriteInfo, recs []*wal.Record) []*wal.Record {
 	// Copy-on-write: the superseded slot is a ready-made page backup.
 	if info.HadPrev && db.opts.WriteMode == pagemap.CopyOnWrite {
 		prevEntry, err := db.pri.Get(info.Page)
@@ -207,7 +289,7 @@ func (db *DB) onWriteComplete(info buffer.WriteInfo) {
 			}
 			old, err := db.pri.SetBackup(info.Page, ref)
 			if err == nil {
-				db.log.Append(&wal.Record{
+				recs = append(recs, &wal.Record{
 					Type: wal.TypePRIUpdate, PageID: info.Page,
 					Payload: core.EncodeSetBackup(ref),
 				})
@@ -218,7 +300,7 @@ func (db *DB) onWriteComplete(info buffer.WriteInfo) {
 	if _, err := db.pri.SetLastLSN(info.Page, info.PageLSN); err != nil {
 		db.pri.Set(info.Page, core.Entry{LastLSN: info.PageLSN})
 	}
-	db.log.Append(&wal.Record{
+	return append(recs, &wal.Record{
 		Type: wal.TypePRIUpdate, PageID: info.Page,
 		Payload: core.EncodeWriteComplete(core.WriteCompletePayload{
 			PageLSN: info.PageLSN, Dest: info.Dest,

@@ -1,0 +1,362 @@
+package spf
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// maintenanceOptions returns options with the background service tuned for
+// test speed: tight age trigger, aggressive scrub rate.
+func maintenanceOptions() Options {
+	opts := testOptions()
+	opts.Maintenance = MaintenanceOptions{
+		Enabled:             true,
+		FlushInterval:       2 * time.Millisecond,
+		FlushBatchPages:     16,
+		DirtyHighWatermark:  0.25,
+		ScrubPagesPerSecond: 200000,
+		ScrubBatchPages:     256,
+	}
+	return opts
+}
+
+func waitUntil(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAsyncWriteBackDrainsAndGroupsPRIAppends: with maintenance enabled,
+// dirty pages drain without any explicit flush call, and the resulting PRI
+// update records reach the log through grouped appends.
+func TestAsyncWriteBackDrainsAndGroupsPRIAppends(t *testing.T) {
+	db := openTestDB(t, maintenanceOptions())
+	defer db.Close()
+	ix := loadIndex(t, db, "wb", 400)
+
+	tx := db.Begin()
+	for i := 0; i < 400; i++ {
+		if err := ix.Update(tx, k(i), []byte(fmt.Sprintf("updated-%06d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, 10*time.Second, "background drain", func() bool {
+		return db.MaintenanceStats().PagesFlushed > 0 && db.pool.DirtyCount() == 0
+	})
+	ms := db.MaintenanceStats()
+	if ms.FlushBatches == 0 {
+		t.Fatal("no flush batches recorded")
+	}
+	ls := db.Stats().Log
+	if ls.BatchAppends == 0 {
+		t.Fatal("write-back logged no grouped PRI appends")
+	}
+	if ms.PagesFlushed < int64(ms.FlushBatches) {
+		t.Fatalf("stats inconsistent: %d pages in %d batches", ms.PagesFlushed, ms.FlushBatches)
+	}
+}
+
+// TestMaintenanceUnderFaultInjectionStress is the paper's promise end to
+// end, under -race: foreground transactions, the async flusher, and the
+// scrub campaign run concurrently while latent single-page failures are
+// injected on cold pages. Every injected failure must be detected and
+// repaired by the campaign without stopping foreground traffic, and a
+// crash must lose no acknowledged commit.
+func TestMaintenanceUnderFaultInjectionStress(t *testing.T) {
+	opts := maintenanceOptions()
+	// Ample frames: the cold index stays resident, so only the campaign
+	// (not a foreground read miss) can discover the injected damage; and
+	// no foreground eviction write-back races the simulated crash below.
+	opts.PoolFrames = 4096
+	opts.DataSlots = 16384
+	db := openTestDB(t, opts)
+
+	// A cold index whose pages, once written back, nobody touches: the
+	// injection target.
+	cold := loadIndex(t, db, "cold", 600)
+	waitUntil(t, 10*time.Second, "cold index write-back", func() bool {
+		return db.pool.DirtyCount() == 0
+	})
+
+	// Hot foreground traffic on separate indexes.
+	const workers = 3
+	names := make([]string, workers)
+	for w := range names {
+		names[w] = fmt.Sprintf("hot-%d", w)
+		if _, err := db.CreateIndex(names[w]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	type ack struct{ worker, seq int }
+	var ackMu sync.Mutex
+	acked := make(map[ack]bool)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ix, err := db.Index(names[w])
+			if err != nil {
+				t.Errorf("worker %d: %v", w, err)
+				return
+			}
+			for seq := 0; !stop.Load(); seq++ {
+				tx := db.Begin()
+				if err := ix.Insert(tx, k(seq), v(seq)); err != nil {
+					return // crash in flight
+				}
+				if err := db.Commit(tx); err != nil {
+					if errors.Is(err, ErrCommitLost) || errors.Is(err, ErrCrashed) {
+						return
+					}
+					t.Errorf("worker %d commit %d: %v", w, seq, err)
+					return
+				}
+				ackMu.Lock()
+				acked[ack{w, seq}] = true
+				ackMu.Unlock()
+			}
+		}(w)
+	}
+	// Concurrent readers of the cold index: the campaign must repair
+	// underneath them without ever surfacing an error.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(7))
+		for !stop.Load() {
+			i := rng.Intn(600)
+			got, err := cold.Get(k(i))
+			if err != nil {
+				if errors.Is(err, ErrCrashed) {
+					return
+				}
+				t.Errorf("cold read %d: %v", i, err)
+				return
+			}
+			if !bytes.Equal(got, v(i)) {
+				t.Errorf("cold read %d = %q", i, got)
+				return
+			}
+		}
+	}()
+
+	// Inject latent damage: distinct cold-index pages, persistent silent
+	// corruption in the stored image — discoverable only by scrubbing
+	// (the resident copies keep serving reads).
+	rng := rand.New(rand.NewSource(42))
+	coldPages := treePages(t, db, cold)
+	rng.Shuffle(len(coldPages), func(i, j int) { coldPages[i], coldPages[j] = coldPages[j], coldPages[i] })
+	nInject := 12
+	if nInject > len(coldPages) {
+		nInject = len(coldPages)
+	}
+	injected := coldPages[:nInject]
+	for i, id := range injected {
+		if err := db.CorruptPage(id); err != nil {
+			t.Fatalf("corrupting page %d: %v", id, err)
+		}
+		if i%4 == 3 {
+			time.Sleep(2 * time.Millisecond) // spread across scrub ticks
+		}
+	}
+
+	// The campaign must find and repair every one of them while the
+	// foreground keeps running.
+	waitUntil(t, 20*time.Second, "campaign repairs", func() bool {
+		ms := db.MaintenanceStats()
+		return ms.Repaired >= int64(nInject)
+	})
+	ms := db.MaintenanceStats()
+	if ms.Escalated != 0 {
+		t.Fatalf("campaign escalated %d repairs", ms.Escalated)
+	}
+	if ms.LatentFound < int64(nInject) {
+		t.Fatalf("campaign found %d latent failures, want >= %d", ms.LatentFound, nInject)
+	}
+	// No residual damage on any mapped slot (read-only device scan; the
+	// injected corruption was persistent, so a clean scan proves repair,
+	// not masking).
+	waitUntil(t, 10*time.Second, "device clean", func() bool {
+		mapped := db.pmap.MappedSlots()
+		res := db.dev.Scrub(func(slot storage.PhysID) bool { _, ok := mapped[slot]; return !ok })
+		return len(res.Failures()) == 0
+	})
+
+	// Crash with traffic in flight: acknowledged commits must survive.
+	time.Sleep(10 * time.Millisecond)
+	db.Crash()
+	stop.Store(true)
+	wg.Wait()
+
+	ndb, _, err := db.Restart()
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	defer ndb.Close()
+	ackMu.Lock()
+	n := len(acked)
+	ackMu.Unlock()
+	if n == 0 {
+		t.Fatal("stress produced no acknowledged commits")
+	}
+	for a := range acked {
+		ix, err := ndb.Index(names[a.worker])
+		if err != nil {
+			t.Fatalf("index %s lost: %v", names[a.worker], err)
+		}
+		got, err := ix.Get(k(a.seq))
+		if err != nil {
+			t.Errorf("acked key %d/%d missing after restart: %v", a.worker, a.seq, err)
+			continue
+		}
+		if !bytes.Equal(got, v(a.seq)) {
+			t.Errorf("acked key %d/%d = %q after restart", a.worker, a.seq, got)
+		}
+	}
+	// The cold index survived its repairs and the crash intact.
+	ncold, err := ndb.Index("cold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 600; i++ {
+		got, err := ncold.Get(k(i))
+		if err != nil {
+			t.Fatalf("cold key %d after restart: %v", i, err)
+		}
+		if !bytes.Equal(got, v(i)) {
+			t.Fatalf("cold key %d = %q after restart", i, got)
+		}
+	}
+	if viols, err := ncold.Verify(); err != nil || len(viols) != 0 {
+		t.Fatalf("cold index verify: %v %v", viols, err)
+	}
+	// Maintenance restarted with the recovered database.
+	waitUntil(t, 10*time.Second, "maintenance active after restart", func() bool {
+		ms := ndb.MaintenanceStats()
+		return ms.ScrubTicks > 0
+	})
+}
+
+// treePages collects the page IDs reachable from an index root via Scan of
+// the page map: every page currently mapped whose ID is at or after the
+// index's root region. For injection purposes we simply take all pages and
+// filter to those the cold index owns by probing recovery metadata — the
+// tree's own stats give the node count, and the contiguous allocation of
+// the loader makes [root, root+nodes) a faithful slice of its pages.
+func treePages(t *testing.T, db *DB, ix *Index) []PageID {
+	t.Helper()
+	stats, err := ix.TreeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []PageID
+	root := ix.Root()
+	for _, id := range db.Pages() {
+		if id >= root && len(out) < stats.Nodes {
+			out = append(out, id)
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("no pages found for index")
+	}
+	return out
+}
+
+// TestCloseStopsMaintenanceGoroutines: Close must join every background
+// goroutine deterministically — no leaked tickers or workers.
+func TestCloseStopsMaintenanceGoroutines(t *testing.T) {
+	runtime.GC()
+	before := runtime.NumGoroutine()
+	opts := maintenanceOptions()
+	opts.Maintenance.FlushWorkers = 3
+	db := openTestDB(t, opts)
+	ix := loadIndex(t, db, "leakcheck", 200)
+	tx := db.Begin()
+	for i := 0; i < 200; i++ {
+		if err := ix.Update(tx, k(i), v(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, 10*time.Second, "some background activity", func() bool {
+		return db.MaintenanceStats().ScrubTicks > 0
+	})
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// All maintenance and group-commit goroutines must be gone; allow the
+	// runtime a moment to reap exited goroutines.
+	waitUntil(t, 10*time.Second, "goroutines to exit", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= before
+	})
+	// Close is idempotent, including the maintenance stop.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashQuiescesMaintenance: after Crash returns, the service is
+// stopped (stats frozen) and restart hands back a database whose
+// maintenance keeps the same configuration.
+func TestCrashQuiescesMaintenance(t *testing.T) {
+	db := openTestDB(t, maintenanceOptions())
+	ix := loadIndex(t, db, "quiesce", 100)
+	tx := db.Begin()
+	for i := 0; i < 100; i++ {
+		if err := ix.Update(tx, k(i), v(i+7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	db.Crash()
+	frozen := db.MaintenanceStats()
+	time.Sleep(20 * time.Millisecond)
+	if got := db.MaintenanceStats(); got != frozen {
+		t.Fatalf("maintenance still running after Crash: %+v vs %+v", got, frozen)
+	}
+	ndb, _, err := db.Restart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ndb.Close()
+	waitUntil(t, 10*time.Second, "maintenance on restarted db", func() bool {
+		return ndb.MaintenanceStats().ScrubTicks > 0
+	})
+	nix, err := ndb.Index("quiesce")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		got, err := nix.Get(k(i))
+		if err != nil {
+			t.Fatalf("key %d: %v", i, err)
+		}
+		if !bytes.Equal(got, v(i+7)) {
+			t.Fatalf("key %d = %q", i, got)
+		}
+	}
+}

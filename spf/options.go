@@ -64,8 +64,42 @@ type Options struct {
 	// has accumulated N updates (0 disables the policy). Bounds the
 	// per-page log chain and hence single-page recovery time (§6).
 	BackupEveryNUpdates int
+	// Maintenance configures the background maintenance service: async
+	// dirty-page write-back with grouped PRI logging, plus the continuous
+	// scrub campaign that detects and repairs latent single-page failures
+	// online. Disabled unless Maintenance.Enabled is set; the service
+	// survives Restart and RecoverMedia (a fresh one is started for the
+	// recovered database) and is quiesced deterministically by Close,
+	// Crash, and FailDevice.
+	Maintenance MaintenanceOptions
 	// Seed makes fault injection reproducible.
 	Seed int64
+}
+
+// MaintenanceOptions tunes the background maintenance service. The zero
+// value of every field but Enabled selects a sensible default (see
+// maintenance.Config).
+type MaintenanceOptions struct {
+	// Enabled starts the service when the database opens.
+	Enabled bool
+	// FlushWorkers is the number of background flusher goroutines
+	// (default 1).
+	FlushWorkers int
+	// FlushBatchPages caps pages per flush batch — and PRI update records
+	// per grouped WAL append (default 64).
+	FlushBatchPages int
+	// FlushInterval is the age trigger: all dirty pages are written back
+	// at least this often (default 25ms).
+	FlushInterval time.Duration
+	// DirtyHighWatermark is the dirty fraction of the pool that kicks the
+	// flushers immediately (default 0.25).
+	DirtyHighWatermark float64
+	// ScrubPagesPerSecond rate-limits the scrub campaign (default 2000;
+	// negative disables scrubbing while keeping write-back on).
+	ScrubPagesPerSecond int
+	// ScrubBatchPages is how many device slots one scrub tick examines
+	// (default 64).
+	ScrubBatchPages int
 }
 
 func (o Options) withDefaults() Options {
