@@ -19,6 +19,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/btreebench"
 	"repro/internal/buffer"
 	"repro/internal/experiments"
 	"repro/internal/iosim"
@@ -578,4 +579,26 @@ func BenchmarkE22ScrubCampaignOverhead(b *testing.B) {
 			b.Fatal("campaign made no progress during the run")
 		}
 	})
+}
+
+// BenchmarkE23ParallelTreeOps measures concurrent B-tree throughput under a
+// mixed Get/Insert/Update/Delete workload (drivers in internal/btreebench,
+// shared with `spfbench -benchjson`): the latch-coupled tree — crabbing
+// descents with shared latches, exclusive latches only at the leaf,
+// localized exclusive parent+child pairs for splits and adoptions — against
+// a tree-global-mutex baseline shim reproducing the seed's serialization.
+//
+// The disjoint shape gives each worker its own write range with reads
+// roaming a working set larger than the buffer pool, so descents regularly
+// stall on a (real, wall-clock) buffer-miss latency: under the global
+// mutex every stall serializes all workers, while latch-coupled descents
+// overlap them — at -cpu 8 latch-coupled must be ≥2× the baseline (it
+// measures an order of magnitude on the CI box). The contended shape
+// hammers one small fully-resident range — pure CPU, where a single core
+// shows parity and real cores let readers of different leaves proceed.
+func BenchmarkE23ParallelTreeOps(b *testing.B) {
+	b.Run("disjoint/latch-coupled", btreebench.ParallelOps(false, false))
+	b.Run("disjoint/global-mutex", btreebench.ParallelOps(false, true))
+	b.Run("contended/latch-coupled", btreebench.ParallelOps(true, false))
+	b.Run("contended/global-mutex", btreebench.ParallelOps(true, true))
 }

@@ -9,8 +9,8 @@
 //	spfbench -benchjson FILE      # run the engine micro-benchmarks
 //	                              # (E19 parallel append, E20 group
 //	                              # commit, E21 async write-back, E22
-//	                              # scrub overhead) and write BENCH_*.json
-//	                              # entries
+//	                              # scrub overhead, E23 parallel tree
+//	                              # ops) and write BENCH_*.json entries
 //	spfbench -benchcompare FILE -baselines A.json,B.json [-threshold 3]
 //	                              # compare a fresh -benchjson run against
 //	                              # the committed baselines; exit nonzero
@@ -30,6 +30,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/btreebench"
 	"repro/internal/experiments"
 	"repro/internal/maintbench"
 	"repro/internal/report"
@@ -252,6 +253,32 @@ func runBenchJSON(path string) error {
 		}
 		entries = append(entries, e)
 	}
+
+	// E23: concurrent B-tree mixed ops, latch-coupled vs the tree-global-
+	// mutex baseline shim, in disjoint and contended key shapes. The
+	// numbers depend strongly on the degree of parallelism (the disjoint
+	// shape's buffer-miss stalls overlap across workers), so the run is
+	// pinned to GOMAXPROCS=8 — the -cpu 8 shape the baselines were
+	// recorded at — to stay comparable across differently-sized runners.
+	prevProcs := runtime.GOMAXPROCS(8)
+	for _, v := range []struct {
+		shape       string
+		contended   bool
+		globalMutex bool
+	}{
+		{"disjoint/latch-coupled", false, false},
+		{"disjoint/global-mutex", false, true},
+		{"contended/latch-coupled", true, false},
+		{"contended/global-mutex", true, true},
+	} {
+		r := testing.Benchmark(btreebench.ParallelOps(v.contended, v.globalMutex))
+		entries = append(entries, benchEntry{
+			Name:    "BenchmarkE23ParallelTreeOps/" + v.shape,
+			NsPerOp: float64(r.NsPerOp()), AllocsPerOp: r.AllocsPerOp(),
+			Ops: r.N, GoMaxProcs: runtime.GOMAXPROCS(0),
+		})
+	}
+	runtime.GOMAXPROCS(prevProcs)
 
 	data, err := json.MarshalIndent(entries, "", "  ")
 	if err != nil {

@@ -65,6 +65,55 @@
 // Single-page recovery semantics (detect → Recover hook → Relocate →
 // RetireSlot, Fig. 8 and §5.2.3) are unchanged; they now run per shard.
 //
+// # B-tree concurrency
+//
+// The Foster B-tree has no tree-global lock: every operation crabs
+// root-to-leaf with per-page latch coupling, so the concurrency unit is a
+// page, not an index.
+//
+//   - Descents are hand-over-hand: the child is pinned, latched, and
+//     verified against the fences its parent predicts BEFORE the parent
+//     latch drops, so no descent can observe a half-applied structural
+//     change. Readers take shared latches all the way down; writers take
+//     shared latches on branches and an exclusive latch only at the leaf
+//     level (the root is latched exclusive just until it is known to be a
+//     branch — a monotone hint, since root growth never reverses).
+//   - The two-latch invariant: no operation ever holds more than two page
+//     latches at once — a parent/child or foster-parent/foster-child pair
+//     (a split's freshly allocated, still-unreachable child is the second
+//     member of its pair). The btree package enforces it with a
+//     per-operation latch-depth counter that tests assert against
+//     (btree.MaxLatchDepth).
+//   - Structural changes are local, which is precisely what the Foster
+//     design buys: a foster split or root growth mutates one latched page
+//     (the new node is invisible until its incoming pointer lands in the
+//     same critical section); an adoption applies its two halves under an
+//     exclusive parent+child pair, taken opportunistically with try-latches
+//     AFTER the triggering descent's leaf work and revalidated from
+//     scratch, so descents never escalate latches mid-crab.
+//   - The §4.2 checks survive concurrency because fence expectations are
+//     only ever compared while the node that produced them is still
+//     latched: a split changes neither a node's low nor its chain-high
+//     fence, and adoption — the one op that rewrites them — holds exactly
+//     the latch pair a crabbing descent would compare. Detection of a
+//     corrupt child still fires mid-descent (the child is fetched through
+//     the validating pool read while the parent latch is held, so a bad
+//     stored image routes through single-page recovery transparently, and
+//     an in-memory fence mismatch surfaces as ErrDetected) while descents
+//     of other subtrees proceed.
+//   - Scans traverse foster chains with the same hand-over-hand protocol
+//     and re-descend between chains; descents route by zero-allocation
+//     views over the encoded page (internal/btree nodeView) rather than
+//     materializing nodes, so the read path costs no per-entry copies —
+//     mutations still decode/apply/re-encode under the exclusive leaf
+//     latch, keeping redo exact by construction.
+//
+// BenchmarkE23ParallelTreeOps compares the latch-coupled tree against a
+// tree-global-mutex shim (the seed's serialization) under a mixed
+// Get/Insert/Update/Delete workload: with reads roaming a working set
+// larger than the pool, every buffer-miss stall under the global mutex
+// serializes all workers, while latch-coupled descents overlap them.
+//
 // # Background maintenance
 //
 // internal/maintenance turns the recovery primitives into a system that
@@ -93,11 +142,14 @@
 //     are detected early — the paper cites scrubbing as the discoverer of
 //     most latent sector errors (§1) — and every failure found is routed
 //     through the ordinary single-page recovery path (evict, validating
-//     re-read, relocate, retire) while foreground traffic continues.
-//     BenchmarkE22ScrubCampaignOverhead measures what the campaign costs
-//     foreground fetches; spf.DB.MaintenanceStats reports campaign
-//     progress (pages scrubbed, sweeps, latent failures found/repaired/
-//     escalated).
+//     re-read, relocate, retire) while foreground traffic continues. The
+//     campaign adapts to foreground pressure: while the pool's dirty
+//     count sits above the flushers' high watermark the effective scrub
+//     rate halves (alternate ticks sit out), restoring the moment
+//     pressure clears. BenchmarkE22ScrubCampaignOverhead measures what
+//     the campaign costs foreground fetches; spf.DB.MaintenanceStats
+//     reports campaign progress (pages scrubbed, sweeps, effective rate,
+//     latent failures found/repaired/escalated).
 //
 // Crash-safety: spf.DB.Crash and Close quiesce the service before touching
 // the log or pool — every worker goroutine is joined, so no background
@@ -108,8 +160,8 @@
 // error).
 //
 // CI runs a benchmark-regression gate on every PR: `spfbench -benchjson`
-// regenerates the tracked set (E19-E22) and `spfbench -benchcompare`
+// regenerates the tracked set (E19-E23) and `spfbench -benchcompare`
 // fails the build if any entry regresses more than 3x against the
-// committed BENCH_wal.json / BENCH_maintenance.json baselines or drops
-// out of the tracked set.
+// committed BENCH_wal.json / BENCH_maintenance.json / BENCH_btree.json
+// baselines or drops out of the tracked set.
 package repro

@@ -457,10 +457,12 @@ func TestDescentDetectsFenceCorruption(t *testing.T) {
 	// Find a leaf and corrupt its low fence in the buffered image,
 	// simulating memory corruption that in-page checksums (computed at
 	// write time) would not catch until much later.
-	h, err := tr.descendToLeaf(key(600), nil)
+	lt := &latchTracker{}
+	h, _, _, err := tr.descend(key(600), nil, false, lt)
 	if err != nil {
 		t.Fatal(err)
 	}
+	lt.unlatch(h, false)
 	h.Lock()
 	n, err := decodeNode(h.Page().Payload())
 	if err != nil {
@@ -497,10 +499,12 @@ func TestVerifyAllFindsShapeViolations(t *testing.T) {
 	mustCommit(t, tx)
 	verifyClean(t, tr)
 	// Swap two keys in a leaf to break ordering.
-	h, err := tr.descendToLeaf(key(100), nil)
+	lt := &latchTracker{}
+	h, _, _, err := tr.descend(key(100), nil, false, lt)
 	if err != nil {
 		t.Fatal(err)
 	}
+	lt.unlatch(h, false)
 	h.Lock()
 	n, _ := decodeNode(h.Page().Payload())
 	if len(n.entries) >= 2 {

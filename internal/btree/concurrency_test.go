@@ -1,0 +1,577 @@
+package btree
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/page"
+)
+
+// TestConcurrentMixedOpsLatchCoupled is the -race stress for the
+// latch-coupled tree: many goroutines run mixed Insert/Update/Delete/Get
+// plus full Scans concurrently, each writer against its own key range, and
+// the test asserts per-worker model consistency, a clean full verification,
+// and the two-latch invariant (via the latch-depth high-water mark).
+func TestConcurrentMixedOpsLatchCoupled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	ResetMaxLatchDepth()
+	p := newTestPager(t, 1024, 1<<15, 1<<12)
+	st := p.txns.BeginSystem()
+	tr, err := Create(st, "stress", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		writers = 8
+		keys    = 300 // per writer
+		ops     = 3000
+	)
+	wkey := func(w, i int) []byte { return []byte(fmt.Sprintf("w%02d-%05d", w, i)) }
+
+	// Preload half of each writer's range so the tree has real height
+	// before the race starts.
+	tx := p.txns.Begin()
+	for w := 0; w < writers; w++ {
+		for i := 0; i < keys; i += 2 {
+			if err := tr.Insert(tx, wkey(w, i), []byte("seed")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	mustCommit(t, tx)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+2)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			model := make(map[string]string, keys)
+			for i := 0; i < keys; i += 2 {
+				model[string(wkey(w, i))] = "seed"
+			}
+			tx := p.txns.Begin()
+			for op := 0; op < ops; op++ {
+				i := rng.Intn(keys)
+				k := wkey(w, i)
+				v := fmt.Sprintf("w%d-%d", w, op)
+				switch rng.Intn(5) {
+				case 0, 1: // upsert
+					if _, ok := model[string(k)]; ok {
+						if err := tr.Update(tx, k, []byte(v)); err != nil {
+							errs <- fmt.Errorf("worker %d update %q: %w", w, k, err)
+							return
+						}
+					} else {
+						if err := tr.Insert(tx, k, []byte(v)); err != nil {
+							errs <- fmt.Errorf("worker %d insert %q: %w", w, k, err)
+							return
+						}
+					}
+					model[string(k)] = v
+				case 2: // delete
+					if _, ok := model[string(k)]; ok {
+						if err := tr.Delete(tx, k); err != nil {
+							errs <- fmt.Errorf("worker %d delete %q: %w", w, k, err)
+							return
+						}
+						delete(model, string(k))
+					}
+				default: // point read against the model
+					got, err := tr.Get(k)
+					want, ok := model[string(k)]
+					if ok != (err == nil) {
+						errs <- fmt.Errorf("worker %d get %q: %v, model present=%v", w, k, err, ok)
+						return
+					}
+					if err == nil && string(got) != want {
+						errs <- fmt.Errorf("worker %d get %q = %q, want %q", w, k, got, want)
+						return
+					}
+				}
+			}
+			if err := tx.Commit(); err != nil {
+				errs <- fmt.Errorf("worker %d commit: %w", w, err)
+				return
+			}
+			// Final model check after commit.
+			for k, want := range model {
+				got, err := tr.Get([]byte(k))
+				if err != nil || string(got) != want {
+					errs <- fmt.Errorf("worker %d final get %q = %q, %v (want %q)", w, k, got, err, want)
+					return
+				}
+			}
+		}(w)
+	}
+	// Two scanners walk the whole tree continuously, checking key order,
+	// until the writers finish.
+	done := make(chan struct{})
+	var scanWG sync.WaitGroup
+	for s := 0; s < 2; s++ {
+		scanWG.Add(1)
+		go func() {
+			defer scanWG.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				var prev []byte
+				err := tr.Scan(nil, nil, func(e Entry) bool {
+					if prev != nil && bytes.Compare(prev, e.Key) >= 0 {
+						return false
+					}
+					prev = e.Key
+					return true
+				})
+				if err != nil {
+					errs <- fmt.Errorf("scan: %w", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	scanWG.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	verifyClean(t, tr)
+	if d := MaxLatchDepth(); d != 2 {
+		t.Errorf("latch-depth high-water mark = %d, want exactly 2 (coupling must pair latches, never exceed two)", d)
+	}
+}
+
+// TestSplitRacingReaderSeesWholeLeaf deterministically interleaves a foster
+// split with concurrent readers: the test holds the victim leaf's exclusive
+// latch, starts readers for every key the leaf holds, performs the split's
+// allocation and truncating apply under that latch (exactly the protocol of
+// fosterSplit), and only then releases it. No reader can observe the
+// half-moved state — every key, including those moved to the foster child,
+// must remain readable, and the post-split chain must verify clean.
+func TestSplitRacingReaderSeesWholeLeaf(t *testing.T) {
+	tr, p := newTestTree(t)
+	tx := p.txns.Begin()
+	const n = 400
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(tx, key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustCommit(t, tx)
+
+	// Find a mid-tree leaf and its keys.
+	lt := &latchTracker{}
+	h, lv, _, err := tr.descend(key(n/2), nil, false, lt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var leafKeys [][]byte
+	if err := lv.eachEntry(func(k, _ []byte, ghost bool) bool {
+		if !ghost {
+			leafKeys = append(leafKeys, append([]byte(nil), k...))
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	lt.unlatch(h, false)
+	if len(leafKeys) < 2 {
+		h.Release()
+		t.Skip("leaf too small to split")
+	}
+
+	// Hold the leaf's exclusive latch: every reader of these keys now
+	// blocks at this page (their parent latches are shared and pass).
+	h.Lock()
+	var wg sync.WaitGroup
+	results := make(chan error, len(leafKeys))
+	for _, k := range leafKeys {
+		wg.Add(1)
+		go func(k []byte) {
+			defer wg.Done()
+			got, err := tr.Get(k)
+			if err != nil {
+				results <- fmt.Errorf("get %q during split: %w", k, err)
+				return
+			}
+			if len(got) == 0 {
+				results <- fmt.Errorf("get %q returned empty value", k)
+			}
+		}(k)
+	}
+
+	// Perform the split under the held latch, mirroring fosterSplit: the
+	// foster child is fully allocated and written before the truncating
+	// apply installs its incoming pointer; the latch covers both steps.
+	nd, err := decodeNode(h.Page().Payload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := len(nd.entries) / 2
+	fosterKey := shortestSeparator(nd.entries[mid-1].key, nd.entries[mid].key)
+	child := &node{level: nd.level, high: nd.high, chainHigh: nd.chainHigh, foster: nd.foster}
+	child.entries = append([]leafEntry(nil), nd.entries[mid:]...)
+	child.low = finite(fosterKey)
+	st := p.txns.BeginSystem()
+	childH, err := p.AllocateNode(st, h.Page().Type(), child.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	childID := childH.ID()
+	childH.Release()
+	preImage := append([]byte(nil), h.Page().Payload()...)
+	if err := logApply(st, h, encodeSplitTruncate(childID, fosterKey, preImage)); err != nil {
+		t.Fatal(err)
+	}
+	h.Unlock()
+	h.Release()
+	if err := st.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	wg.Wait()
+	close(results)
+	for err := range results {
+		t.Error(err)
+	}
+	verifyClean(t, tr)
+}
+
+// TestAdoptionRacingReaderSeesConsistentPair deterministically interleaves
+// an adoption with readers: with the branch parent's exclusive latch held,
+// readers of the foster child's keys block at the parent while both halves
+// of the adoption (separator insert into the parent, foster-pointer clear
+// on the child) apply. Readers resume only after the pair is consistent and
+// must find every key through the adopted child's new direct pointer.
+func TestAdoptionRacingReaderSeesConsistentPair(t *testing.T) {
+	tr, p := newTestTree(t)
+	tx := p.txns.Begin()
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(tx, key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustCommit(t, tx)
+
+	// Post-operation adoption has drained every foster chain by now, so
+	// create one deterministically: split the leaf covering a mid-range
+	// key (a need of one full page guarantees the split happens).
+	lt := &latchTracker{}
+	lh, _, _, err := tr.descend(key(n/2), nil, false, lt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leafID := lh.ID()
+	lt.unpin(lh, false)
+	if err := tr.fosterSplit(leafID, 1<<20, &latchTracker{}); err != nil {
+		t.Fatal(err)
+	}
+	var parentID, childID page.ID
+	found := findAdoptablePair(t, tr, &parentID, &childID)
+	if !found {
+		t.Skip("no foster relationship left to adopt")
+	}
+
+	parentH, err := p.Fetch(parentID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	childH, err := p.Fetch(childID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	childN, err := decodeNode(func() []byte {
+		childH.RLock()
+		defer childH.RUnlock()
+		return append([]byte(nil), childH.Page().Payload()...)
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fosterPID := childN.foster
+	fosterKey := append([]byte(nil), childN.high.k...)
+	oldChainHigh := childN.chainHigh
+
+	// Keys owned by the foster child F — the ones whose routing flips from
+	// "via child's foster pointer" to "via parent's new separator".
+	fosterH, err := p.Fetch(fosterPID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fosterN, err := decodeNode(func() []byte {
+		fosterH.RLock()
+		defer fosterH.RUnlock()
+		return append([]byte(nil), fosterH.Page().Payload()...)
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fosterKeys [][]byte
+	collectLeafKeys(t, tr, fosterN, &fosterKeys)
+	fosterH.Release()
+	if len(fosterKeys) == 0 {
+		t.Skip("foster child holds no keys")
+	}
+
+	// Hold parent and child exclusively — the adoption pair — and start
+	// readers; they block at the parent.
+	parentH.Lock()
+	childH.Lock()
+	var wg sync.WaitGroup
+	results := make(chan error, len(fosterKeys))
+	for _, k := range fosterKeys {
+		wg.Add(1)
+		go func(k []byte) {
+			defer wg.Done()
+			if _, err := tr.Get(k); err != nil {
+				results <- fmt.Errorf("get %q during adoption: %w", k, err)
+			}
+		}(k)
+	}
+
+	st := p.BeginSystem()
+	if err := logApply(st, parentH, encodeAdopt(fosterKey, fosterPID)); err != nil {
+		t.Fatal(err)
+	}
+	if err := logApply(st, childH, encodeClearFoster(fosterPID, oldChainHigh)); err != nil {
+		t.Fatal(err)
+	}
+	childH.Unlock()
+	parentH.Unlock()
+	childH.Release()
+	parentH.Release()
+	if err := st.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	wg.Wait()
+	close(results)
+	for err := range results {
+		t.Error(err)
+	}
+	verifyClean(t, tr)
+}
+
+// findAdoptablePair walks from the root looking for a branch child with a
+// finite foster pointer; it reports the (parent, child) page IDs.
+func findAdoptablePair(t *testing.T, tr *Tree, parentID, childID *page.ID) bool {
+	t.Helper()
+	var walk func(id page.ID) bool
+	walk = func(id page.ID) bool {
+		h, err := tr.pager.Fetch(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.RLock()
+		n, err := decodeNode(h.Page().Payload())
+		h.RUnlock()
+		h.Release()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.isLeaf() {
+			return false
+		}
+		for _, c := range n.children {
+			ch, err := tr.pager.Fetch(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ch.RLock()
+			cn, err := decodeNode(ch.Page().Payload())
+			ch.RUnlock()
+			ch.Release()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cn.hasFoster() && !cn.high.inf && cn.high.less(cn.chainHigh) {
+				*parentID, *childID = id, c
+				return true
+			}
+		}
+		for _, c := range n.children {
+			if walk(c) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(tr.root)
+}
+
+// collectLeafKeys gathers every live key at or below n (following child and
+// foster pointers).
+func collectLeafKeys(t *testing.T, tr *Tree, n *node, out *[][]byte) {
+	t.Helper()
+	if n.isLeaf() {
+		for _, e := range n.entries {
+			if !e.ghost {
+				*out = append(*out, append([]byte(nil), e.key...))
+			}
+		}
+	} else {
+		for _, c := range n.children {
+			h, err := tr.pager.Fetch(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h.RLock()
+			cn, err := decodeNode(h.Page().Payload())
+			h.RUnlock()
+			h.Release()
+			if err != nil {
+				t.Fatal(err)
+			}
+			collectLeafKeys(t, tr, cn, out)
+		}
+	}
+	if n.hasFoster() {
+		h, err := tr.pager.Fetch(n.foster)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.RLock()
+		fn, err := decodeNode(h.Page().Payload())
+		h.RUnlock()
+		h.Release()
+		if err != nil {
+			t.Fatal(err)
+		}
+		collectLeafKeys(t, tr, fn, out)
+	}
+}
+
+// TestConcurrentInsertsDisjointRangesConverge hammers splits specifically:
+// all writers insert fresh ascending keys (maximum structural churn) and
+// every key must be present afterwards with the tree clean.
+func TestConcurrentInsertsDisjointRangesConverge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	tr, p := newTestTree(t)
+	const (
+		writers = 8
+		perW    = 800
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tx := p.txns.Begin()
+			for i := 0; i < perW; i++ {
+				k := []byte(fmt.Sprintf("w%02d-%06d", w, i))
+				if err := tr.Insert(tx, k, val(i)); err != nil {
+					errs <- fmt.Errorf("worker %d insert %d: %w", w, i, err)
+					return
+				}
+			}
+			if err := tx.Commit(); err != nil {
+				errs <- err
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perW; i++ {
+			k := []byte(fmt.Sprintf("w%02d-%06d", w, i))
+			if got, err := tr.Get(k); err != nil || !bytes.Equal(got, val(i)) {
+				t.Fatalf("key %q = %q, %v", k, got, err)
+			}
+		}
+	}
+	st, err := tr.WalkStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != writers*perW {
+		t.Errorf("entries = %d, want %d", st.Entries, writers*perW)
+	}
+	verifyClean(t, tr)
+}
+
+// TestDescentErrorsSurfaceUnderConcurrency checks that a fence-corruption
+// detection fires mid-descent while other descents proceed: one leaf's low
+// fence is damaged in the buffered image; readers of that leaf get
+// ErrDetected while readers of other ranges keep succeeding.
+func TestDescentErrorsSurfaceUnderConcurrency(t *testing.T) {
+	tr, p := newTestTree(t)
+	tx := p.txns.Begin()
+	const n = 1200
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(tx, key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustCommit(t, tx)
+
+	lt := &latchTracker{}
+	h, lv, _, err := tr.descend(key(600), nil, false, lt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lv.low.inf || len(lv.low.k) == 0 {
+		lt.unpin(h, false)
+		t.Skip("root leaf; no interior fence to corrupt")
+	}
+	lt.unlatch(h, false)
+	h.Lock()
+	nd, err := decodeNode(h.Page().Payload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd.low.k[0] ^= 0xFF
+	if err := h.Page().SetPayload(nd.encode()); err != nil {
+		t.Fatal(err)
+	}
+	h.Unlock()
+	h.Release()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// The corrupt leaf's range must detect.
+			if _, err := tr.Get(key(600)); !errors.Is(err, ErrDetected) {
+				errCh <- fmt.Errorf("corrupt range: got %v, want ErrDetected", err)
+			}
+			// A healthy range must keep working concurrently.
+			if _, err := tr.Get(key(5)); err != nil {
+				errCh <- fmt.Errorf("healthy range: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+}

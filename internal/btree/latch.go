@@ -1,0 +1,87 @@
+package btree
+
+import (
+	"sync/atomic"
+
+	"repro/internal/buffer"
+)
+
+// maxLatchesPerOp is the hard cap of the latch-coupling protocol: no tree
+// operation ever holds more than two page latches at once — a parent/child
+// or foster-parent/foster-child pair. (The transient latch a Pager takes on
+// a freshly allocated, still-unreachable page during a split or root growth
+// is the second member of its pair.)
+const maxLatchesPerOp = 2
+
+// maxLatchDepth is the high-water mark of latches held simultaneously by
+// any single tree operation since the last ResetMaxLatchDepth. Tests assert
+// the two-latch invariant through it rather than assuming it.
+var maxLatchDepth atomic.Int32
+
+// MaxLatchDepth reports the maximum number of page latches any single tree
+// operation has held at once since the last reset.
+func MaxLatchDepth() int { return int(maxLatchDepth.Load()) }
+
+// ResetMaxLatchDepth zeroes the high-water mark (test setup).
+func ResetMaxLatchDepth() { maxLatchDepth.Store(0) }
+
+// latchTracker counts the page latches one tree operation currently holds.
+// One tracker is created at each API entry point and threaded through the
+// descent, so the count is inherently goroutine-local. Exceeding the
+// two-latch cap is a protocol bug, not an input error, and panics.
+type latchTracker struct{ held int32 }
+
+func (lt *latchTracker) acquired() {
+	lt.held++
+	if lt.held > maxLatchesPerOp {
+		panic("btree: operation holds more than two page latches")
+	}
+	for {
+		m := maxLatchDepth.Load()
+		if lt.held <= m || maxLatchDepth.CompareAndSwap(m, lt.held) {
+			return
+		}
+	}
+}
+
+func (lt *latchTracker) released() {
+	if lt.held <= 0 {
+		panic("btree: latch released without acquisition")
+	}
+	lt.held--
+}
+
+// latch acquires h's page latch in the requested mode, tracked.
+func (lt *latchTracker) latch(h *buffer.Handle, excl bool) {
+	if excl {
+		h.Lock()
+	} else {
+		h.RLock()
+	}
+	lt.acquired()
+}
+
+// tryLatch attempts a non-blocking exclusive latch, tracked on success.
+func (lt *latchTracker) tryLatch(h *buffer.Handle) bool {
+	if !h.TryLock() {
+		return false
+	}
+	lt.acquired()
+	return true
+}
+
+// unlatch releases h's page latch in the mode it was acquired with.
+func (lt *latchTracker) unlatch(h *buffer.Handle, excl bool) {
+	if excl {
+		h.Unlock()
+	} else {
+		h.RUnlock()
+	}
+	lt.released()
+}
+
+// unpin unlatches and unpins in one step — the common exit path.
+func (lt *latchTracker) unpin(h *buffer.Handle, excl bool) {
+	lt.unlatch(h, excl)
+	h.Release()
+}

@@ -59,6 +59,15 @@ func (f fence) equal(g fence) bool {
 	return f.inf == g.inf && (f.inf || bytes.Equal(f.k, g.k))
 }
 
+// clone deep-copies a fence. Decoded fences alias their page payload; a
+// fence retained past the page latch must be cloned.
+func (f fence) clone() fence {
+	if f.inf {
+		return infFence
+	}
+	return finite(append([]byte(nil), f.k...))
+}
+
 // coversKey reports low <= key < high for a node with these fences.
 func coversKey(low, high fence, key []byte) bool {
 	if !low.inf && bytes.Compare(key, low.k) < 0 {
@@ -221,7 +230,11 @@ func (n *node) encodedSize() int {
 	return size
 }
 
-// decodeNode parses a page payload into a node.
+// decodeNode parses a page payload into a node. The decode is zero-copy:
+// every key, value, fence, and separator aliases the payload, so the node
+// is valid only while the caller's page latch is held and becomes stale the
+// moment an op is applied to the page. Callers retaining any field beyond
+// that window copy it explicitly.
 func decodeNode(payload []byte) (*node, error) {
 	r := &reader{b: payload}
 	n := &node{}
@@ -330,13 +343,19 @@ func (r *reader) u64() uint64 {
 	return v
 }
 
+// take returns the next n bytes ZERO-COPY: the result aliases the source
+// buffer. For page payloads this makes decodeNode allocation-light (no
+// per-entry byte copies — the dominant cost of every descent), but decoded
+// structures are valid only while the page latch protects the payload; any
+// field retained past the latch, or past an applyOp that rewrites the same
+// page, must be copied by the caller. For op payloads the source is a
+// stable wal.Record body.
 func (r *reader) take(n int) []byte {
 	if r.err != nil || n < 0 || r.pos+n > len(r.b) {
 		r.fail()
 		return nil
 	}
-	v := make([]byte, n)
-	copy(v, r.b[r.pos:r.pos+n])
+	v := r.b[r.pos : r.pos+n : r.pos+n]
 	r.pos += n
 	return v
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/page"
 	"repro/internal/txn"
@@ -564,7 +565,7 @@ func encodeRegistry(reg map[string]page.ID) []byte {
 	for name := range reg {
 		names = append(names, name)
 	}
-	sortStrings(names)
+	sort.Strings(names)
 	w := &opWriter{}
 	var t [2]byte
 	binary.LittleEndian.PutUint16(t[:], uint16(len(names)))
@@ -596,12 +597,4 @@ func decodeRegistry(payload []byte) (map[string]page.ID, error) {
 		return nil, fmt.Errorf("%w: meta registry", ErrNodeCorrupt)
 	}
 	return reg, nil
-}
-
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }

@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/buffer"
@@ -50,14 +49,24 @@ func (e *CorruptionError) Unwrap() error { return ErrDetected }
 // split.
 var ErrValueTooLarge = errors.New("btree: key/value too large for page")
 
-// Tree is a Foster B-tree over a Pager. Writers are serialized by the tree
-// mutex; readers run concurrently with each other (and are excluded from
-// in-flight structural changes).
+// Tree is a Foster B-tree over a Pager.
+//
+// Concurrency is per page, not per tree: every operation crabs root-to-leaf
+// with latch coupling (see descend), structural changes latch exactly the
+// one or two pages they touch, and no operation ever holds more than two
+// page latches at once. Readers of disjoint pages never contend; writers of
+// disjoint leaves never contend; a structural change blocks only descents
+// passing through its parent/child pair while its two log records apply.
 type Tree struct {
-	mu    sync.RWMutex
 	name  string
 	root  page.ID
 	pager Pager
+
+	// rootIsBranch is a monotone hint (root growth never reverses): while
+	// false, writers latch the root exclusively because it may be the
+	// leaf they will update; once the root is seen to be a branch,
+	// writers crab through it with a shared latch like any other branch.
+	rootIsBranch atomic.Bool
 
 	// Cumulative structural-change counters (foster churn).
 	splits    atomic.Int64
@@ -109,6 +118,7 @@ func (tr *Tree) Root() page.ID { return tr.root }
 // logApply logs an update op under t and applies it to the latched page,
 // maintaining both chains and the buffer-pool dirty state. Forward
 // processing and redo share applyOp, so replay is exact by construction.
+// The caller must hold the page's write latch.
 func logApply(t *txn.Txn, h *buffer.Handle, op []byte) error {
 	lsn, err := t.Log(&wal.Record{
 		Type:        wal.TypeUpdate,
@@ -141,148 +151,260 @@ func logApplyCLR(t *txn.Txn, h *buffer.Handle, op []byte, undoNext page.LSN) err
 	return nil
 }
 
-// descendToLeaf walks root-to-leaf for key, verifying fence keys at every
-// step against the redundant copies along the path (Figs. 2–3). With a
-// non-nil tx it opportunistically adopts foster children into branch
-// parents. Returns a pinned, unlatched leaf handle.
-func (tr *Tree) descendToLeaf(key []byte, tx *txn.Txn) (*buffer.Handle, error) {
+// adoptJob remembers one adoptable foster relationship a descent passed:
+// childID holds a foster pointer that its branch parent should absorb. The
+// adoption runs after the descent's leaf work completes (finishAdoptions),
+// under a fresh exclusive latch pair with full revalidation, so the descent
+// itself never escalates its latches.
+type adoptJob struct {
+	parent page.ID
+	child  page.ID
+}
+
+// descend walks root-to-leaf for key with latch coupling ("crabbing"): the
+// child is pinned, latched, and verified against the fences the parent
+// predicts (§4.2, Figs. 2–3) BEFORE the parent latch is released, so no
+// descent can observe a half-applied structural change, and at most two
+// page latches are held at any instant. Readers latch every node shared;
+// writers latch branches shared and the leaf level exclusive (the root is
+// latched exclusive until it is known to be a branch). Foster chains are
+// followed with the same hand-over-hand protocol, validating the foster
+// child against the foster parent's high and chain-high fences.
+//
+// Fence expectations are only ever compared while the node that produced
+// them is still latched, which is what makes the §4.2 checks sound under
+// concurrency: a split changes neither a node's low nor its chain-high
+// fence, and the one operation that does rewrite them — adoption — runs
+// under an exclusive latch pair covering exactly the two pages a crabbing
+// descent would compare.
+//
+// With a non-nil adopt transaction the descent records foster children due
+// for adoption in the returned job list; the caller drains it with
+// finishAdoptions after its leaf work.
+//
+// The returned leaf handle is pinned and still LATCHED (shared for readers,
+// exclusive for writers), along with its decoded node; the caller releases
+// both latch and pin.
+func (tr *Tree) descend(key []byte, adopt *txn.Txn, write bool, lt *latchTracker) (*buffer.Handle, nodeView, []adoptJob, error) {
+	var pend []adoptJob
+	var none nodeView
 	curID := tr.root
-	expLow, expHigh := finite(nil), infFence
+	excl := write && !tr.rootIsBranch.Load()
+	h, err := tr.pager.Fetch(curID)
+	if err != nil {
+		return nil, none, nil, err
+	}
+	lt.latch(h, excl)
+	v, err := parseView(h.Page().Payload())
+	if err != nil {
+		lt.unpin(h, excl)
+		return nil, none, nil, err
+	}
+	if viol := verifyFences(curID, &v, finite(nil), infFence); viol != nil {
+		lt.unpin(h, excl)
+		return nil, none, nil, viol
+	}
+	if !v.isLeaf() {
+		tr.rootIsBranch.Store(true)
+	}
 	for {
-		h, err := tr.pager.Fetch(curID)
-		if err != nil {
-			return nil, err
-		}
-		h.RLock()
-		n, err := decodeNode(h.Page().Payload())
-		if err != nil {
-			h.RUnlock()
-			h.Release()
-			return nil, err
-		}
-		if viol := verifyNodeAgainst(curID, n, expLow, expHigh); viol != nil {
-			h.RUnlock()
-			h.Release()
-			return nil, viol
-		}
-		// Follow the foster chain if the key lies beyond this node's
-		// own range: the foster child's fences must line up with the
-		// foster parent's (Fig. 3).
-		if n.hasFoster() && !coversKey(n.low, n.high, key) {
-			next := n.foster
-			expLow, expHigh = n.high, n.chainHigh
-			h.RUnlock()
-			h.Release()
-			curID = next
+		// Follow the foster chain if the key lies beyond this node's own
+		// range: the foster child's fences must line up with the foster
+		// parent's (Fig. 3).
+		if v.hasFoster() && !coversKey(v.low, v.high, key) {
+			nextID := v.foster
+			if nextID == curID {
+				viol := &CorruptionError{Page: curID, Detail: "foster pointer to self"}
+				lt.unpin(h, excl)
+				return nil, none, nil, viol
+			}
+			nh, err := tr.pager.Fetch(nextID)
+			if err != nil {
+				lt.unpin(h, excl)
+				return nil, none, nil, err
+			}
+			lt.latch(nh, excl) // same level: same mode
+			nv, err := parseView(nh.Page().Payload())
+			if err != nil {
+				lt.unpin(nh, excl)
+				lt.unpin(h, excl)
+				return nil, none, nil, err
+			}
+			if viol := verifyFences(nextID, &nv, v.high, v.chain); viol != nil {
+				lt.unpin(nh, excl)
+				lt.unpin(h, excl)
+				return nil, none, nil, viol
+			}
+			lt.unpin(h, excl)
+			h, v, curID = nh, nv, nextID
 			continue
 		}
-		if n.isLeaf() {
-			h.RUnlock()
-			return h, nil
+		if v.isLeaf() {
+			return h, v, pend, nil
 		}
-		idx, eLow, eHigh := n.childFor(key)
-		childID := n.children[idx]
-		h.RUnlock()
-		if tx != nil {
-			adopted, err := tr.tryAdopt(h, childID)
-			if err != nil {
-				h.Release()
-				return nil, err
-			}
-			if adopted {
-				// The parent changed; retry it.
-				h.Release()
-				continue
-			}
+		childID, eLow, eHigh, err := v.childFor(key)
+		if err != nil {
+			lt.unpin(h, excl)
+			return nil, none, nil, err
 		}
-		h.Release()
-		curID, expLow, expHigh = childID, eLow, eHigh
+		if childID == curID {
+			viol := &CorruptionError{Page: curID, Detail: "child pointer to self"}
+			lt.unpin(h, excl)
+			return nil, none, nil, viol
+		}
+		ch, err := tr.pager.Fetch(childID)
+		if err != nil {
+			lt.unpin(h, excl)
+			return nil, none, nil, err
+		}
+		chExcl := write && v.level == 1
+		lt.latch(ch, chExcl)
+		cv, err := parseView(ch.Page().Payload())
+		if err != nil {
+			lt.unpin(ch, chExcl)
+			lt.unpin(h, excl)
+			return nil, none, nil, err
+		}
+		if viol := verifyFences(childID, &cv, eLow, eHigh); viol != nil {
+			lt.unpin(ch, chExcl)
+			lt.unpin(h, excl)
+			return nil, none, nil, viol
+		}
+		if adopt != nil && cv.hasFoster() && !cv.high.inf {
+			pend = append(pend, adoptJob{parent: curID, child: childID})
+		}
+		lt.unpin(h, excl)
+		h, v, curID, excl = ch, cv, childID, chExcl
 	}
 }
 
-// verifyNodeAgainst checks the fence keys a descent expects — the
-// incremental, instantaneous error detection of §4.2.
-func verifyNodeAgainst(id page.ID, n *node, expLow, expHigh fence) error {
-	if !n.low.equal(expLow) {
-		return &CorruptionError{Page: id, Detail: fmt.Sprintf(
-			"low fence %v, parent separator %v", n.low, expLow)}
+// finishAdoptions drains the adoption work a descent noted. Adoption is
+// opportunistic maintenance — every condition is revalidated under the
+// latch pair, and failures (contended latches, a page failure mid-fetch)
+// are dropped: the next descent through the same parent will retry, and
+// any real corruption resurfaces through the §4.2 checks of that descent.
+func (tr *Tree) finishAdoptions(pend []adoptJob, lt *latchTracker) {
+	for _, j := range pend {
+		_, _ = tr.tryAdopt(j.parent, j.child, lt)
 	}
-	if !n.chainHigh.equal(expHigh) {
+}
+
+// verifyFences checks the fence keys a descent expects — the incremental,
+// instantaneous error detection of §4.2. The expectations were derived from
+// the still-latched predecessor (parent or foster parent), which is what
+// makes the check sound under concurrency.
+func verifyFences(id page.ID, v *nodeView, expLow, expHigh fence) error {
+	if !v.low.equal(expLow) {
 		return &CorruptionError{Page: id, Detail: fmt.Sprintf(
-			"chain high fence %v, parent separator %v", n.chainHigh, expHigh)}
+			"low fence %v, parent separator %v", v.low, expLow)}
 	}
-	if n.hasFoster() && n.chainHigh.less(n.high) {
+	if !v.chain.equal(expHigh) {
+		return &CorruptionError{Page: id, Detail: fmt.Sprintf(
+			"chain high fence %v, parent separator %v", v.chain, expHigh)}
+	}
+	if v.hasFoster() && v.chain.less(v.high) {
 		return &CorruptionError{Page: id, Detail: "high fence above chain high fence"}
 	}
-	if !n.hasFoster() && !n.high.equal(n.chainHigh) {
+	if !v.hasFoster() && !v.high.equal(v.chain) {
 		return &CorruptionError{Page: id, Detail: "no foster child but chain high differs from high"}
+	}
+	if v.hasFoster() && !v.low.less(v.high) {
+		return &CorruptionError{Page: id, Detail: "foster parent with empty key range"}
 	}
 	return nil
 }
 
-// tryAdopt moves childID's foster child (if any) under the branch parent
-// held by parentH: the separator and pointer are inserted into the parent
-// and the foster pointer cleared, all in one system transaction. Returns
-// whether an adoption happened.
-func (tr *Tree) tryAdopt(parentH *buffer.Handle, childID page.ID) (bool, error) {
+// tryAdopt moves child's foster child (if any) under the branch parent: the
+// separator and pointer are inserted into the parent and the foster pointer
+// cleared, all in one system transaction applied under an exclusive latch
+// pair on parent and child. Concurrent descents crab through that pair
+// strictly before or after the adoption, never between its two halves — the
+// "localized structural change" that lets the tree drop any global writer
+// lock. The latches are TryLocked: adoption is opportunistic, and a
+// contended page means a later descent will retry. Returns whether an
+// adoption happened.
+func (tr *Tree) tryAdopt(parentID, childID page.ID, lt *latchTracker) (bool, error) {
+	parentH, err := tr.pager.Fetch(parentID)
+	if err != nil {
+		return false, err
+	}
+	defer parentH.Release()
+	if !lt.tryLatch(parentH) {
+		return false, nil
+	}
+	parent, err := parseView(parentH.Page().Payload())
+	if err != nil {
+		lt.unlatch(parentH, true)
+		return false, err
+	}
+	// Everything was observed under latches long since released:
+	// revalidate that the parent is still a branch holding this child.
+	childStillOurs := false
+	if !parent.isLeaf() {
+		ok, err := parent.childIndexOf(childID)
+		if err != nil {
+			lt.unlatch(parentH, true)
+			return false, err
+		}
+		childStillOurs = ok
+	}
+	if !childStillOurs {
+		lt.unlatch(parentH, true)
+		return false, nil
+	}
 	childH, err := tr.pager.Fetch(childID)
 	if err != nil {
+		lt.unlatch(parentH, true)
 		return false, err
 	}
-	childH.RLock()
-	child, err := decodeNode(childH.Page().Payload())
+	defer childH.Release()
+	if !lt.tryLatch(childH) {
+		lt.unlatch(parentH, true)
+		return false, nil
+	}
+	child, err := parseView(childH.Page().Payload())
 	if err != nil {
-		childH.RUnlock()
-		childH.Release()
+		lt.unlatch(childH, true)
+		lt.unlatch(parentH, true)
 		return false, err
 	}
-	hasFoster := child.hasFoster()
+	if !child.hasFoster() || child.high.inf || !child.high.less(child.chain) {
+		lt.unlatch(childH, true)
+		lt.unlatch(parentH, true)
+		return false, nil
+	}
 	fosterPID := child.foster
 	fosterKey := append([]byte(nil), child.high.k...)
-	fosterKeyInf := child.high.inf
-	oldChainHigh := child.chainHigh
-	childH.RUnlock()
-	if !hasFoster || fosterKeyInf {
-		childH.Release()
+	oldChainHigh := child.chain
+	need := 2 + len(fosterKey) + 8
+	if parent.size()+need > parentH.Page().Capacity() {
+		// A full parent is itself split (or the root grown) so that
+		// adoptions keep draining foster chains; without this, interior
+		// nodes would never split and chains would grow without bound.
+		lt.unlatch(childH, true)
+		lt.unlatch(parentH, true)
+		if err := tr.makeSpace(parentID, need, lt); err != nil {
+			return false, err
+		}
 		return false, nil
 	}
 
-	// Check parent capacity first. A full parent is itself split (or the
-	// root grown) so that adoptions keep draining foster chains; without
-	// this, interior nodes would never split and chains would grow
-	// without bound.
-	parentH.RLock()
-	parent, err := decodeNode(parentH.Page().Payload())
-	if err != nil {
-		parentH.RUnlock()
-		childH.Release()
-		return false, err
-	}
-	fits := parent.encodedSize()+2+len(fosterKey)+8 <= parentH.Page().Capacity()
-	parentH.RUnlock()
-	if !fits {
-		childH.Release()
-		if err := tr.makeSpace(parentH.ID()); err != nil {
-			return false, err
-		}
-		// The parent's shape changed; have the descent retry it.
-		return true, nil
-	}
-
 	st := tr.pager.BeginSystem()
-	parentH.Lock()
-	err = logApply(st, parentH, encodeAdopt(fosterKey, fosterPID))
-	parentH.Unlock()
-	if err != nil {
-		childH.Release()
+	if err := logApply(st, parentH, encodeAdopt(fosterKey, fosterPID)); err != nil {
+		lt.unlatch(childH, true)
+		lt.unlatch(parentH, true)
 		_ = st.Abort()
 		return false, err
 	}
-	childH.Lock()
 	err = logApply(st, childH, encodeClearFoster(fosterPID, oldChainHigh))
-	childH.Unlock()
-	childH.Release()
+	lt.unlatch(childH, true)
+	lt.unlatch(parentH, true)
 	if err != nil {
+		// The adopt half already applied to the parent: abort so its CLR
+		// (deAdopt) removes the second incoming pointer instead of
+		// leaking a half-applied adoption and an open system txn. The
+		// latches are released, so the abort can re-latch freely.
+		_ = st.Abort()
 		return false, err
 	}
 	if err := st.Commit(); err != nil {
@@ -293,33 +415,34 @@ func (tr *Tree) tryAdopt(parentH *buffer.Handle, childID page.ID) (bool, error) 
 }
 
 // Get returns the value for key, or ErrKeyNotFound. The descent verifies
-// every fence on the way down.
+// every fence on the way down, holding at most two shared latches.
 func (tr *Tree) Get(key []byte) ([]byte, error) {
 	if len(key) == 0 {
 		return nil, fmt.Errorf("%w: empty key", ErrKeyNotFound)
 	}
-	tr.mu.RLock()
-	defer tr.mu.RUnlock()
-	h, err := tr.descendToLeaf(key, nil)
+	lt := &latchTracker{}
+	h, v, _, err := tr.descend(key, nil, false, lt)
 	if err != nil {
 		return nil, err
 	}
-	defer h.Release()
-	h.RLock()
-	defer h.RUnlock()
-	n, err := decodeNode(h.Page().Payload())
+	defer lt.unpin(h, false)
+	val, ghost, found, err := v.findLeaf(key)
 	if err != nil {
 		return nil, err
 	}
-	i, found := n.findLeaf(key)
-	if !found || n.entries[i].ghost {
+	if !found || ghost {
 		return nil, fmt.Errorf("%w: %q", ErrKeyNotFound, key)
 	}
-	return append([]byte(nil), n.entries[i].val...), nil
+	return append([]byte(nil), val...), nil
 }
 
 // maxEntrySize bounds one leaf entry so that a split always makes progress.
 func maxEntrySize(capacity int) int { return capacity / 4 }
+
+// maxAttempts bounds the descend/make-space retry loops of the write
+// operations. Each retry either fits, reclaims ghosts, or splits a node, so
+// non-adversarial workloads converge within a handful of attempts.
+const maxAttempts = 64
 
 // Insert adds key=val under tx. Inserting an existing live key fails with
 // ErrKeyExists; inserting over a ghost revives it.
@@ -327,43 +450,40 @@ func (tr *Tree) Insert(tx *txn.Txn, key, val []byte) error {
 	if len(key) == 0 {
 		return errors.New("btree: empty key")
 	}
-	tr.mu.Lock()
-	defer tr.mu.Unlock()
+	lt := &latchTracker{}
 	for attempt := 0; ; attempt++ {
-		if attempt > 64 {
+		if attempt > maxAttempts {
 			return errors.New("btree: insert did not converge after splits")
 		}
-		h, err := tr.descendToLeaf(key, tx)
+		h, v, pend, err := tr.descend(key, tx, true, lt)
 		if err != nil {
 			return err
 		}
 		entrySize := 2 + len(key) + 4 + len(val)
 		if entrySize > maxEntrySize(h.Page().Capacity()) {
-			h.Release()
+			lt.unpin(h, true)
 			return fmt.Errorf("%w: %d bytes", ErrValueTooLarge, entrySize)
 		}
-		h.Lock()
-		n, err := decodeNode(h.Page().Payload())
-		if err != nil {
-			h.Unlock()
-			h.Release()
-			return err
+		_, ghost, found, ferr := v.findLeaf(key)
+		if ferr != nil {
+			lt.unpin(h, true)
+			return ferr
 		}
-		if i, found := n.findLeaf(key); found && !n.entries[i].ghost {
-			h.Unlock()
-			h.Release()
+		if found && !ghost {
+			lt.unpin(h, true)
+			tr.finishAdoptions(pend, lt)
 			return fmt.Errorf("%w: %q", ErrKeyExists, key)
 		}
-		if n.encodedSize()+entrySize <= h.Page().Capacity() {
+		if v.size()+entrySize <= h.Page().Capacity() {
 			err := logApply(tx, h, encodeLeafInsert(tr.root, key, val))
-			h.Unlock()
-			h.Release()
+			lt.unpin(h, true)
+			tr.finishAdoptions(pend, lt)
 			return err
 		}
-		h.Unlock()
 		leafID := h.ID()
-		h.Release()
-		if err := tr.makeSpace(leafID); err != nil {
+		lt.unpin(h, true)
+		tr.finishAdoptions(pend, lt)
+		if err := tr.makeSpace(leafID, entrySize, lt); err != nil {
 			return err
 		}
 	}
@@ -374,40 +494,40 @@ func (tr *Tree) Update(tx *txn.Txn, key, val []byte) error {
 	if len(key) == 0 {
 		return fmt.Errorf("%w: empty key", ErrKeyNotFound)
 	}
-	tr.mu.Lock()
-	defer tr.mu.Unlock()
+	lt := &latchTracker{}
 	for attempt := 0; ; attempt++ {
-		if attempt > 64 {
+		if attempt > maxAttempts {
 			return errors.New("btree: update did not converge after splits")
 		}
-		h, err := tr.descendToLeaf(key, tx)
+		h, v, pend, err := tr.descend(key, tx, true, lt)
 		if err != nil {
 			return err
 		}
-		h.Lock()
-		n, err := decodeNode(h.Page().Payload())
-		if err != nil {
-			h.Unlock()
-			h.Release()
-			return err
+		if 2+len(key)+4+len(val) > maxEntrySize(h.Page().Capacity()) {
+			lt.unpin(h, true)
+			return fmt.Errorf("%w: %d bytes", ErrValueTooLarge, 2+len(key)+4+len(val))
 		}
-		i, found := n.findLeaf(key)
-		if !found || n.entries[i].ghost {
-			h.Unlock()
-			h.Release()
+		curVal, ghost, found, ferr := v.findLeaf(key)
+		if ferr != nil {
+			lt.unpin(h, true)
+			return ferr
+		}
+		if !found || ghost {
+			lt.unpin(h, true)
+			tr.finishAdoptions(pend, lt)
 			return fmt.Errorf("%w: %q", ErrKeyNotFound, key)
 		}
-		old := append([]byte(nil), n.entries[i].val...)
-		if n.encodedSize()-len(old)+len(val) <= h.Page().Capacity() {
+		old := append([]byte(nil), curVal...)
+		if v.size()-len(old)+len(val) <= h.Page().Capacity() {
 			err := logApply(tx, h, encodeLeafUpdate(tr.root, key, val, old))
-			h.Unlock()
-			h.Release()
+			lt.unpin(h, true)
+			tr.finishAdoptions(pend, lt)
 			return err
 		}
-		h.Unlock()
 		leafID := h.ID()
-		h.Release()
-		if err := tr.makeSpace(leafID); err != nil {
+		lt.unpin(h, true)
+		tr.finishAdoptions(pend, lt)
+		if err := tr.makeSpace(leafID, len(val)-len(old), lt); err != nil {
 			return err
 		}
 	}
@@ -419,150 +539,162 @@ func (tr *Tree) Delete(tx *txn.Txn, key []byte) error {
 	if len(key) == 0 {
 		return fmt.Errorf("%w: empty key", ErrKeyNotFound)
 	}
-	tr.mu.Lock()
-	defer tr.mu.Unlock()
-	h, err := tr.descendToLeaf(key, tx)
+	lt := &latchTracker{}
+	h, v, pend, err := tr.descend(key, tx, true, lt)
 	if err != nil {
 		return err
 	}
-	h.Lock()
-	defer func() {
-		h.Unlock()
-		h.Release()
-	}()
-	n, err := decodeNode(h.Page().Payload())
-	if err != nil {
-		return err
+	_, ghost, found, ferr := v.findLeaf(key)
+	if ferr != nil {
+		lt.unpin(h, true)
+		return ferr
 	}
-	i, found := n.findLeaf(key)
-	if !found || n.entries[i].ghost {
+	if !found || ghost {
+		lt.unpin(h, true)
+		tr.finishAdoptions(pend, lt)
 		return fmt.Errorf("%w: %q", ErrKeyNotFound, key)
 	}
-	return logApply(tx, h, encodeLeafGhost(tr.root, key, true, false))
+	err = logApply(tx, h, encodeLeafGhost(tr.root, key, true, false))
+	lt.unpin(h, true)
+	tr.finishAdoptions(pend, lt)
+	return err
 }
 
 // undoInsert, undoDelete, undoUpdate perform the logical compensation for
 // user operations during rollback: a fresh descent finds the key wherever
 // splits may have moved it, and a CLR records the compensation.
 func (tr *Tree) undoInsert(t *txn.Txn, key []byte, undoNext page.LSN) error {
-	return tr.compensate(t, key, undoNext, func(n *node, i int) ([]byte, error) {
+	return tr.compensate(t, key, undoNext, func(curVal []byte, ghost bool) ([]byte, error) {
 		// Inverse of insert: remove the record. Ghosting suffices
 		// logically, but physical purge reclaims the space directly
 		// and keeps rollback idempotent.
-		e := n.entries[i]
-		return encodeLeafPurge(key, e.val, e.ghost), nil
+		return encodeLeafPurge(key, curVal, ghost), nil
 	})
 }
 
 // undoGhost restores the ghost flag a user delete (or its inverse)
 // changed: the compensation sets the flag back to prior.
 func (tr *Tree) undoGhost(t *txn.Txn, key []byte, prior, was bool, undoNext page.LSN) error {
-	return tr.compensate(t, key, undoNext, func(n *node, i int) ([]byte, error) {
+	return tr.compensate(t, key, undoNext, func([]byte, bool) ([]byte, error) {
 		return encodeLeafGhost(tr.root, key, prior, was), nil
 	})
 }
 
 func (tr *Tree) undoUpdate(t *txn.Txn, key, oldVal []byte, undoNext page.LSN) error {
-	return tr.compensate(t, key, undoNext, func(n *node, i int) ([]byte, error) {
-		return encodeLeafUpdate(tr.root, key, oldVal, n.entries[i].val), nil
+	return tr.compensate(t, key, undoNext, func(curVal []byte, ghost bool) ([]byte, error) {
+		return encodeLeafUpdate(tr.root, key, oldVal, curVal), nil
 	})
 }
 
+// compensate descends like a writer (exclusive leaf latch, no adoptions —
+// rollback performs no optional maintenance) and logs the compensation CLR.
 func (tr *Tree) compensate(t *txn.Txn, key []byte, undoNext page.LSN,
-	makeOp func(n *node, i int) ([]byte, error)) error {
-	tr.mu.Lock()
-	defer tr.mu.Unlock()
-	h, err := tr.descendToLeaf(key, nil)
+	makeOp func(curVal []byte, ghost bool) ([]byte, error)) error {
+	lt := &latchTracker{}
+	h, v, _, err := tr.descend(key, nil, true, lt)
 	if err != nil {
 		return err
 	}
-	h.Lock()
-	defer func() {
-		h.Unlock()
-		h.Release()
-	}()
-	n, err := decodeNode(h.Page().Payload())
+	defer lt.unpin(h, true)
+	curVal, ghost, found, err := v.findLeaf(key)
 	if err != nil {
 		return err
 	}
-	i, found := n.findLeaf(key)
 	if !found {
 		return fmt.Errorf("btree: compensation target %q vanished: %w", key, ErrKeyNotFound)
 	}
-	op, err := makeOp(n, i)
+	op, err := makeOp(curVal, ghost)
 	if err != nil {
 		return err
 	}
 	return logApplyCLR(t, h, op, undoNext)
 }
 
-// makeSpace reclaims ghosts in the node or splits it, under a system
-// transaction. Called without any latch held.
-func (tr *Tree) makeSpace(id page.ID) error {
+// makeSpace reclaims ghosts in the node or splits it so that need more
+// bytes fit, under a system transaction. Called without any latch held; the
+// caller re-descends afterwards. A concurrent writer may have made (or
+// taken) the space in the meantime — makeSpace rechecks under the latch and
+// the caller's retry loop absorbs either outcome.
+func (tr *Tree) makeSpace(id page.ID, need int, lt *latchTracker) error {
 	h, err := tr.pager.Fetch(id)
 	if err != nil {
 		return err
 	}
-	h.Lock()
-	n, err := decodeNode(h.Page().Payload())
+	lt.latch(h, true)
+	v, err := parseView(h.Page().Payload())
 	if err != nil {
-		h.Unlock()
-		h.Release()
+		lt.unpin(h, true)
 		return err
 	}
-	// First try reclaiming ghost records — cheaper than splitting.
-	var ghosts []leafEntry
-	if n.isLeaf() {
-		for _, e := range n.entries {
-			if e.ghost {
-				ghosts = append(ghosts, e)
-			}
-		}
-	}
-	if len(ghosts) > 0 {
-		st := tr.pager.BeginSystem()
-		for _, g := range ghosts {
-			if err := logApply(st, h, encodeLeafPurge(g.key, g.val, true)); err != nil {
-				h.Unlock()
-				h.Release()
-				return err
-			}
-		}
-		h.Unlock()
-		h.Release()
-		return st.Commit()
-	}
-	h.Unlock()
-	h.Release()
-	if id == tr.root {
-		if err := tr.growRoot(); err != nil {
-			return err
-		}
-		// The overflowing content now lives under a fresh child; the
-		// retry descent will split that child.
+	if v.size()+need <= h.Page().Capacity() {
+		// A concurrent split or purge already made room.
+		lt.unpin(h, true)
 		return nil
 	}
-	return tr.fosterSplit(id)
+	// First try reclaiming ghost records — cheaper than splitting. The
+	// ghosts are deep-copied: each purge rewrites the payload the viewed
+	// entries alias.
+	if v.isLeaf() {
+		var ghosts []leafEntry
+		if err := v.eachEntry(func(k, val []byte, ghost bool) bool {
+			if ghost {
+				ghosts = append(ghosts, leafEntry{
+					key:   append([]byte(nil), k...),
+					val:   append([]byte(nil), val...),
+					ghost: true,
+				})
+			}
+			return true
+		}); err != nil {
+			lt.unpin(h, true)
+			return err
+		}
+		if len(ghosts) > 0 {
+			st := tr.pager.BeginSystem()
+			for _, g := range ghosts {
+				if err := logApply(st, h, encodeLeafPurge(g.key, g.val, true)); err != nil {
+					lt.unpin(h, true)
+					_ = st.Abort() // roll earlier purges back; latch released
+					return err
+				}
+			}
+			lt.unpin(h, true)
+			return st.Commit()
+		}
+	}
+	lt.unpin(h, true)
+	if id == tr.root {
+		// The overflowing content moves under a fresh child; the retry
+		// descent will split that child.
+		return tr.growRoot(need, lt)
+	}
+	return tr.fosterSplit(id, need, lt)
 }
 
 // fosterSplit splits one non-root node: the upper half moves to a newly
 // allocated foster child; the node keeps a foster pointer until a later
-// descent adopts the child into the permanent parent (Fig. 3).
-func (tr *Tree) fosterSplit(id page.ID) error {
+// descent adopts the child into the permanent parent (Fig. 3). The node's
+// exclusive latch is held across the allocation and the truncating apply,
+// so concurrent descents see the pre-split or post-split state, never the
+// freshly allocated child without its incoming pointer.
+func (tr *Tree) fosterSplit(id page.ID, need int, lt *latchTracker) error {
 	h, err := tr.pager.Fetch(id)
 	if err != nil {
 		return err
 	}
-	h.Lock()
+	lt.latch(h, true)
 	n, err := decodeNode(h.Page().Payload())
 	if err != nil {
-		h.Unlock()
-		h.Release()
+		lt.unpin(h, true)
 		return err
 	}
+	if n.encodedSize()+need <= h.Page().Capacity() {
+		// A concurrent split already made room; retry will succeed.
+		lt.unpin(h, true)
+		return nil
+	}
 	if n.fanout() < 2 {
-		h.Unlock()
-		h.Release()
+		lt.unpin(h, true)
 		return fmt.Errorf("%w: node %d cannot split with fanout %d", ErrValueTooLarge, id, n.fanout())
 	}
 
@@ -583,8 +715,7 @@ func (tr *Tree) fosterSplit(id page.ID) error {
 	st := tr.pager.BeginSystem()
 	childH, err := tr.pager.AllocateNode(st, page.TypeBTree, child.encode())
 	if err != nil {
-		h.Unlock()
-		h.Release()
+		lt.unpin(h, true)
 		_ = st.Abort()
 		return err
 	}
@@ -592,9 +723,11 @@ func (tr *Tree) fosterSplit(id page.ID) error {
 	childH.Release()
 	preImage := append([]byte(nil), h.Page().Payload()...)
 	err = logApply(st, h, encodeSplitTruncate(childID, fosterKey, preImage))
-	h.Unlock()
-	h.Release()
+	lt.unpin(h, true)
 	if err != nil {
+		// Reclaim the orphaned child allocation and close the system
+		// txn; the latch is released, so the abort can re-latch freely.
+		_ = st.Abort()
 		return err
 	}
 	if err := st.Commit(); err != nil {
@@ -607,26 +740,30 @@ func (tr *Tree) fosterSplit(id page.ID) error {
 // growRoot handles a full root: the root's entire contents move to a new
 // node M and the root becomes a one-child branch above M. The root page ID
 // never changes, so no parent pointer (and no meta entry) needs updating;
-// M then splits through the normal foster path.
-func (tr *Tree) growRoot() error {
+// M then splits through the normal foster path. The root's exclusive latch
+// covers the allocation and the replacement, exactly like a foster split.
+func (tr *Tree) growRoot(need int, lt *latchTracker) error {
 	h, err := tr.pager.Fetch(tr.root)
 	if err != nil {
 		return err
 	}
-	h.Lock()
+	lt.latch(h, true)
 	n, err := decodeNode(h.Page().Payload())
 	if err != nil {
-		h.Unlock()
-		h.Release()
+		lt.unpin(h, true)
 		return err
+	}
+	if n.encodedSize()+need <= h.Page().Capacity() {
+		// A concurrent writer already grew the root.
+		lt.unpin(h, true)
+		return nil
 	}
 	oldPayload := append([]byte(nil), h.Page().Payload()...)
 	st := tr.pager.BeginSystem()
 	// M: a verbatim copy of the root's contents and fences.
 	mH, err := tr.pager.AllocateNode(st, page.TypeBTree, oldPayload)
 	if err != nil {
-		h.Unlock()
-		h.Release()
+		lt.unpin(h, true)
 		_ = st.Abort()
 		return err
 	}
@@ -635,14 +772,15 @@ func (tr *Tree) growRoot() error {
 	newRoot := newBranch(n.level+1, n.low, n.high, []page.ID{mID}, nil)
 	newRoot.chainHigh = n.chainHigh
 	err = logApply(st, h, encodeReplaceNode(newRoot.encode(), oldPayload))
-	h.Unlock()
-	h.Release()
+	lt.unpin(h, true)
 	if err != nil {
+		_ = st.Abort() // reclaim M and close the system txn
 		return err
 	}
 	if err := st.Commit(); err != nil {
 		return err
 	}
+	tr.rootIsBranch.Store(true)
 	tr.rootGrows.Add(1)
 	return nil
 }
@@ -654,90 +792,96 @@ type Entry struct {
 }
 
 // Scan visits all live entries with start <= key < end in order (nil end =
-// unbounded), calling fn until it returns false. Because nodes carry fence
-// keys instead of sibling pointers, the scan proceeds by repeated
-// root-to-leaf descents plus foster-chain hops, each verifying invariants.
+// unbounded), calling fn until it returns false. Leaves within a foster
+// chain are traversed with latch hand-over-hand — the next leaf is latched
+// and verified against the current leaf's high and chain-high fences
+// before the current latch drops (the §4.2 chain check) — and between
+// chains the scan re-descends from the next key range, since nodes carry
+// fence keys instead of sibling pointers.
+//
+// fn runs under the current leaf's shared latch, so it must not write to
+// the same tree (reads are fine unless they land on the latched leaf while
+// a writer is queued behind it).
 func (tr *Tree) Scan(start, end []byte, fn func(Entry) bool) error {
-	tr.mu.RLock()
-	defer tr.mu.RUnlock()
+	lt := &latchTracker{}
 	cur := start
 	if len(cur) == 0 {
 		cur = []byte{0}
 	}
-	descend := true
-	var h *buffer.Handle
-	var err error
+	h, v, _, err := tr.descend(cur, nil, false, lt)
+	if err != nil {
+		return err
+	}
 	for {
-		if descend {
-			h, err = tr.descendToLeaf(cur, nil)
-			if err != nil {
-				return err
+		stop := false
+		err := v.eachEntry(func(k, val []byte, ghost bool) bool {
+			if bytes.Compare(k, cur) < 0 {
+				return true
 			}
-		}
-		h.RLock()
-		n, err := decodeNode(h.Page().Payload())
+			if end != nil && bytes.Compare(k, end) >= 0 {
+				stop = true
+				return false
+			}
+			if ghost {
+				return true
+			}
+			ent := Entry{Key: append([]byte(nil), k...), Value: append([]byte(nil), val...)}
+			if !fn(ent) {
+				stop = true
+				return false
+			}
+			return true
+		})
 		if err != nil {
-			h.RUnlock()
-			h.Release()
+			lt.unpin(h, false)
 			return err
 		}
-		for _, e := range n.entries {
-			if bytes.Compare(e.key, cur) < 0 {
-				continue
-			}
-			if end != nil && bytes.Compare(e.key, end) >= 0 {
-				h.RUnlock()
-				h.Release()
-				return nil
-			}
-			if e.ghost {
-				continue
-			}
-			ent := Entry{Key: append([]byte(nil), e.key...), Value: append([]byte(nil), e.val...)}
-			if !fn(ent) {
-				h.RUnlock()
-				h.Release()
-				return nil
-			}
+		if stop {
+			lt.unpin(h, false)
+			return nil
 		}
 		// Advance: foster child first, then next key range.
 		switch {
-		case n.hasFoster():
-			next := n.foster
-			expLow, expHigh := n.high, n.chainHigh
-			h.RUnlock()
-			h.Release()
-			nh, err := tr.pager.Fetch(next)
-			if err != nil {
-				return err
-			}
-			nh.RLock()
-			fn2, err := decodeNode(nh.Page().Payload())
-			if err != nil {
-				nh.RUnlock()
-				nh.Release()
-				return err
-			}
-			if viol := verifyNodeAgainst(next, fn2, expLow, expHigh); viol != nil {
-				nh.RUnlock()
-				nh.Release()
+		case v.hasFoster():
+			nextID := v.foster
+			if nextID == h.ID() {
+				viol := &CorruptionError{Page: nextID, Detail: "foster pointer to self"}
+				lt.unpin(h, false)
 				return viol
 			}
-			nh.RUnlock()
-			h = nh
-			cur = expLow.k
-			descend = false
-		case n.high.inf:
-			h.RUnlock()
-			h.Release()
+			nh, err := tr.pager.Fetch(nextID)
+			if err != nil {
+				lt.unpin(h, false)
+				return err
+			}
+			lt.latch(nh, false)
+			nv, err := parseView(nh.Page().Payload())
+			if err != nil {
+				lt.unpin(nh, false)
+				lt.unpin(h, false)
+				return err
+			}
+			if viol := verifyFences(nextID, &nv, v.high, v.chain); viol != nil {
+				lt.unpin(nh, false)
+				lt.unpin(h, false)
+				return viol
+			}
+			// The resume key must outlive the page it aliases.
+			cur = append([]byte(nil), v.high.k...)
+			lt.unpin(h, false)
+			h, v = nh, nv
+		case v.high.inf:
+			lt.unpin(h, false)
 			return nil
 		default:
-			cur = append([]byte(nil), n.high.k...)
-			h.RUnlock()
-			h.Release()
-			descend = true
+			cur = append([]byte(nil), v.high.k...)
+			lt.unpin(h, false)
 			if end != nil && bytes.Compare(cur, end) >= 0 {
 				return nil
+			}
+			h, v, _, err = tr.descend(cur, nil, false, lt)
+			if err != nil {
+				return err
 			}
 		}
 	}

@@ -29,9 +29,12 @@ func (v Violation) String() string {
 // parent and child, fence agreement between parent separators and child
 // fences (including along foster chains), and exactly one incoming pointer
 // per node.
+//
+// VerifyAll latches one page at a time (shared), so it runs without
+// blocking foreground traffic — but like any offline audit it assumes a
+// quiesced tree for exact results: a structural change between two of its
+// page visits can surface as a transient violation.
 func (tr *Tree) VerifyAll() ([]Violation, error) {
-	tr.mu.RLock()
-	defer tr.mu.RUnlock()
 	var viols []Violation
 	seen := make(map[page.ID]int) // incoming pointer count
 
@@ -75,9 +78,11 @@ func (tr *Tree) VerifyAll() ([]Violation, error) {
 			viols = append(viols, Violation{j.id, fmt.Sprintf(
 				"level %d, expected %d", n.level, j.expLevel)})
 		}
+		// Queued expectations outlive this node's latch, and decoded
+		// fences alias the page payload: clone them.
 		if n.hasFoster() {
 			queue = append(queue, job{
-				id: n.foster, expLow: n.high, expChainHigh: n.chainHigh,
+				id: n.foster, expLow: n.high.clone(), expChainHigh: n.chainHigh.clone(),
 				expLevel: int(n.level),
 			})
 		}
@@ -94,7 +99,7 @@ func (tr *Tree) VerifyAll() ([]Violation, error) {
 				} else {
 					eHigh = finite(n.seps[i])
 				}
-				queue = append(queue, job{id: c, expLow: eLow, expChainHigh: eHigh,
+				queue = append(queue, job{id: c, expLow: eLow.clone(), expChainHigh: eHigh.clone(),
 					expLevel: int(n.level) - 1})
 			}
 		}
@@ -158,9 +163,9 @@ func verifyNodeShape(id page.ID, n *node) []Violation {
 }
 
 // WalkStats traverses the whole tree and returns aggregate statistics.
+// Like VerifyAll it latches one page at a time; counts taken against a
+// concurrently mutating tree are approximate.
 func (tr *Tree) WalkStats() (Stats, error) {
-	tr.mu.RLock()
-	defer tr.mu.RUnlock()
 	var st Stats
 	var walk func(id page.ID, depth int) error
 	walk = func(id page.ID, depth int) error {

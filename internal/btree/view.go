@@ -1,0 +1,170 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/page"
+)
+
+// nodeView is a zero-allocation, read-only cursor over an encoded node
+// payload. Descents are the engine's hottest path and need only routing
+// decisions (which child, which foster, does the key exist, does an entry
+// fit), none of which require materializing the node: the view parses the
+// header fences once and walks the variable-length body in place. Every
+// byte slice a view hands out aliases the payload — the same latch
+// discipline as decodeNode applies (valid only under the page latch, stale
+// after an applyOp on the page).
+//
+// Mutations still go through decodeNode/encode inside applyOp, so redo
+// remains exact by construction; the view is purely a read fast path.
+type nodeView struct {
+	payload []byte
+	level   uint16
+	low     fence
+	high    fence
+	chain   fence // chainHigh
+	foster  page.ID
+	count   int
+	body    int // offset of the first entry (leaf) or child array (branch)
+}
+
+func (v *nodeView) isLeaf() bool    { return v.level == 0 }
+func (v *nodeView) hasFoster() bool { return v.foster != page.InvalidID }
+
+// size returns the encoded size of the node — the payload length itself,
+// since encode is deterministic.
+func (v *nodeView) size() int { return len(v.payload) }
+
+// parseView reads the node header. The body is validated lazily by the
+// walking methods (each is bounds-checked and reports ErrNodeCorrupt).
+func parseView(payload []byte) (nodeView, error) {
+	r := &reader{b: payload}
+	var v nodeView
+	v.payload = payload
+	v.level = r.u16()
+	flags := r.u8()
+	v.low = finite(r.bytes16())
+	if flags&2 != 0 {
+		v.high = infFence
+	} else {
+		v.high = finite(r.bytes16())
+	}
+	if flags&4 != 0 {
+		v.chain = infFence
+	} else {
+		v.chain = finite(r.bytes16())
+	}
+	v.foster = page.ID(r.u64())
+	v.count = int(r.u16())
+	v.body = r.pos
+	if r.err != nil {
+		return nodeView{}, fmt.Errorf("%w: %v", ErrNodeCorrupt, r.err)
+	}
+	if flags&1 != 0 && v.foster == page.InvalidID {
+		return nodeView{}, fmt.Errorf("%w: foster flag with no foster id", ErrNodeCorrupt)
+	}
+	if flags&1 == 0 && v.foster != page.InvalidID {
+		return nodeView{}, fmt.Errorf("%w: foster id with no foster flag", ErrNodeCorrupt)
+	}
+	return v, nil
+}
+
+// childFor returns the index and page ID of the child covering key, plus
+// the expected fences of that child derived from the separators — the
+// redundancy every descent verifies (§4.2). Branch nodes only.
+func (v *nodeView) childFor(key []byte) (childID page.ID, expLow, expHigh fence, err error) {
+	r := &reader{b: v.payload, pos: v.body}
+	// Children: count * u64, then count-1 separators.
+	sepsAt := v.body + 8*v.count
+	child := func(i int) page.ID {
+		r.pos = v.body + 8*i
+		return page.ID(r.u64())
+	}
+	rs := &reader{b: v.payload, pos: sepsAt}
+	idx := v.count - 1 // default: rightmost child
+	expLow = v.low
+	expHigh = v.high
+	prev := v.low
+	for i := 0; i < v.count-1; i++ {
+		sep := rs.bytes16()
+		if rs.err != nil {
+			return 0, fence{}, fence{}, fmt.Errorf("%w: %v", ErrNodeCorrupt, rs.err)
+		}
+		if bytes.Compare(key, sep) < 0 {
+			idx = i
+			expLow = prev
+			expHigh = finite(sep)
+			break
+		}
+		prev = finite(sep)
+	}
+	if idx == v.count-1 {
+		expLow = prev
+		expHigh = v.high
+	}
+	if v.count == 0 {
+		return 0, fence{}, fence{}, fmt.Errorf("%w: branch with no children", ErrNodeCorrupt)
+	}
+	id := child(idx)
+	if r.err != nil {
+		return 0, fence{}, fence{}, fmt.Errorf("%w: %v", ErrNodeCorrupt, r.err)
+	}
+	return id, expLow, expHigh, nil
+}
+
+// childIndexOf reports whether id is among the branch node's children.
+func (v *nodeView) childIndexOf(id page.ID) (bool, error) {
+	r := &reader{b: v.payload, pos: v.body}
+	for i := 0; i < v.count; i++ {
+		c := page.ID(r.u64())
+		if r.err != nil {
+			return false, fmt.Errorf("%w: %v", ErrNodeCorrupt, r.err)
+		}
+		if c == id {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// findLeaf looks key up in a leaf, returning its value (aliasing the
+// payload) and ghost flag.
+func (v *nodeView) findLeaf(key []byte) (val []byte, ghost, found bool, err error) {
+	r := &reader{b: v.payload, pos: v.body}
+	for i := 0; i < v.count; i++ {
+		k := r.bytes16()
+		vl := r.u32()
+		g := vl&ghostBit != 0
+		val := r.take(int(vl &^ ghostBit))
+		if r.err != nil {
+			return nil, false, false, fmt.Errorf("%w: %v", ErrNodeCorrupt, r.err)
+		}
+		switch bytes.Compare(k, key) {
+		case 0:
+			return val, g, true, nil
+		case 1:
+			return nil, false, false, nil // sorted: passed the slot
+		}
+	}
+	return nil, false, false, nil
+}
+
+// eachEntry visits a leaf's entries in order until fn returns false. The
+// key and value slices alias the payload.
+func (v *nodeView) eachEntry(fn func(key, val []byte, ghost bool) bool) error {
+	r := &reader{b: v.payload, pos: v.body}
+	for i := 0; i < v.count; i++ {
+		k := r.bytes16()
+		vl := r.u32()
+		g := vl&ghostBit != 0
+		val := r.take(int(vl &^ ghostBit))
+		if r.err != nil {
+			return fmt.Errorf("%w: %v", ErrNodeCorrupt, r.err)
+		}
+		if !fn(k, val, g) {
+			return nil
+		}
+	}
+	return nil
+}

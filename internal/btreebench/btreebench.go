@@ -1,0 +1,278 @@
+// Package btreebench holds the shared driver for the concurrent B-tree
+// benchmark (E23 parallel tree ops). Both the root bench_test.go (go test
+// -bench) and cmd/spfbench -benchjson run these same functions, so the
+// numbers in BENCH_btree.json always measure exactly what CI smoke-tests.
+//
+// The driver compares the latch-coupled tree against a tree-global-mutex
+// baseline shim — the seed's serialization discipline (all writers behind
+// one writer lock, readers behind its read side) reproduced on top of the
+// identical tree — under a mixed Get/Insert/Update/Delete workload in two
+// shapes: disjoint (each worker owns its key range, the scalable case) and
+// contended (every worker hammers one shared range).
+package btreebench
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/backup"
+	"repro/internal/btree"
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/iosim"
+	"repro/internal/page"
+	"repro/internal/pagemap"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// pager is a minimal engine (pool + map + log + txn manager + PRI), the
+// same substrate the btree unit tests run on. missLatency, when set,
+// charges a real device latency on every buffer miss: the simulated
+// devices account virtual time only, but the point of latch coupling is
+// overlapping I/O stalls that a tree-global lock serializes, so the
+// benchmark makes the stall real. It applies identically to both sides of
+// the comparison.
+type pager struct {
+	dev         *storage.Device
+	pmap        *pagemap.Map
+	log         *wal.Manager
+	pool        *buffer.Pool
+	txns        *txn.Manager
+	pri         *core.PRI
+	missLatency time.Duration
+}
+
+func newPager(pageSize, slots, frames int) *pager {
+	p := &pager{
+		dev:  storage.NewDevice(storage.Config{PageSize: pageSize, Slots: slots, Profile: iosim.Instant}),
+		pmap: pagemap.New(pagemap.InPlace, slots),
+		log:  wal.NewManager(iosim.Instant),
+		pri:  core.NewPRI(),
+	}
+	p.txns = txn.NewManager(p.log)
+	p.pool = buffer.NewPool(buffer.Config{
+		Capacity: frames, Device: p.dev, Map: p.pmap, Log: p.log,
+		Hooks: buffer.Hooks{
+			CompleteWrite: func(info buffer.WriteInfo) []*wal.Record {
+				_, _ = p.pri.SetLastLSN(info.Page, info.PageLSN)
+				return nil
+			},
+		},
+	})
+	p.txns.SetUndoer(p)
+	return p
+}
+
+func (p *pager) Undo(t *txn.Txn, rec *wal.Record) error {
+	return btree.Compensate(t, p, rec)
+}
+
+func (p *pager) AllocateNode(t *txn.Txn, typ page.Type, initialPayload []byte) (*buffer.Handle, error) {
+	id := p.pmap.AllocateLogical()
+	h, err := p.pool.Create(id, typ)
+	if err != nil {
+		return nil, err
+	}
+	h.Lock()
+	defer h.Unlock()
+	if err := h.Page().SetPayload(initialPayload); err != nil {
+		h.Release()
+		return nil, err
+	}
+	lsn, err := t.Log(&wal.Record{
+		Type:    wal.TypeFormat,
+		PageID:  id,
+		Payload: backup.FormatPayload(typ, initialPayload),
+	})
+	if err != nil {
+		h.Release()
+		return nil, err
+	}
+	h.Page().SetLSN(lsn)
+	h.MarkDirty(lsn)
+	p.pri.Set(id, core.Entry{
+		Backup:  core.BackupRef{Kind: core.BackupFormat, Loc: uint64(lsn), AsOf: lsn},
+		LastLSN: lsn,
+	})
+	return h, nil
+}
+
+func (p *pager) Fetch(id page.ID) (*buffer.Handle, error) {
+	if p.missLatency > 0 && !p.pool.IsResident(id) {
+		time.Sleep(p.missLatency)
+	}
+	return p.pool.Fetch(id)
+}
+func (p *pager) BeginSystem() *txn.Txn { return p.txns.BeginSystem() }
+
+// treeOps is the slice of the tree API the workload exercises; the
+// latch-coupled tree and the global-mutex shim both implement it.
+type treeOps interface {
+	Get(key []byte) ([]byte, error)
+	Insert(tx *txn.Txn, key, val []byte) error
+	Update(tx *txn.Txn, key, val []byte) error
+	Delete(tx *txn.Txn, key []byte) error
+}
+
+// mutexTree is the tree-global-mutex baseline shim: the identical tree with
+// the seed's serialization reproduced on top — writers fully serialized by
+// one RWMutex, readers sharing its read side and stalling behind any
+// in-flight writer. It exists purely as the before-side of E23 so the
+// latch-coupling speedup stays measurable after the old code is gone.
+type mutexTree struct {
+	mu sync.RWMutex
+	tr *btree.Tree
+}
+
+func (m *mutexTree) Get(key []byte) ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.tr.Get(key)
+}
+
+func (m *mutexTree) Insert(tx *txn.Txn, key, val []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tr.Insert(tx, key, val)
+}
+
+func (m *mutexTree) Update(tx *txn.Txn, key, val []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tr.Update(tx, key, val)
+}
+
+func (m *mutexTree) Delete(tx *txn.Txn, key []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tr.Delete(tx, key)
+}
+
+const (
+	// baseKeys is how many stable keys each range holds (preloaded).
+	baseKeys = 128
+	// flipKeys is the volatile sub-range inserts and deletes toggle.
+	flipKeys = 32
+	// maxWorkers caps the distinct disjoint write ranges (RunParallel
+	// worker IDs wrap around beyond it). Reads roam over all ranges.
+	maxWorkers = 64
+	// poolFrames is sized well below the disjoint working set so reads
+	// miss regularly and pay missLatency — the realistic regime where
+	// serializing I/O stalls behind one tree lock hurts most.
+	poolFrames = 256
+	// missLatency is the charged device latency per buffer miss (an SSD
+	// read is tens of microseconds).
+	missLatency = 40 * time.Microsecond
+)
+
+func benchKey(shard, i int) []byte {
+	return []byte(fmt.Sprintf("r%02d-%06d", shard, i))
+}
+
+// ParallelOps returns a benchmark function running the mixed workload: 30%
+// Get, 50% Update, 10% Insert, 10% Delete per worker, against either the
+// latch-coupled tree (globalMutex=false) or the baseline shim. contended
+// selects whether workers share one key range or own disjoint ranges.
+func ParallelOps(contended, globalMutex bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		p := newPager(1024, 1<<18, poolFrames)
+		st := p.txns.BeginSystem()
+		tr, err := btree.Create(st, "bench", p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := st.Commit(); err != nil {
+			b.Fatal(err)
+		}
+		shards := maxWorkers
+		if contended {
+			shards = 1
+		}
+		load := p.txns.Begin()
+		for s := 0; s < shards; s++ {
+			for i := 0; i < baseKeys; i++ {
+				if err := tr.Insert(load, benchKey(s, i), []byte("v0")); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if err := load.Commit(); err != nil {
+			b.Fatal(err)
+		}
+		p.missLatency = missLatency // charge misses only after the preload
+		var ops treeOps = tr
+		if globalMutex {
+			ops = &mutexTree{tr: tr}
+		}
+		var widGen int32
+		var widMu sync.Mutex
+		nextWid := func() int {
+			widMu.Lock()
+			defer widMu.Unlock()
+			widGen++
+			return int(widGen)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			wid := nextWid()
+			shard := 0
+			if !contended {
+				shard = wid % maxWorkers
+			}
+			rng := uint64(wid)*0x9E3779B97F4A7C15 + 1
+			next := func() uint64 {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				return rng
+			}
+			tx := p.txns.Begin()
+			val := []byte("value-00000000")
+			for pb.Next() {
+				r := next()
+				switch {
+				case r%10 < 3: // Get: roams all ranges (base keys: always present)
+					gshard := shard
+					if !contended {
+						gshard = int(r>>32) % maxWorkers
+					}
+					k := benchKey(gshard, int(r>>8)%baseKeys)
+					if _, err := ops.Get(k); err != nil {
+						b.Error(err)
+						return
+					}
+				case r%10 < 8: // Update (base range: never deleted)
+					k := benchKey(shard, int(r>>8)%baseKeys)
+					if err := ops.Update(tx, k, val); err != nil {
+						b.Error(err)
+						return
+					}
+				case r%10 < 9: // Insert into the volatile sub-range
+					k := benchKey(shard, baseKeys+int(r>>8)%flipKeys)
+					if err := ops.Insert(tx, k, val); err != nil &&
+						!errors.Is(err, btree.ErrKeyExists) {
+						b.Error(err)
+						return
+					}
+				default: // Delete from the volatile sub-range
+					k := benchKey(shard, baseKeys+int(r>>8)%flipKeys)
+					if err := ops.Delete(tx, k); err != nil &&
+						!errors.Is(err, btree.ErrKeyNotFound) {
+						b.Error(err)
+						return
+					}
+				}
+			}
+			if err := tx.Commit(); err != nil {
+				b.Error(err)
+			}
+		})
+		b.StopTimer()
+	}
+}

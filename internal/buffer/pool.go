@@ -379,6 +379,14 @@ func (h *Handle) RLock() { h.f.latch.RLock() }
 // RUnlock releases the read latch.
 func (h *Handle) RUnlock() { h.f.latch.RUnlock() }
 
+// TryLock attempts the write latch without blocking. Opportunistic
+// maintenance (B-tree foster adoption) uses it so background structural
+// work never stalls behind a contended page.
+func (h *Handle) TryLock() bool { return h.f.latch.TryLock() }
+
+// TryRLock attempts the read latch without blocking.
+func (h *Handle) TryRLock() bool { return h.f.latch.TryRLock() }
+
 // MarkDirty records that the page was modified under a log record with the
 // given LSN. The first dirtying LSN since the page was last clean is kept
 // as the recovery LSN for checkpointing (the ARIES dirty page table).

@@ -118,6 +118,11 @@ type Stats struct {
 	ScrubTicks    int64
 	PagesScrubbed int64
 	Sweeps        int64
+	// EffectiveScrubRate is the campaign's current pages/second after
+	// adaptive backoff: the configured rate normally, half of it while
+	// the pool's dirty count sits above the flushers' high watermark
+	// (foreground write pressure), zero when scrubbing is disabled.
+	EffectiveScrubRate int64
 	// LatentFound counts bad slots detected; Repaired and Escalated split
 	// them by repair outcome.
 	LatentFound int64
@@ -160,10 +165,14 @@ type Service struct {
 	// remapped mid-sweep routes its repair to the old owner (a harmless
 	// validating re-read) and newly mapped slots wait for the next sweep —
 	// which is the standard scrubbing trade: coverage is per sweep, not
-	// per instant.
-	cursor storage.PhysID
-	mapped map[storage.PhysID]page.ID
-	stats  counters
+	// per instant. skipTick implements the adaptive backoff: while the
+	// pool is above the flushers' dirty high watermark the campaign sits
+	// out alternate ticks, halving its effective rate.
+	cursor   storage.PhysID
+	mapped   map[storage.PhysID]page.ID
+	skipTick bool
+	effRate  atomic.Int64 // current pages/second after adaptive backoff
+	stats    counters
 }
 
 // New builds a service. Defaults are applied to cfg here, so Config()
@@ -181,6 +190,9 @@ func New(cfg Config, deps Deps) *Service {
 		if s.high < 1 {
 			s.high = 1
 		}
+	}
+	if s.scrubEnabled() {
+		s.effRate.Store(int64(s.cfg.ScrubPagesPerSecond))
 	}
 	return s
 }
@@ -259,15 +271,16 @@ func (s *Service) Kick() {
 // Stats returns a snapshot of the service counters.
 func (s *Service) Stats() Stats {
 	return Stats{
-		FlushBatches:  s.stats.flushBatches.Load(),
-		PagesFlushed:  s.stats.pagesFlushed.Load(),
-		FlushErrors:   s.stats.flushErrors.Load(),
-		ScrubTicks:    s.stats.scrubTicks.Load(),
-		PagesScrubbed: s.stats.pagesScrubbed.Load(),
-		Sweeps:        s.stats.sweeps.Load(),
-		LatentFound:   s.stats.latentFound.Load(),
-		Repaired:      s.stats.repaired.Load(),
-		Escalated:     s.stats.escalated.Load(),
+		FlushBatches:       s.stats.flushBatches.Load(),
+		PagesFlushed:       s.stats.pagesFlushed.Load(),
+		FlushErrors:        s.stats.flushErrors.Load(),
+		ScrubTicks:         s.stats.scrubTicks.Load(),
+		PagesScrubbed:      s.stats.pagesScrubbed.Load(),
+		Sweeps:             s.stats.sweeps.Load(),
+		EffectiveScrubRate: s.effRate.Load(),
+		LatentFound:        s.stats.latentFound.Load(),
+		Repaired:           s.stats.repaired.Load(),
+		Escalated:          s.stats.escalated.Load(),
 	}
 }
 
@@ -336,8 +349,22 @@ func (s *Service) scrubLoop() {
 }
 
 // scrubTick advances the cursor one batch and routes every failure it
-// finds through the repair path.
+// finds through the repair path. While the pool's dirty count sits above
+// the flushers' high watermark — foreground writes outpacing write-back —
+// the campaign backs off to half its configured rate by sitting out
+// alternate ticks, and restores the full rate the moment pressure clears
+// (the ROADMAP "adaptive scrub rate" lever).
 func (s *Service) scrubTick() {
+	if s.deps.Pool != nil && s.deps.Pool.DirtyCount() >= s.high {
+		s.effRate.Store(int64(s.cfg.ScrubPagesPerSecond) / 2)
+		s.skipTick = !s.skipTick
+		if s.skipTick {
+			return
+		}
+	} else {
+		s.effRate.Store(int64(s.cfg.ScrubPagesPerSecond))
+		s.skipTick = false
+	}
 	if s.mapped == nil || s.cursor == 0 {
 		s.mapped = s.deps.MappedSlots() // refresh once per sweep
 	}

@@ -243,3 +243,74 @@ func TestStopBeforeStart(t *testing.T) {
 	svc.Start() // must not launch anything after Stop
 	svc.Stop()
 }
+
+// TestAdaptiveScrubRateBacksOffUnderPressure drives scrubTick directly (the
+// tick loop's only caller is the scrub goroutine, so a stopped service is
+// deterministic): while the pool's dirty count sits at or above the
+// flushers' high watermark the campaign halves its effective rate by
+// sitting out alternate ticks, and restores the full rate — and full tick
+// cadence — the moment pressure clears.
+func TestAdaptiveScrubRateBacksOffUnderPressure(t *testing.T) {
+	e := newEnv(t, 8, 64)
+	var ids []page.ID
+	for i := 0; i < 8; i++ {
+		ids = append(ids, e.newPage(t, fmt.Sprintf("adaptive-%d", i)))
+	}
+	if err := e.pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	svc := New(Config{
+		ScrubPagesPerSecond: 1000, ScrubBatchPages: 4, DirtyHighWatermark: 0.5,
+	}, e.deps())
+	if got := svc.Stats().EffectiveScrubRate; got != 1000 {
+		t.Fatalf("initial effective rate = %d, want 1000", got)
+	}
+
+	// Clean pool: every tick scans at the full rate.
+	svc.scrubTick()
+	base := svc.Stats()
+	if base.ScrubTicks != 1 || base.PagesScrubbed == 0 {
+		t.Fatalf("clean tick made no progress: %+v", base)
+	}
+	if base.EffectiveScrubRate != 1000 {
+		t.Fatalf("clean effective rate = %d, want 1000", base.EffectiveScrubRate)
+	}
+
+	// Dirty half the pool (the watermark is 0.5 * capacity 8 = 4 frames):
+	// the campaign must halve its rate, sitting out every other tick.
+	for _, id := range ids[:4] {
+		h, err := e.pool.Fetch(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Lock()
+		lsn := e.log.Append(&wal.Record{Type: wal.TypeUpdate, Txn: 1, PageID: id})
+		h.Page().SetLSN(lsn)
+		h.MarkDirty(lsn)
+		h.Unlock()
+		h.Release()
+	}
+	svc.scrubTick() // sat out
+	svc.scrubTick() // scans
+	s2 := svc.Stats()
+	if s2.EffectiveScrubRate != 500 {
+		t.Fatalf("pressured effective rate = %d, want 500", s2.EffectiveScrubRate)
+	}
+	if got := s2.ScrubTicks - base.ScrubTicks; got != 1 {
+		t.Fatalf("two pressured ticks scanned %d times, want 1", got)
+	}
+
+	// Pressure clears: full rate and cadence restored immediately.
+	if err := e.pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	svc.scrubTick()
+	svc.scrubTick()
+	s3 := svc.Stats()
+	if s3.EffectiveScrubRate != 1000 {
+		t.Fatalf("restored effective rate = %d, want 1000", s3.EffectiveScrubRate)
+	}
+	if got := s3.ScrubTicks - s2.ScrubTicks; got != 2 {
+		t.Fatalf("two clean ticks scanned %d times, want 2", got)
+	}
+}

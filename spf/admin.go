@@ -476,8 +476,10 @@ func (db *DB) Stats() Stats {
 // MaintenanceStats reports the background maintenance counters: flush
 // batches and pages written back asynchronously, and the scrub campaign's
 // running ScrubReport-style tallies (pages scrubbed, sweeps completed,
-// latent failures found, repaired online, escalated). Zero when the
-// service is disabled.
+// latent failures found, repaired online, escalated, plus the current
+// effective scrub rate — halved automatically while foreground write
+// pressure keeps the pool above the flushers' dirty watermark). Zero when
+// the service is disabled.
 func (db *DB) MaintenanceStats() maintenance.Stats {
 	if db.maint == nil {
 		return maintenance.Stats{}

@@ -3,6 +3,7 @@ package spf
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -493,16 +494,8 @@ func (db *DB) Indexes() ([]string, error) {
 	for name := range reg {
 		names = append(names, name)
 	}
-	sortStrings(names)
+	sort.Strings(names)
 	return names, nil
-}
-
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }
 
 // Index is a named key-value index backed by a Foster B-tree.
@@ -529,7 +522,10 @@ func (ix *Index) Scan(start, end []byte, fn func(Entry) bool) error {
 }
 
 // Verify exhaustively checks the index's structural invariants and returns
-// human-readable violations (empty = clean).
+// human-readable violations (empty = clean). It is an offline audit: it
+// latches one page at a time and assumes a quiesced index — a structural
+// change landing between two page visits can surface as a transient
+// violation on a healthy tree.
 func (ix *Index) Verify() ([]string, error) {
 	viols, err := ix.tree.VerifyAll()
 	if err != nil {

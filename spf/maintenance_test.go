@@ -84,8 +84,14 @@ func TestMaintenanceUnderFaultInjectionStress(t *testing.T) {
 	// Ample frames: the cold index stays resident, so only the campaign
 	// (not a foreground read miss) can discover the injected damage; and
 	// no foreground eviction write-back races the simulated crash below.
-	opts.PoolFrames = 4096
-	opts.DataSlots = 16384
+	// The hot workers below insert for as long as the campaign waits run,
+	// and the latch-coupled tree made them fast enough to outgrow the
+	// original 4096-frame pool before the first sweep completed (evicting
+	// cold pages and handing the repairs to the foreground read path), so
+	// the headroom is sized for the whole worst-case wait and the workers
+	// are lightly paced.
+	opts.PoolFrames = 1 << 16
+	opts.DataSlots = 1 << 17
 	db := openTestDB(t, opts)
 
 	// A cold index whose pages, once written back, nobody touches: the
@@ -133,6 +139,7 @@ func TestMaintenanceUnderFaultInjectionStress(t *testing.T) {
 				ackMu.Lock()
 				acked[ack{w, seq}] = true
 				ackMu.Unlock()
+				time.Sleep(200 * time.Microsecond)
 			}
 		}(w)
 	}

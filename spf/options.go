@@ -95,7 +95,10 @@ type MaintenanceOptions struct {
 	// flushers immediately (default 0.25).
 	DirtyHighWatermark float64
 	// ScrubPagesPerSecond rate-limits the scrub campaign (default 2000;
-	// negative disables scrubbing while keeping write-back on).
+	// negative disables scrubbing while keeping write-back on). The
+	// effective rate adapts: it halves while the pool's dirty count is
+	// above the flushers' high watermark and restores when pressure
+	// clears (see maintenance.Stats.EffectiveScrubRate).
 	ScrubPagesPerSecond int
 	// ScrubBatchPages is how many device slots one scrub tick examines
 	// (default 64).
