@@ -26,6 +26,7 @@ import (
 	"repro/internal/maintbench"
 	"repro/internal/page"
 	"repro/internal/pagemap"
+	"repro/internal/restorebench"
 	"repro/internal/storage"
 	"repro/internal/wal"
 	"repro/internal/walbench"
@@ -601,4 +602,58 @@ func BenchmarkE23ParallelTreeOps(b *testing.B) {
 	b.Run("disjoint/global-mutex", btreebench.ParallelOps(false, true))
 	b.Run("contended/latch-coupled", btreebench.ParallelOps(true, false))
 	b.Run("contended/global-mutex", btreebench.ParallelOps(true, true))
+}
+
+// BenchmarkE24OnDemandRestoreLatency measures what a foreground fault
+// waits for its repair under a saturated background repair queue (driver
+// in internal/restorebench, shared with `spfbench -benchjson`) — the
+// disjoint-fault shape: every fault is a distinct page, so coalescing
+// cannot help and only queue *ordering* matters. The priority variant
+// enqueues the fault Urgent, reordering it ahead of the 64-deep backlog
+// (Sauer et al.'s instant-restore ordering); the fifo-baseline variant
+// runs the identical scheduler with the promotion disabled, so the fault
+// drains the backlog first. Criterion: the priority p99 must be ≥2x
+// better than the FIFO baseline.
+func BenchmarkE24OnDemandRestoreLatency(b *testing.B) {
+	var prio, fifo restorebench.LatencyResult
+	b.Run("priority", func(b *testing.B) {
+		prio = restorebench.OnDemandLatency(b, false)
+		b.ReportMetric(float64(prio.P99.Nanoseconds()), "p99-ns")
+	})
+	b.Run("fifo-baseline", func(b *testing.B) {
+		fifo = restorebench.OnDemandLatency(b, true)
+		b.ReportMetric(float64(fifo.P99.Nanoseconds()), "p99-ns")
+	})
+	// Shape only meaningful once both variants measured real tails.
+	if prio.Urgents >= 32 && fifo.Urgents >= 32 {
+		if fifo.P99 < 2*prio.P99 {
+			b.Fatalf("urgent promotion p99 %v not >=2x better than FIFO baseline p99 %v",
+				prio.P99, fifo.P99)
+		}
+		b.Logf("p99: priority=%v fifo=%v (%.1fx)", prio.P99, fifo.P99,
+			float64(fifo.P99)/float64(prio.P99))
+	}
+}
+
+// BenchmarkE25MediaRecoveryAvailability measures reads served *during*
+// media recovery (driver in internal/restorebench): fail the device,
+// prepare instant restore, and hammer foreground reads while a single
+// background worker grinds through the bulk restore. The bulk baseline
+// serves zero reads before the restore completes; the instant-restore
+// shape must complete reads while pages are still pending, with the first
+// read far below the full drain time.
+func BenchmarkE25MediaRecoveryAvailability(b *testing.B) {
+	res := restorebench.MediaAvailability(b)
+	b.ReportMetric(float64(res.ReadsBeforeDrain), "reads-before-drain")
+	b.ReportMetric(float64(res.FirstReadNs), "first-read-ns")
+	if res.ReadsBeforeDrain == 0 {
+		b.Fatalf("no reads completed before the bulk restore drained: %+v", res)
+	}
+	if res.FirstReadNs >= res.DrainNs {
+		b.Fatalf("first read (%dns) not faster than the full restore (%dns)",
+			res.FirstReadNs, res.DrainNs)
+	}
+	b.Logf("pages=%d prep=%dms first-read=%dus reads-before-drain=%d/%d drain=%dms",
+		res.Pages, res.PrepNs/1e6, res.FirstReadNs/1e3,
+		res.ReadsBeforeDrain, res.ReadsTotal, res.DrainNs/1e6)
 }

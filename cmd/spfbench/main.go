@@ -10,7 +10,9 @@
 //	                              # (E19 parallel append, E20 group
 //	                              # commit, E21 async write-back, E22
 //	                              # scrub overhead, E23 parallel tree
-//	                              # ops) and write BENCH_*.json entries
+//	                              # ops, E24 on-demand restore latency,
+//	                              # E25 media-recovery availability) and
+//	                              # write BENCH_*.json entries
 //	spfbench -benchcompare FILE -baselines A.json,B.json [-threshold 3]
 //	                              # compare a fresh -benchjson run against
 //	                              # the committed baselines; exit nonzero
@@ -34,6 +36,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/maintbench"
 	"repro/internal/report"
+	"repro/internal/restorebench"
 	"repro/internal/wal"
 	"repro/internal/walbench"
 )
@@ -279,6 +282,40 @@ func runBenchJSON(path string) error {
 		})
 	}
 	runtime.GOMAXPROCS(prevProcs)
+
+	// E24: urgent-promotion repair latency vs the FIFO-queue baseline
+	// under a saturated background queue (disjoint-fault shape). The p99
+	// metric is the criterion number: priority must be ≥2x better.
+	for _, fifo := range []bool{false, true} {
+		var lres restorebench.LatencyResult
+		r := testing.Benchmark(func(b *testing.B) {
+			lres = restorebench.OnDemandLatency(b, fifo)
+		})
+		name := "BenchmarkE24OnDemandRestoreLatency/priority"
+		if fifo {
+			name = "BenchmarkE24OnDemandRestoreLatency/fifo-baseline"
+		}
+		entries = append(entries, benchEntry{
+			Name:    name,
+			NsPerOp: float64(r.NsPerOp()), AllocsPerOp: r.AllocsPerOp(),
+			Ops: r.N, GoMaxProcs: runtime.GOMAXPROCS(0),
+			Metric: float64(lres.P99.Nanoseconds()), MetricName: "p99-ns",
+		})
+	}
+
+	// E25: reads served during media recovery (instant restore). The
+	// metric counts foreground reads that completed while the background
+	// bulk restore still had pending pages.
+	var ares restorebench.AvailabilityResult
+	r = testing.Benchmark(func(b *testing.B) {
+		ares = restorebench.MediaAvailability(b)
+	})
+	entries = append(entries, benchEntry{
+		Name:    "BenchmarkE25MediaRecoveryAvailability",
+		NsPerOp: float64(r.NsPerOp()), AllocsPerOp: r.AllocsPerOp(),
+		Ops: r.N, GoMaxProcs: runtime.GOMAXPROCS(0),
+		Metric: float64(ares.ReadsBeforeDrain), MetricName: "reads-before-drain",
+	})
 
 	data, err := json.MarshalIndent(entries, "", "  ")
 	if err != nil {

@@ -6,10 +6,15 @@
 // contribution (the page recovery index and single-page recovery) lives in
 // internal/core; every substrate (page format, fault-injecting device,
 // write-ahead log, buffer pool, transactions, Foster B-tree, ARIES restart
-// and media recovery, backup management, mirroring baseline) is implemented
-// from scratch in internal/. The experiment harness reproducing every
-// figure and quantitative claim of the paper lives in internal/experiments,
-// driven by bench_test.go at this root and by cmd/spfbench.
+// and media recovery, prioritized repair scheduling, backup management,
+// mirroring baseline) is implemented from scratch in internal/. The
+// experiment harness reproducing every figure and quantitative claim of
+// the paper lives in internal/experiments, driven by bench_test.go at this
+// root and by cmd/spfbench.
+//
+// ARCHITECTURE.md at the repository root is the layer-by-layer map —
+// which package owns which invariant, and the paper section each
+// subsystem implements. Start there.
 //
 // # Performance architecture
 //
@@ -140,9 +145,9 @@
 //     (storage.Device.ScrubRange, spf.Options.Maintenance.ScrubPagesPerSecond)
 //     re-reads and verifies mapped slots so latent single-page failures
 //     are detected early — the paper cites scrubbing as the discoverer of
-//     most latent sector errors (§1) — and every failure found is routed
-//     through the ordinary single-page recovery path (evict, validating
-//     re-read, relocate, retire) while foreground traffic continues. The
+//     most latent sector errors (§1) — and every failure found is handed
+//     to the repair scheduler at background priority (see "Restore
+//     scheduling" below) while foreground traffic continues. The
 //     campaign adapts to foreground pressure: while the pool's dirty
 //     count sits above the flushers' high watermark the effective scrub
 //     rate halves (alternate ticks sit out), restoring the moment
@@ -159,9 +164,56 @@
 // properties, plus online detection+repair of every injected latent
 // error).
 //
+// # Restore scheduling
+//
+// With detection continuous (the scrub campaign, concurrent descents over
+// fault-injected trees) and media recovery registering a whole device of
+// pages at once, repair ORDERING became the bottleneck — the gap Sauer,
+// Graefe and Härder's "Instant restore after a media failure" fills with
+// prioritized, on-demand restore ordering. internal/restore applies that
+// shape to every single-page repair; spf.DB owns one scheduler
+// (spf.Options.Restore, on by default, quiesced by Crash/Close/FailDevice
+// exactly like maintenance: queued tickets fail, the in-flight repair
+// finishes, every worker joins before the log truncates).
+//
+// Priority classes and promotion: scrub findings and bulk media restore
+// enqueue at Background priority; a foreground fetch fault enqueues at
+// Urgent priority and, if the page is already queued, PROMOTES the
+// existing ticket ahead of every background entry — one ticket per page,
+// always. Waiters park on a per-page repair future, so N concurrent
+// faulters of one page coalesce into exactly one chain replay
+// (buffer.Hooks.RepairPage; the scheduler's own workers re-read through
+// buffer.Pool.FetchRepair, which recovers inline — their reads must not
+// re-enter the queue they are draining). A repair that finds its page
+// pinned by readers is requeued with exponential backoff, never dropped.
+// BenchmarkE24OnDemandRestoreLatency asserts the ordering pays: under a
+// saturated background queue, urgent-promotion p99 repair latency must be
+// ≥2x better than the same scheduler run as a FIFO queue.
+//
+// The per-page log-chain index (internal/wal) makes each repair seek
+// instead of scan: every append of a chain record (update, CLR, format)
+// updates pageID -> {chain-head LSN, format-record LSN, chain length},
+// and wal.Crash rolls the index back to the truncation boundary before
+// the volatile tail vanishes, so entries never dangle above surviving
+// history. Media recovery (recovery.RecoverMedia) is built on it: instead
+// of restoring every image and replaying the whole log — O(device)+O(log)
+// before the first read — it prepares page-map bindings and PRI entries
+// in O(pages) (chain heads from the index, format-record backups for
+// pages born after the backup set) and spf.DB.RecoverMedia enqueues every
+// page at Background priority. Reads are served DURING the rebuild: a
+// fetch of an unrestored page fails validation, promotes that page's
+// ticket, and waits only for its own chain replay — the instant-restore
+// shape. spf.DB.DrainRestore is the bulk-completion barrier;
+// BenchmarkE25MediaRecoveryAvailability asserts reads complete while the
+// background restore still has pending pages, with first-read latency far
+// below the full drain. examples/instantrestore demonstrates it end to
+// end.
+//
 // CI runs a benchmark-regression gate on every PR: `spfbench -benchjson`
-// regenerates the tracked set (E19-E23) and `spfbench -benchcompare`
+// regenerates the tracked set (E19-E25) and `spfbench -benchcompare`
 // fails the build if any entry regresses more than 3x against the
-// committed BENCH_wal.json / BENCH_maintenance.json / BENCH_btree.json
-// baselines or drops out of the tracked set.
+// committed BENCH_wal.json / BENCH_maintenance.json / BENCH_btree.json /
+// BENCH_restore.json baselines or drops out of the tracked set. A docs
+// job keeps ARCHITECTURE.md linked (README + this file) and its Go
+// snippets parseable and gofmt-clean.
 package repro

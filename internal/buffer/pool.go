@@ -55,6 +55,11 @@ var (
 	ErrUnknownPage  = errors.New("buffer: unknown logical page")
 	ErrPageFailed   = errors.New("buffer: single-page failure")
 	ErrNeverWritten = errors.New("buffer: page never written and not resident")
+	// ErrRepairUnavailable is returned by a RepairPage hook whose repair
+	// scheduler is not running (engine startup, restore disabled); the
+	// pool then falls back to inline single-page recovery via the Recover
+	// hook, exactly as if no RepairPage hook were configured.
+	ErrRepairUnavailable = errors.New("buffer: scheduled repair unavailable")
 )
 
 // WriteInfo describes one completed page write, handed to the
@@ -81,6 +86,16 @@ type Hooks struct {
 	// page contents. If it fails, the read escalates: the pool returns
 	// the recovery error wrapped in ErrPageFailed.
 	Recover func(id page.ID) (*page.Page, error)
+	// RepairPage, when non-nil, routes a failed validating read through
+	// the engine's repair scheduler instead of recovering inline: the
+	// call blocks until the page's (deduplicated, prioritized) repair
+	// completes, so concurrent faulters of one page coalesce onto a
+	// single replay, and Fetch then retries the read. Returning
+	// ErrRepairUnavailable falls back to the inline Recover path. The
+	// scheduler's own workers repair through FetchRepair, which bypasses
+	// this hook — routing their fetches back through the scheduler would
+	// deadlock on their own ticket.
+	RepairPage func(id page.ID) error
 	// CompleteWrite runs after a dirty page has been written to the
 	// device, while the write is still serialized against other flushes
 	// of the same page (inside the frame's flush mutex, after the page
@@ -463,74 +478,119 @@ func (p *Pool) Create(id page.ID, typ page.Type) (*Handle, error) {
 }
 
 // Fetch pins page id, reading and validating it if not resident. A read
-// that fails any check triggers single-page recovery via the Recover hook;
-// only if that also fails does Fetch return an error (wrapping
-// ErrPageFailed) — the caller may then escalate to media recovery.
+// that fails any check triggers single-page recovery: through the engine's
+// repair scheduler when a RepairPage hook is wired (the fetch blocks on
+// the page's shared repair future — concurrent faulters coalesce into one
+// replay — then retries), otherwise inline via the Recover hook. Only if
+// repair fails does Fetch return an error (wrapping ErrPageFailed) — the
+// caller may then escalate to media recovery.
 func (p *Pool) Fetch(id page.ID) (*Handle, error) {
-	s := p.shardOf(id)
-	if v, ok := s.frames.Load(id); ok {
-		f := v.(*frame)
-		if f.tryPin() {
-			f.ref.Store(true)
-			p.stats.hits.Add(1)
-			return &f.h, nil
-		}
-		// Claimed for eviction between Load and tryPin: treat as a miss.
-	}
-	p.stats.misses.Add(1)
-	if !p.pmap.Known(id) {
-		return nil, fmt.Errorf("%w: %d", ErrUnknownPage, id)
-	}
-	phys, written := p.pmap.Lookup(id)
-	if !written {
-		return nil, fmt.Errorf("%w: %d", ErrNeverWritten, id)
-	}
-	if err := p.reserveFrame(); err != nil {
-		return nil, err
-	}
-	hooks := p.getHooks()
+	return p.fetch(id, false)
+}
 
-	// Read and validate outside all locks (Fig. 8).
-	pg, failure := p.readAndValidate(id, phys, hooks)
-	if failure != nil {
-		p.stats.validationFailures.Add(1)
-		recovered, err := p.recoverFailedPage(id, phys, hooks, failure)
-		if err != nil {
-			p.unreserve()
+// FetchRepair is Fetch with the RepairPage hook bypassed: a validation
+// failure is always recovered inline via the Recover hook. The repair
+// scheduler's workers use it as the back half of a scheduled repair;
+// routing their own reads through RepairPage would enqueue (and then wait
+// on) the very ticket they are executing.
+func (p *Pool) FetchRepair(id page.ID) (*Handle, error) {
+	return p.fetch(id, true)
+}
+
+func (p *Pool) fetch(id page.ID, inline bool) (*Handle, error) {
+	for attempt := 0; ; attempt++ {
+		s := p.shardOf(id)
+		if v, ok := s.frames.Load(id); ok {
+			f := v.(*frame)
+			if f.tryPin() {
+				f.ref.Store(true)
+				if attempt == 0 {
+					// Retry iterations settle the original miss; pinning
+					// the freshly repaired frame is not a new hit.
+					p.stats.hits.Add(1)
+				}
+				return &f.h, nil
+			}
+			// Claimed for eviction between Load and tryPin: treat as a miss.
+		}
+		if attempt == 0 {
+			// One logical fetch counts at most one miss, however many
+			// scheduled-repair retries it takes to settle.
+			p.stats.misses.Add(1)
+		}
+		if !p.pmap.Known(id) {
+			return nil, fmt.Errorf("%w: %d", ErrUnknownPage, id)
+		}
+		phys, written := p.pmap.Lookup(id)
+		if !written {
+			return nil, fmt.Errorf("%w: %d", ErrNeverWritten, id)
+		}
+		if err := p.reserveFrame(); err != nil {
 			return nil, err
 		}
-		pg = recovered
-	}
+		hooks := p.getHooks()
 
-	f := p.newFrame(id, pg)
-	f.pins.Store(1)
-	f.ref.Store(true)
-	if failure != nil {
-		// The recovered page lives at a new location but has not been
-		// written there yet: keep it dirty so write-back persists it.
-		f.dirty = true
-		f.recLSN = pg.LSN()
-		p.dirty.Add(1)
-	}
-	s.mu.Lock()
-	if v, ok := s.frames.Load(id); ok {
-		// Someone else loaded it while we read; use theirs. A mapped
-		// frame cannot be claimed while we hold the shard mutex, so
-		// tryPin only retries against concurrent pinners.
-		other := v.(*frame)
-		if other.tryPin() {
-			other.ref.Store(true)
-			s.mu.Unlock()
-			p.unreserve()
-			if failure != nil {
-				p.dirty.Add(-1)
+		// Read and validate outside all locks (Fig. 8).
+		pg, failure := p.readAndValidate(id, phys, hooks)
+		if failure != nil {
+			p.stats.validationFailures.Add(1)
+			if !inline && hooks.RepairPage != nil && attempt < 2 {
+				// Scheduled repair: release the frame reservation (the
+				// repair worker needs one for the recovered page), park on
+				// the page's repair future, and retry the read — usually a
+				// hit on the freshly repaired frame. Bounded attempts: if
+				// the page keeps failing validation after two completed
+				// repairs, fall through to the inline path, which
+				// escalates decisively.
+				p.unreserve()
+				err := hooks.RepairPage(id)
+				if err == nil {
+					continue
+				}
+				if errors.Is(err, ErrRepairUnavailable) {
+					inline = true
+					continue
+				}
+				return nil, fmt.Errorf("%w: %v; scheduled repair: %v", ErrPageFailed, failure, err)
 			}
-			return &other.h, nil
+			recovered, err := p.recoverFailedPage(id, phys, hooks, failure)
+			if err != nil {
+				p.unreserve()
+				return nil, err
+			}
+			pg = recovered
 		}
+
+		f := p.newFrame(id, pg)
+		f.pins.Store(1)
+		f.ref.Store(true)
+		if failure != nil {
+			// The recovered page lives at a new location but has not been
+			// written there yet: keep it dirty so write-back persists it.
+			f.dirty = true
+			f.recLSN = pg.LSN()
+			p.dirty.Add(1)
+		}
+		s.mu.Lock()
+		if v, ok := s.frames.Load(id); ok {
+			// Someone else loaded it while we read; use theirs. A mapped
+			// frame cannot be claimed while we hold the shard mutex, so
+			// tryPin only retries against concurrent pinners.
+			other := v.(*frame)
+			if other.tryPin() {
+				other.ref.Store(true)
+				s.mu.Unlock()
+				p.unreserve()
+				if failure != nil {
+					p.dirty.Add(-1)
+				}
+				return &other.h, nil
+			}
+		}
+		s.installLocked(f)
+		s.mu.Unlock()
+		return &f.h, nil
 	}
-	s.installLocked(f)
-	s.mu.Unlock()
-	return &f.h, nil
 }
 
 // readAndValidate performs the Fig. 8 read path: device read, in-page

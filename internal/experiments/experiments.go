@@ -170,6 +170,10 @@ func E01FailureEscalation(dbPages int) (*E01Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Instant restore returns before the bulk restore finishes; the
+	// regime's cost is the complete rebuild, so drain the background
+	// repair queue before reading the clocks.
+	ndb.DrainRestore()
 	d, l, b := ndb.SimulatedIO()
 	mediaTime := d + l + b
 	// Media restore cost is proportional to device size; single-page

@@ -1,0 +1,233 @@
+// Package restorebench holds the shared drivers for the restore-scheduler
+// benchmarks (E24 on-demand restore latency, E25 media-recovery
+// availability). Both the root bench_test.go (go test -bench) and cmd/
+// spfbench -benchjson run these same functions, so the numbers in
+// BENCH_restore.json always measure exactly what CI smoke-tests.
+package restorebench
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/page"
+	"repro/internal/restore"
+	"repro/spf"
+)
+
+// LatencyResult quantifies one on-demand latency run.
+type LatencyResult struct {
+	// Urgents is the number of foreground (urgent) repair requests
+	// measured (b.N).
+	Urgents int
+	// P99 and Max are the tail of the urgent repair-wait latency.
+	P99 time.Duration
+	Max time.Duration
+	// BackgroundDone counts background repairs completed during the run.
+	BackgroundDone int64
+}
+
+// repairCost is the simulated per-repair cost: roughly one backup read
+// plus a short chain replay on fast storage. It is paid with a sleep so
+// the workers yield the CPU exactly like a repair blocked on I/O.
+const repairCost = 300 * time.Microsecond
+
+// OnDemandLatency measures the urgent-path repair-wait latency under a
+// saturated background queue — the disjoint-fault shape: every fault hits
+// a distinct page, so per-page coalescing cannot help and only *ordering*
+// separates the two policies.
+//
+// Each iteration tops the queue back up to a 64-deep backlog of
+// background repairs (a scrub campaign or bulk media restore that keeps
+// finding work), then issues one urgent repair for a fresh page and waits
+// for it. With fifo=false the request is enqueued Urgent and reorders
+// ahead of the backlog (the instant-restore ordering); with fifo=true the
+// identical machinery runs with priorities disabled — the request joins
+// the queue at Background, which is exactly a FIFO queue — and the wait
+// degenerates to draining the backlog. The ≥2x p99 separation criterion
+// lives in BenchmarkE24OnDemandRestoreLatency.
+func OnDemandLatency(b *testing.B, fifo bool) LatencyResult {
+	const (
+		workers = 2
+		backlog = 64
+	)
+	var bgDone atomic.Int64
+	sched := restore.New(restore.Config{Workers: workers}, restore.Deps{
+		Repair: func(id page.ID) error {
+			time.Sleep(repairCost)
+			if id < 1<<30 {
+				bgDone.Add(1)
+			}
+			return nil
+		},
+	})
+	sched.Start()
+	defer sched.Stop()
+
+	// Background pages count up from 1; urgent pages live in a disjoint
+	// high range so every urgent request is a fresh fault.
+	var nextBg page.ID
+	urgentBase := page.ID(1 << 30)
+	lat := make([]time.Duration, 0, b.N)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for sched.Pending() < backlog {
+			nextBg++
+			sched.Enqueue(nextBg, restore.Background)
+		}
+		pri := restore.Urgent
+		if fifo {
+			pri = restore.Background
+		}
+		start := time.Now()
+		if err := sched.Enqueue(urgentBase+page.ID(i), pri).Wait(); err != nil {
+			b.Fatal(err)
+		}
+		lat = append(lat, time.Since(start))
+	}
+	b.StopTimer()
+
+	res := LatencyResult{Urgents: b.N, BackgroundDone: bgDone.Load()}
+	if len(lat) > 0 {
+		sorted := append([]time.Duration(nil), lat...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		res.P99 = sorted[len(sorted)*99/100]
+		if res.P99 == 0 {
+			res.P99 = sorted[len(sorted)-1]
+		}
+		res.Max = sorted[len(sorted)-1]
+	}
+	return res
+}
+
+// AvailabilityResult quantifies one media-recovery availability run.
+type AvailabilityResult struct {
+	// Keys and Pages size the database that failed.
+	Keys  int
+	Pages int
+	// PrepNs is how long RecoverMedia took to hand back a usable DB
+	// (instant-restore preparation, not the full rebuild).
+	PrepNs int64
+	// FirstReadNs is the latency of the first foreground read issued
+	// after RecoverMedia returned (one on-demand page repair, promoted
+	// past the background bulk restore).
+	FirstReadNs int64
+	// ReadsBeforeDrain counts foreground reads that completed while the
+	// background restore still had pending pages — the paper-breaking
+	// number: a bulk restore serves zero reads before it finishes.
+	ReadsBeforeDrain int
+	// ReadsTotal is all foreground reads issued (some may land after the
+	// queue drained on fast runs).
+	ReadsTotal int
+	// DrainNs is the total time from RecoverMedia's return until the
+	// background restore finished (while the reads above were served).
+	DrainNs int64
+}
+
+// MediaAvailability measures reads served *during* media recovery: build
+// a database, take a full backup, commit more work, fail the device, run
+// instant-restore RecoverMedia, and immediately hammer reads while the
+// single background worker grinds through the bulk restore. One iteration
+// is one full fail-and-recover cycle.
+func MediaAvailability(b *testing.B) AvailabilityResult {
+	const keys = 3000
+	var res AvailabilityResult
+	for iter := 0; iter < b.N; iter++ {
+		b.StopTimer()
+		opts := spf.Options{
+			PageSize:   1024,
+			DataSlots:  1 << 15,
+			PoolFrames: 2048,
+			Restore:    spf.RestoreOptions{Workers: 1},
+		}
+		db, err := spf.Open(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ix, err := db.CreateIndex("t")
+		if err != nil {
+			b.Fatal(err)
+		}
+		tx := db.Begin()
+		for i := 0; i < keys; i++ {
+			if err := ix.Insert(tx, bkey(i), bval(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := db.Commit(tx); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.BackupDatabase(); err != nil {
+			b.Fatal(err)
+		}
+		// Post-backup rounds give every page a real per-page chain, so a
+		// repair pays a genuine replay (the §6 cost model) rather than a
+		// bare backup copy.
+		const rounds = 4
+		for r := 1; r <= rounds; r++ {
+			tx = db.Begin()
+			for i := 0; i < keys; i++ {
+				if err := ix.Update(tx, bkey(i), bval(i+r*keys)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := db.Commit(tx); err != nil {
+				b.Fatal(err)
+			}
+		}
+		pages := db.PageMapLen()
+		db.FailDevice()
+
+		b.StartTimer()
+		prepStart := time.Now()
+		ndb, _, err := db.RecoverMedia()
+		if err != nil {
+			b.Fatal(err)
+		}
+		prep := time.Since(prepStart)
+		ix2, err := ndb.Index("t")
+		if err != nil {
+			b.Fatal(err)
+		}
+		readStart := time.Now()
+		var firstRead time.Duration
+		reads, early := 0, 0
+		for i := 0; i < keys; i += 37 {
+			want := bval(i + 4*keys)
+			got, err := ix2.Get(bkey(i))
+			if err != nil || !bytes.Equal(got, want) {
+				b.Fatalf("key %d during restore: %q, %v", i, got, err)
+			}
+			reads++
+			if firstRead == 0 {
+				firstRead = time.Since(readStart)
+			}
+			if ndb.RestoreStats().Pending > 0 {
+				early++
+			}
+		}
+		ndb.DrainRestore()
+		drain := time.Since(readStart)
+		b.StopTimer()
+		res = AvailabilityResult{
+			Keys: keys, Pages: pages,
+			PrepNs:           prep.Nanoseconds(),
+			FirstReadNs:      firstRead.Nanoseconds(),
+			ReadsBeforeDrain: early, ReadsTotal: reads,
+			DrainNs: drain.Nanoseconds(),
+		}
+		if err := ndb.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	return res
+}
+
+func bkey(i int) []byte { return []byte(fmt.Sprintf("key-%08d", i)) }
+func bval(i int) []byte { return []byte(fmt.Sprintf("value-payload-%08d", i)) }

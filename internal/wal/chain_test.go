@@ -1,0 +1,168 @@
+package wal
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/iosim"
+	"repro/internal/page"
+)
+
+// chainAppend appends one chain record for pg whose PagePrevLSN is prev and
+// returns the assigned LSN.
+func chainAppend(m *Manager, typ RecType, pg page.ID, prev page.LSN) page.LSN {
+	return m.Append(&Record{Type: typ, Txn: 1, PageID: pg, PagePrevLSN: prev, Payload: []byte("x")})
+}
+
+func TestChainIndexTracksHeadTailLength(t *testing.T) {
+	m := NewManager(iosim.Instant)
+	if _, ok := m.ChainHead(7); ok {
+		t.Fatal("empty log has a chain entry")
+	}
+	fmtLSN := chainAppend(m, TypeFormat, 7, page.ZeroLSN)
+	u1 := chainAppend(m, TypeUpdate, 7, fmtLSN)
+	u2 := chainAppend(m, TypeCLR, 7, u1)
+
+	ci, ok := m.ChainHead(7)
+	if !ok {
+		t.Fatal("no chain entry after appends")
+	}
+	if ci.Head != u2 || ci.Tail != fmtLSN || ci.Length != 3 {
+		t.Fatalf("chain = %+v, want head=%d tail=%d len=3", ci, u2, fmtLSN)
+	}
+	if got := m.Stats().ChainPages; got != 1 {
+		t.Fatalf("ChainPages = %d, want 1", got)
+	}
+
+	// Non-chain records must not disturb the index.
+	m.Append(&Record{Type: TypePRIUpdate, Txn: 1, PageID: 7, Payload: []byte("pri")})
+	m.Append(&Record{Type: TypeCommit, Txn: 1})
+	if ci2, _ := m.ChainHead(7); ci2 != ci {
+		t.Fatalf("non-chain append moved the index: %+v vs %+v", ci2, ci)
+	}
+
+	// A fresh format restarts the chain.
+	refmt := chainAppend(m, TypeFormat, 7, page.ZeroLSN)
+	ci3, _ := m.ChainHead(7)
+	if ci3.Head != refmt || ci3.Tail != refmt || ci3.Length != 1 {
+		t.Fatalf("reformat chain = %+v, want head=tail=%d len=1", ci3, refmt)
+	}
+}
+
+func TestChainIndexAppendBatch(t *testing.T) {
+	m := NewManager(iosim.Instant)
+	fmtLSN := chainAppend(m, TypeFormat, 3, page.ZeroLSN)
+	recs := []*Record{
+		{Type: TypeUpdate, Txn: 1, PageID: 3, PagePrevLSN: fmtLSN, Payload: []byte("a")},
+		{Type: TypePRIUpdate, Txn: 1, PageID: 3, Payload: []byte("pri")},
+	}
+	recs[1].PagePrevLSN = page.ZeroLSN
+	m.AppendBatch(recs)
+	// The second record chains after the first inside the same batch.
+	u2 := &Record{Type: TypeUpdate, Txn: 1, PageID: 3, PagePrevLSN: recs[0].LSN, Payload: []byte("b")}
+	m.AppendBatch([]*Record{u2})
+	ci, ok := m.ChainHead(3)
+	if !ok || ci.Head != u2.LSN || ci.Tail != fmtLSN || ci.Length != 3 {
+		t.Fatalf("chain after batches = %+v ok=%v, want head=%d tail=%d len=3", ci, ok, u2.LSN, fmtLSN)
+	}
+}
+
+func TestChainIndexCrashRollsBackToFlushedBoundary(t *testing.T) {
+	m := NewManager(iosim.Instant)
+	// Page 1: two flushed records, two volatile ones.
+	f1 := chainAppend(m, TypeFormat, 1, page.ZeroLSN)
+	u1 := chainAppend(m, TypeUpdate, 1, f1)
+	m.FlushAll()
+	u2 := chainAppend(m, TypeUpdate, 1, u1)
+	chainAppend(m, TypeUpdate, 1, u2)
+	// Page 2: entirely volatile — born after the flush.
+	f2 := chainAppend(m, TypeFormat, 2, page.ZeroLSN)
+	chainAppend(m, TypeUpdate, 2, f2)
+
+	m.Crash()
+
+	ci, ok := m.ChainHead(1)
+	if !ok {
+		t.Fatal("page 1 lost its chain entry")
+	}
+	if ci.Head != u1 || ci.Tail != f1 || ci.Length != 2 {
+		t.Fatalf("page 1 chain after crash = %+v, want head=%d tail=%d len=2", ci, u1, f1)
+	}
+	if _, ok := m.ChainHead(2); ok {
+		t.Fatal("page 2 chain entry survived a crash that wiped its whole chain")
+	}
+	if got := m.Stats().ChainPages; got != 1 {
+		t.Fatalf("ChainPages = %d, want 1", got)
+	}
+
+	// Post-crash appends re-grow the chain from the surviving head.
+	u2b := chainAppend(m, TypeUpdate, 1, u1)
+	ci2, _ := m.ChainHead(1)
+	if ci2.Head != u2b || ci2.Length != 3 {
+		t.Fatalf("post-crash chain = %+v, want head=%d len=3", ci2, u2b)
+	}
+}
+
+func TestChainIndexCrashWithNothingFlushed(t *testing.T) {
+	m := NewManager(iosim.Instant)
+	f1 := chainAppend(m, TypeFormat, 9, page.ZeroLSN)
+	chainAppend(m, TypeUpdate, 9, f1)
+	m.Crash()
+	if _, ok := m.ChainHead(9); ok {
+		t.Fatal("chain entry survived total truncation")
+	}
+	if got := m.Stats().ChainPages; got != 0 {
+		t.Fatalf("ChainPages = %d, want 0", got)
+	}
+}
+
+func TestChainIndexConcurrentAppendsAndCrash(t *testing.T) {
+	m := NewManager(iosim.Instant)
+	const pages = 8
+	const updates = 200
+	heads := make([]page.LSN, pages+1)
+	for p := 1; p <= pages; p++ {
+		heads[p] = chainAppend(m, TypeFormat, page.ID(p), page.ZeroLSN)
+	}
+	m.FlushAll()
+	var wg sync.WaitGroup
+	for p := 1; p <= pages; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			prev := heads[p]
+			for i := 0; i < updates; i++ {
+				prev = chainAppend(m, TypeUpdate, page.ID(p), prev)
+				if i == updates/2 {
+					m.Flush(prev)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	for p := 1; p <= pages; p++ {
+		ci, ok := m.ChainHead(page.ID(p))
+		if !ok || ci.Length != updates+1 {
+			t.Fatalf("page %d chain = %+v ok=%v, want len=%d", p, ci, ok, updates+1)
+		}
+	}
+	m.Crash()
+	// Every surviving head must address a readable record of the right
+	// page whose chain walks cleanly back to the format record.
+	for p := 1; p <= pages; p++ {
+		ci, ok := m.ChainHead(page.ID(p))
+		if !ok {
+			t.Fatalf("page %d lost its (partially flushed) chain", p)
+		}
+		chain, err := m.WalkPageChain(ci.Head, page.ZeroLSN, page.ID(p))
+		if err != nil {
+			t.Fatalf("page %d chain walk after crash: %v", p, err)
+		}
+		if int64(len(chain)) != ci.Length {
+			t.Fatalf("page %d walk found %d records, index says %d", p, len(chain), ci.Length)
+		}
+		if last := chain[len(chain)-1]; last.Type != TypeFormat {
+			t.Fatalf("page %d chain tail is %v, want format", p, last.Type)
+		}
+	}
+}

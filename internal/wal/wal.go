@@ -41,7 +41,15 @@
 //   - Crash quiesces in-flight appends, truncates the volatile tail at the
 //     flushed record boundary, and bumps the crash epoch; commits that
 //     cannot prove their records reached stable storage before a crash
-//     report ErrCommitLost instead of lying about durability.
+//     report ErrCommitLost instead of lying about durability;
+//   - a per-page log-chain index (ChainHead/Chains) tracks, for every
+//     page, the newest chain record, the format record that started the
+//     chain, and the chain length. It is maintained on every append of a
+//     chain record and rolled back to the truncation boundary inside
+//     Crash, so readers — media recovery seeking each page's chain
+//     without a forward log scan, the restore scheduler estimating
+//     repair cost — never observe an entry dangling above surviving
+//     history.
 package wal
 
 import (
@@ -200,6 +208,9 @@ type Stats struct {
 	// either way, so Appends/BatchAppends is the grouping factor of the
 	// batched write-complete logging.
 	BatchAppends int64
+	// ChainPages is the number of pages currently tracked by the per-page
+	// log-chain index (a gauge, not a cumulative counter).
+	ChainPages int64
 }
 
 type counters struct {
@@ -299,10 +310,44 @@ type Manager struct {
 	prevCrashEpoch   uint64
 	prevCrashFlushed int64
 
+	// chains is the per-page log-chain index: page.ID -> *chainEntry,
+	// maintained incrementally on every append of a chain record (update,
+	// CLR, format). Entries are immutable values swapped by CAS; Crash
+	// rolls them back to the truncation boundary (see fixupChains), so the
+	// index is always snapshot-consistent with the surviving log. Media
+	// recovery reads it to seek each page's chain head directly instead of
+	// scanning the whole log forward, and the restore scheduler reads
+	// chain lengths as repair-cost estimates.
+	chains     sync.Map // page.ID -> *chainEntry
+	chainPages atomic.Int64
+
 	master atomic.Int64
 	clock  *iosim.Clock
 	stats  counters
 	gc     groupCommit
+}
+
+// chainEntry is one immutable per-page chain-index value.
+type chainEntry struct {
+	head   page.LSN // newest chain record for the page
+	tail   page.LSN // oldest (the format record that restarted the chain)
+	length int64    // records on the contiguously observed chain suffix
+}
+
+// ChainInfo is the exported view of one per-page log-chain index entry.
+type ChainInfo struct {
+	// Head is the LSN of the newest update/CLR/format record naming the
+	// page — the starting point for a per-page chain walk that replays
+	// the page to its latest logged state.
+	Head page.LSN
+	// Tail is the LSN of the oldest record of the current chain, normally
+	// the TypeFormat record that (re)created the page; it substitutes for
+	// a backup when no newer one exists (§5.2.1).
+	Tail page.LSN
+	// Length is the number of records the index observed on the chain —
+	// the repair-cost estimate prioritized restore uses. It is exact
+	// while the chain grows contiguously and a lower bound otherwise.
+	Length int64
 }
 
 // NewManager creates an empty log charging I/O against the given profile,
@@ -341,6 +386,7 @@ func (m *Manager) Stats() Stats {
 		GroupCommitBatches: m.stats.groupBatches.Load(),
 		GroupCommitWaiters: m.stats.groupWaiters.Load(),
 		BatchAppends:       m.stats.batchAppends.Load(),
+		ChainPages:         m.chainPages.Load(),
 	}
 }
 
@@ -498,6 +544,10 @@ func (m *Manager) append(rec *Record, epoch uint64, check bool) (page.LSN, error
 	} else {
 		rec.LSN = lsn
 		encodeAt(t, start, rec)
+		// Index before publishing: once the quiesce in Crash observes
+		// every reserved range published, every chain record is indexed,
+		// so fixupChains sees a complete picture of the pre-crash tail.
+		m.indexRecord(rec)
 	}
 
 	m.publish(start, end)
@@ -565,6 +615,7 @@ func (m *Manager) AppendBatch(recs []*Record) page.LSN {
 	for _, rec := range recs {
 		rec.LSN = page.LSN(pos)
 		pos += encodeAt(t, pos, rec)
+		m.indexRecord(rec)
 	}
 	m.publish(start, end)
 	m.stats.appends.Add(int64(len(recs)))
@@ -636,6 +687,119 @@ func (m *Manager) sweepLocked() {
 }
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// indexRecord folds one appended record into the per-page chain index.
+// Only records that live on a per-page chain participate: updates, CLRs,
+// and formats. Appends to the same page are serialized externally (the
+// appender holds the page exclusively), so per-page LSN order is given;
+// the CAS loop only resolves interleaving with Crash fixup and with
+// defensive same-entry races.
+func (m *Manager) indexRecord(rec *Record) {
+	switch rec.Type {
+	case TypeUpdate, TypeCLR, TypeFormat:
+	default:
+		return
+	}
+	if rec.PageID == page.InvalidID {
+		return
+	}
+	for {
+		v, ok := m.chains.Load(rec.PageID)
+		if !ok {
+			ne := &chainEntry{head: rec.LSN, tail: rec.LSN, length: 1}
+			if rec.PagePrevLSN != page.ZeroLSN {
+				// Mid-chain record observed without its predecessors
+				// (defensive; should not happen within one manager
+				// lifetime). Length stays a lower bound.
+				ne.tail = rec.LSN
+			}
+			if _, loaded := m.chains.LoadOrStore(rec.PageID, ne); !loaded {
+				m.chainPages.Add(1)
+				return
+			}
+			continue
+		}
+		old := v.(*chainEntry)
+		if old.head >= rec.LSN {
+			return // stale delivery; the index already moved past it
+		}
+		var ne *chainEntry
+		if rec.PagePrevLSN == page.ZeroLSN {
+			// A format record restarts the chain: older history is no
+			// longer reachable by a backwards walk from the new head.
+			ne = &chainEntry{head: rec.LSN, tail: rec.LSN, length: 1}
+		} else {
+			ne = &chainEntry{head: rec.LSN, tail: old.tail, length: old.length + 1}
+		}
+		if m.chains.CompareAndSwap(rec.PageID, v, ne) {
+			return
+		}
+	}
+}
+
+// ChainHead returns the per-page chain-index entry for pageID. ok is false
+// when the page has no chain records in the surviving log.
+func (m *Manager) ChainHead(pageID page.ID) (ChainInfo, bool) {
+	v, ok := m.chains.Load(pageID)
+	if !ok {
+		return ChainInfo{}, false
+	}
+	e := v.(*chainEntry)
+	return ChainInfo{Head: e.head, Tail: e.tail, Length: e.length}, true
+}
+
+// Chains visits every per-page chain-index entry until fn returns false.
+// The iteration order is unspecified; concurrent appends may or may not be
+// visible, exactly like sync.Map.Range.
+func (m *Manager) Chains(fn func(page.ID, ChainInfo) bool) {
+	m.chains.Range(func(k, v any) bool {
+		e := v.(*chainEntry)
+		return fn(k.(page.ID), ChainInfo{Head: e.head, Tail: e.tail, Length: e.length})
+	})
+}
+
+// fixupChains rolls the chain index back to the truncation boundary f:
+// every entry whose head lies in the doomed volatile tail is walked
+// backwards (the bytes are still intact — the caller runs this inside
+// Crash after quiescing appenders and readers, before the watermark reset)
+// until the newest surviving record, which becomes the new head. A chain
+// that is entirely volatile loses its entry — the page has no logged
+// history anymore, which matches what any post-crash log scan would find.
+// Idempotent: the Crash CAS loop may run it again after a late publisher
+// extends the pre-crash tail.
+func (m *Manager) fixupChains(f int64) {
+	var rec Record
+	m.chains.Range(func(k, v any) bool {
+		e := v.(*chainEntry)
+		if int64(e.head) < f {
+			return true
+		}
+		id := k.(page.ID)
+		lsn, n := e.head, e.length
+		intact := true
+		for lsn != page.ZeroLSN && int64(lsn) >= f {
+			if _, err := m.decodeAt(lsn, &rec, false); err != nil || rec.PageID != id {
+				intact = false
+				break
+			}
+			lsn = rec.PagePrevLSN
+			if n > 0 {
+				n--
+			}
+		}
+		if !intact || lsn == page.ZeroLSN {
+			if m.chains.CompareAndDelete(k, v) {
+				m.chainPages.Add(-1)
+			}
+			return true
+		}
+		if n < 1 {
+			n = 1
+		}
+		m.chains.CompareAndSwap(k, v, &chainEntry{head: lsn, tail: e.tail, length: n})
+		return true
+	})
+}
 
 // Flush forces the log up to and including the record at upTo onto stable
 // storage. upTo should be a record's LSN (any value at or beyond the
@@ -930,6 +1094,14 @@ func (m *Manager) Crash() {
 			// them alone.
 			break
 		}
+		// Roll the chain index back to the truncation boundary while the
+		// doomed bytes are still readable. All reserved ranges are
+		// published (checked above) and every published chain record is
+		// indexed before publication, so the walk sees a complete tail.
+		// If the reserved CAS below loses to a late gate-evading
+		// reservation, the loop retries and fixes up again — fixupChains
+		// is idempotent.
+		m.fixupChains(f)
 		if !m.reserved.CompareAndSwap(r, f) {
 			// A late reservation extended the pre-crash chain between
 			// the check and the swap; wait for it to publish and retry.

@@ -13,6 +13,7 @@ import (
 	"repro/internal/page"
 	"repro/internal/pagemap"
 	"repro/internal/recovery"
+	"repro/internal/restore"
 	"repro/internal/storage"
 	"repro/internal/txn"
 	"repro/internal/wal"
@@ -180,8 +181,10 @@ type ScrubReport struct {
 }
 
 // Scrub re-reads every mapped slot verifying checksums (the paper's "disk
-// scrubbing", §1) and immediately repairs every failure it finds through
-// the normal single-page recovery path.
+// scrubbing", §1) and repairs every failure it finds through the repair
+// scheduler at background priority (inline when the scheduler is
+// disabled) — a concurrent foreground fault on the same page coalesces
+// onto the scrub's repair instead of replaying the chain twice.
 func (db *DB) Scrub() (ScrubReport, error) {
 	if db.isCrashed() {
 		return ScrubReport{}, ErrCrashed
@@ -197,15 +200,10 @@ func (db *DB) Scrub() (ScrubReport, error) {
 		if !ok {
 			continue
 		}
-		// Evict any clean copy, then re-read through the validating
-		// path: detection plus recovery in one step.
-		_ = db.EvictPage(id)
-		h, err := db.pool.Fetch(id)
-		if err != nil {
+		if err := db.repairLatent(id); err != nil {
 			rep.Escalated++
 			continue
 		}
-		h.Release()
 		rep.Recovered++
 	}
 	return rep, nil
@@ -220,13 +218,16 @@ func (db *DB) RecoverPageNow(id PageID) (core.Report, error) {
 	return rep, err
 }
 
-// Close shuts the database down cleanly: the maintenance service stops
-// (deterministically — every background goroutine is joined), every dirty
-// page and the whole log are flushed, and the group-commit flusher (if
-// running) drains its pending waiters and stops. A crashed database only
-// stops the background goroutines — its state is already frozen for
-// Restart. Close is idempotent.
+// Close shuts the database down cleanly: the repair scheduler and the
+// maintenance service stop (deterministically — every background
+// goroutine is joined; the scheduler first, since the scrub campaign may
+// be parked on one of its repair futures), every dirty page and the whole
+// log are flushed, and the group-commit flusher (if running) drains its
+// pending waiters and stops. A crashed database only stops the background
+// goroutines — its state is already frozen for Restart. Close is
+// idempotent.
 func (db *DB) Close() error {
+	db.stopRestore()
 	db.stopMaintenance()
 	if db.isCrashed() {
 		db.log.Close()
@@ -242,17 +243,21 @@ func (db *DB) Close() error {
 }
 
 // Crash simulates a system failure: the buffer pool and the unflushed log
-// tail vanish; the devices and the stable log survive. The maintenance
-// service is quiesced first, the same way the log quiesces in-flight
-// appenders: an in-flight flush batch or scrub repair completes (its
-// writes and appends then predate the crash), and no background work runs
-// while the log truncates its volatile tail — a flusher racing the
-// truncation could otherwise write a page whose log just vanished,
+// tail vanish; the devices and the stable log survive. The repair
+// scheduler and the maintenance service are quiesced first, the same way
+// the log quiesces in-flight appenders: an in-flight repair or flush
+// batch completes (its writes and appends then predate the crash), queued
+// repairs fail with restore.ErrStopped (unparking their waiters — the
+// scrub campaign among them, which is why the scheduler stops before the
+// service that feeds it), and no background work runs while the log
+// truncates its volatile tail — a worker racing the truncation could
+// otherwise read freed log bytes or write a page whose log just vanished,
 // breaking the WAL rule.
 func (db *DB) Crash() {
 	db.mu.Lock()
 	db.crashed = true
 	db.mu.Unlock()
+	db.stopRestore()
 	db.stopMaintenance()
 	db.log.Crash()
 	db.pool.Crash()
@@ -297,6 +302,11 @@ func (db *DB) Restart() (*DB, *RestartReport, error) {
 		Device: ndb.dev, Map: ndb.pmap, Log: ndb.log,
 		Hooks: ndb.hooks(),
 	})
+	ndb.startRestore()
+	fail := func(err error) (*DB, *RestartReport, error) {
+		ndb.stopRestore()
+		return nil, nil, err
+	}
 
 	redoRep, err := recovery.Redo(recovery.RedoDeps{
 		Log: ndb.log, Pool: ndb.pool, Map: ndb.pmap, PRI: ndb.pri,
@@ -309,19 +319,19 @@ func (db *DB) Restart() (*DB, *RestartReport, error) {
 		},
 	}, analysis)
 	if err != nil {
-		return nil, nil, fmt.Errorf("spf: restart redo: %w", err)
+		return fail(fmt.Errorf("spf: restart redo: %w", err))
 	}
 
 	undoRep, err := recovery.Undo(recovery.UndoDeps{Txns: ndb.txns}, analysis)
 	if err != nil {
-		return nil, nil, fmt.Errorf("spf: restart undo: %w", err)
+		return fail(fmt.Errorf("spf: restart undo: %w", err))
 	}
 
 	if err := ndb.reopenCatalog(); err != nil {
-		return nil, nil, err
+		return fail(err)
 	}
 	if _, err := ndb.Checkpoint(); err != nil {
-		return nil, nil, err
+		return fail(err)
 	}
 	ndb.startMaintenance()
 	rep := &RestartReport{
@@ -360,13 +370,15 @@ func (db *DB) reopenCatalog() error {
 	return errors.New("spf: meta page not found after restart")
 }
 
-// FailDevice simulates a whole-device media failure. Maintenance stops
-// first: a scrub campaign sweeping a failed device would only report every
-// slot as an escalation.
+// FailDevice simulates a whole-device media failure. The repair scheduler
+// and maintenance stop first: repairs against a failed device can only
+// escalate, and a scrub campaign sweeping it would report every slot as
+// one.
 func (db *DB) FailDevice() {
 	db.mu.Lock()
 	db.crashed = true
 	db.mu.Unlock()
+	db.stopRestore()
 	db.stopMaintenance()
 	db.dev.FailDevice()
 	db.pool.Crash()
@@ -379,9 +391,18 @@ type MediaRecoveryReport struct {
 	Duration time.Duration
 }
 
-// RecoverMedia replaces the failed device and rebuilds it from the most
-// recent full backup plus the log (§5.1.3). All transactions that were
-// active are rolled back. Returns a fresh, usable DB.
+// RecoverMedia replaces the failed device and brings the database back
+// from the most recent full backup plus the log (§5.1.3), reshaped as
+// instant restore (Sauer et al.): instead of restoring every image and
+// replaying the whole log before the first read can be served, it
+// prepares the page map and page recovery index (recovery.RecoverMedia,
+// O(pages) — per-page chain heads come from the log's chain index, no
+// forward scan), enqueues every page with the repair scheduler at
+// background priority, and returns a usable DB immediately. Foreground
+// reads of a not-yet-restored page promote its ticket to urgent and are
+// served as soon as that one page's chain replays; background workers
+// drain the rest. DrainRestore blocks until bulk restore completes.
+// All transactions that were active at the failure are rolled back.
 func (db *DB) RecoverMedia() (*DB, *MediaRecoveryReport, error) {
 	start := time.Now()
 	setID := db.store.LatestSet()
@@ -403,8 +424,7 @@ func (db *DB) RecoverMedia() (*DB, *MediaRecoveryReport, error) {
 	ndb.res = &backup.Resolver{Store: ndb.store, Log: ndb.log, PageSize: db.opts.PageSize, Data: ndb.dev}
 
 	pm, pri, mediaRep, err := recovery.RecoverMedia(recovery.MediaDeps{
-		Log: ndb.log, Dev: ndb.dev, Store: ndb.store, Resolver: ndb.res,
-		Applier: btree.Applier{}, PageSize: db.opts.PageSize, Mode: db.opts.WriteMode,
+		Log: ndb.log, Dev: ndb.dev, Store: ndb.store, Mode: db.opts.WriteMode,
 	}, setID)
 	if err != nil {
 		return nil, nil, fmt.Errorf("spf: media recovery: %w", err)
@@ -417,21 +437,44 @@ func (db *DB) RecoverMedia() (*DB, *MediaRecoveryReport, error) {
 		Device: ndb.dev, Map: ndb.pmap, Log: ndb.log,
 		Hooks: ndb.hooks(),
 	})
+	ndb.startRestore()
+	fail := func(err error) (*DB, *MediaRecoveryReport, error) {
+		ndb.stopRestore()
+		return nil, nil, err
+	}
 
-	// Roll back transactions that were in flight at the failure.
+	// The instant-restore shape: every page is queued for background
+	// restore; on-demand faults are served first via promotion. Without
+	// the scheduler the restore is synchronous (the pre-instant-restore
+	// behavior): every page is repaired before the DB is returned.
+	if ndb.sched != nil {
+		for _, id := range pm.Pages() {
+			ndb.sched.Enqueue(id, restore.Background)
+		}
+	} else {
+		for _, id := range pm.Pages() {
+			if err := ndb.performRepair(id); err != nil {
+				return fail(fmt.Errorf("spf: media recovery of page %d: %w", id, err))
+			}
+		}
+	}
+
+	// Roll back transactions that were in flight at the failure. Undo
+	// fetches its pages through the validating pool read, so each one it
+	// touches is restored on demand right here.
 	analysis, err := recovery.Analyze(ndb.log, db.opts.DataSlots)
 	if err != nil {
-		return nil, nil, err
+		return fail(err)
 	}
 	undoRep, err := recovery.Undo(recovery.UndoDeps{Txns: ndb.txns}, analysis)
 	if err != nil {
-		return nil, nil, err
+		return fail(err)
 	}
 	if err := ndb.reopenCatalog(); err != nil {
-		return nil, nil, err
+		return fail(err)
 	}
 	if _, err := ndb.Checkpoint(); err != nil {
-		return nil, nil, err
+		return fail(err)
 	}
 	ndb.startMaintenance()
 	rep := &MediaRecoveryReport{Media: *mediaRep, Undo: *undoRep, Duration: time.Since(start)}
@@ -446,6 +489,7 @@ type Stats struct {
 	Txns        txn.Stats
 	Recovery    core.Stats
 	Maintenance maintenance.Stats
+	Restore     restore.Stats
 	PRIRanges   int
 	PRIBytes    int
 	PRIPages    int
@@ -470,7 +514,31 @@ func (db *DB) Stats() Stats {
 	if db.maint != nil {
 		s.Maintenance = db.maint.Stats()
 	}
+	if db.sched != nil {
+		s.Restore = db.sched.Stats()
+	}
 	return s
+}
+
+// RestoreStats reports the repair scheduler's counters: tickets enqueued,
+// requests coalesced onto shared per-page futures, urgent promotions,
+// repairs completed/failed, busy requeues, and the pending/in-flight
+// gauges. Zero when the scheduler is disabled.
+func (db *DB) RestoreStats() restore.Stats {
+	if db.sched == nil {
+		return restore.Stats{}
+	}
+	return db.sched.Stats()
+}
+
+// DrainRestore blocks until the repair scheduler's queue is empty (every
+// scheduled repair completed) or the scheduler stops. After RecoverMedia
+// it is the "bulk restore finished" barrier; reads need not wait for it —
+// they are served on demand throughout.
+func (db *DB) DrainRestore() {
+	if db.sched != nil {
+		db.sched.Drain()
+	}
 }
 
 // MaintenanceStats reports the background maintenance counters: flush

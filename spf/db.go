@@ -14,6 +14,7 @@ import (
 	"repro/internal/maintenance"
 	"repro/internal/page"
 	"repro/internal/pagemap"
+	"repro/internal/restore"
 	"repro/internal/storage"
 	"repro/internal/txn"
 	"repro/internal/wal"
@@ -75,6 +76,7 @@ type DB struct {
 	pri   *core.PRI
 	rec   *core.Recoverer
 	res   *backup.Resolver
+	sched *restore.Scheduler   // nil when Options.Restore.Disabled (or SPR off)
 	maint *maintenance.Service // nil unless Options.Maintenance.Enabled
 
 	mu           sync.Mutex
@@ -117,23 +119,90 @@ func Open(opts Options) (*DB, error) {
 		Device: db.dev, Map: db.pmap, Log: db.log,
 		Hooks: db.hooks(),
 	})
+	db.startRestore()
 
 	// Bootstrap: the meta page holding the index registry.
 	st := db.txns.BeginSystem()
 	h, err := db.AllocateNode(st, page.TypeMeta, nil)
 	if err != nil {
+		db.stopRestore()
 		return nil, fmt.Errorf("spf: bootstrapping meta page: %w", err)
 	}
 	db.metaID = h.ID()
 	h.Release()
 	if err := st.Commit(); err != nil {
+		db.stopRestore()
 		return nil, err
 	}
 	if _, err := db.Checkpoint(); err != nil {
+		db.stopRestore()
 		return nil, err
 	}
 	db.startMaintenance()
 	return db, nil
+}
+
+// startRestore launches the prioritized repair scheduler. Called once per
+// DB, right after the buffer pool exists, from the single goroutine
+// constructing the DB — so it is running before any fetch can fault.
+func (db *DB) startRestore() {
+	if db.opts.DisableSinglePageRecovery || db.opts.Restore.Disabled {
+		return
+	}
+	db.sched = restore.New(restore.Config{
+		Workers:      db.opts.Restore.Workers,
+		RetryBackoff: db.opts.Restore.RetryBackoff,
+	}, restore.Deps{
+		Repair: db.performRepair,
+		Busy:   func(err error) bool { return errors.Is(err, buffer.ErrPinned) },
+	})
+	db.sched.Start()
+}
+
+// stopRestore quiesces the scheduler: queued repairs fail with
+// restore.ErrStopped (waking their waiters — the maintenance campaign
+// among them), the in-flight repair completes, and every worker is joined.
+// Crash, Close, and FailDevice call it BEFORE stopMaintenance (the scrub
+// campaign parks on repair futures; failing them first lets the campaign
+// goroutine reach its own quit check) and before any log truncation — a
+// worker mid-repair reads the log and appends recovery records, so the
+// same WAL-safety ordering the maintenance service observes applies here.
+func (db *DB) stopRestore() {
+	if db.sched != nil {
+		db.sched.Stop()
+	}
+}
+
+// performRepair is the scheduler workers' repair routine: it makes the
+// page healthy end to end, whatever path detected the failure.
+//
+//   - A scrub finding has a (possibly clean) buffered copy of a damaged
+//     device slot: evict it so the validating re-read sees the device. A
+//     page pinned by concurrent readers cannot be evicted this instant —
+//     that is congestion, not failure, so the error reports busy and the
+//     scheduler requeues the ticket with backoff instead of dropping it.
+//   - A foreground fetch fault (or an on-demand media restore) has no
+//     resident copy; eviction is a no-op.
+//
+// The re-read runs through FetchRepair — the inline-recovery fetch — so
+// the worker's own read cannot re-enter the scheduler and deadlock on the
+// ticket it is executing. Detection plus recovery then happen exactly as
+// on the pre-scheduler read path (Fig. 8: validate, Recover hook,
+// relocate, retire), and the recovered page is installed dirty for
+// write-back to persist.
+func (db *DB) performRepair(id page.ID) error {
+	if db.isCrashed() {
+		return ErrCrashed
+	}
+	if err := db.pool.Evict(id); err != nil && !errors.Is(err, buffer.ErrNotResident) {
+		return err
+	}
+	h, err := db.pool.FetchRepair(id)
+	if err != nil {
+		return err
+	}
+	h.Release()
+	return nil
 }
 
 // startMaintenance launches the background maintenance service when the
@@ -170,33 +239,32 @@ func (db *DB) stopMaintenance() {
 }
 
 // repairLatent routes a latent failure the scrub campaign found through
-// the ordinary single-page recovery path: drop any buffered copy, then a
-// validating re-read detects the damage and recovers the page, exactly as
-// a foreground read would (Fig. 8). The recovered page is installed dirty
-// and relocated; write-back persists it. A page pinned by concurrent
-// foreground readers cannot be evicted this instant — that is congestion,
-// not an unrecoverable failure, so the repair waits it out briefly (the
-// campaign would rediscover the slot next sweep anyway).
+// the repair scheduler at background priority: the campaign's finding
+// never jumps ahead of a foreground fault, a foreground fault on the same
+// page promotes this very ticket (one replay serves both), and a page
+// momentarily pinned by readers is requeued with backoff inside the
+// scheduler instead of being dropped after a retry budget. The call waits
+// for the repair's outcome so the campaign's repaired/escalated tallies
+// stay accurate.
+//
+// With the scheduler disabled the repair runs inline: drop any buffered
+// copy, then a validating re-read detects the damage and recovers the
+// page, exactly as a foreground read would (Fig. 8).
 func (db *DB) repairLatent(id page.ID) error {
+	if db.isCrashed() {
+		return ErrCrashed
+	}
+	if sched := db.sched; sched != nil {
+		return sched.Enqueue(id, restore.Background).Wait()
+	}
 	for attempt := 0; ; attempt++ {
-		if db.isCrashed() {
-			return ErrCrashed
-		}
-		err := db.EvictPage(id)
-		if err == nil {
-			break
-		}
-		if !errors.Is(err, buffer.ErrPinned) || attempt >= 500 {
+		if err := db.performRepair(id); err == nil {
+			return nil
+		} else if !errors.Is(err, buffer.ErrPinned) || attempt >= 500 {
 			return err
 		}
 		time.Sleep(time.Millisecond)
 	}
-	h, err := db.pool.Fetch(id)
-	if err != nil {
-		return err
-	}
-	h.Release()
-	return nil
 }
 
 // hooks wires the buffer pool to detection, recovery, and PRI maintenance.
@@ -210,8 +278,26 @@ func (db *DB) hooks() buffer.Hooks {
 	}
 	if !db.opts.DisableSinglePageRecovery {
 		h.Recover = db.recoverPage
+		if !db.opts.Restore.Disabled {
+			h.RepairPage = db.repairPageUrgent
+		}
 	}
 	return h
+}
+
+// repairPageUrgent is the RepairPage pool hook: a foreground fetch hit a
+// validation failure, so the page's repair is (enqueued if needed and)
+// promoted to urgent priority, and the fetch parks on the shared per-page
+// future — N concurrent faulters of one page trigger exactly one chain
+// replay. Before the scheduler starts (engine bootstrap, restart redo's
+// first moments) the hook reports unavailable and the pool recovers
+// inline.
+func (db *DB) repairPageUrgent(id page.ID) error {
+	sched := db.sched
+	if sched == nil {
+		return buffer.ErrRepairUnavailable
+	}
+	return sched.Enqueue(id, restore.Urgent).Wait()
 }
 
 // validatePage is the PageLSN cross-check of §5.2.2: a page read from the

@@ -72,6 +72,16 @@ type Options struct {
 	// recovered database) and is quiesced deterministically by Close,
 	// Crash, and FailDevice.
 	Maintenance MaintenanceOptions
+	// Restore configures the prioritized repair scheduler that all
+	// single-page repairs route through: foreground fetch faults enqueue
+	// at urgent priority (promoting an already-queued page), scrub
+	// findings and bulk media restore at background priority, and
+	// concurrent faulters of one page coalesce onto a single replay. On
+	// by default whenever single-page recovery is enabled; survives
+	// Restart and RecoverMedia and is quiesced deterministically by
+	// Close, Crash, and FailDevice (workers joined before the log
+	// truncates).
+	Restore RestoreOptions
 	// Seed makes fault injection reproducible.
 	Seed int64
 }
@@ -103,6 +113,23 @@ type MaintenanceOptions struct {
 	// ScrubBatchPages is how many device slots one scrub tick examines
 	// (default 64).
 	ScrubBatchPages int
+}
+
+// RestoreOptions tunes the repair scheduler (internal/restore). The zero
+// value selects the defaults noted on each field.
+type RestoreOptions struct {
+	// Disabled turns the scheduler off; every repair then runs inline on
+	// the path that detected the failure (the pre-scheduler behavior:
+	// concurrent faulters of one page each replay its chain, and a bulk
+	// media restore is synchronous).
+	Disabled bool
+	// Workers is the number of repair worker goroutines (default 2).
+	Workers int
+	// RetryBackoff is the initial backoff before retrying a repair that
+	// found its page pinned by concurrent readers; it doubles per attempt
+	// up to a 50ms cap (default 1ms). The page is requeued, never
+	// dropped.
+	RetryBackoff time.Duration
 }
 
 func (o Options) withDefaults() Options {
