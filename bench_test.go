@@ -26,6 +26,7 @@ import (
 	"repro/internal/maintbench"
 	"repro/internal/page"
 	"repro/internal/pagemap"
+	"repro/internal/restartbench"
 	"repro/internal/restorebench"
 	"repro/internal/storage"
 	"repro/internal/wal"
@@ -656,4 +657,60 @@ func BenchmarkE25MediaRecoveryAvailability(b *testing.B) {
 	b.Logf("pages=%d prep=%dms first-read=%dus reads-before-drain=%d/%d drain=%dms",
 		res.Pages, res.PrepNs/1e6, res.FirstReadNs/1e3,
 		res.ReadsBeforeDrain, res.ReadsTotal, res.DrainNs/1e6)
+}
+
+// BenchmarkE26RestartFirstReadLatency measures the time from a system
+// failure until the first read observes its acked data again (driver in
+// internal/restartbench, shared with `spfbench -benchjson`). The instant
+// variant prepares redo in O(active pages), returns from Restart before
+// redo completes, and pays only the read page's own chain replay; the
+// full-redo baseline (Options.Restore.Disabled) scans the log forward and
+// replays every dirty page before any read can run. Criterion: instant
+// must be ≥5x better.
+func BenchmarkE26RestartFirstReadLatency(b *testing.B) {
+	var instant, full restartbench.FirstReadResult
+	b.Run("instant", func(b *testing.B) {
+		instant = restartbench.FirstReadLatency(b, false)
+		b.ReportMetric(float64(instant.MeanNs), "first-read-ns")
+	})
+	b.Run("full-redo-baseline", func(b *testing.B) {
+		full = restartbench.FirstReadLatency(b, true)
+		b.ReportMetric(float64(full.MeanNs), "first-read-ns")
+	})
+	if instant.Iters > 0 && full.Iters > 0 {
+		if instant.Marked == 0 {
+			b.Fatalf("instant restart marked no pages: %+v", instant)
+		}
+		if full.MeanNs < 5*instant.MeanNs {
+			b.Fatalf("instant first read %dus not >=5x better than full redo %dus",
+				instant.MeanNs/1e3, full.MeanNs/1e3)
+		}
+		b.Logf("first read after crash: instant=%dus full-redo=%dus (%.1fx, %d pages marked)",
+			instant.MeanNs/1e3, full.MeanNs/1e3,
+			float64(full.MeanNs)/float64(instant.MeanNs), instant.Marked)
+	}
+}
+
+// BenchmarkE27ParallelRedoDrain measures bulk redo drain scaling (driver
+// in internal/restartbench): the needs-redo backlog an instant restart
+// enqueues is partitioned by page, so adding workers divides the drain
+// time. Criterion: 4 workers must drain ≥2x faster than 1.
+func BenchmarkE27ParallelRedoDrain(b *testing.B) {
+	results := map[int]restartbench.DrainResult{}
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			results[workers] = restartbench.ParallelRedoDrain(b, workers)
+			b.ReportMetric(float64(results[workers].MeanNs), "drain-ns")
+		})
+	}
+	w1, w4 := results[1], results[4]
+	if w1.MeanNs > 0 && w4.MeanNs > 0 {
+		if w1.MeanNs < 2*w4.MeanNs {
+			b.Fatalf("4-worker drain %dms not >=2x faster than 1-worker %dms",
+				w4.MeanNs/1e6, w1.MeanNs/1e6)
+		}
+		b.Logf("drain %d pages: 1 worker=%dms, 4 workers=%dms (%.1fx)",
+			w1.Pages, w1.MeanNs/1e6, w4.MeanNs/1e6, float64(w1.MeanNs)/float64(w4.MeanNs))
+	}
 }

@@ -11,8 +11,10 @@
 //	                              # commit, E21 async write-back, E22
 //	                              # scrub overhead, E23 parallel tree
 //	                              # ops, E24 on-demand restore latency,
-//	                              # E25 media-recovery availability) and
-//	                              # write BENCH_*.json entries
+//	                              # E25 media-recovery availability, E26
+//	                              # restart first-read latency, E27
+//	                              # parallel redo drain) and write
+//	                              # BENCH_*.json entries
 //	spfbench -benchcompare FILE -baselines A.json,B.json [-threshold 3]
 //	                              # compare a fresh -benchjson run against
 //	                              # the committed baselines; exit nonzero
@@ -36,6 +38,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/maintbench"
 	"repro/internal/report"
+	"repro/internal/restartbench"
 	"repro/internal/restorebench"
 	"repro/internal/wal"
 	"repro/internal/walbench"
@@ -316,6 +319,42 @@ func runBenchJSON(path string) error {
 		Ops: r.N, GoMaxProcs: runtime.GOMAXPROCS(0),
 		Metric: float64(ares.ReadsBeforeDrain), MetricName: "reads-before-drain",
 	})
+
+	// E26: time from crash until the first read observes acked data —
+	// instant restart (on-demand redo) vs the synchronous full-redo
+	// baseline. The metric is the criterion number: instant must be ≥5x
+	// better.
+	for _, full := range []bool{false, true} {
+		var fres restartbench.FirstReadResult
+		r := testing.Benchmark(func(b *testing.B) {
+			fres = restartbench.FirstReadLatency(b, full)
+		})
+		name := "BenchmarkE26RestartFirstReadLatency/instant"
+		if full {
+			name = "BenchmarkE26RestartFirstReadLatency/full-redo-baseline"
+		}
+		entries = append(entries, benchEntry{
+			Name:    name,
+			NsPerOp: float64(r.NsPerOp()), AllocsPerOp: r.AllocsPerOp(),
+			Ops: r.N, GoMaxProcs: runtime.GOMAXPROCS(0),
+			Metric: float64(fres.MeanNs), MetricName: "first-read-ns",
+		})
+	}
+
+	// E27: bulk redo drain scaling — the backlog is partitioned by page,
+	// so 4 workers must drain ≥2x faster than 1.
+	for _, workers := range []int{1, 4} {
+		var dres restartbench.DrainResult
+		r := testing.Benchmark(func(b *testing.B) {
+			dres = restartbench.ParallelRedoDrain(b, workers)
+		})
+		entries = append(entries, benchEntry{
+			Name:    fmt.Sprintf("BenchmarkE27ParallelRedoDrain/workers=%d", workers),
+			NsPerOp: float64(r.NsPerOp()), AllocsPerOp: r.AllocsPerOp(),
+			Ops: r.N, GoMaxProcs: runtime.GOMAXPROCS(0),
+			Metric: float64(dres.MeanNs), MetricName: "drain-ns",
+		})
+	}
 
 	data, err := json.MarshalIndent(entries, "", "  ")
 	if err != nil {

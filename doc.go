@@ -209,11 +209,53 @@
 // below the full drain. examples/instantrestore demonstrates it end to
 // end.
 //
+// # Instant restart
+//
+// System-failure restart takes the same on-demand shape as media
+// recovery. When the restore scheduler and the PageLSN cross-check are
+// enabled, spf.DB.Restart no longer replays the log forward before
+// opening for business: after analysis, recovery.PrepareRedo walks the
+// dirty page table and, for each entry, raises the page's PRI LastLSN to
+// its chain head (from the wal chain index) and marks it needs-redo —
+// O(active pages), no data-page I/O. Restart queues the whole backlog at
+// Background priority, cost-ordered by chain length (short chains drain
+// first), runs undo, and returns. The first fetch of a marked page fails
+// the PageLSN cross-check exactly like a page that lost a write, and the
+// repair replays only that page's missing chain tail on top of its
+// current disk image — the image is a free backup as of its own PageLSN
+// (§5.2.1), checked record by record with the §5.1.4 sequence test. If
+// the image itself is damaged (torn, corrupt, lost), the fast path fails
+// and the repair falls back to full single-page recovery from the page's
+// registered backup: a nested single-page failure handled inside system
+// recovery by the ordinary machinery. Undo's fetches promote the pages a
+// rollback touches, preserving redo-before-undo per page; a second crash
+// mid-drain loses nothing because the end-of-restart checkpoint
+// snapshots the raised PRI expectations. The forward-scan redo survives
+// behind spf.RestoreOptions.Disabled (the synchronous baseline
+// BenchmarkE26RestartFirstReadLatency measures against; its ≥5x
+// criterion is the instant-restart claim, and
+// BenchmarkE27ParallelRedoDrain asserts the backlog drain scales with
+// workers). examples/crashrecovery demonstrates the shape end to end.
+//
+// The claim "no acked commit is lost under any crash schedule" is
+// enforced by internal/chaos, a deterministic crash-point harness: named
+// points (wal.publish, wal.truncate, buffer.writeback, restore.complete,
+// restart.prep) thread the engine's riskiest windows as bare chaos.At
+// calls — one atomic load when disarmed — and tests arm a point with the
+// 1-based hit count at which its action fires, so a seeded workload
+// replays the identical crash window every run. The torture loop in
+// spf/torture_test.go drives crash -> restart -> verify across a seed
+// matrix (CI runs it under -race), injecting persistent page faults
+// mid-crash and mid-restart so single-page recovery runs inside system
+// recovery, and asserts every acked commit survives, losers vanish, the
+// tree verifies clean, and shutdown leaks no goroutines.
+//
 // CI runs a benchmark-regression gate on every PR: `spfbench -benchjson`
-// regenerates the tracked set (E19-E25) and `spfbench -benchcompare`
+// regenerates the tracked set (E19-E27) and `spfbench -benchcompare`
 // fails the build if any entry regresses more than 3x against the
 // committed BENCH_wal.json / BENCH_maintenance.json / BENCH_btree.json /
-// BENCH_restore.json baselines or drops out of the tracked set. A docs
-// job keeps ARCHITECTURE.md linked (README + this file) and its Go
-// snippets parseable and gofmt-clean.
+// BENCH_restore.json / BENCH_restart.json baselines or drops out of the
+// tracked set. A chaos job runs the seeded torture matrix under the race
+// detector. A docs job keeps ARCHITECTURE.md linked (README + this file)
+// and its Go snippets parseable and gofmt-clean.
 package repro

@@ -36,11 +36,14 @@ package buffer
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/page"
 	"repro/internal/pagemap"
 	"repro/internal/storage"
@@ -119,6 +122,11 @@ type Hooks struct {
 	// backup-every-N-updates policy (§6). Must be cheap and must not
 	// call back into the pool.
 	OnMarkDirty func(id page.ID)
+	// OnReadRetry runs each time the repair read path (FetchRepair and
+	// inline-recovery fetches) absorbs a device read fault with a bounded
+	// in-place retry instead of escalating straight to a chain replay.
+	// The engine counts these in its restore statistics.
+	OnReadRetry func(id page.ID)
 }
 
 // Stats counts pool activity.
@@ -251,6 +259,9 @@ type Pool struct {
 	hooks    atomic.Pointer[Hooks]
 	stats    counters
 	scratch  sync.Pool // *[]byte of dev.PageSize() bytes
+
+	readRetries      int
+	readRetryBackoff time.Duration
 }
 
 // Config configures a pool.
@@ -264,6 +275,17 @@ type Config struct {
 	Map    *pagemap.Map
 	Log    *wal.Manager
 	Hooks  Hooks
+	// ReadRetries bounds the in-place retries of a failed device read on
+	// the repair path (FetchRepair and inline-recovery fetches) before
+	// the failure is treated as a real single-page failure. A transient
+	// fault — a device hiccup that a re-read clears — then costs one
+	// short, jittered backoff instead of a full backup-plus-chain replay
+	// and a slot relocation. Default 2; negative disables retrying.
+	ReadRetries int
+	// ReadRetryBackoff is the base delay before the first such retry; it
+	// doubles per attempt and each wait is jittered ±50% so concurrent
+	// repair workers never retry in lockstep (default 100µs).
+	ReadRetryBackoff time.Duration
 }
 
 // NewPool creates a buffer pool.
@@ -288,12 +310,22 @@ func NewPool(cfg Config) *Pool {
 		shift--
 	}
 	p := &Pool{
-		shards:   shards,
-		shift:    shift,
-		capacity: cfg.Capacity,
-		dev:      cfg.Device,
-		pmap:     cfg.Map,
-		log:      cfg.Log,
+		shards:           shards,
+		shift:            shift,
+		capacity:         cfg.Capacity,
+		dev:              cfg.Device,
+		pmap:             cfg.Map,
+		log:              cfg.Log,
+		readRetries:      cfg.ReadRetries,
+		readRetryBackoff: cfg.ReadRetryBackoff,
+	}
+	if p.readRetries == 0 {
+		p.readRetries = 2
+	} else if p.readRetries < 0 {
+		p.readRetries = 0
+	}
+	if p.readRetryBackoff <= 0 {
+		p.readRetryBackoff = 100 * time.Microsecond
 	}
 	hooks := cfg.Hooks
 	p.hooks.Store(&hooks)
@@ -531,7 +563,7 @@ func (p *Pool) fetch(id page.ID, inline bool) (*Handle, error) {
 		hooks := p.getHooks()
 
 		// Read and validate outside all locks (Fig. 8).
-		pg, failure := p.readAndValidate(id, phys, hooks)
+		pg, failure := p.readAndValidate(id, phys, hooks, inline)
 		if failure != nil {
 			p.stats.validationFailures.Add(1)
 			if !inline && hooks.RepairPage != nil && attempt < 2 {
@@ -596,11 +628,24 @@ func (p *Pool) fetch(id page.ID, inline bool) (*Handle, error) {
 // readAndValidate performs the Fig. 8 read path: device read, in-page
 // verification, and the engine's PageLSN cross-check. The device image
 // lands in a pooled scratch buffer, so a miss costs no per-read buffer
-// allocation.
-func (p *Pool) readAndValidate(id page.ID, phys storage.PhysID, hooks *Hooks) (*page.Page, error) {
+// allocation. On the repair path (retryReads) a failed device read is
+// retried a bounded number of times with jittered exponential backoff
+// before it counts as a single-page failure: a transient fault during a
+// repair then degrades to a re-read instead of recursing into another
+// full recovery.
+func (p *Pool) readAndValidate(id page.ID, phys storage.PhysID, hooks *Hooks, retryReads bool) (*page.Page, error) {
 	buf := p.getScratch()
 	defer p.putScratch(buf)
-	if err := p.dev.ReadInto(phys, *buf); err != nil {
+	err := p.dev.ReadInto(phys, *buf)
+	for r := 0; err != nil && retryReads && r < p.readRetries; r++ {
+		if hooks.OnReadRetry != nil {
+			hooks.OnReadRetry(id)
+		}
+		d := p.readRetryBackoff << uint(r)
+		time.Sleep(d/2 + time.Duration(rand.Int63n(int64(d)+1)))
+		err = p.dev.ReadInto(phys, *buf)
+	}
+	if err != nil {
 		return nil, fmt.Errorf("device read of page %d (slot %d): %w", id, phys, err)
 	}
 	pg, err := page.DecodeFor(id, *buf)
@@ -813,6 +858,10 @@ func (p *Pool) writeBack(f *frame) ([]*wal.Record, bool, error) {
 	p.setClean(f)
 	f.latch.RUnlock()
 	p.stats.writes.Add(1)
+	// Crash point: the page image is on the device but its completed-write
+	// record is not yet logged — the Fig. 12 "page written, PRI update
+	// lost" window.
+	chaos.At("buffer.writeback")
 	var recs []*wal.Record
 	if hooks := p.getHooks(); hooks.CompleteWrite != nil {
 		recs = hooks.CompleteWrite(WriteInfo{

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/iosim"
@@ -639,5 +640,54 @@ func TestPerPageFlushAppendsImmediately(t *testing.T) {
 	}
 	if got := ls.Appends - before.Appends; got != 1 {
 		t.Fatalf("per-page flush appended %d records, want 1", got)
+	}
+}
+
+// TestTransientReadFaultRetriedOnRepairPath proves the bounded-retry
+// satellite: a non-sticky read fault on the repair path is absorbed by a
+// re-read (no single-page recovery runs) and counted via OnReadRetry.
+func TestTransientReadFaultRetriedOnRepairPath(t *testing.T) {
+	var retries atomic.Int64
+	e := newEnv(t, 4, Hooks{
+		OnReadRetry: func(page.ID) { retries.Add(1) },
+	})
+	id := e.newPage(t, "flaky")
+	if err := e.pool.Evict(id); err != nil {
+		t.Fatal(err)
+	}
+	phys, _ := e.pmap.Lookup(id)
+	e.dev.InjectFault(phys, storage.FaultReadError, false) // one-shot
+	// No Recover hook is wired: success proves the retry served the read.
+	h, err := e.pool.FetchRepair(id)
+	if err != nil {
+		t.Fatalf("repair-path fetch with transient fault: %v", err)
+	}
+	defer h.Release()
+	if string(h.Page().Payload()) != "flaky" {
+		t.Errorf("payload = %q", h.Page().Payload())
+	}
+	if retries.Load() == 0 {
+		t.Error("OnReadRetry never fired")
+	}
+}
+
+// TestPersistentReadFaultExhaustsRetries proves retries are bounded: a
+// sticky read fault still surfaces as a failure after the budget.
+func TestPersistentReadFaultExhaustsRetries(t *testing.T) {
+	var retries atomic.Int64
+	e := newEnv(t, 4, Hooks{
+		OnReadRetry: func(page.ID) { retries.Add(1) },
+	})
+	id := e.newPage(t, "gone")
+	if err := e.pool.Evict(id); err != nil {
+		t.Fatal(err)
+	}
+	phys, _ := e.pmap.Lookup(id)
+	e.dev.InjectFault(phys, storage.FaultReadError, true) // sticky
+	if _, err := e.pool.FetchRepair(id); err == nil {
+		t.Fatal("sticky read fault did not fail the repair-path fetch")
+	}
+	if got := retries.Load(); got != 2 {
+		t.Errorf("retries = %d, want the default budget of 2", got)
 	}
 }

@@ -1,0 +1,81 @@
+package chaos
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestInertWhenNothingArmed(t *testing.T) {
+	// Must not panic, must not count.
+	At("never.armed")
+	if n := len(Counts()); n != 0 {
+		t.Fatalf("counts on inert harness: %d", n)
+	}
+}
+
+func TestArmFiresExactlyOnceAtHit(t *testing.T) {
+	defer Reset()
+	var got []Hit
+	Arm("p", 3, func(h Hit) { got = append(got, h) })
+	for i := 0; i < 10; i++ {
+		At("p")
+	}
+	if len(got) != 1 {
+		t.Fatalf("fired %d times, want 1", len(got))
+	}
+	if got[0].Point != "p" || got[0].N != 3 {
+		t.Fatalf("hit = %+v, want {p 3}", got[0])
+	}
+	if !Fired("p") {
+		t.Fatal("Fired(p) = false after firing")
+	}
+	if Counts()["p"] != 10 {
+		t.Fatalf("count = %d, want 10", Counts()["p"])
+	}
+}
+
+func TestObserveCountsWithoutFiring(t *testing.T) {
+	defer Reset()
+	Observe("a", "b")
+	for i := 0; i < 4; i++ {
+		At("a")
+	}
+	At("b")
+	c := Counts()
+	if c["a"] != 4 || c["b"] != 1 {
+		t.Fatalf("counts = %v, want a=4 b=1", c)
+	}
+	if Fired("a") {
+		t.Fatal("observe mode fired")
+	}
+}
+
+func TestResetReturnsToInert(t *testing.T) {
+	Arm("p", 1, func(Hit) {})
+	Reset()
+	At("p")
+	if len(Counts()) != 0 {
+		t.Fatal("counts survived Reset")
+	}
+}
+
+func TestConcurrentHitsFireOnce(t *testing.T) {
+	defer Reset()
+	var fired atomic.Int64
+	Arm("c", 50, func(Hit) { fired.Add(1) })
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				At("c")
+			}
+		}()
+	}
+	wg.Wait()
+	if fired.Load() != 1 {
+		t.Fatalf("fired %d times under concurrency, want 1", fired.Load())
+	}
+}

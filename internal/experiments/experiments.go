@@ -332,6 +332,10 @@ func E04RedoOptimization(pages int) (*E04Result, error) {
 	run := func(disableSPF bool) (int, error) {
 		opts := baseOptions()
 		opts.DisableSinglePageRecovery = disableSPF
+		// Figure 4 counts the page reads of the synchronous redo scan, so
+		// pin the pre-instant-restart path (on-demand redo reads no pages
+		// during Restart at all; E26 measures that).
+		opts.Restore = spf.RestoreOptions{Disabled: true}
 		db, err := open(opts)
 		if err != nil {
 			return 0, err

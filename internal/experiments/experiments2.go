@@ -434,7 +434,12 @@ type E12Result struct {
 // recovery requirements using PRI update records; redo repairs lost PRI
 // updates.
 func E12RestartActions() (*E12Result, error) {
-	db, err := open(baseOptions())
+	// Figure 12 tabulates the actions of the *synchronous* redo pass
+	// (pages read, records applied, PRI repairs), so this experiment pins
+	// the pre-instant-restart path; on-demand restart is measured by E26.
+	opts := baseOptions()
+	opts.Restore = spf.RestoreOptions{Disabled: true}
+	db, err := open(opts)
 	if err != nil {
 		return nil, err
 	}

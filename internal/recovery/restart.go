@@ -143,6 +143,88 @@ func Analyze(log *wal.Manager, slotCount int) (*AnalysisResult, error) {
 	return res, nil
 }
 
+// RedoPage is one page the instant-restart preparation marked as
+// needing redo: its on-disk image may be missing the tail of its
+// per-page chain up to Head.
+type RedoPage struct {
+	ID page.ID
+	// Head is the page's newest surviving log record — the LSN the page
+	// must reach before it may serve reads.
+	Head page.LSN
+	// ChainLen is the page's full chain length from the log's chain
+	// index — the scheduler's cost estimate (shorter chains first).
+	ChainLen int64
+}
+
+// PrepReport quantifies an instant-restart preparation.
+type PrepReport struct {
+	// PagesMarked counts pages registered as needs-redo. No page image
+	// is touched here; each page's missing chain tail is replayed on
+	// demand (foreground faults first) and in the background.
+	PagesMarked int
+	// NeverWritten counts marked pages that never reached the device
+	// before the crash; they rebuild purely from their log chains.
+	NeverWritten int
+	// ChainRecords is the summed chain length over all marked pages —
+	// an upper bound on the records on-demand redo will replay.
+	ChainRecords int64
+}
+
+// PrepareRedo reshapes the redo pass the way RecoverMedia reshaped media
+// recovery (instant restore, Sauer et al.): instead of a forward log scan
+// that reads and replays every dirty page before the first transaction
+// can run, preparation is O(active pages). For every page in the
+// recovery requirements it raises the page recovery index expectation to
+// the page's chain head — taken from the log's per-page chain index,
+// which survives Crash — so the first validating read of a stale on-disk
+// image fails the PageLSN cross-check and routes into per-page redo,
+// exactly as a lost write would. Pages that never reached the device are
+// bound to fresh unwritten slots (the zero image fails the in-page
+// checks) and given their format record as backup.
+//
+// The caller owns scheduling: it marks each returned page needs-redo and
+// enqueues its repair at background priority; a foreground fetch
+// promotes the page and pays only its own chain replay (spf.DB.Restart).
+func PrepareRedo(log *wal.Manager, pm *pagemap.Map, pri *core.PRI, a *AnalysisResult) ([]RedoPage, *PrepReport, error) {
+	rep := &PrepReport{}
+	marks := make([]RedoPage, 0, len(a.DPT))
+	for id := range a.DPT {
+		ci, ok := log.ChainHead(id)
+		if !ok {
+			// Every recovery requirement stems from a surviving chain
+			// record (updates, CLRs, and formats are all indexed at
+			// append and the index is rolled back in lockstep with the
+			// log's crash truncation), so a missing chain is corruption
+			// of the preparation inputs, not a recoverable state.
+			return nil, nil, fmt.Errorf("recovery: page %d needs redo but has no chain-index entry", id)
+		}
+		if _, err := pri.SetLastLSN(id, ci.Head); err != nil {
+			// No index entry: the page was born after the last backup
+			// and checkpoint. Its format record — the chain tail — is
+			// its backup (§5.2.1), matching what analysis registers when
+			// it sees the format itself.
+			pri.Set(id, core.Entry{
+				Backup:  core.BackupRef{Kind: core.BackupFormat, Loc: uint64(ci.Tail), AsOf: ci.Tail},
+				LastLSN: ci.Head,
+			})
+		}
+		if _, written := pm.Lookup(id); !written {
+			// Bind a fresh slot so the validating read path has a
+			// location to fault on (the unwritten slot reads as a zero
+			// image and fails the in-page checks).
+			pm.AdoptFresh(id)
+			if _, _, _, err := pm.WriteTarget(id); err != nil {
+				return nil, nil, fmt.Errorf("recovery: binding slot for never-written page %d: %w", id, err)
+			}
+			rep.NeverWritten++
+		}
+		marks = append(marks, RedoPage{ID: id, Head: ci.Head, ChainLen: ci.Length})
+		rep.ChainRecords += ci.Length
+	}
+	rep.PagesMarked = len(marks)
+	return marks, rep, nil
+}
+
 // RedoDeps is what the redo pass needs.
 type RedoDeps struct {
 	Log      *wal.Manager

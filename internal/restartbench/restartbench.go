@@ -1,0 +1,191 @@
+// Package restartbench holds the shared drivers for the instant-restart
+// benchmarks (E26 restart first-read latency, E27 parallel redo drain).
+// Both the root bench_test.go (go test -bench) and cmd/spfbench
+// -benchjson run these same functions, so the numbers in
+// BENCH_restart.json always measure exactly what CI smoke-tests.
+package restartbench
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/page"
+	"repro/internal/restore"
+	"repro/spf"
+)
+
+// FirstReadResult quantifies one restart first-read latency run.
+type FirstReadResult struct {
+	// Keys and Pages size the database that crashed.
+	Keys  int
+	Pages int
+	// Iters is the number of crash→restart cycles measured (b.N).
+	Iters int
+	// MeanNs and MaxNs aggregate the Crash→(Restart returns and the
+	// first read completes) latency across iterations — the time until
+	// the first transaction observes its acked data again.
+	MeanNs int64
+	MaxNs  int64
+	// Marked is how many pages the last restart preparation flagged
+	// needs-redo (zero on the synchronous-redo baseline).
+	Marked int64
+}
+
+// FirstReadLatency measures how long the first post-crash read waits:
+// crash a database with a large dirty working set, restart it, and read
+// one key. With full=false the instant-restart path runs — preparation is
+// O(active pages), Restart returns before redo completes, and the read
+// pays only its own page's chain replay. With full=true the synchronous
+// forward-scan redo runs to completion (Options.Restore.Disabled — the
+// pre-instant baseline) before any read can start. One iteration is one
+// full crash-and-restart cycle; the ≥5x separation criterion lives in
+// BenchmarkE26RestartFirstReadLatency.
+func FirstReadLatency(b *testing.B, full bool) FirstReadResult {
+	const (
+		keys   = 3000
+		rounds = 4
+	)
+	res := FirstReadResult{Keys: keys, Iters: b.N}
+	var total, max int64
+	for iter := 0; iter < b.N; iter++ {
+		b.StopTimer()
+		opts := spf.Options{
+			PageSize:   1024,
+			DataSlots:  1 << 15,
+			PoolFrames: 2048,
+			Restore:    spf.RestoreOptions{Workers: 1, Disabled: full},
+		}
+		db, err := spf.Open(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ix, err := db.CreateIndex("t")
+		if err != nil {
+			b.Fatal(err)
+		}
+		tx := db.Begin()
+		for i := 0; i < keys; i++ {
+			if err := ix.Insert(tx, bkey(i), bval(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := db.Commit(tx); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.Checkpoint(); err != nil {
+			b.Fatal(err)
+		}
+		// Post-checkpoint rounds dirty every page again without a single
+		// write-back (the pool holds the working set), so the crash
+		// leaves the whole tree in the dirty page table and redo has a
+		// real per-page chain to replay.
+		for r := 1; r <= rounds; r++ {
+			tx = db.Begin()
+			for i := 0; i < keys; i++ {
+				if err := ix.Update(tx, bkey(i), bval(i+r*keys)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := db.Commit(tx); err != nil {
+				b.Fatal(err)
+			}
+		}
+		res.Pages = db.PageMapLen()
+		db.Crash()
+
+		b.StartTimer()
+		start := time.Now()
+		ndb, rep, err := db.Restart()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ix2, err := ndb.Index("t")
+		if err != nil {
+			b.Fatal(err)
+		}
+		got, err := ix2.Get(bkey(0))
+		lat := time.Since(start).Nanoseconds()
+		b.StopTimer()
+		if err != nil || !bytes.Equal(got, bval(rounds*keys)) {
+			b.Fatalf("first read after restart: %q, %v", got, err)
+		}
+		total += lat
+		if lat > max {
+			max = lat
+		}
+		res.Marked = int64(rep.Prep.PagesMarked)
+		ndb.DrainRestore()
+		if err := ndb.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		res.MeanNs = total / int64(b.N)
+	}
+	res.MaxNs = max
+	return res
+}
+
+// DrainResult quantifies one parallel redo drain run.
+type DrainResult struct {
+	// Pages is the redo backlog size per iteration.
+	Pages int
+	// Workers is the scheduler worker count.
+	Workers int
+	// MeanNs is the mean time to drain the whole backlog.
+	MeanNs int64
+}
+
+// redoCost is the simulated per-page redo cost: one device image read
+// plus a short chain replay. It is paid with a sleep so the workers yield
+// the CPU exactly like a redo blocked on I/O — the simulated-I/O clock
+// only accumulates time and never sleeps, so wall-clock worker scaling
+// must be modeled at the scheduler level (the E24 approach).
+const redoCost = 300 * time.Microsecond
+
+// ParallelRedoDrain measures the bulk redo drain after an instant
+// restart at the scheduler level: a backlog of per-page redo tickets —
+// cost-ordered by chain length, exactly how Restart enqueues its
+// needs-redo marks — is drained by the configured worker count, each
+// repair paying redoCost. Redo is partitioned by page, so workers never
+// contend on a ticket; the ≥2x scaling criterion at 4 workers lives in
+// BenchmarkE27ParallelRedoDrain.
+func ParallelRedoDrain(b *testing.B, workers int) DrainResult {
+	const backlog = 256
+	res := DrainResult{Pages: backlog, Workers: workers}
+	var total int64
+	for iter := 0; iter < b.N; iter++ {
+		b.StopTimer()
+		sched := restore.New(restore.Config{Workers: workers}, restore.Deps{
+			Repair: func(page.ID) error {
+				time.Sleep(redoCost)
+				return nil
+			},
+		})
+		sched.Start()
+		b.StartTimer()
+		start := time.Now()
+		for i := 1; i <= backlog; i++ {
+			// Chain lengths vary page to page; the scheduler pops the
+			// short chains first within the background band.
+			sched.EnqueueCost(page.ID(i), restore.Background, int64(i%17+1))
+		}
+		sched.Drain()
+		total += time.Since(start).Nanoseconds()
+		b.StopTimer()
+		sched.Stop()
+		b.StartTimer()
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		res.MeanNs = total / int64(b.N)
+	}
+	return res
+}
+
+func bkey(i int) []byte { return []byte(fmt.Sprintf("key-%08d", i)) }
+func bval(i int) []byte { return []byte(fmt.Sprintf("value-%08d", i)) }

@@ -20,8 +20,15 @@
 //   - per-page repair futures: every requester of a page shares the
 //     ticket's future, so N concurrent faulters of the same page coalesce
 //     into exactly one chain replay and all observe its outcome;
+//   - cost-aware ordering within a priority class: callers that know how
+//     expensive a repair will be (the WAL chain index tracks every page's
+//     chain length) enqueue with that cost, and the scheduler pops
+//     shorter chains first — shortest-job-first shrinks the vulnerability
+//     window, since more pages leave the unrecovered state per unit of
+//     repair work; equal costs fall back to FIFO;
 //   - worker goroutines drain the queue in priority order (Urgent strictly
-//     first, FIFO within a class) and are quiesced deterministically:
+//     first, cheapest-then-FIFO within a class) and are quiesced
+//     deterministically:
 //     Stop joins every worker, letting an in-flight repair finish, so the
 //     engine can stop the scheduler before truncating the log exactly as
 //     it quiesces the maintenance service;
@@ -44,6 +51,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/page"
 )
 
@@ -123,6 +131,10 @@ type Stats struct {
 	Repaired int64
 	Failed   int64
 	Requeues int64
+	// ReadRetries counts transient device read faults absorbed by the
+	// bounded in-place retry on the repair read path (buffer pool hook)
+	// instead of escalating to a full chain replay.
+	ReadRetries int64
 	// Pending and InFlight are gauges: tickets waiting in the queue (or
 	// backing off) and repairs currently executing.
 	Pending  int64
@@ -130,13 +142,14 @@ type Stats struct {
 }
 
 type counters struct {
-	enqueued   atomic.Int64
-	coalesced  atomic.Int64
-	urgent     atomic.Int64
-	promotions atomic.Int64
-	repaired   atomic.Int64
-	failed     atomic.Int64
-	requeues   atomic.Int64
+	enqueued    atomic.Int64
+	coalesced   atomic.Int64
+	urgent      atomic.Int64
+	promotions  atomic.Int64
+	repaired    atomic.Int64
+	failed      atomic.Int64
+	requeues    atomic.Int64
+	readRetries atomic.Int64
 }
 
 // Future is the shared completion handle of one page's pending repair.
@@ -170,6 +183,7 @@ const (
 type ticket struct {
 	id       page.ID
 	pri      Priority
+	cost     int64  // estimated repair cost (chain length); 0 = unknown
 	seq      uint64 // FIFO tiebreak within a priority class
 	state    int
 	idx      int // position in the ready heap (state == qReady)
@@ -177,13 +191,19 @@ type ticket struct {
 	fut      *Future
 }
 
-// readyHeap orders runnable tickets by (priority desc, seq asc).
+// readyHeap orders runnable tickets by (priority desc, cost asc, seq asc):
+// strict priority first, then shortest estimated repair, then FIFO. A
+// zero cost means "unknown" and sorts with the cheapest — an unknown is
+// almost always a foreground fault on a single page, not a bulk batch.
 type readyHeap []*ticket
 
 func (h readyHeap) Len() int { return len(h) }
 func (h readyHeap) Less(i, j int) bool {
 	if h[i].pri != h[j].pri {
 		return h[i].pri > h[j].pri
+	}
+	if h[i].cost != h[j].cost {
+		return h[i].cost < h[j].cost
 	}
 	return h[i].seq < h[j].seq
 }
@@ -285,6 +305,16 @@ func (s *Scheduler) Stop() {
 // lower-priority entry. On a stopped scheduler the returned future is
 // already failed with ErrStopped.
 func (s *Scheduler) Enqueue(id page.ID, pri Priority) *Future {
+	return s.EnqueueCost(id, pri, 0)
+}
+
+// EnqueueCost is Enqueue with an estimated repair cost — typically the
+// page's WAL chain length. Within a priority class the scheduler pops
+// cheaper tickets first (shortest-job-first: the unrecovered-page count
+// falls as fast as possible). Cost zero means unknown. A coalescing
+// request never raises an existing ticket's cost; a lower nonzero
+// estimate replaces an unknown or higher one.
+func (s *Scheduler) EnqueueCost(id page.ID, pri Priority, cost int64) *Future {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if pri == Urgent {
@@ -298,30 +328,46 @@ func (s *Scheduler) Enqueue(id page.ID, pri Priority) *Future {
 	}
 	if t, ok := s.tickets[id]; ok {
 		s.stats.coalesced.Add(1)
-		if pri > t.pri {
+		promoted := pri > t.pri
+		if promoted {
 			t.pri = pri
 			s.stats.promotions.Add(1)
+		}
+		cheaper := cost > 0 && (t.cost == 0 || cost < t.cost)
+		if cheaper {
+			t.cost = cost
+		}
+		if promoted || cheaper {
 			switch t.state {
 			case qReady:
 				heap.Fix(&s.ready, t.idx)
 			case qDelayed:
-				// Promotion cancels the backoff: the page has a waiting
-				// transaction now. The pending backoff timer finds the
-				// ticket no longer delayed and does nothing.
-				t.state = qReady
-				heap.Push(&s.ready, t)
-				s.cond.Broadcast()
+				if promoted {
+					// Promotion cancels the backoff: the page has a
+					// waiting transaction now. The pending backoff timer
+					// finds the ticket no longer delayed and does nothing.
+					t.state = qReady
+					heap.Push(&s.ready, t)
+					s.cond.Broadcast()
+				}
 			}
 		}
 		return t.fut
 	}
-	t := &ticket{id: id, pri: pri, seq: s.seq, state: qReady, fut: newFuture()}
+	t := &ticket{id: id, pri: pri, cost: cost, seq: s.seq, state: qReady, fut: newFuture()}
 	s.seq++
 	s.tickets[id] = t
 	heap.Push(&s.ready, t)
 	s.stats.enqueued.Add(1)
 	s.cond.Broadcast()
 	return t.fut
+}
+
+// NoteReadRetry counts one transient device read fault absorbed by the
+// repair read path's bounded retry (wired to the buffer pool's
+// OnReadRetry hook by the engine).
+func (s *Scheduler) NoteReadRetry() {
+	s.stats.readRetries.Add(1)
 }
 
 // Repair is Enqueue(id, Urgent) + Wait: the synchronous foreground entry
@@ -362,6 +408,7 @@ func (s *Scheduler) Stats() Stats {
 		Repaired:       s.stats.repaired.Load(),
 		Failed:         s.stats.failed.Load(),
 		Requeues:       s.stats.requeues.Load(),
+		ReadRetries:    s.stats.readRetries.Load(),
 		Pending:        pending,
 		InFlight:       inflight,
 	}
@@ -397,6 +444,10 @@ func (s *Scheduler) worker() {
 		s.mu.Unlock()
 
 		err := s.deps.Repair(t.id)
+		// Crash point: a repair just finished (its page may be installed
+		// dirty, its recovery records appended) but its ticket has not
+		// completed yet.
+		chaos.At("restore.complete")
 
 		s.mu.Lock()
 		s.inflight--

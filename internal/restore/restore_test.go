@@ -324,3 +324,90 @@ func TestConcurrentEnqueueStress(t *testing.T) {
 	}
 	s.Stop()
 }
+
+// TestCostOrdersWithinPriorityBand proves cost-aware ordering: within one
+// priority band the scheduler pops shorter (cheaper) chains first, while
+// priority still dominates cost across bands.
+func TestCostOrdersWithinPriorityBand(t *testing.T) {
+	g := newGateRepair()
+	g.blockOn = 1
+	s := New(Config{Workers: 1}, Deps{Repair: g.repair})
+	s.Start()
+	defer s.Stop()
+
+	// Occupy the single worker so the queue builds up deterministically.
+	blocked := s.Enqueue(1, Background)
+	<-g.entered
+
+	var futs []*Future
+	futs = append(futs, s.EnqueueCost(10, Background, 5))
+	futs = append(futs, s.EnqueueCost(11, Background, 1))
+	futs = append(futs, s.EnqueueCost(12, Background, 3))
+	// An expensive urgent ticket still beats every cheap background one.
+	futs = append(futs, s.EnqueueCost(20, Urgent, 100))
+
+	close(g.gate)
+	if err := blocked.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range futs {
+		if err := f.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := g.orderSnapshot()
+	want := []page.ID{1, 20, 11, 12, 10}
+	if len(got) != len(want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestCoalesceKeepsCheaperCost proves a re-enqueue with a lower cost
+// estimate reorders the queued ticket ahead of its band.
+func TestCoalesceKeepsCheaperCost(t *testing.T) {
+	g := newGateRepair()
+	g.blockOn = 1
+	s := New(Config{Workers: 1}, Deps{Repair: g.repair})
+	s.Start()
+	defer s.Stop()
+
+	blocked := s.Enqueue(1, Background)
+	<-g.entered
+
+	a := s.EnqueueCost(10, Background, 2)
+	b := s.EnqueueCost(11, Background, 9)
+	// Refine 11's estimate below 10's: it must now run first.
+	b2 := s.EnqueueCost(11, Background, 1)
+
+	close(g.gate)
+	for _, f := range []*Future{blocked, a, b, b2} {
+		if err := f.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := g.orderSnapshot()
+	want := []page.ID{1, 11, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestNoteReadRetryCounted proves retry accounting reaches Stats.
+func TestNoteReadRetryCounted(t *testing.T) {
+	s := New(Config{Workers: 1}, Deps{Repair: func(page.ID) error { return nil }})
+	s.Start()
+	defer s.Stop()
+	for i := 0; i < 3; i++ {
+		s.NoteReadRetry()
+	}
+	if got := s.Stats().ReadRetries; got != 3 {
+		t.Fatalf("ReadRetries = %d, want 3", got)
+	}
+}

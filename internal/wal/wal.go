@@ -62,6 +62,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/iosim"
 	"repro/internal/page"
 )
@@ -643,6 +644,9 @@ type parkedRange struct {
 // No unbounded spin exists to convoy on, which matters when cores are
 // scarce and a mid-fill predecessor gets descheduled.
 func (m *Manager) publish(start, end int64) {
+	// Crash point: a record is filled but not yet visible to readers. A
+	// crash here models losing an append mid-publication.
+	chaos.At("wal.publish")
 	for spins := 0; spins < 16; spins++ {
 		if m.ready.CompareAndSwap(start, end) {
 			if m.parkedCount.Load() != 0 {
@@ -1070,6 +1074,9 @@ func (m *Manager) Crash() {
 		runtime.Gosched()
 	}
 	m.flushMu.Lock()
+	// Crash point: the volatile tail is about to be discarded and the
+	// chain index rolled back to the flushed boundary.
+	chaos.At("wal.truncate")
 	f := m.flushed.Load()
 	// Record the boundary this crash preserves: commits of the epoch just
 	// closed whose records sit below it are durable no matter what.

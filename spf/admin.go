@@ -8,6 +8,7 @@ import (
 	"repro/internal/backup"
 	"repro/internal/btree"
 	"repro/internal/buffer"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/maintenance"
 	"repro/internal/page"
@@ -266,8 +267,14 @@ func (db *DB) Crash() {
 // RestartReport quantifies a restart recovery.
 type RestartReport struct {
 	Analysis recovery.AnalysisResult
-	Redo     recovery.RedoReport
-	Undo     recovery.UndoReport
+	// Prep summarizes instant-restart preparation. Populated only when
+	// OnDemand is true; otherwise Redo holds the synchronous pass.
+	Prep recovery.PrepReport
+	Redo recovery.RedoReport
+	Undo recovery.UndoReport
+	// OnDemand reports that redo ran as on-demand per-page replay (the
+	// instant-restart path) rather than a synchronous forward log scan.
+	OnDemand bool
 	Duration time.Duration
 }
 
@@ -275,6 +282,24 @@ type RestartReport struct {
 // §5.1.2) over the surviving log and device and returns a fresh, usable
 // DB. The page recovery index is reconstructed during analysis and
 // repaired during redo exactly per Fig. 12.
+//
+// Redo is reshaped the way RecoverMedia reshaped media recovery: instead
+// of a forward log scan that reads and replays every dirty page before
+// the first transaction can run, preparation is O(active pages)
+// (recovery.PrepareRedo raises each dirty page's recovery-index
+// expectation to its chain head, taken from the log's per-page chain
+// index), every such page is marked needs-redo and enqueued with the
+// repair scheduler at background priority — cost-ordered by chain length
+// — and Restart returns before redo completes. The first fetch of a
+// needs-redo page fails the PageLSN cross-check, promotes its ticket to
+// urgent, and pays only its own chain replay (usually just the missing
+// tail on top of the on-disk image); background workers drain the rest,
+// partitioned by page. DrainRestore is the "bulk redo finished" barrier.
+//
+// The synchronous forward-scan redo still runs when the repair scheduler
+// is unavailable (Options.Restore.Disabled, single-page recovery or the
+// PageLSN check disabled) — the on-demand path depends on validating
+// reads to trigger per-page replay.
 func (db *DB) Restart() (*DB, *RestartReport, error) {
 	start := time.Now()
 	ndb := &DB{
@@ -297,6 +322,26 @@ func (db *DB) Restart() (*DB, *RestartReport, error) {
 	ndb.pri = analysis.PRI
 	ndb.res = &backup.Resolver{Store: ndb.store, Log: ndb.log, PageSize: db.opts.PageSize, Data: ndb.dev}
 	ndb.rec = core.NewRecoverer(ndb.log, ndb.pri, ndb.res, btree.Applier{})
+
+	rep := &RestartReport{Analysis: *analysis}
+	// On-demand redo needs the validating read path end to end: the
+	// PageLSN cross-check to detect a stale image, the Recover hook to
+	// replay it, and the scheduler to order and drain the backlog.
+	instant := !db.opts.Restore.Disabled && !db.opts.DisableSinglePageRecovery &&
+		!db.opts.DisablePageLSNCheck
+	var marks []recovery.RedoPage
+	if instant {
+		// Preparation mutates the page map and recovery index, so it runs
+		// before the pool exists and any read can fault.
+		var prepRep *recovery.PrepReport
+		marks, prepRep, err = recovery.PrepareRedo(ndb.log, ndb.pmap, ndb.pri, analysis)
+		if err != nil {
+			return nil, nil, fmt.Errorf("spf: restart redo prep: %w", err)
+		}
+		rep.Prep = *prepRep
+		rep.OnDemand = true
+	}
+
 	ndb.pool = buffer.NewPool(buffer.Config{
 		Capacity: db.opts.PoolFrames, Shards: db.opts.PoolShards,
 		Device: ndb.dev, Map: ndb.pmap, Log: ndb.log,
@@ -308,36 +353,50 @@ func (db *DB) Restart() (*DB, *RestartReport, error) {
 		return nil, nil, err
 	}
 
-	redoRep, err := recovery.Redo(recovery.RedoDeps{
-		Log: ndb.log, Pool: ndb.pool, Map: ndb.pmap, PRI: ndb.pri,
-		Applier: btree.Applier{}, PageSize: db.opts.PageSize,
-		LogPRIRepair: func(pid page.ID, lsn page.LSN) {
-			ndb.log.Append(&wal.Record{
-				Type: wal.TypePRIUpdate, PageID: pid,
-				Payload: core.EncodeWriteComplete(core.WriteCompletePayload{PageLSN: lsn}),
-			})
-		},
-	}, analysis)
-	if err != nil {
-		return fail(fmt.Errorf("spf: restart redo: %w", err))
+	if instant {
+		ndb.installRedoMarks(marks)
+		chaos.At("restart.prep")
+		for _, m := range marks {
+			ndb.sched.EnqueueCost(m.ID, restore.Background, m.ChainLen)
+		}
+	} else {
+		redoRep, err := recovery.Redo(recovery.RedoDeps{
+			Log: ndb.log, Pool: ndb.pool, Map: ndb.pmap, PRI: ndb.pri,
+			Applier: btree.Applier{}, PageSize: db.opts.PageSize,
+			LogPRIRepair: func(pid page.ID, lsn page.LSN) {
+				ndb.log.Append(&wal.Record{
+					Type: wal.TypePRIUpdate, PageID: pid,
+					Payload: core.EncodeWriteComplete(core.WriteCompletePayload{PageLSN: lsn}),
+				})
+			},
+		}, analysis)
+		if err != nil {
+			return fail(fmt.Errorf("spf: restart redo: %w", err))
+		}
+		rep.Redo = *redoRep
 	}
 
+	// Undo runs while background redo drains: each page a rollback
+	// touches is fetched through the validating pool read, so its redo is
+	// promoted and completes right there — per page, redo still strictly
+	// precedes undo.
 	undoRep, err := recovery.Undo(recovery.UndoDeps{Txns: ndb.txns}, analysis)
 	if err != nil {
 		return fail(fmt.Errorf("spf: restart undo: %w", err))
 	}
+	rep.Undo = *undoRep
 
 	if err := ndb.reopenCatalog(); err != nil {
 		return fail(err)
 	}
+	// The checkpoint snapshots the raised recovery-index expectations, so
+	// a second crash before the drain completes still detects every stale
+	// page on read — the redo then runs from the page's real backup.
 	if _, err := ndb.Checkpoint(); err != nil {
 		return fail(err)
 	}
 	ndb.startMaintenance()
-	rep := &RestartReport{
-		Analysis: *analysis, Redo: *redoRep, Undo: *undoRep,
-		Duration: time.Since(start),
-	}
+	rep.Duration = time.Since(start)
 	return ndb, rep, nil
 }
 
@@ -449,7 +508,7 @@ func (db *DB) RecoverMedia() (*DB, *MediaRecoveryReport, error) {
 	// behavior): every page is repaired before the DB is returned.
 	if ndb.sched != nil {
 		for _, id := range pm.Pages() {
-			ndb.sched.Enqueue(id, restore.Background)
+			ndb.sched.EnqueueCost(id, restore.Background, ndb.chainCost(id))
 		}
 	} else {
 		for _, id := range pm.Pages() {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/backup"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/maintenance"
 	"repro/internal/page"
 	"repro/internal/pagemap"
+	"repro/internal/recovery"
 	"repro/internal/restore"
 	"repro/internal/storage"
 	"repro/internal/txn"
@@ -85,6 +87,84 @@ type DB struct {
 	updateCounts map[page.ID]int
 	backupsDue   map[page.ID]bool
 	crashed      bool
+
+	// Instant-restart needs-redo marks: pages whose on-disk image may be
+	// missing the tail of its per-page chain after a system failure, keyed
+	// to the chain head the image must reach. redoCount mirrors
+	// len(redoMarks) so paths outside restart pay one atomic load.
+	redoMu     sync.Mutex
+	redoMarks  map[page.ID]page.LSN
+	redoCount  atomic.Int64
+	redoMarked atomic.Int64
+	redoFast   atomic.Int64
+	redoFull   atomic.Int64
+}
+
+// RestartRedoStats counts on-demand restart-redo activity on this DB.
+type RestartRedoStats struct {
+	// Marked is how many pages the last restart preparation flagged as
+	// needs-redo.
+	Marked int64
+	// FastRedos counts marked pages redone from their on-disk image —
+	// only the missing chain tail was replayed, no backup was touched.
+	FastRedos int64
+	// Fallbacks counts marked pages whose image could not serve as the
+	// replay base (unreadable, corrupt, or off-chain) — a single-page
+	// failure inside system recovery, repaired by full single-page
+	// recovery from the page's registered backup.
+	Fallbacks int64
+	// Pending is how many marks have not been redone yet.
+	Pending int64
+}
+
+// RestartRedoStats returns a snapshot of the on-demand restart-redo
+// counters. All-zero for a DB that was not produced by an instant Restart.
+func (db *DB) RestartRedoStats() RestartRedoStats {
+	return RestartRedoStats{
+		Marked:    db.redoMarked.Load(),
+		FastRedos: db.redoFast.Load(),
+		Fallbacks: db.redoFull.Load(),
+		Pending:   db.redoCount.Load(),
+	}
+}
+
+// installRedoMarks records the needs-redo set produced by restart
+// preparation. Called before the first fetch can observe the new DB.
+func (db *DB) installRedoMarks(marks []recovery.RedoPage) {
+	db.redoMu.Lock()
+	db.redoMarks = make(map[page.ID]page.LSN, len(marks))
+	for _, m := range marks {
+		db.redoMarks[m.ID] = m.Head
+	}
+	db.redoCount.Store(int64(len(db.redoMarks)))
+	db.redoMu.Unlock()
+	db.redoMarked.Store(int64(len(marks)))
+}
+
+// redoMark reports whether id is marked needs-redo and the chain head its
+// image must reach.
+func (db *DB) redoMark(id page.ID) (page.LSN, bool) {
+	if db.redoCount.Load() == 0 {
+		return page.ZeroLSN, false
+	}
+	db.redoMu.Lock()
+	defer db.redoMu.Unlock()
+	head, ok := db.redoMarks[id]
+	return head, ok
+}
+
+// clearRedoMark drops id's needs-redo mark once the page is known healthy
+// (its repair completed, whichever path ran it).
+func (db *DB) clearRedoMark(id page.ID) {
+	if db.redoCount.Load() == 0 {
+		return
+	}
+	db.redoMu.Lock()
+	if _, ok := db.redoMarks[id]; ok {
+		delete(db.redoMarks, id)
+		db.redoCount.Add(-1)
+	}
+	db.redoMu.Unlock()
 }
 
 // Open creates a fresh database.
@@ -202,6 +282,11 @@ func (db *DB) performRepair(id page.ID) error {
 		return err
 	}
 	h.Release()
+	// The page is healthy now whichever branch the validating read took —
+	// a page fully written before a crash passes validation without ever
+	// invoking the Recover hook, so the needs-redo mark is retired here,
+	// not only inside recoverPage.
+	db.clearRedoMark(id)
 	return nil
 }
 
@@ -255,7 +340,7 @@ func (db *DB) repairLatent(id page.ID) error {
 		return ErrCrashed
 	}
 	if sched := db.sched; sched != nil {
-		return sched.Enqueue(id, restore.Background).Wait()
+		return sched.EnqueueCost(id, restore.Background, db.chainCost(id)).Wait()
 	}
 	for attempt := 0; ; attempt++ {
 		if err := db.performRepair(id); err == nil {
@@ -272,6 +357,12 @@ func (db *DB) hooks() buffer.Hooks {
 	h := buffer.Hooks{
 		CompleteWrite: db.completeWrite,
 		OnMarkDirty:   db.onMarkDirty,
+		// The scheduler is created after the pool, so resolve it per call.
+		OnReadRetry: func(page.ID) {
+			if s := db.sched; s != nil {
+				s.NoteReadRetry()
+			}
+		},
 	}
 	if !db.opts.DisablePageLSNCheck && !db.opts.DisableSinglePageRecovery {
 		h.Validate = db.validatePage
@@ -320,9 +411,83 @@ func (db *DB) validatePage(pg *page.Page) error {
 }
 
 // recoverPage adapts the single-page recoverer to the buffer pool hook.
+//
+// A page marked needs-redo by instant restart gets the fast path first:
+// its current on-disk image is a free backup as of its own PageLSN
+// (§5.2.1 — any older version plus the log chain suffices), so only the
+// missing chain tail between the image and the crash-time chain head is
+// replayed. If the image cannot serve as the replay base — unreadable,
+// corrupt, or off-chain — that is a single-page failure inside system
+// recovery, and the page falls through to full single-page recovery from
+// its registered backup, exactly as any other failed page would.
 func (db *DB) recoverPage(id page.ID) (*page.Page, error) {
+	if head, ok := db.redoMark(id); ok {
+		if pg, err := db.redoFromImage(id, head); err == nil {
+			db.redoFast.Add(1)
+			db.clearRedoMark(id)
+			return pg, nil
+		}
+		db.redoFull.Add(1)
+	}
 	pg, _, err := db.rec.RecoverPage(id)
+	if err == nil {
+		db.clearRedoMark(id)
+	}
 	return pg, err
+}
+
+// redoFromImage replays the missing tail of a page's per-page chain onto
+// its current on-disk image, bringing it from its PageLSN up to head (the
+// newest surviving log record for the page). Every step runs the §5.1.4
+// defensive sequence check; any mismatch means the image is not a true
+// historical version and the caller must recover from a real backup.
+func (db *DB) redoFromImage(id page.ID, head page.LSN) (*page.Page, error) {
+	phys, ok := db.pmap.Lookup(id)
+	if !ok {
+		return nil, fmt.Errorf("spf: restart redo of page %d: no device slot", id)
+	}
+	buf := make([]byte, db.opts.PageSize)
+	if err := db.dev.ReadInto(phys, buf); err != nil {
+		return nil, err
+	}
+	pg, err := page.DecodeFor(id, buf)
+	if err != nil {
+		return nil, err
+	}
+	if pg.LSN() > head {
+		return nil, fmt.Errorf("spf: restart redo of page %d: image at LSN %d beyond chain head %d",
+			id, pg.LSN(), head)
+	}
+	stack, err := db.log.WalkPageChain(head, pg.LSN(), id)
+	if err != nil {
+		return nil, err
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		rec := stack[i]
+		if rec.PagePrevLSN != pg.LSN() {
+			return nil, fmt.Errorf("spf: restart redo of page %d out of sequence at LSN %d: record expects PageLSN %d, image has %d",
+				id, rec.LSN, rec.PagePrevLSN, pg.LSN())
+		}
+		if err := (btree.Applier{}).ApplyRedo(rec, pg); err != nil {
+			return nil, err
+		}
+		pg.SetLSN(rec.LSN)
+	}
+	if pg.LSN() != head {
+		return nil, fmt.Errorf("spf: restart redo of page %d reached LSN %d, chain head is %d",
+			id, pg.LSN(), head)
+	}
+	return pg, nil
+}
+
+// chainCost estimates a page's repair cost as its per-page chain length;
+// within one priority band the scheduler pops shorter chains first. Zero
+// (unknown) when the page has no chain entry.
+func (db *DB) chainCost(id page.ID) int64 {
+	if ci, ok := db.log.ChainHead(id); ok {
+		return ci.Length
+	}
+	return 0
 }
 
 // onMarkDirty counts page updates for the backup-every-N policy ("the

@@ -9,6 +9,18 @@
 // page that fails its read-path checks is rebuilt from its most recent
 // backup plus the per-page log chain while the reading transaction merely
 // waits, instead of escalating to a media failure.
+//
+// Restart after a system failure is instant (after Sauer et al.): instead
+// of replaying the log forward before opening for business, Restart marks
+// every page that was dirty at the crash "needs-redo" with its per-page
+// chain head — an O(active pages) preparation — queues the backlog for
+// background replay ordered by chain length, and returns. The first read
+// of a marked page pays only that page's chain replay, served through the
+// same single-page-recovery machinery that handles lost writes: the
+// current disk image acts as a free backup as of its own PageLSN, and a
+// damaged image falls back to full recovery from a real backup — a nested
+// single-page failure repaired inside system recovery. The synchronous
+// forward-scan redo remains available behind Options.Restore.Disabled.
 package spf
 
 import (
