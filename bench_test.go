@@ -605,6 +605,60 @@ func BenchmarkE23ParallelTreeOps(b *testing.B) {
 	b.Run("contended/global-mutex", btreebench.ParallelOps(true, true))
 }
 
+// BenchmarkE28ResidentReadThroughput measures point reads against a fully
+// resident, static three-level tree (driver in internal/btreebench, shared
+// with `spfbench -benchjson`) — the regime the decoded-skeleton cache and
+// optimistic latch coupling target. The optimistic variants descend with
+// no latch at all on branch levels (route through the frame-cached
+// skeleton, validate the frame version after every step) and take only the
+// leaf's shared latch; the latched variants force the PR 4 shared-latch
+// crab on every level, kept measurable as the before-side. Run with
+// -cpu 1,8: at one core the optimistic path wins by skipping latch
+// acquire/release work; at eight its reads share no cache line at all on
+// branch levels, so the gap widens. Criterion: optimistic ≥3× the latched
+// baseline at -cpu 8, with 0 allocs/op on the hit path (GetTo into a
+// reused buffer), and hits must dwarf fallbacks on this static tree.
+func BenchmarkE28ResidentReadThroughput(b *testing.B) {
+	for _, v := range []struct {
+		name             string
+		zipf, optimistic bool
+	}{
+		{"zipfian/optimistic", true, true},
+		{"zipfian/latched", true, false},
+		{"uniform/optimistic", false, true},
+		{"uniform/latched", false, false},
+	} {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			res := btreebench.ResidentReads(b, v.zipf, v.optimistic)
+			if v.optimistic && b.N > 1000 {
+				if res.Hits == 0 {
+					b.Fatal("optimistic descent never completed on a static tree")
+				}
+				if res.Fallbacks*100 > res.Hits {
+					b.Fatalf("fallbacks %d vs hits %d: >1%% on a static resident tree",
+						res.Fallbacks, res.Hits)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE29MixedFallback measures the E23 mixed read/write workload on
+// the latch-coupled tree with the optimistic descent on vs off (driver in
+// internal/btreebench, shared with `spfbench -benchjson`). Concurrent
+// writers bump frame versions constantly, so this is the adversarial shape
+// for optimistic readers: the criterion is that the fallback path costs no
+// more than today's pure latched descent — a failed version check wastes
+// two atomic loads and re-runs the crab, it never spins and never blocks a
+// writer.
+func BenchmarkE29MixedFallback(b *testing.B) {
+	b.Run("contended/optimistic", btreebench.MixedReadWrite(true, true))
+	b.Run("contended/latched", btreebench.MixedReadWrite(true, false))
+	b.Run("disjoint/optimistic", btreebench.MixedReadWrite(false, true))
+	b.Run("disjoint/latched", btreebench.MixedReadWrite(false, false))
+}
+
 // BenchmarkE24OnDemandRestoreLatency measures what a foreground fault
 // waits for its repair under a saturated background repair queue (driver
 // in internal/restorebench, shared with `spfbench -benchjson`) — the

@@ -13,7 +13,9 @@
 //	                              # ops, E24 on-demand restore latency,
 //	                              # E25 media-recovery availability, E26
 //	                              # restart first-read latency, E27
-//	                              # parallel redo drain) and write
+//	                              # parallel redo drain, E28 resident
+//	                              # read throughput, E29 mixed-workload
+//	                              # optimistic fallback) and write
 //	                              # BENCH_*.json entries
 //	spfbench -benchcompare FILE -baselines A.json,B.json [-threshold 3]
 //	                              # compare a fresh -benchjson run against
@@ -24,11 +26,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"testing"
@@ -166,6 +170,22 @@ func all() []experiment {
 	}
 }
 
+// benchLabeled runs one benchmark under a pprof label, so any profile
+// taken of a spfbench run (-blockprofile here, or an external CPU profile)
+// attributes its samples to the benchmark that caused them. Combined with
+// the //go:noinline latch wrappers in internal/btree (latchBranch vs
+// latchLeaf), a block profile decomposes latch contention per descent
+// level: samples under latchBranch are root/interior contention the
+// optimistic descent should have absorbed, samples under latchLeaf are the
+// irreducible leaf-level serialization that mutations require.
+func benchLabeled(name string, f func(b *testing.B)) testing.BenchmarkResult {
+	var r testing.BenchmarkResult
+	pprof.Do(context.Background(), pprof.Labels("bench", name), func(context.Context) {
+		r = testing.Benchmark(f)
+	})
+	return r
+}
+
 // benchEntry is one BENCH_*.json record, comparable across PRs.
 type benchEntry struct {
 	Name        string  `json:"name"`
@@ -277,9 +297,60 @@ func runBenchJSON(path string) error {
 		{"contended/latch-coupled", true, false},
 		{"contended/global-mutex", true, true},
 	} {
-		r := testing.Benchmark(btreebench.ParallelOps(v.contended, v.globalMutex))
+		r := benchLabeled("E23/"+v.shape, btreebench.ParallelOps(v.contended, v.globalMutex))
 		entries = append(entries, benchEntry{
 			Name:    "BenchmarkE23ParallelTreeOps/" + v.shape,
+			NsPerOp: float64(r.NsPerOp()), AllocsPerOp: r.AllocsPerOp(),
+			Ops: r.N, GoMaxProcs: runtime.GOMAXPROCS(0),
+		})
+	}
+
+	// E28: resident point reads, optimistic (skeleton-cached, lock-free
+	// branch levels) vs the PR 4 shared-latch crab, zipfian and uniform.
+	// Same GOMAXPROCS=8 pin as E23: the optimistic win is parallelism-
+	// dependent. The metric is the optimistic hit fraction (1.0 = every
+	// descent completed without falling back to the latched path).
+	for _, v := range []struct {
+		shape            string
+		zipf, optimistic bool
+	}{
+		{"zipfian/optimistic", true, true},
+		{"zipfian/latched", true, false},
+		{"uniform/optimistic", false, true},
+		{"uniform/latched", false, false},
+	} {
+		var res btreebench.ResidentReadResult
+		r := benchLabeled("E28/"+v.shape, func(b *testing.B) {
+			res = btreebench.ResidentReads(b, v.zipf, v.optimistic)
+		})
+		e := benchEntry{
+			Name:    "BenchmarkE28ResidentReadThroughput/" + v.shape,
+			NsPerOp: float64(r.NsPerOp()), AllocsPerOp: r.AllocsPerOp(),
+			Ops: r.N, GoMaxProcs: runtime.GOMAXPROCS(0),
+		}
+		if total := res.Hits + res.Fallbacks; total > 0 {
+			e.Metric = float64(res.Hits) / float64(total)
+			e.MetricName = "optimistic-hit-fraction"
+		}
+		entries = append(entries, e)
+	}
+
+	// E29: the E23 mixed read/write workload with the optimistic descent
+	// on vs off — writers bump frame versions constantly, so optimistic
+	// readers keep falling back; the pair proves the fallback costs no
+	// more than the pure latched path.
+	for _, v := range []struct {
+		shape                 string
+		contended, optimistic bool
+	}{
+		{"contended/optimistic", true, true},
+		{"contended/latched", true, false},
+		{"disjoint/optimistic", false, true},
+		{"disjoint/latched", false, false},
+	} {
+		r := benchLabeled("E29/"+v.shape, btreebench.MixedReadWrite(v.contended, v.optimistic))
+		entries = append(entries, benchEntry{
+			Name:    "BenchmarkE29MixedFallback/" + v.shape,
 			NsPerOp: float64(r.NsPerOp()), AllocsPerOp: r.AllocsPerOp(),
 			Ops: r.N, GoMaxProcs: runtime.GOMAXPROCS(0),
 		})
@@ -444,7 +515,24 @@ func main() {
 	benchCompare := flag.String("benchcompare", "", "compare this fresh -benchjson file against -baselines (CI regression gate)")
 	baselines := flag.String("baselines", "", "comma-separated committed BENCH_*.json baselines for -benchcompare")
 	threshold := flag.Float64("threshold", 3.0, "allowed ns/op slowdown factor for -benchcompare (generous: CI runners are noisy)")
+	blockProfile := flag.String("blockprofile", "", "write a goroutine blocking profile of the whole run to this file; with the noinline latch wrappers (btree latchBranch/latchLeaf) and the per-benchmark pprof labels, latch contention is attributable per descent level")
 	flag.Parse()
+	if *blockProfile != "" {
+		runtime.SetBlockProfileRate(1)
+		defer func() {
+			f, err := os.Create(*blockProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "blockprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.Lookup("block").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "blockprofile: %v\n", err)
+				return
+			}
+			fmt.Printf("wrote blocking profile to %s\n", *blockProfile)
+		}()
+	}
 	if *benchJSON != "" {
 		if err := runBenchJSON(*benchJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -482,7 +570,11 @@ func main() {
 			continue
 		}
 		fmt.Printf("== %s: %s ==\n", e.id, e.title)
-		t, err := e.run()
+		var t *report.Table
+		var err error
+		pprof.Do(context.Background(), pprof.Labels("experiment", e.id), func(context.Context) {
+			t, err = e.run()
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
 			failed++

@@ -119,6 +119,47 @@
 // larger than the pool, every buffer-miss stall under the global mutex
 // serializes all workers, while latch-coupled descents overlap them.
 //
+// # Optimistic descent
+//
+// On top of latch coupling, resident reads elide branch latches entirely
+// with optimistic latch coupling (on by default, btree.Tree.SetOptimistic
+// to disable):
+//
+//   - every buffer frame carries a version counter that each exclusive
+//     latch acquisition bumps to odd and each release bumps back to even
+//     (buffer.Handle.Lock/Unlock) — even means "stable snapshot", odd
+//     means "writer active"; shared latches never bump it;
+//   - the first descent through a branch node decodes its routing
+//     skeleton — separators, child pointers, fence keys — into an
+//     immutable deep copy cached on the frame, stamped with the stable
+//     version it was built from (buffer.Handle.StoreSkeleton). The stamp
+//     IS the invalidation: no mutation path knows skeletons exist, an
+//     exclusive latch anywhere on the page makes every older stamp
+//     unmatchable;
+//   - an optimistic descent reads a branch frame's version, routes
+//     through the cached skeleton with no latch at all, and re-validates
+//     the version before acting on the result — the version-validation
+//     rule: never act on skeleton data without a post-read version
+//     re-check. Leaves are still latched for real (shared for readers,
+//     exclusive for writers), and the parent's version is re-validated
+//     AFTER the leaf latch lands, so the §4.2 fence verification at the
+//     leaf is exact;
+//   - ANY anomaly — an odd version, a version that moved, a contended
+//     skeleton build, a foster pointer on a branch, a fence mismatch —
+//     silently falls back to the latched crab, which re-verifies every
+//     fence authoritatively. The optimistic path never reports
+//     corruption itself, so detection semantics are unchanged, and a
+//     stale skeleton can never route past a fence check undetected.
+//
+// The resident read hit path performs zero heap allocations (GetTo
+// appends into a caller-owned buffer) and completes in well under a
+// microsecond. BenchmarkE28ResidentReadThroughput measures it against
+// the forced-latched crab (zipfian and uniform, -cpu 1,8);
+// BenchmarkE29MixedFallback runs the E23 mixed workload optimistic-on vs
+// -off to prove the fallback costs no more than the pure latched path.
+// spfbench -blockprofile attributes remaining latch contention per
+// descent level via the noinline latchBranch/latchLeaf wrappers.
+//
 // # Background maintenance
 //
 // internal/maintenance turns the recovery primitives into a system that
@@ -240,8 +281,9 @@
 // The claim "no acked commit is lost under any crash schedule" is
 // enforced by internal/chaos, a deterministic crash-point harness: named
 // points (wal.publish, wal.truncate, buffer.writeback, restore.complete,
-// restart.prep) thread the engine's riskiest windows as bare chaos.At
-// calls — one atomic load when disarmed — and tests arm a point with the
+// restart.prep, recovery.checkpoint) thread the engine's riskiest windows
+// as bare chaos.At calls — one atomic load when disarmed — and tests arm
+// a point with the
 // 1-based hit count at which its action fires, so a seeded workload
 // replays the identical crash window every run. The torture loop in
 // spf/torture_test.go drives crash -> restart -> verify across a seed
@@ -251,7 +293,7 @@
 // tree verifies clean, and shutdown leaks no goroutines.
 //
 // CI runs a benchmark-regression gate on every PR: `spfbench -benchjson`
-// regenerates the tracked set (E19-E27) and `spfbench -benchcompare`
+// regenerates the tracked set (E19-E29) and `spfbench -benchcompare`
 // fails the build if any entry regresses more than 3x against the
 // committed BENCH_wal.json / BENCH_maintenance.json / BENCH_btree.json /
 // BENCH_restore.json / BENCH_restart.json baselines or drops out of the

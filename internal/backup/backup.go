@@ -46,7 +46,16 @@ type Store struct {
 	free     []storage.PhysID
 	sets     map[uint64]map[page.ID]storage.PhysID
 	setLSN   map[uint64]page.LSN // log position the set was taken at
-	nextSet  uint64
+	// pageLSN records, per set, the LSN each captured image carried — the
+	// basis for the incremental-backup skip decision ("has this page been
+	// written since the previous backup captured it?").
+	pageLSN map[uint64]map[page.ID]page.LSN
+	// slotRef counts how many backup sets reference each set slot. An
+	// incremental set shares the unchanged pages of its predecessor
+	// (AddShared), so a slot is reusable only when the LAST set naming it
+	// is dropped.
+	slotRef map[storage.PhysID]int
+	nextSet uint64
 }
 
 // NewStore creates a backup store on the given device.
@@ -55,6 +64,8 @@ func NewStore(dev *storage.Device) *Store {
 		dev:     dev,
 		sets:    make(map[uint64]map[page.ID]storage.PhysID),
 		setLSN:  make(map[uint64]page.LSN),
+		pageLSN: make(map[uint64]map[page.ID]page.LSN),
+		slotRef: make(map[storage.PhysID]int),
 		nextSet: 1,
 	}
 }
@@ -107,6 +118,7 @@ type FullSetWriter struct {
 	store *Store
 	setID uint64
 	pages map[page.ID]storage.PhysID
+	lsns  map[page.ID]page.LSN
 	done  bool
 }
 
@@ -118,7 +130,11 @@ func (s *Store) BeginFullSet(asOf page.LSN) *FullSetWriter {
 	id := s.nextSet
 	s.nextSet++
 	s.setLSN[id] = asOf
-	return &FullSetWriter{store: s, setID: id, pages: make(map[page.ID]storage.PhysID)}
+	return &FullSetWriter{
+		store: s, setID: id,
+		pages: make(map[page.ID]storage.PhysID),
+		lsns:  make(map[page.ID]page.LSN),
+	}
 }
 
 // SetID returns the backup set identifier (BackupRef.Loc for BackupFull).
@@ -136,9 +152,43 @@ func (w *FullSetWriter) Add(pg *page.Page) error {
 		return err
 	}
 	if err := w.store.dev.Write(slot, pg.Encode()); err != nil {
+		w.store.mu.Lock()
+		w.store.free = append(w.store.free, slot)
+		w.store.mu.Unlock()
 		return fmt.Errorf("backup: writing set page: %w", err)
 	}
+	w.store.mu.Lock()
+	w.store.slotRef[slot]++
+	w.store.mu.Unlock()
 	w.pages[pg.ID()] = slot
+	w.lsns[pg.ID()] = pg.LSN()
+	return nil
+}
+
+// AddShared includes a page in the set WITHOUT rewriting its image: the
+// new set references the slot the page already occupies in fromSet (the
+// incremental-backup path — "the backup should be on direct-access media"
+// §5.2.2 means individual images are addressable, so sharing an unchanged
+// one costs nothing). The slot's reference count is bumped immediately, so
+// dropping fromSet mid-backup cannot free it out from under the new set.
+// The caller asserts the page is unchanged since fromSet captured it.
+func (w *FullSetWriter) AddShared(id page.ID, fromSet uint64) error {
+	if w.done {
+		return errors.New("backup: set already committed")
+	}
+	w.store.mu.Lock()
+	defer w.store.mu.Unlock()
+	set, ok := w.store.sets[fromSet]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownSet, fromSet)
+	}
+	slot, in := set[id]
+	if !in {
+		return fmt.Errorf("%w: page %d in set %d", ErrNotInSet, id, fromSet)
+	}
+	w.store.slotRef[slot]++
+	w.pages[id] = slot
+	w.lsns[id] = w.store.pageLSN[fromSet][id]
 	return nil
 }
 
@@ -148,10 +198,25 @@ func (w *FullSetWriter) Commit() {
 	w.store.mu.Lock()
 	defer w.store.mu.Unlock()
 	w.store.sets[w.setID] = w.pages
+	w.store.pageLSN[w.setID] = w.lsns
 	w.done = true
 }
 
-// DropSet frees every slot of an obsolete backup set.
+// SetPageInfo reports the LSN the committed set setID captured page id at.
+// ok is false when the set is unknown or does not contain the page.
+func (s *Store) SetPageInfo(setID uint64, id page.ID) (page.LSN, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lsns, ok := s.pageLSN[setID]
+	if !ok {
+		return 0, false
+	}
+	lsn, in := lsns[id]
+	return lsn, in
+}
+
+// DropSet releases an obsolete backup set. Each of its slots is freed for
+// reuse only when no other (incremental) set still shares it.
 func (s *Store) DropSet(setID uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -160,10 +225,14 @@ func (s *Store) DropSet(setID uint64) error {
 		return fmt.Errorf("%w: %d", ErrUnknownSet, setID)
 	}
 	for _, slot := range set {
-		s.free = append(s.free, slot)
+		if s.slotRef[slot]--; s.slotRef[slot] <= 0 {
+			delete(s.slotRef, slot)
+			s.free = append(s.free, slot)
+		}
 	}
 	delete(s.sets, setID)
 	delete(s.setLSN, setID)
+	delete(s.pageLSN, setID)
 	return nil
 }
 

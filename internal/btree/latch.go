@@ -61,6 +61,19 @@ func (lt *latchTracker) latch(h *buffer.Handle, excl bool) {
 	lt.acquired()
 }
 
+// latchBranch and latchLeaf are the descent's latch acquisition points,
+// split by tree level and kept out of the inliner so a block profile
+// (spfbench -blockprofile) attributes latch contention to the level that
+// caused it: samples under latchBranch are root/interior contention the
+// optimistic path should have absorbed, samples under latchLeaf are the
+// irreducible leaf-level serialization mutations require.
+//
+//go:noinline
+func (lt *latchTracker) latchBranch(h *buffer.Handle, excl bool) { lt.latch(h, excl) }
+
+//go:noinline
+func (lt *latchTracker) latchLeaf(h *buffer.Handle, excl bool) { lt.latch(h, excl) }
+
 // tryLatch attempts a non-blocking exclusive latch, tracked on success.
 func (lt *latchTracker) tryLatch(h *buffer.Handle) bool {
 	if !h.TryLock() {

@@ -68,10 +68,34 @@ type Tree struct {
 	// writers crab through it with a shared latch like any other branch.
 	rootIsBranch atomic.Bool
 
+	// optimisticOff disables the optimistic (version-validated, latch-free
+	// on branch levels) descent, forcing every operation through the
+	// latched crab. Benchmarks use it to measure the latched baseline;
+	// default off (optimistic enabled).
+	optimisticOff atomic.Bool
+
+	// Optimistic-descent outcome counters: a hit completed the whole
+	// descent routing branch levels without latches; a fallback re-ran it
+	// through the latched crab (writer collision, skeleton miss under
+	// contention, foster chain on a branch, or any verification anomaly).
+	optHits      atomic.Int64
+	optFallbacks atomic.Int64
+
 	// Cumulative structural-change counters (foster churn).
 	splits    atomic.Int64
 	adoptions atomic.Int64
 	rootGrows atomic.Int64
+}
+
+// SetOptimistic toggles the optimistic descent (enabled by default).
+// Disabling forces the latched crab on every operation — the baseline the
+// E28/E29 benchmarks compare against.
+func (tr *Tree) SetOptimistic(on bool) { tr.optimisticOff.Store(!on) }
+
+// OptimisticStats reports how many descents completed optimistically and
+// how many fell back to the latched crab.
+func (tr *Tree) OptimisticStats() (hits, fallbacks int64) {
+	return tr.optHits.Load(), tr.optFallbacks.Load()
 }
 
 // Counters reports cumulative structural changes: foster splits performed,
@@ -185,7 +209,21 @@ type adoptJob struct {
 // The returned leaf handle is pinned and still LATCHED (shared for readers,
 // exclusive for writers), along with its decoded node; the caller releases
 // both latch and pin.
+//
+// When the optimistic mode is enabled (the default) and the root is known
+// to be a branch, descend first attempts descendOptimistic — the same walk
+// routed through cached skeletons with version validation instead of
+// branch latches — and falls back here on any anomaly. The fallback is the
+// authority: it re-verifies every fence under real latches, so corruption
+// detection never depends on optimistic state.
 func (tr *Tree) descend(key []byte, adopt *txn.Txn, write bool, lt *latchTracker) (*buffer.Handle, nodeView, []adoptJob, error) {
+	if !tr.optimisticOff.Load() && tr.rootIsBranch.Load() {
+		if h, v, pend, ok := tr.descendOptimistic(key, adopt != nil, write, lt); ok {
+			tr.optHits.Add(1)
+			return h, v, pend, nil
+		}
+		tr.optFallbacks.Add(1)
+	}
 	var pend []adoptJob
 	var none nodeView
 	curID := tr.root
@@ -194,7 +232,7 @@ func (tr *Tree) descend(key []byte, adopt *txn.Txn, write bool, lt *latchTracker
 	if err != nil {
 		return nil, none, nil, err
 	}
-	lt.latch(h, excl)
+	lt.latchBranch(h, excl)
 	v, err := parseView(h.Page().Payload())
 	if err != nil {
 		lt.unpin(h, excl)
@@ -223,7 +261,11 @@ func (tr *Tree) descend(key []byte, adopt *txn.Txn, write bool, lt *latchTracker
 				lt.unpin(h, excl)
 				return nil, none, nil, err
 			}
-			lt.latch(nh, excl) // same level: same mode
+			if v.isLeaf() { // same level: same mode
+				lt.latchLeaf(nh, excl)
+			} else {
+				lt.latchBranch(nh, excl)
+			}
 			nv, err := parseView(nh.Page().Payload())
 			if err != nil {
 				lt.unpin(nh, excl)
@@ -258,7 +300,11 @@ func (tr *Tree) descend(key []byte, adopt *txn.Txn, write bool, lt *latchTracker
 			return nil, none, nil, err
 		}
 		chExcl := write && v.level == 1
-		lt.latch(ch, chExcl)
+		if v.level == 1 {
+			lt.latchLeaf(ch, chExcl)
+		} else {
+			lt.latchBranch(ch, chExcl)
+		}
 		cv, err := parseView(ch.Page().Payload())
 		if err != nil {
 			lt.unpin(ch, chExcl)
@@ -275,6 +321,128 @@ func (tr *Tree) descend(key []byte, adopt *txn.Txn, write bool, lt *latchTracker
 		}
 		lt.unpin(h, excl)
 		h, v, curID, excl = ch, cv, childID, chExcl
+	}
+}
+
+// descendOptimistic is the optimistic-latch-coupling fast path: branch
+// levels are routed through per-frame cached skeletons with NO latch —
+// each hop reads the frame's stable version, routes through the skeleton
+// built from that version, and re-validates the version before acting on
+// the result — while the leaf is still latched for real (shared for
+// readers, exclusive for writers), so mutations and the §4.2 fence
+// verification stay exact. The frame pin is kept throughout (Fetch), so
+// no frame this walk touches can be evicted or replaced mid-read; only
+// the per-level RWMutex traffic is elided.
+//
+// Any anomaly — an odd (writer-active) version, a version that moved, a
+// skeleton that will not build, a foster chain on a branch, a fence
+// mismatch, a fetch error — returns ok=false and the caller falls back to
+// the latched crab, which re-verifies everything authoritatively. The
+// optimistic path therefore never reports corruption itself and never
+// routes past a fence check undetected: routing is only trusted when the
+// version it came from is proven unchanged, and the final leaf check runs
+// under a real latch with expectations from that proven snapshot.
+func (tr *Tree) descendOptimistic(key []byte, wantAdopt, write bool, lt *latchTracker) (*buffer.Handle, nodeView, []adoptJob, bool) {
+	var none nodeView
+	curID := tr.root
+	h, err := tr.pager.Fetch(curID)
+	if err != nil {
+		return nil, none, nil, false
+	}
+	ver, stable := h.StableVersion()
+	if !stable {
+		h.Release()
+		return nil, none, nil, false
+	}
+	sk := skeletonFor(h, ver)
+	expLow, expHigh := finite(nil), infFence
+	for {
+		// The node must be a quiescent branch whose fences match what the
+		// parent predicted — the optimistic rendering of verifyFences for
+		// the no-foster branch case (foster on a branch level is rare and
+		// transient; the latched path handles it).
+		if sk == nil || sk.hasFoster() ||
+			!sk.low.equal(expLow) || !sk.chain.equal(expHigh) || !sk.high.equal(sk.chain) {
+			h.Release()
+			return nil, none, nil, false
+		}
+		childID, eLow, eHigh := sk.childFor(key)
+		if childID == curID {
+			h.Release()
+			return nil, none, nil, false
+		}
+		ch, err := tr.pager.Fetch(childID)
+		if err != nil {
+			h.Release()
+			return nil, none, nil, false
+		}
+		if sk.level == 1 {
+			// Leaf level: latch for real, then prove the routing that led
+			// here is still current before trusting its expectations.
+			chExcl := write
+			lt.latchLeaf(ch, chExcl)
+			if !h.ValidateVersion(ver) {
+				lt.unpin(ch, chExcl)
+				h.Release()
+				return nil, none, nil, false
+			}
+			h.Release()
+			cv, perr := parseView(ch.Page().Payload())
+			if perr != nil || !cv.isLeaf() || verifyFences(childID, &cv, eLow, eHigh) != nil {
+				lt.unpin(ch, chExcl)
+				return nil, none, nil, false
+			}
+			var pend []adoptJob
+			if wantAdopt && cv.hasFoster() && !cv.high.inf {
+				pend = append(pend, adoptJob{parent: curID, child: childID})
+			}
+			// Leaf foster chase under real latches: every step is the
+			// authoritative hand-over-hand §4.2 check, same as descend.
+			lh, lv, lid := ch, cv, childID
+			for lv.hasFoster() && !coversKey(lv.low, lv.high, key) {
+				nextID := lv.foster
+				if nextID == lid {
+					lt.unpin(lh, chExcl)
+					return nil, none, nil, false
+				}
+				nh, err := tr.pager.Fetch(nextID)
+				if err != nil {
+					lt.unpin(lh, chExcl)
+					return nil, none, nil, false
+				}
+				lt.latchLeaf(nh, chExcl)
+				nv, perr := parseView(nh.Page().Payload())
+				if perr != nil || !nv.isLeaf() || verifyFences(nextID, &nv, lv.high, lv.chain) != nil {
+					lt.unpin(nh, chExcl)
+					lt.unpin(lh, chExcl)
+					return nil, none, nil, false
+				}
+				lt.unpin(lh, chExcl)
+				lh, lv, lid = nh, nv, nextID
+			}
+			return lh, lv, pend, true
+		}
+		// Interior hop: snapshot the child's version and skeleton, then
+		// prove the parent did not change while we did — the optimistic
+		// equivalent of "the child is verified before the parent latch
+		// drops". The child's fences are checked at the top of the next
+		// iteration against eLow/eHigh, which alias the parent's immutable
+		// skeleton and so outlive the parent pin.
+		cver, cstable := ch.StableVersion()
+		if !cstable {
+			ch.Release()
+			h.Release()
+			return nil, none, nil, false
+		}
+		csk := skeletonFor(ch, cver)
+		if csk == nil || !h.ValidateVersion(ver) {
+			ch.Release()
+			h.Release()
+			return nil, none, nil, false
+		}
+		h.Release()
+		h, ver, sk, curID = ch, cver, csk, childID
+		expLow, expHigh = eLow, eHigh
 	}
 }
 
@@ -415,25 +583,34 @@ func (tr *Tree) tryAdopt(parentID, childID page.ID, lt *latchTracker) (bool, err
 }
 
 // Get returns the value for key, or ErrKeyNotFound. The descent verifies
-// every fence on the way down, holding at most two shared latches.
+// every fence on the way down, holding at most two shared latches (none on
+// branch levels when the optimistic fast path hits).
 func (tr *Tree) Get(key []byte) ([]byte, error) {
+	return tr.GetTo(nil, key)
+}
+
+// GetTo is Get appending the value to dst and returning the extended
+// slice, so a caller that reuses its buffer reads with zero allocations on
+// the optimistic hit path (the value is copied out under the leaf latch —
+// it never aliases the page).
+func (tr *Tree) GetTo(dst, key []byte) ([]byte, error) {
 	if len(key) == 0 {
-		return nil, fmt.Errorf("%w: empty key", ErrKeyNotFound)
+		return dst, fmt.Errorf("%w: empty key", ErrKeyNotFound)
 	}
 	lt := &latchTracker{}
 	h, v, _, err := tr.descend(key, nil, false, lt)
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
 	defer lt.unpin(h, false)
 	val, ghost, found, err := v.findLeaf(key)
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
 	if !found || ghost {
-		return nil, fmt.Errorf("%w: %q", ErrKeyNotFound, key)
+		return dst, fmt.Errorf("%w: %q", ErrKeyNotFound, key)
 	}
-	return append([]byte(nil), val...), nil
+	return append(dst, val...), nil
 }
 
 // maxEntrySize bounds one leaf entry so that a split always makes progress.

@@ -177,8 +177,13 @@ func benchKey(shard, i int) []byte {
 // ParallelOps returns a benchmark function running the mixed workload: 30%
 // Get, 50% Update, 10% Insert, 10% Delete per worker, against either the
 // latch-coupled tree (globalMutex=false) or the baseline shim. contended
-// selects whether workers share one key range or own disjoint ranges.
+// selects whether workers share one key range or own disjoint ranges. The
+// tree runs in its default configuration (optimistic descent on).
 func ParallelOps(contended, globalMutex bool) func(b *testing.B) {
+	return parallelOps(contended, globalMutex, true)
+}
+
+func parallelOps(contended, globalMutex, optimistic bool) func(b *testing.B) {
 	return func(b *testing.B) {
 		p := newPager(1024, 1<<18, poolFrames)
 		st := p.txns.BeginSystem()
@@ -189,6 +194,7 @@ func ParallelOps(contended, globalMutex bool) func(b *testing.B) {
 		if err := st.Commit(); err != nil {
 			b.Fatal(err)
 		}
+		tr.SetOptimistic(optimistic)
 		shards := maxWorkers
 		if contended {
 			shards = 1

@@ -1,0 +1,113 @@
+package btreebench
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/btree"
+)
+
+const (
+	// residentShards sizes the E28 key space: residentShards*baseKeys keys
+	// build a three-level tree (root, interior branches, leaves) so the
+	// optimistic descent routes through more than one cached skeleton.
+	residentShards = 32
+	// residentFrames keeps the whole tree resident: E28 measures the pure
+	// in-memory read path, no buffer misses, no charged I/O latency.
+	residentFrames = 4096
+)
+
+// ResidentReadResult carries the optimistic-descent counters of one E28
+// run: with the tree static and resident, Hits must dwarf Fallbacks.
+type ResidentReadResult struct {
+	Hits      int64
+	Fallbacks int64
+}
+
+// ResidentReads returns the E28 benchmark body: point reads against a
+// fully resident, static tree — the regime the decoded-skeleton cache and
+// optimistic latch coupling target. zipfian selects the key distribution
+// (a Zipf(1.2) skew concentrates traffic on few hot leaves, the shape
+// where root/branch latch traffic hurts most; uniform spreads it).
+// optimistic toggles the descent: true is the lock-free version-validated
+// path (sub-µs, zero allocations per op via GetTo into a reused buffer),
+// false forces the shared-latch crab on every level — the PR 4 baseline
+// read path, kept measurable as the before-side of the comparison.
+func ResidentReads(b *testing.B, zipfian, optimistic bool) ResidentReadResult {
+	p := newPager(1024, 1<<18, residentFrames)
+	st := p.txns.BeginSystem()
+	tr, err := btree.Create(st, "bench", p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := st.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	keys := make([][]byte, residentShards*baseKeys)
+	load := p.txns.Begin()
+	for s := 0; s < residentShards; s++ {
+		for i := 0; i < baseKeys; i++ {
+			k := benchKey(s, i)
+			keys[s*baseKeys+i] = k
+			if err := tr.Insert(load, k, []byte("value-00000000")); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := load.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	tr.SetOptimistic(optimistic)
+	// Warm pass: faults every page in and (when optimistic) builds the
+	// branch skeleton caches, so the timed region measures steady state.
+	for _, k := range keys {
+		if _, err := tr.Get(k); err != nil {
+			b.Fatal(err)
+		}
+	}
+	n := uint64(len(keys))
+	var widGen atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		wid := uint64(widGen.Add(1))
+		var zipf *rand.Zipf
+		if zipfian {
+			zipf = rand.NewZipf(rand.New(rand.NewSource(int64(wid))), 1.2, 1, n-1)
+		}
+		rng := wid*0x9E3779B97F4A7C15 + 1
+		buf := make([]byte, 0, 64)
+		for pb.Next() {
+			var i uint64
+			if zipfian {
+				i = zipf.Uint64()
+			} else {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				i = rng % n
+			}
+			var err error
+			buf, err = tr.GetTo(buf[:0], keys[i])
+			if err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	hits, fallbacks := tr.OptimisticStats()
+	return ResidentReadResult{Hits: hits, Fallbacks: fallbacks}
+}
+
+// MixedReadWrite returns the E29 benchmark body: the E23 mixed workload
+// (30% Get, 50% Update, 10% Insert, 10% Delete) on the latch-coupled tree
+// with the optimistic descent on or off. Writers bump frame versions
+// constantly, so optimistic readers here exercise the fallback machinery;
+// the criterion is that optimistic=true costs no more than the pure
+// latched path — the fallback is a wasted version check plus a re-descent,
+// never a correctness or throughput cliff.
+func MixedReadWrite(contended, optimistic bool) func(b *testing.B) {
+	return parallelOps(contended, false, optimistic)
+}

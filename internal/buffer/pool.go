@@ -171,6 +171,23 @@ type frame struct {
 	ref   atomic.Bool // clock reference bit (second chance)
 	h     Handle      // shared pinned-reference value; avoids per-Fetch allocs
 
+	// version is the frame's optimistic-coupling sequence counter: every
+	// exclusive latch acquisition bumps it to odd, every release bumps it
+	// back to even, so an even value identifies one stable snapshot of the
+	// page contents and any change — or an in-flight writer — is visible
+	// as a version mismatch. Readers that route through cached data
+	// validate against it (Handle.StableVersion / ValidateVersion) instead
+	// of holding the read latch. The counter belongs to the frame, not the
+	// page: a frame is created per residency, so a reloaded or recovered
+	// page can never satisfy a validation started against its predecessor.
+	version atomic.Uint64
+	// skel caches one immutable decoded object (the B-tree routing
+	// skeleton) stamped with the even version it was built from; a stamp
+	// that no longer matches the current version is dead weight that the
+	// next stable reader overwrites. Stored as any to keep the pool
+	// layer-agnostic.
+	skel atomic.Pointer[versionedBlob]
+
 	flushMu sync.Mutex
 
 	metaMu sync.Mutex
@@ -178,6 +195,13 @@ type frame struct {
 	recLSN page.LSN // LSN that first dirtied the page since last clean
 
 	ringIdx int
+}
+
+// versionedBlob pairs a cached decoded object with the frame version it
+// was built from.
+type versionedBlob struct {
+	version uint64
+	data    any
 }
 
 // tryPin increments the pin count unless the frame has been claimed for
@@ -414,25 +438,86 @@ func (h *Handle) ID() page.ID { return h.id }
 // latch while reading or writing it.
 func (h *Handle) Page() *page.Page { return h.f.pg }
 
-// Lock acquires the page's write latch.
-func (h *Handle) Lock() { h.f.latch.Lock() }
+// Lock acquires the page's write latch and bumps the frame version to odd:
+// optimistic readers see an in-flight writer as an unstable version and
+// fall back to latched reads.
+func (h *Handle) Lock() {
+	h.f.latch.Lock()
+	h.f.version.Add(1)
+}
 
-// Unlock releases the write latch.
-func (h *Handle) Unlock() { h.f.latch.Unlock() }
+// Unlock bumps the frame version back to even — publishing a new stable
+// snapshot — and releases the write latch.
+func (h *Handle) Unlock() {
+	h.f.version.Add(1)
+	h.f.latch.Unlock()
+}
 
-// RLock acquires the page's read latch.
+// RLock acquires the page's read latch. Shared latching never bumps the
+// version: readers do not mutate, so the snapshot they observe stays valid.
 func (h *Handle) RLock() { h.f.latch.RLock() }
 
 // RUnlock releases the read latch.
 func (h *Handle) RUnlock() { h.f.latch.RUnlock() }
 
-// TryLock attempts the write latch without blocking. Opportunistic
-// maintenance (B-tree foster adoption) uses it so background structural
-// work never stalls behind a contended page.
-func (h *Handle) TryLock() bool { return h.f.latch.TryLock() }
+// TryLock attempts the write latch without blocking, bumping the version
+// on success exactly like Lock. Opportunistic maintenance (B-tree foster
+// adoption) uses it so background structural work never stalls behind a
+// contended page.
+func (h *Handle) TryLock() bool {
+	if !h.f.latch.TryLock() {
+		return false
+	}
+	h.f.version.Add(1)
+	return true
+}
 
 // TryRLock attempts the read latch without blocking.
 func (h *Handle) TryRLock() bool { return h.f.latch.TryRLock() }
+
+// StableVersion returns the frame's current version and whether it is
+// stable (even — no exclusive latch holder). An optimistic reader records
+// the returned version, reads whatever it needs without latching, and then
+// re-checks with ValidateVersion; acting on the data without that re-check
+// is a protocol violation (see ARCHITECTURE.md, buffer invariants).
+func (h *Handle) StableVersion() (uint64, bool) {
+	v := h.f.version.Load()
+	return v, v&1 == 0
+}
+
+// ValidateVersion reports whether the frame version still equals v — i.e.
+// no exclusive latch was acquired since the matching StableVersion call,
+// so everything read in between came from one consistent snapshot.
+func (h *Handle) ValidateVersion(v uint64) bool {
+	return h.f.version.Load() == v
+}
+
+// CachedSkeleton returns the decoded object cached on the frame if its
+// stamp matches version v, else nil. The caller must have obtained v from
+// StableVersion and must still ValidateVersion after acting on the result.
+func (h *Handle) CachedSkeleton(v uint64) any {
+	if b := h.f.skel.Load(); b != nil && b.version == v {
+		return b.data
+	}
+	return nil
+}
+
+// StoreSkeleton caches an immutable decoded object stamped with the stable
+// version it was built from. Stale stamps need no explicit invalidation:
+// the version counter has moved on, so CachedSkeleton simply stops
+// returning them. A racing store for a newer version always wins.
+func (h *Handle) StoreSkeleton(v uint64, data any) {
+	b := &versionedBlob{version: v, data: data}
+	for {
+		cur := h.f.skel.Load()
+		if cur != nil && cur.version >= v {
+			return
+		}
+		if h.f.skel.CompareAndSwap(cur, b) {
+			return
+		}
+	}
+}
 
 // MarkDirty records that the page was modified under a log record with the
 // given LSN. The first dirtying LSN since the page was last clean is kept
@@ -1082,4 +1167,12 @@ func (p *Pool) Crash() {
 func (p *Pool) IsResident(id page.ID) bool {
 	_, ok := p.shardOf(id).frames.Load(id)
 	return ok
+}
+
+// IsDirty reports whether page id is resident with unwritten changes.
+// Non-resident pages report false: eviction flushes before dropping the
+// frame, so absence implies the device holds the page's latest image.
+func (p *Pool) IsDirty(id page.ID) bool {
+	v, ok := p.shardOf(id).frames.Load(id)
+	return ok && v.(*frame).isDirty()
 }

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"repro/internal/buffer"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/page"
 	"repro/internal/pagemap"
@@ -58,6 +59,10 @@ func Checkpoint(d CheckpointDeps) (page.LSN, error) {
 	if err := d.Pool.FlushPages(ids); err != nil {
 		return 0, fmt.Errorf("recovery: checkpoint flush: %w", err)
 	}
+	// Crash point: the dirty pages are flushed but the checkpoint-end
+	// record is not yet durable — a crash here must restart from the
+	// PREVIOUS master record, replaying across this half-taken checkpoint.
+	chaos.At("recovery.checkpoint")
 	payload := encodeCheckpoint(checkpointData{
 		att:  d.Txns.Active(),
 		dpt:  d.Pool.DirtyPages(),

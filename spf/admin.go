@@ -38,32 +38,80 @@ func (db *DB) Checkpoint() (LSN, error) {
 // installs it as the backup source for every page (range-compressed PRI
 // entries, §5.2.2). Returns the backup set ID.
 func (db *DB) BackupDatabase() (uint64, error) {
+	id, _, err := db.BackupNow()
+	return id, err
+}
+
+// BackupReport quantifies one BackupNow run.
+type BackupReport struct {
+	Pages   int // logical pages captured in the set
+	Written int // images newly copied to the backup device
+	Skipped int // unchanged images shared with the previous set
+}
+
+// BackupNow takes a full-coverage backup set incrementally: a page whose
+// recovery-index LastLSN shows no durable write since the previous set
+// captured it (and which is not dirty in the pool) is shared with that set
+// via slot reference counting instead of being rewritten. The resulting
+// set is still a complete BackupFull source — media recovery and
+// single-page recovery resolve against it exactly as against a from-
+// scratch set; only the backup device traffic shrinks.
+//
+// The skip test is conservative on both sides of the PRI's §5.2.2
+// lifecycle: FlushAll first makes every pending change durable, and a
+// durable write always raises LastLSN to the page's content LSN
+// (CompleteWrite), so a changed page necessarily has LastLSN above the
+// LSN the previous set captured. An unchanged page has LastLSN at or
+// below it — including the zero a previous full backup's SetRange
+// installed — and a page mutated after the flush is caught by IsDirty.
+func (db *DB) BackupNow() (uint64, BackupReport, error) {
+	var rep BackupReport
 	if db.isCrashed() {
-		return 0, ErrCrashed
+		return 0, rep, ErrCrashed
 	}
 	// Flush everything so the backup captures a write-consistent state.
 	if err := db.pool.FlushAll(); err != nil {
-		return 0, err
+		return 0, rep, err
 	}
 	db.log.FlushAll()
+	// The PRI skip test needs single-page recovery's bookkeeping; without
+	// it every page is rewritten (prev == 0 disables sharing).
+	var prev uint64
+	if !db.opts.DisableSinglePageRecovery {
+		prev = db.store.LatestSet()
+	}
 	w := db.store.BeginFullSet(db.log.EndLSN())
 	ids := db.pmap.Pages()
+	rep.Pages = len(ids)
 	for _, id := range ids {
+		if prev != 0 {
+			if prevLSN, ok := db.store.SetPageInfo(prev, id); ok {
+				if e, err := db.pri.Get(id); err == nil &&
+					e.LastLSN <= prevLSN && !db.pool.IsDirty(id) {
+					if err := w.AddShared(id, prev); err != nil {
+						return 0, rep, err
+					}
+					rep.Skipped++
+					continue
+				}
+			}
+		}
 		h, err := db.pool.Fetch(id)
 		if err != nil {
-			return 0, fmt.Errorf("spf: backing up page %d: %w", id, err)
+			return 0, rep, fmt.Errorf("spf: backing up page %d: %w", id, err)
 		}
 		h.RLock()
 		pg := h.Page().Clone()
 		h.RUnlock()
 		h.Release()
 		if err := w.Add(pg); err != nil {
-			return 0, err
+			return 0, rep, err
 		}
+		rep.Written++
 	}
 	w.Commit()
 	if db.opts.DisableSinglePageRecovery {
-		return w.SetID(), nil
+		return w.SetID(), rep, nil
 	}
 	// One range-compressed PRI entry per contiguous run of page IDs.
 	for run := 0; run < len(ids); {
@@ -81,7 +129,7 @@ func (db *DB) BackupDatabase() (uint64, error) {
 		run = end + 1
 	}
 	db.log.FlushAll()
-	return w.SetID(), nil
+	return w.SetID(), rep, nil
 }
 
 // BackupPage takes an explicit backup copy of one page ("a conservative

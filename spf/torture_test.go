@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -39,7 +40,10 @@ func tortureSeeds(t *testing.T) []int64 {
 // failure: the seed rotation picks one per run, and its k-th execution
 // signals the crash controller. wal.truncate and restart.prep are armed
 // in every run for nested fault injection (see runTorture).
-var crashPoints = []string{"wal.publish", "buffer.writeback", "restore.complete"}
+// recovery.checkpoint models a crash in the half-taken-checkpoint window
+// (dirty pages flushed, checkpoint-end not yet durable), forcing restart
+// to replay from the previous master record.
+var crashPoints = []string{"wal.publish", "buffer.writeback", "restore.complete", "recovery.checkpoint"}
 
 // TestChaosTortureCrashRestartVerify loops crash → restart → verify over
 // the seed matrix. Invariants checked every iteration, under any crash
@@ -114,10 +118,22 @@ func runTorture(t *testing.T, seed int64) {
 		fireAt = 1 + rng.Int63n(12)
 	case "restore.complete":
 		fireAt = 1 + rng.Int63n(8)
+	case "recovery.checkpoint":
+		// At most two checkpoints run after arming (the mid-workload one
+		// and the end-of-restart one); a trip point the schedule never
+		// reaches is covered by the manual-crash fallback below.
+		fireAt = 1 + rng.Int63n(2)
 	}
 	crashC := make(chan struct{}, 1)
+	// Set once the manual-crash fallback closes crashC: a point whose trip
+	// count is first reached during Restart (e.g. recovery.checkpoint at
+	// the end-of-restart checkpoint) must not signal a dead controller.
+	var manualCrash atomic.Bool
 	if chosen != "restore.complete" {
 		chaos.Arm(chosen, fireAt, func(chaos.Hit) {
+			if manualCrash.Load() {
+				return
+			}
 			select {
 			case crashC <- struct{}{}:
 			default:
@@ -185,6 +201,7 @@ func runTorture(t *testing.T, seed int64) {
 	if !stopped {
 		// The point never fired (schedule-dependent): crash manually so
 		// the iteration still exercises restart.
+		manualCrash.Store(true)
 		close(crashC)
 		<-crashed
 		db.Crash()
