@@ -28,6 +28,7 @@ import (
 	"repro/internal/pagemap"
 	"repro/internal/restartbench"
 	"repro/internal/restorebench"
+	"repro/internal/serverbench"
 	"repro/internal/storage"
 	"repro/internal/wal"
 	"repro/internal/walbench"
@@ -767,4 +768,47 @@ func BenchmarkE27ParallelRedoDrain(b *testing.B) {
 		b.Logf("drain %d pages: 1 worker=%dms, 4 workers=%dms (%.1fx)",
 			w1.Pages, w1.MeanNs/1e6, w4.MeanNs/1e6, float64(w1.MeanNs)/float64(w4.MeanNs))
 	}
+}
+
+// BenchmarkE30ServerThroughput measures resident point reads socket to
+// socket (driver in internal/serverbench, shared with `spfbench
+// -benchjson`): concurrent clients over loopback TCP against the wire
+// front end, zipfian keys, every request crossing real kernel sockets
+// through the framing layer, the worker pool, and the engine's optimistic
+// descent. The server-side request path is allocation-free for these
+// resident hits (Index.GetTo into per-connection buffers), so the ns/op is
+// dominated by syscalls plus the descent itself. The metric is the
+// round-trip p99 across all clients; the criterion is zero failed
+// requests at every client count.
+func BenchmarkE30ServerThroughput(b *testing.B) {
+	for _, clients := range []int{1, 16, 64} {
+		clients := clients
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			res := serverbench.Throughput(b, clients)
+			b.ReportMetric(float64(res.P99.Nanoseconds()), "p99-ns")
+		})
+	}
+}
+
+// BenchmarkE31ServeDuringRestoreDrain is E25 pushed through the serving
+// layer (driver in internal/serverbench): fail the device, run
+// instant-restore RecoverMedia, stand the wire server up over the
+// recovered database, and serve verified reads over a real socket while
+// the single background worker drains the bulk restore. The criterion is
+// the instant-restore availability story end to end: reads must complete
+// over the wire while pages are still pending, and the first wire read
+// must land far below the full drain time.
+func BenchmarkE31ServeDuringRestoreDrain(b *testing.B) {
+	res := serverbench.ServeDuringRestoreDrain(b)
+	b.ReportMetric(float64(res.ReadsBeforeDrain), "reads-before-drain")
+	b.ReportMetric(float64(res.FirstReadNs), "first-read-ns")
+	if res.ReadsBeforeDrain == 0 {
+		b.Fatalf("no wire reads completed before the bulk restore drained: %+v", res)
+	}
+	if res.FirstReadNs >= res.DrainNs {
+		b.Fatalf("first wire read (%dns) not faster than the full restore (%dns)",
+			res.FirstReadNs, res.DrainNs)
+	}
+	b.Logf("pages=%d first-read=%dus reads-before-drain=%d/%d drain=%dms",
+		res.Pages, res.FirstReadNs/1e3, res.ReadsBeforeDrain, res.ReadsTotal, res.DrainNs/1e6)
 }

@@ -44,6 +44,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/restartbench"
 	"repro/internal/restorebench"
+	"repro/internal/serverbench"
 	"repro/internal/wal"
 	"repro/internal/walbench"
 )
@@ -426,6 +427,37 @@ func runBenchJSON(path string) error {
 			Metric: float64(dres.MeanNs), MetricName: "drain-ns",
 		})
 	}
+
+	// E30: resident point reads socket to socket through the wire front
+	// end — concurrent loopback clients, zipfian keys, every request
+	// crossing real kernel sockets. The metric is the round-trip p99
+	// across all clients.
+	for _, clients := range []int{1, 16, 64} {
+		var tres serverbench.ThroughputResult
+		r := testing.Benchmark(func(b *testing.B) {
+			tres = serverbench.Throughput(b, clients)
+		})
+		entries = append(entries, benchEntry{
+			Name:    fmt.Sprintf("BenchmarkE30ServerThroughput/clients=%d", clients),
+			NsPerOp: float64(r.NsPerOp()), AllocsPerOp: r.AllocsPerOp(),
+			Ops: r.N, GoMaxProcs: runtime.GOMAXPROCS(0),
+			Metric: float64(tres.P99.Nanoseconds()), MetricName: "p99-ns",
+		})
+	}
+
+	// E31: wire reads served during a media-restore drain — instant
+	// restore pushed through the serving layer. The metric counts reads
+	// that completed while the bulk restore still had pending pages.
+	var sres serverbench.DrainServeResult
+	r = testing.Benchmark(func(b *testing.B) {
+		sres = serverbench.ServeDuringRestoreDrain(b)
+	})
+	entries = append(entries, benchEntry{
+		Name:    "BenchmarkE31ServeDuringRestoreDrain",
+		NsPerOp: float64(r.NsPerOp()), AllocsPerOp: r.AllocsPerOp(),
+		Ops: r.N, GoMaxProcs: runtime.GOMAXPROCS(0),
+		Metric: float64(sres.ReadsBeforeDrain), MetricName: "reads-before-drain",
+	})
 
 	data, err := json.MarshalIndent(entries, "", "  ")
 	if err != nil {

@@ -1,0 +1,194 @@
+// Command spfload drives an spfserver with thousands of concurrent
+// clients and reports throughput, latency percentiles, and — the
+// correctness criterion — dropped acked writes.
+//
+// Each client owns a private key range for writes: every PUT encodes a
+// sequence number, and a PUT counts as acked only when the server answers
+// OK (which it does only after the commit proved durable). After the
+// timed run a verification pass reads every client's private range back
+// and counts acked sequence numbers that are no longer visible; the
+// invariant is zero. Reads roam a shared keyspace with uniform or zipfian
+// popularity via the internal/workload generator — the same keygen the
+// in-process experiment harness uses, so wire numbers and library numbers
+// describe the same workload.
+//
+// Usage:
+//
+//	spfload -addr 127.0.0.1:7070 -clients 1000 -duration 30s -zipf 1.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7070", "spfserver address")
+		index    = flag.String("index", "kv", "index to drive")
+		clients  = flag.Int("clients", 1000, "concurrent client connections")
+		ramp     = flag.Duration("ramp", 2*time.Second, "time over which clients start")
+		duration = flag.Duration("duration", 10*time.Second, "measured run length after ramp")
+		readFrac = flag.Float64("reads", 0.9, "fraction of operations that are reads")
+		keys     = flag.Int("keys", 100_000, "shared read keyspace size (preload with spfserver -preload)")
+		zipfS    = flag.Float64("zipf", 0, "zipfian skew for read popularity (>1 enables; 0 = uniform)")
+		valueLen = flag.Int("value-len", 64, "written value size in bytes")
+		seed     = flag.Int64("seed", 1, "base RNG seed")
+	)
+	flag.Parse()
+
+	reg := metrics.NewRegistry()
+	readLat := reg.Histogram("load_read_seconds", "Read latency.", nil)
+	writeLat := reg.Histogram("load_write_seconds", "Write latency.", nil)
+
+	var (
+		reads, writes, misses atomic.Int64
+		errsSeen              atomic.Int64
+		firstErr              atomic.Value
+	)
+	fail := func(err error) {
+		errsSeen.Add(1)
+		firstErr.CompareAndSwap(nil, err)
+	}
+
+	// acked[c] is the highest sequence number client c received an OK
+	// for, per private key slot.
+	perClientKeys := 16
+	acked := make([][]int64, *clients)
+	for c := range acked {
+		acked[c] = make([]int64, perClientKeys)
+		for i := range acked[c] {
+			acked[c][i] = -1
+		}
+	}
+	privKey := func(c, slot int) []byte {
+		return []byte(fmt.Sprintf("load-c%05d-s%03d", c, slot))
+	}
+
+	stopAt := time.Now().Add(*ramp + *duration)
+	var wg sync.WaitGroup
+	log.Printf("ramping %d clients over %v, then measuring for %v", *clients, *ramp, *duration)
+	start := time.Now()
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			if *clients > 1 {
+				time.Sleep(time.Duration(int64(*ramp) * int64(c) / int64(*clients)))
+			}
+			cl, err := server.Dial(*addr)
+			if err != nil {
+				fail(fmt.Errorf("client %d dial: %w", c, err))
+				return
+			}
+			defer cl.Close()
+			gen := workload.New(workload.Config{
+				Seed:        *seed + int64(c),
+				Mix:         workload.Mix{Reads: 1},
+				InitialKeys: *keys,
+				ZipfS:       *zipfS,
+			})
+			rng := rand.New(rand.NewSource(*seed + int64(c)*7919))
+			val := make([]byte, *valueLen)
+			seq := int64(0)
+			for op := 0; time.Now().Before(stopAt); op++ {
+				if rng.Float64() < *readFrac {
+					t0 := time.Now()
+					_, st, err := cl.Get(*index, gen.Next().Key)
+					readLat.Observe(time.Since(t0).Seconds())
+					if err != nil {
+						fail(fmt.Errorf("client %d get: %w", c, err))
+						return
+					}
+					if st == server.StatusNotFound {
+						misses.Add(1)
+					}
+					reads.Add(1)
+				} else {
+					slot := op % perClientKeys
+					seq++
+					v := fmt.Appendf(val[:0], "seq=%d pad=", seq)
+					for len(v) < *valueLen {
+						v = append(v, 'x')
+					}
+					t0 := time.Now()
+					st, err := cl.Put(*index, privKey(c, slot), v)
+					writeLat.Observe(time.Since(t0).Seconds())
+					if err != nil || st != server.StatusOK {
+						// Not acked: the write may or may not be durable,
+						// but the server made no promise. Do not record it.
+						fail(fmt.Errorf("client %d put: st=%v %w", c, st, err))
+						return
+					}
+					acked[c][slot] = seq
+					writes.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Verification pass: every acked write must still be visible.
+	log.Printf("run done; verifying acked writes")
+	dropped := 0
+	vcl, err := server.Dial(*addr)
+	if err != nil {
+		log.Fatalf("verify dial: %v", err)
+	}
+	defer vcl.Close()
+	for c := 0; c < *clients; c++ {
+		for slot, want := range acked[c] {
+			if want < 0 {
+				continue
+			}
+			v, st, err := vcl.Get(*index, privKey(c, slot))
+			if err != nil {
+				log.Fatalf("verify get c%d s%d: %v", c, slot, err)
+			}
+			var got int64 = -1
+			if st == server.StatusOK {
+				fmt.Sscanf(string(v), "seq=%d", &got)
+			}
+			// A later unacked overwrite cannot exist (slots are written by
+			// one client, sequentially), so visible seq < acked seq — or a
+			// miss — is a dropped acked write.
+			if got < want {
+				dropped++
+				log.Printf("DROPPED acked write: client %d slot %d acked seq %d, visible %d", c, slot, want, got)
+			}
+		}
+	}
+
+	total := reads.Load() + writes.Load()
+	fmt.Printf("clients=%d elapsed=%v ops=%d throughput=%.0f ops/s\n",
+		*clients, elapsed.Round(time.Millisecond), total, float64(total)/elapsed.Seconds())
+	fmt.Printf("reads=%d (misses=%d) writes=%d errors=%d\n",
+		reads.Load(), misses.Load(), writes.Load(), errsSeen.Load())
+	fmt.Printf("read  latency p50=%s p99=%s p99.9=%s\n",
+		secs(readLat.Quantile(0.50)), secs(readLat.Quantile(0.99)), secs(readLat.Quantile(0.999)))
+	fmt.Printf("write latency p50=%s p99=%s p99.9=%s\n",
+		secs(writeLat.Quantile(0.50)), secs(writeLat.Quantile(0.99)), secs(writeLat.Quantile(0.999)))
+	fmt.Printf("dropped acked writes: %d\n", dropped)
+
+	if err, _ := firstErr.Load().(error); err != nil {
+		log.Printf("first error: %v", err)
+	}
+	if dropped > 0 || errsSeen.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+func secs(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
+}

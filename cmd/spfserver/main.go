@@ -1,0 +1,154 @@
+// Command spfserver serves an spf database over the wire protocol
+// (internal/server) and exposes the unified engine metrics snapshot on an
+// HTTP /metrics endpoint in Prometheus text format. It is the front end
+// the spfload harness drives.
+//
+// Usage:
+//
+//	spfserver [flags]
+//
+// The server creates the named indexes at boot (default "kv"), serves
+// until SIGINT/SIGTERM, then drains gracefully: the listener closes,
+// in-flight requests finish, and the database closes cleanly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/server"
+	"repro/internal/workload"
+	"repro/spf"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:7070", "wire protocol listen address")
+		metricsAddr = flag.String("metrics-addr", "127.0.0.1:7071", "HTTP /metrics listen address (empty disables)")
+		indexes     = flag.String("indexes", "kv", "comma-separated index names to create at boot")
+		preload     = flag.Int("preload", 0, "keys to preload into the first index (workload.Key layout)")
+		valueLen    = flag.Int("value-len", 64, "preloaded value size in bytes")
+
+		pageSize   = flag.Int("page-size", 4096, "page size in bytes")
+		dataSlots  = flag.Int("data-slots", 1<<16, "data device capacity in pages")
+		poolFrames = flag.Int("pool-frames", 4096, "buffer pool frames")
+		maint      = flag.Bool("maintenance", true, "enable background write-back and scrubbing")
+		groupWin   = flag.Duration("group-commit", 200*time.Microsecond, "group-commit window (0 = flush per commit)")
+		backupN    = flag.Int("backup-every", 0, "per-page backup after N updates (0 disables)")
+
+		workers  = flag.Int("workers", 128, "request worker pool size")
+		reqTimeo = flag.Duration("request-timeout", 5*time.Second, "per-request deadline")
+	)
+	flag.Parse()
+
+	db, err := spf.Open(spf.Options{
+		PageSize:            *pageSize,
+		DataSlots:           *dataSlots,
+		PoolFrames:          *poolFrames,
+		GroupCommitWindow:   *groupWin,
+		BackupEveryNUpdates: *backupN,
+		Maintenance:         spf.MaintenanceOptions{Enabled: *maint},
+	})
+	if err != nil {
+		log.Fatalf("open: %v", err)
+	}
+
+	names := strings.Split(*indexes, ",")
+	for _, name := range names {
+		if name = strings.TrimSpace(name); name == "" {
+			continue
+		}
+		if _, err := db.CreateIndex(name); err != nil {
+			log.Fatalf("create index %q: %v", name, err)
+		}
+	}
+	if *preload > 0 {
+		ix, err := db.Index(strings.TrimSpace(names[0]))
+		if err != nil {
+			log.Fatalf("preload: %v", err)
+		}
+		val := make([]byte, *valueLen)
+		for i := range val {
+			val[i] = byte('a' + i%26)
+		}
+		const batch = 1000
+		for lo := 0; lo < *preload; lo += batch {
+			tx := db.Begin()
+			hi := lo + batch
+			if hi > *preload {
+				hi = *preload
+			}
+			for i := lo; i < hi; i++ {
+				if err := ix.Insert(tx, workload.Key(i), val); err != nil {
+					log.Fatalf("preload key %d: %v", i, err)
+				}
+			}
+			if err := db.Commit(tx); err != nil {
+				log.Fatalf("preload commit: %v", err)
+			}
+		}
+		log.Printf("preloaded %d keys into %q", *preload, names[0])
+	}
+
+	srv := server.New(db, server.Config{
+		Workers:        *workers,
+		RequestTimeout: *reqTimeo,
+	})
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", metrics.Handler(srv.Registry()))
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatalf("metrics listen: %v", err)
+		}
+		go func() {
+			if err := http.Serve(mln, mux); err != nil {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+		log.Printf("metrics on http://%s/metrics", mln.Addr())
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	log.Printf("serving %s on %s (workers=%d timeout=%v)",
+		*indexes, ln.Addr(), *workers, *reqTimeo)
+
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("%v: draining", s)
+	case err := <-serveDone:
+		if err != nil {
+			log.Fatalf("serve: %v", err)
+		}
+		return
+	}
+
+	if err := srv.Shutdown(10 * time.Second); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	<-serveDone
+	m := db.Metrics()
+	if err := db.Close(); err != nil {
+		log.Printf("close: %v", err)
+	}
+	fmt.Printf("served: commits=%d pool-hits=%d pool-misses=%d pages=%d\n",
+		m.Txns.UserCommitted, m.Pool.Hits, m.Pool.Misses, m.Pages)
+}

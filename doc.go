@@ -292,12 +292,41 @@
 // recovery, and asserts every acked commit survives, losers vanish, the
 // tree verifies clean, and shutdown leaks no goroutines.
 //
+// # Serving layer and unified metrics
+//
+// The engine serves real traffic through internal/server: a
+// length-prefixed binary KV protocol (GET/PUT/DEL/SCAN/STATS/PING over a
+// named index) with a goroutine-per-connection accept loop, a bounded
+// worker pool, per-request deadlines, and graceful drain — cmd/spfserver
+// is the runnable front end, cmd/spfload the load harness (thousands of
+// concurrent clients, zipfian/uniform mixes, and an end-of-run
+// verification that no acked write was dropped: a PUT is acked only
+// after its commit proved durable). The resident GET is allocation-free
+// socket to socket — frames, index lookup, and the value all move
+// through per-connection reused buffers into spf.Index.GetTo.
+//
+// Observability flows from one source: spf.DB.Metrics() gathers every
+// subsystem's counters into a single unified snapshot (the historical
+// accessors Stats, RestoreStats, MaintenanceStats, RestartRedoStats, and
+// Index.Counters all delegate to it), and internal/metrics — a
+// dependency-free Prometheus-text-format registry with allocation-free
+// atomic instruments — renders it identically through the HTTP /metrics
+// endpoint and the wire protocol's STATS op. Engine errors cross the
+// wire as status codes mapped with errors.Is on the spf sentinels
+// (ErrNotFound, ErrCrashed, ErrClosed, ErrCommitLost), never by matching
+// error text. BenchmarkE30ServerThroughput tracks the socket-to-socket
+// read path; BenchmarkE31ServeDuringRestoreDrain proves the
+// instant-restore availability story end to end — verified reads served
+// over a real socket while the media-restore backlog drains.
+//
 // CI runs a benchmark-regression gate on every PR: `spfbench -benchjson`
-// regenerates the tracked set (E19-E29) and `spfbench -benchcompare`
+// regenerates the tracked set (E19-E31) and `spfbench -benchcompare`
 // fails the build if any entry regresses more than 3x against the
 // committed BENCH_wal.json / BENCH_maintenance.json / BENCH_btree.json /
-// BENCH_restore.json / BENCH_restart.json baselines or drops out of the
-// tracked set. A chaos job runs the seeded torture matrix under the race
-// detector. A docs job keeps ARCHITECTURE.md linked (README + this file)
-// and its Go snippets parseable and gofmt-clean.
+// BENCH_restore.json / BENCH_restart.json / BENCH_server.json baselines
+// or drops out of the tracked set. A chaos job runs the seeded torture
+// matrix under the race detector, and the examples job smoke-runs
+// spfserver under a short spfload ramp. A docs job keeps ARCHITECTURE.md
+// linked (README + this file) and its Go snippets parseable and
+// gofmt-clean.
 package repro

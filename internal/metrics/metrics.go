@@ -1,0 +1,350 @@
+// Package metrics is a dependency-free Prometheus-text-format metrics
+// registry: counters, gauges, and latency histograms with fixed buckets,
+// plus scrape-time collectors for snapshot-style sources (the engine's
+// unified Metrics struct). One Registry backs both transports that expose
+// engine state — the HTTP /metrics endpoint (Handler) and the wire
+// protocol's STATS op (Render) — so a curl and a STATS frame always agree.
+//
+// The instruments are designed for hot paths: Counter.Inc, Gauge.Add, and
+// Histogram.Observe are single atomic operations with no allocation, so
+// the server's per-request accounting stays off the GC entirely.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for Prometheus semantics).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram in the Prometheus cumulative
+// style. Observations and bucket bounds are float64 (seconds, by the
+// latency convention of DefBuckets).
+type Histogram struct {
+	bounds []float64      // upper bounds, ascending; +Inf is implicit
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, updated by CAS
+}
+
+// DefBuckets spans 1µs to 10s — wide enough for an in-memory engine's
+// sub-µs hits and a recovery-stalled tail read.
+var DefBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value. Allocation-free.
+func (h *Histogram) Observe(v float64) {
+	// Binary search keeps tail cost O(log buckets) even for slow outliers.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) by linear interpolation
+// within the bucket that crosses it — the same estimate a Prometheus
+// histogram_quantile gives. Returns 0 with no observations; an estimate
+// that falls in the +Inf bucket reports the highest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= rank {
+			if i >= len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			return lower + (h.bounds[i]-lower)*(rank-float64(cum))/float64(c)
+		}
+		cum += c
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// metric kinds for TYPE lines.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// series is one registered instrument with its rendered label set.
+type series struct {
+	labels string // rendered `{k="v",...}` or ""
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups series sharing a metric name.
+type family struct {
+	name, help, kind string
+	series           []*series
+}
+
+// Emitter receives scrape-time values from a Collector. Emitted samples
+// render exactly like registered instruments but are not retained between
+// scrapes — right for snapshot sources whose counters live elsewhere.
+type Emitter struct {
+	b        *strings.Builder
+	families map[string]bool
+}
+
+// Counter emits one counter sample. labels alternate key, value.
+func (e *Emitter) Counter(name, help string, v float64, labels ...string) {
+	e.sample(name, help, kindCounter, v, labels)
+}
+
+// Gauge emits one gauge sample. labels alternate key, value.
+func (e *Emitter) Gauge(name, help string, v float64, labels ...string) {
+	e.sample(name, help, kindGauge, v, labels)
+}
+
+func (e *Emitter) sample(name, help, kind string, v float64, labels []string) {
+	if !e.families[name] {
+		e.families[name] = true
+		fmt.Fprintf(e.b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+	}
+	fmt.Fprintf(e.b, "%s%s %s\n", name, renderLabels(labels), formatValue(v))
+}
+
+// Registry holds instruments and collectors and renders them in the
+// Prometheus text exposition format.
+type Registry struct {
+	mu         sync.Mutex
+	families   []*family
+	byKey      map[string]*series // name + labels -> existing instrument
+	collectors []func(*Emitter)
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]*series)}
+}
+
+// Counter returns the counter registered under name and labels, creating
+// it on first use. labels alternate key, value and must be an even count.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	s := r.instrument(name, help, kindCounter, labels)
+	if s.c == nil {
+		s.c = &Counter{}
+	}
+	return s.c
+}
+
+// Gauge returns the gauge registered under name and labels, creating it on
+// first use.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	s := r.instrument(name, help, kindGauge, labels)
+	if s.g == nil {
+		s.g = &Gauge{}
+	}
+	return s.g
+}
+
+// Histogram returns the histogram registered under name and labels,
+// creating it with the given bucket bounds on first use (nil selects
+// DefBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	s := r.instrument(name, help, kindHistogram, labels)
+	if s.h == nil {
+		if bounds == nil {
+			bounds = DefBuckets
+		}
+		s.h = newHistogram(bounds)
+	}
+	return s.h
+}
+
+// RegisterCollector adds a scrape-time callback; its emissions are
+// appended to every Render after the registered instruments.
+func (r *Registry) RegisterCollector(fn func(*Emitter)) {
+	r.mu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.mu.Unlock()
+}
+
+func (r *Registry) instrument(name, help, kind string, labels []string) *series {
+	if len(labels)%2 != 0 {
+		panic("metrics: labels must alternate key, value")
+	}
+	rendered := renderLabels(labels)
+	key := name + rendered
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.byKey[key]; ok {
+		return s
+	}
+	var fam *family
+	for _, f := range r.families {
+		if f.name == name {
+			if f.kind != kind {
+				panic(fmt.Sprintf("metrics: %s registered as %s and %s", name, f.kind, kind))
+			}
+			fam = f
+			break
+		}
+	}
+	if fam == nil {
+		fam = &family{name: name, help: help, kind: kind}
+		r.families = append(r.families, fam)
+	}
+	s := &series{labels: rendered}
+	fam.series = append(fam.series, s)
+	r.byKey[key] = s
+	return s
+}
+
+// Render produces the registry's current state in the Prometheus text
+// exposition format (version 0.0.4).
+func (r *Registry) Render() []byte {
+	var b strings.Builder
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	colls := append([]func(*Emitter){}, r.collectors...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind)
+		for _, s := range f.series {
+			switch {
+			case s.c != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, s.labels, s.c.Value())
+			case s.g != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, s.labels, s.g.Value())
+			case s.h != nil:
+				renderHistogram(&b, f.name, s)
+			}
+		}
+	}
+	e := &Emitter{b: &b, families: make(map[string]bool)}
+	for _, fn := range colls {
+		fn(e)
+	}
+	return []byte(b.String())
+}
+
+func renderHistogram(b *strings.Builder, name string, s *series) {
+	h := s.h
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLabel(s.labels, "le", formatValue(bound)), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLabel(s.labels, "le", "+Inf"), cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, s.labels, formatValue(h.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, s.labels, h.Count())
+}
+
+// withLabel merges one extra label pair into an already-rendered label set.
+func withLabel(rendered, k, v string) string {
+	extra := fmt.Sprintf(`%s="%s"`, k, v)
+	if rendered == "" {
+		return "{" + extra + "}"
+	}
+	return strings.TrimSuffix(rendered, "}") + "," + extra + "}"
+}
+
+func renderLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	pairs := make([]string, 0, len(labels)/2)
+	for i := 0; i+1 < len(labels); i += 2 {
+		pairs = append(pairs, fmt.Sprintf(`%s="%s"`, labels[i], escapeLabel(labels[i+1])))
+	}
+	sort.Strings(pairs)
+	return "{" + strings.Join(pairs, ",") + "}"
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// formatValue renders a float the way Prometheus expects: integral values
+// without an exponent, everything else in compact form.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// Handler serves the registry in the text exposition format — the
+// /metrics endpoint.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write(r.Render())
+	})
+}

@@ -1,0 +1,142 @@
+package metrics
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("spf_requests_total", "Requests served.", "op", "get")
+	c.Add(3)
+	r.Counter("spf_requests_total", "Requests served.", "op", "put").Inc()
+	g := r.Gauge("spf_conns", "Open connections.")
+	g.Set(7)
+	g.Add(-2)
+
+	out := string(r.Render())
+	for _, want := range []string{
+		"# HELP spf_requests_total Requests served.",
+		"# TYPE spf_requests_total counter",
+		`spf_requests_total{op="get"} 3`,
+		`spf_requests_total{op="put"} 1`,
+		"# TYPE spf_conns gauge",
+		"spf_conns 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// One HELP/TYPE header per family, even with two series.
+	if strings.Count(out, "# TYPE spf_requests_total") != 1 {
+		t.Fatalf("duplicated family header:\n%s", out)
+	}
+	// Same name + labels returns the same instrument.
+	if r.Counter("spf_requests_total", "Requests served.", "op", "get").Value() != 3 {
+		t.Fatal("re-registration must return the existing counter")
+	}
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	for i := 0; i < 90; i++ {
+		h.Observe(0.005) // first bucket
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(0.05) // second bucket
+	}
+	h.Observe(5) // +Inf bucket
+
+	if h.Count() != 100 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-(90*0.005+9*0.05+5)) > 1e-9 {
+		t.Fatalf("sum %g", got)
+	}
+	// p50 interpolates inside the first bucket; p99 lands in the last
+	// finite region.
+	if q := h.Quantile(0.5); q <= 0 || q > 0.01 {
+		t.Fatalf("p50 %g outside first bucket", q)
+	}
+	if q := h.Quantile(0.999); q != 1 {
+		t.Fatalf("p99.9 %g, want clamp to highest finite bound", q)
+	}
+
+	out := string(r.Render())
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.01"} 90`,
+		`lat_seconds_bucket{le="0.1"} 99`,
+		`lat_seconds_bucket{le="1"} 99`,
+		`lat_seconds_bucket{le="+Inf"} 100`,
+		"lat_seconds_count 100",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCollectorAndHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("live_total", "Live counter.").Add(2)
+	r.RegisterCollector(func(e *Emitter) {
+		e.Gauge("snap_pages", "Snapshot gauge.", 42)
+		e.Counter("snap_hits_total", "Snapshot counter.", 9, "index", "users")
+	})
+
+	rec := httptest.NewRecorder()
+	Handler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	out := rec.Body.String()
+	for _, want := range []string{
+		"live_total 2",
+		"snap_pages 42",
+		`snap_hits_total{index="users"} 9`,
+		"# TYPE snap_pages gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("handler missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestConcurrentObserve exercises the atomic instruments under the race
+// detector.
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c")
+	h := r.Histogram("h_seconds", "h", nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(w) * 1e-6)
+				if i%100 == 0 {
+					r.Render()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 {
+		t.Fatalf("lost updates: c=%d h=%d", c.Value(), h.Count())
+	}
+}
+
+func TestAllocFreeHotPath(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c")
+	h := r.Histogram("h_seconds", "h", nil)
+	if a := testing.AllocsPerRun(1000, func() { c.Inc(); h.Observe(3e-6) }); a != 0 {
+		t.Fatalf("hot path allocates %.1f/op", a)
+	}
+}

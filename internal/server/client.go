@@ -1,0 +1,168 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Client is one wire-protocol connection. It is intentionally minimal —
+// a single request in flight, no pooling — because the load harness wants
+// thousands of independent clients, each cheap: two reused buffers, one
+// bufio reader, no goroutines.
+//
+// A Client is NOT safe for concurrent use. Returned values and scan
+// entries alias the client's internal read buffer and are valid only
+// until the next call.
+type Client struct {
+	c    net.Conn
+	br   *bufio.Reader
+	wbuf []byte
+	rbuf []byte
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(c), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(c net.Conn) *Client {
+	return &Client{
+		c:    c,
+		br:   bufio.NewReaderSize(c, 16<<10),
+		wbuf: make([]byte, 0, 1<<10),
+	}
+}
+
+// Close closes the connection.
+func (cl *Client) Close() error { return cl.c.Close() }
+
+// SetDeadline bounds every subsequent request round trip.
+func (cl *Client) SetDeadline(t time.Time) error { return cl.c.SetDeadline(t) }
+
+// roundTrip writes the frame staged in wbuf and reads one response,
+// returning the status and the body (aliasing rbuf).
+func (cl *Client) roundTrip() (Status, []byte, error) {
+	if _, err := cl.c.Write(cl.wbuf); err != nil {
+		return StatusErr, nil, err
+	}
+	frame, buf, err := readFrame(cl.br, cl.rbuf, maxResponseFrame)
+	cl.rbuf = buf
+	if err != nil {
+		return StatusErr, nil, err
+	}
+	return Status(frame[0]), frame[1:], nil
+}
+
+// statusErr turns a non-OK response into an error carrying the server's
+// diagnostic text.
+func statusErr(st Status, body []byte) error {
+	return fmt.Errorf("server: %s: %s", st, body)
+}
+
+// Get fetches key from index. A miss returns (nil, StatusNotFound, nil);
+// the error is reserved for transport and server failures.
+func (cl *Client) Get(index string, key []byte) ([]byte, Status, error) {
+	cl.wbuf = appendGetRequest(cl.wbuf[:0], index, key)
+	st, body, err := cl.roundTrip()
+	if err != nil {
+		return nil, st, err
+	}
+	switch st {
+	case StatusOK:
+		return body, st, nil
+	case StatusNotFound:
+		return nil, st, nil
+	default:
+		return nil, st, statusErr(st, body)
+	}
+}
+
+// Put upserts key=val in index. A nil error means the write committed —
+// the server acked it only after proving durability.
+func (cl *Client) Put(index string, key, val []byte) (Status, error) {
+	cl.wbuf = appendPutRequest(cl.wbuf[:0], index, key, val)
+	st, body, err := cl.roundTrip()
+	if err != nil {
+		return st, err
+	}
+	if st != StatusOK {
+		return st, statusErr(st, body)
+	}
+	return st, nil
+}
+
+// Del deletes key from index. A miss returns (StatusNotFound, nil).
+func (cl *Client) Del(index string, key []byte) (Status, error) {
+	cl.wbuf = appendDelRequest(cl.wbuf[:0], index, key)
+	st, body, err := cl.roundTrip()
+	if err != nil {
+		return st, err
+	}
+	switch st {
+	case StatusOK, StatusNotFound:
+		return st, nil
+	default:
+		return st, statusErr(st, body)
+	}
+}
+
+// ScanEntry is one key/value pair returned by Scan. Both slices alias the
+// client's read buffer.
+type ScanEntry struct {
+	Key   []byte
+	Value []byte
+}
+
+// Scan returns up to limit entries in [start, end) from index; a nil/empty
+// end scans to the index's end. Entries alias the read buffer.
+func (cl *Client) Scan(index string, start, end []byte, limit uint32) ([]ScanEntry, error) {
+	cl.wbuf = appendScanRequest(cl.wbuf[:0], index, start, end, limit)
+	st, body, err := cl.roundTrip()
+	if err != nil {
+		return nil, err
+	}
+	if st != StatusOK {
+		return nil, statusErr(st, body)
+	}
+	cur := &cursor{b: body}
+	n := int(cur.u32())
+	entries := make([]ScanEntry, 0, n)
+	for i := 0; i < n; i++ {
+		k := cur.bytes(int(cur.u16()))
+		v := cur.bytes(int(cur.u32()))
+		entries = append(entries, ScanEntry{Key: k, Value: v})
+	}
+	if !cur.done() {
+		return nil, fmt.Errorf("%w: scan body", ErrMalformed)
+	}
+	return entries, nil
+}
+
+// Stats returns the server's metrics rendering (Prometheus text format) —
+// byte-identical to a /metrics scrape at the same instant.
+func (cl *Client) Stats() ([]byte, error) {
+	cl.wbuf = appendBareRequest(cl.wbuf[:0], OpStats)
+	st, body, err := cl.roundTrip()
+	if err != nil {
+		return nil, err
+	}
+	if st != StatusOK {
+		return nil, statusErr(st, body)
+	}
+	return body, nil
+}
+
+// Ping round-trips a health check; the status reports the engine's
+// lifecycle state (StatusOK, StatusCrashed, StatusClosed).
+func (cl *Client) Ping() (Status, error) {
+	cl.wbuf = appendBareRequest(cl.wbuf[:0], OpPing)
+	st, _, err := cl.roundTrip()
+	return st, err
+}

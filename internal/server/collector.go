@@ -1,0 +1,95 @@
+package server
+
+import (
+	"repro/internal/metrics"
+	"repro/spf"
+)
+
+// RegisterEngineCollector wires the unified engine snapshot (spf.DB.Metrics)
+// into reg as a scrape-time collector: every subsystem counter renders as a
+// spf_* sample on each scrape, with no sampling goroutine and no second set
+// of counters to drift. Both the /metrics endpoint and the STATS wire op
+// render through the same registry, so they always agree.
+func RegisterEngineCollector(reg *metrics.Registry, db *spf.DB) {
+	reg.RegisterCollector(func(e *metrics.Emitter) {
+		m := db.Metrics()
+
+		e.Counter("spf_pool_hits_total", "Buffer pool hits.", float64(m.Pool.Hits))
+		e.Counter("spf_pool_misses_total", "Buffer pool misses.", float64(m.Pool.Misses))
+		e.Counter("spf_pool_evictions_total", "Buffer pool evictions.", float64(m.Pool.Evictions))
+		e.Counter("spf_pool_writes_total", "Buffer pool write-backs.", float64(m.Pool.Writes))
+		e.Counter("spf_pool_validation_failures_total", "Page validation failures on fetch.", float64(m.Pool.ValidationFailures))
+		e.Counter("spf_pool_recoveries_total", "Single-page recoveries triggered by fetch.", float64(m.Pool.Recoveries))
+		e.Counter("spf_pool_escalations_total", "Fetch failures escalated past repair.", float64(m.Pool.Escalations))
+
+		e.Counter("spf_device_reads_total", "Device page reads.", float64(m.Device.Reads))
+		e.Counter("spf_device_writes_total", "Device page writes.", float64(m.Device.Writes))
+		e.Counter("spf_device_read_errors_total", "Device read errors surfaced.", float64(m.Device.ReadErrors))
+		e.Counter("spf_device_corrupt_returns_total", "Corrupt images returned by the device.", float64(m.Device.CorruptReturns))
+		e.Counter("spf_device_lost_writes_total", "Writes dropped by fault injection.", float64(m.Device.LostWrites))
+		e.Counter("spf_device_torn_writes_total", "Writes torn by fault injection.", float64(m.Device.TornWrites))
+		e.Counter("spf_device_scrubs_total", "Scrub reads issued to the device.", float64(m.Device.Scrubs))
+
+		e.Counter("spf_wal_appends_total", "Log records appended.", float64(m.Log.Appends))
+		e.Counter("spf_wal_bytes_appended_total", "Log bytes appended.", float64(m.Log.BytesAppended))
+		e.Counter("spf_wal_flushes_total", "Explicit log flushes that did work.", float64(m.Log.Flushes))
+		e.Counter("spf_wal_forced_commits_total", "Commit-triggered log forces.", float64(m.Log.ForcedCommits))
+		e.Counter("spf_wal_group_commit_batches_total", "Group-commit flush batches.", float64(m.Log.GroupCommitBatches))
+		e.Counter("spf_wal_group_commit_waiters_total", "Commits served by group-commit batches.", float64(m.Log.GroupCommitWaiters))
+		e.Gauge("spf_wal_chain_pages", "Pages tracked by the per-page log-chain index.", float64(m.Log.ChainPages))
+
+		e.Counter("spf_txn_user_begun_total", "User transactions begun.", float64(m.Txns.UserBegun))
+		e.Counter("spf_txn_user_committed_total", "User transactions committed.", float64(m.Txns.UserCommitted))
+		e.Counter("spf_txn_user_aborted_total", "User transactions aborted.", float64(m.Txns.UserAborted))
+		e.Counter("spf_txn_updates_logged_total", "Update records logged by transactions.", float64(m.Txns.UpdatesLogged))
+
+		e.Counter("spf_recovery_recoveries_total", "Single-page recoveries completed.", float64(m.Recovery.Recoveries))
+		e.Counter("spf_recovery_records_applied_total", "Log records applied by single-page recovery.", float64(m.Recovery.RecordsApplied))
+		e.Counter("spf_recovery_escalations_total", "Single-page recoveries escalated.", float64(m.Recovery.Escalations))
+
+		e.Counter("spf_maintenance_flush_batches_total", "Background flush batches.", float64(m.Maintenance.FlushBatches))
+		e.Counter("spf_maintenance_pages_flushed_total", "Pages flushed by maintenance.", float64(m.Maintenance.PagesFlushed))
+		e.Counter("spf_maintenance_pages_scrubbed_total", "Pages scrubbed by the campaign.", float64(m.Maintenance.PagesScrubbed))
+		e.Counter("spf_maintenance_latent_found_total", "Latent faults found by scrubbing.", float64(m.Maintenance.LatentFound))
+		e.Counter("spf_maintenance_repaired_total", "Latent faults repaired.", float64(m.Maintenance.Repaired))
+		e.Counter("spf_maintenance_escalated_total", "Latent faults escalated.", float64(m.Maintenance.Escalated))
+		e.Gauge("spf_maintenance_scrub_rate", "Current adaptive scrub rate (pages/s).", float64(m.Maintenance.EffectiveScrubRate))
+
+		e.Counter("spf_restore_enqueued_total", "Restore tickets created.", float64(m.Restore.Enqueued))
+		e.Counter("spf_restore_coalesced_total", "Restore requests coalesced onto tickets.", float64(m.Restore.Coalesced))
+		e.Counter("spf_restore_urgent_total", "Urgent-priority restore requests.", float64(m.Restore.UrgentRequests))
+		e.Counter("spf_restore_promotions_total", "Background tickets promoted to urgent.", float64(m.Restore.Promotions))
+		e.Counter("spf_restore_repaired_total", "Restore tickets repaired.", float64(m.Restore.Repaired))
+		e.Counter("spf_restore_failed_total", "Restore tickets failed.", float64(m.Restore.Failed))
+		e.Gauge("spf_restore_pending", "Restore tickets waiting in the queue.", float64(m.Restore.Pending))
+		e.Gauge("spf_restore_in_flight", "Repairs currently executing.", float64(m.Restore.InFlight))
+
+		e.Gauge("spf_restart_redo_marked", "Pages flagged needs-redo by the last restart.", float64(m.RestartRedo.Marked))
+		e.Counter("spf_restart_redo_fast_total", "Marked pages redone from their on-disk image.", float64(m.RestartRedo.FastRedos))
+		e.Counter("spf_restart_redo_fallbacks_total", "Marked pages redone via full single-page recovery.", float64(m.RestartRedo.Fallbacks))
+		e.Gauge("spf_restart_redo_pending", "Needs-redo marks not yet redone.", float64(m.RestartRedo.Pending))
+
+		e.Gauge("spf_pri_ranges", "Page recovery index entries (range-compressed).", float64(m.PRI.Ranges))
+		e.Gauge("spf_pri_bytes", "Page recovery index footprint in bytes.", float64(m.PRI.Bytes))
+		e.Gauge("spf_pri_pages", "Logical pages covered by the page recovery index.", float64(m.PRI.Pages))
+		e.Gauge("spf_pages", "Logical pages in the database.", float64(m.Pages))
+		e.Gauge("spf_retired_slots", "Device slots retired after failures.", float64(m.RetiredSlots))
+		e.Gauge("spf_crashed", "1 while the database is crashed.", boolGauge(m.Crashed))
+		e.Gauge("spf_closed", "1 after the database is closed.", boolGauge(m.Closed))
+
+		for _, ix := range m.Indexes {
+			e.Counter("spf_index_splits_total", "Leaf/branch splits, per index.", float64(ix.Splits), "index", ix.Name)
+			e.Counter("spf_index_adoptions_total", "Foster-child adoptions, per index.", float64(ix.Adoptions), "index", ix.Name)
+			e.Counter("spf_index_root_grows_total", "Root growths, per index.", float64(ix.RootGrows), "index", ix.Name)
+			e.Counter("spf_index_optimistic_hits_total", "Latch-free descents completed, per index.", float64(ix.OptimisticHits), "index", ix.Name)
+			e.Counter("spf_index_optimistic_fallbacks_total", "Descents that fell back to latched reads, per index.", float64(ix.OptimisticFallbacks), "index", ix.Name)
+		}
+	})
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,278 @@
+// Package server is the engine's wire front end: a length-prefixed binary
+// KV protocol (GET/PUT/DEL/SCAN/STATS over a named index) served from a
+// goroutine-per-connection accept loop with a bounded worker pool,
+// per-request deadlines, and graceful drain — plus the matching Client
+// used by the load harness and the tests.
+//
+// # Wire format
+//
+// Every frame — request and response — is a big-endian uint32 length
+// followed by that many payload bytes. A request payload is
+//
+//	op:u8 nameLen:u8 name keyLen:u16 key [valLen:u32 val | endLen:u16 end limit:u32]
+//
+// (PING and STATS carry only the opcode). A response payload is
+//
+//	status:u8 body
+//
+// where body is the value (GET), the entry list (SCAN: count:u32 then
+// keyLen:u16 key valLen:u32 val per entry), the Prometheus text rendering
+// of the unified engine metrics snapshot (STATS), empty (PUT/DEL/PING), or
+// a human-readable message (any non-OK status). Engine errors map to
+// status codes via the spf error taxonomy (errors.Is on the exported
+// sentinels) — the wire layer never string-matches error text.
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Opcodes. The zero value is invalid so an all-zeroes frame is rejected.
+const (
+	OpGet uint8 = iota + 1
+	OpPut
+	OpDel
+	OpScan
+	OpStats
+	OpPing
+	opMax = OpPing
+)
+
+// OpName returns the mnemonic for an opcode (for metrics labels and logs).
+func OpName(op uint8) string {
+	switch op {
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpDel:
+		return "del"
+	case OpScan:
+		return "scan"
+	case OpStats:
+		return "stats"
+	case OpPing:
+		return "ping"
+	default:
+		return "invalid"
+	}
+}
+
+// Status is a response status code.
+type Status uint8
+
+// Response status codes, mapped from the spf error taxonomy.
+const (
+	// StatusOK is success.
+	StatusOK Status = iota
+	// StatusNotFound is a benign miss (spf.ErrNotFound).
+	StatusNotFound
+	// StatusExists rejects an insert over a live key (spf.ErrKeyExists).
+	StatusExists
+	// StatusBadRequest rejects a malformed frame or an unknown index.
+	StatusBadRequest
+	// StatusTimeout reports the per-request deadline expired before a
+	// worker picked the request up.
+	StatusTimeout
+	// StatusCrashed reports the database crashed (spf.ErrCrashed); the
+	// operator must Restart it.
+	StatusCrashed
+	// StatusClosed reports the database closed (spf.ErrClosed) or the
+	// server draining.
+	StatusClosed
+	// StatusCommitLost reports a write whose durability cannot be proven
+	// because a crash intervened (spf.ErrCommitLost): the client must NOT
+	// count it as acked.
+	StatusCommitLost
+	// StatusCorrupt reports a detected corruption or a failed repair
+	// (spf.ErrDetected, spf.ErrPageFailed).
+	StatusCorrupt
+	// StatusErr is any other engine error.
+	StatusErr
+	statusMax = StatusErr
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusNotFound:
+		return "not-found"
+	case StatusExists:
+		return "exists"
+	case StatusBadRequest:
+		return "bad-request"
+	case StatusTimeout:
+		return "timeout"
+	case StatusCrashed:
+		return "crashed"
+	case StatusClosed:
+		return "closed"
+	case StatusCommitLost:
+		return "commit-lost"
+	case StatusCorrupt:
+		return "corrupt"
+	case StatusErr:
+		return "error"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// Frame limits.
+const (
+	// DefaultMaxFrame caps request frames: an index name, a key, and a
+	// page-sized value fit with room to spare.
+	DefaultMaxFrame = 1 << 20
+	// maxResponseFrame caps response frames on the client side (SCAN and
+	// STATS bodies can far exceed request size).
+	maxResponseFrame = 64 << 20
+)
+
+// ErrFrameTooLarge rejects a frame whose length prefix exceeds the limit.
+var ErrFrameTooLarge = errors.New("server: frame exceeds size limit")
+
+// ErrMalformed rejects a structurally invalid payload.
+var ErrMalformed = errors.New("server: malformed frame")
+
+// readFrame reads one length-prefixed frame into buf (growing it as
+// needed) and returns the payload slice, which aliases buf. A zero-length
+// or over-limit prefix fails with ErrFrameTooLarge/ErrMalformed without
+// consuming the (unreadable) payload.
+func readFrame(r io.Reader, buf []byte, limit int) ([]byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, buf, err
+	}
+	n := int(binary.BigEndian.Uint32(hdr[:]))
+	if n == 0 {
+		return nil, buf, ErrMalformed
+	}
+	if n > limit {
+		return nil, buf, ErrFrameTooLarge
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, buf, err
+	}
+	return buf, buf, nil
+}
+
+// appendFrame finalizes a frame started with beginFrame by patching the
+// length prefix.
+func beginFrame(dst []byte) []byte { return append(dst, 0, 0, 0, 0) }
+
+func finishFrame(dst []byte) []byte {
+	binary.BigEndian.PutUint32(dst[:4], uint32(len(dst)-4))
+	return dst
+}
+
+func appendU16(dst []byte, v uint16) []byte { return binary.BigEndian.AppendUint16(dst, v) }
+func appendU32(dst []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(dst, v) }
+
+// cursor walks a request payload; decoding failures latch into fail and
+// surface as one ErrMalformed at the end, keeping per-field checks cheap.
+type cursor struct {
+	b    []byte
+	off  int
+	fail bool
+}
+
+func (c *cursor) u8() uint8 {
+	if c.off+1 > len(c.b) {
+		c.fail = true
+		return 0
+	}
+	v := c.b[c.off]
+	c.off++
+	return v
+}
+
+func (c *cursor) u16() uint16 {
+	if c.off+2 > len(c.b) {
+		c.fail = true
+		return 0
+	}
+	v := binary.BigEndian.Uint16(c.b[c.off:])
+	c.off += 2
+	return v
+}
+
+func (c *cursor) u32() uint32 {
+	if c.off+4 > len(c.b) {
+		c.fail = true
+		return 0
+	}
+	v := binary.BigEndian.Uint32(c.b[c.off:])
+	c.off += 4
+	return v
+}
+
+func (c *cursor) bytes(n int) []byte {
+	if n < 0 || c.off+n > len(c.b) {
+		c.fail = true
+		return nil
+	}
+	v := c.b[c.off : c.off+n]
+	c.off += n
+	return v
+}
+
+// done reports whether the payload parsed cleanly and was fully consumed.
+func (c *cursor) done() bool { return !c.fail && c.off == len(c.b) }
+
+// Request encoders, shared by Client and the tests. Each appends a
+// complete frame to dst and returns the extended slice.
+
+func appendGetRequest(dst []byte, index string, key []byte) []byte {
+	dst = beginFrame(dst)
+	dst = append(dst, OpGet, uint8(len(index)))
+	dst = append(dst, index...)
+	dst = appendU16(dst, uint16(len(key)))
+	dst = append(dst, key...)
+	return finishFrame(dst)
+}
+
+func appendPutRequest(dst []byte, index string, key, val []byte) []byte {
+	dst = beginFrame(dst)
+	dst = append(dst, OpPut, uint8(len(index)))
+	dst = append(dst, index...)
+	dst = appendU16(dst, uint16(len(key)))
+	dst = append(dst, key...)
+	dst = appendU32(dst, uint32(len(val)))
+	dst = append(dst, val...)
+	return finishFrame(dst)
+}
+
+func appendDelRequest(dst []byte, index string, key []byte) []byte {
+	dst = beginFrame(dst)
+	dst = append(dst, OpDel, uint8(len(index)))
+	dst = append(dst, index...)
+	dst = appendU16(dst, uint16(len(key)))
+	dst = append(dst, key...)
+	return finishFrame(dst)
+}
+
+func appendScanRequest(dst []byte, index string, start, end []byte, limit uint32) []byte {
+	dst = beginFrame(dst)
+	dst = append(dst, OpScan, uint8(len(index)))
+	dst = append(dst, index...)
+	dst = appendU16(dst, uint16(len(start)))
+	dst = append(dst, start...)
+	dst = appendU16(dst, uint16(len(end)))
+	dst = append(dst, end...)
+	dst = appendU32(dst, limit)
+	return finishFrame(dst)
+}
+
+func appendBareRequest(dst []byte, op uint8) []byte {
+	dst = beginFrame(dst)
+	dst = append(dst, op)
+	return finishFrame(dst)
+}

@@ -23,8 +23,8 @@ import (
 // Checkpoint takes a fuzzy checkpoint (§5.2.6) and returns the LSN of the
 // checkpoint-end record.
 func (db *DB) Checkpoint() (LSN, error) {
-	if db.isCrashed() {
-		return 0, ErrCrashed
+	if err := db.opErr(); err != nil {
+		return 0, err
 	}
 	if err := db.runDueBackups(); err != nil {
 		return 0, err
@@ -66,8 +66,8 @@ type BackupReport struct {
 // installed — and a page mutated after the flush is caught by IsDirty.
 func (db *DB) BackupNow() (uint64, BackupReport, error) {
 	var rep BackupReport
-	if db.isCrashed() {
-		return 0, rep, ErrCrashed
+	if err := db.opErr(); err != nil {
+		return 0, rep, err
 	}
 	// Flush everything so the backup captures a write-consistent state.
 	if err := db.pool.FlushAll(); err != nil {
@@ -136,8 +136,8 @@ func (db *DB) BackupNow() (uint64, BackupReport, error) {
 // policy might take such a copy after every 100 updates", §5.2.1) and
 // frees the superseded backup.
 func (db *DB) BackupPage(id PageID) error {
-	if db.isCrashed() {
-		return ErrCrashed
+	if err := db.opErr(); err != nil {
+		return err
 	}
 	// The backup must capture the durable state: flush first if dirty.
 	if db.pool.IsResident(id) {
@@ -235,8 +235,8 @@ type ScrubReport struct {
 // disabled) — a concurrent foreground fault on the same page coalesces
 // onto the scrub's repair instead of replaying the chain twice.
 func (db *DB) Scrub() (ScrubReport, error) {
-	if db.isCrashed() {
-		return ScrubReport{}, ErrCrashed
+	if err := db.opErr(); err != nil {
+		return ScrubReport{}, err
 	}
 	mapped := db.pmap.MappedSlots()
 	res := db.dev.Scrub(func(slot storage.PhysID) bool {
@@ -274,8 +274,11 @@ func (db *DB) RecoverPageNow(id PageID) (core.Report, error) {
 // log are flushed, and the group-commit flusher (if running) drains its
 // pending waiters and stops. A crashed database only stops the background
 // goroutines — its state is already frozen for Restart. Close is
-// idempotent.
+// idempotent. After Close, operations fail with ErrClosed.
 func (db *DB) Close() error {
+	db.mu.Lock()
+	db.closed = true
+	db.mu.Unlock()
 	db.stopRestore()
 	db.stopMaintenance()
 	if db.isCrashed() {
@@ -604,39 +607,32 @@ type Stats struct {
 	Retired     int
 }
 
-// Stats returns a snapshot of all engine counters.
+// Stats returns a snapshot of all engine counters. It is the historical
+// flat view of the unified Metrics snapshot and delegates to it.
 func (db *DB) Stats() Stats {
-	s := Stats{
-		Pool:      db.pool.Stats(),
-		Device:    db.dev.Stats(),
-		Log:       db.log.Stats(),
-		Txns:      db.txns.Stats(),
-		Recovery:  db.rec.Stats(),
-		PRIRanges: db.pri.RangeCount(),
-		PRIBytes:  db.pri.SizeBytes(),
-		PRIPages:  db.pri.PageCount(),
-		DBPages:   db.pmap.Len(),
-		Retired:   db.dev.RetiredCount(),
+	m := db.Metrics()
+	return Stats{
+		Pool:        m.Pool,
+		Device:      m.Device,
+		Log:         m.Log,
+		Txns:        m.Txns,
+		Recovery:    m.Recovery,
+		Maintenance: m.Maintenance,
+		Restore:     m.Restore,
+		PRIRanges:   m.PRI.Ranges,
+		PRIBytes:    m.PRI.Bytes,
+		PRIPages:    m.PRI.Pages,
+		DBPages:     m.Pages,
+		Retired:     m.RetiredSlots,
 	}
-	if db.maint != nil {
-		s.Maintenance = db.maint.Stats()
-	}
-	if db.sched != nil {
-		s.Restore = db.sched.Stats()
-	}
-	return s
 }
 
 // RestoreStats reports the repair scheduler's counters: tickets enqueued,
 // requests coalesced onto shared per-page futures, urgent promotions,
 // repairs completed/failed, busy requeues, and the pending/in-flight
 // gauges. Zero when the scheduler is disabled.
-func (db *DB) RestoreStats() restore.Stats {
-	if db.sched == nil {
-		return restore.Stats{}
-	}
-	return db.sched.Stats()
-}
+// Delegates to Metrics.
+func (db *DB) RestoreStats() restore.Stats { return db.Metrics().Restore }
 
 // DrainRestore blocks until the repair scheduler's queue is empty (every
 // scheduled repair completed) or the scheduler stops. After RecoverMedia
@@ -655,12 +651,8 @@ func (db *DB) DrainRestore() {
 // effective scrub rate — halved automatically while foreground write
 // pressure keeps the pool above the flushers' dirty watermark). Zero when
 // the service is disabled.
-func (db *DB) MaintenanceStats() maintenance.Stats {
-	if db.maint == nil {
-		return maintenance.Stats{}
-	}
-	return db.maint.Stats()
-}
+// Delegates to Metrics.
+func (db *DB) MaintenanceStats() maintenance.Stats { return db.Metrics().Maintenance }
 
 // KickMaintenance wakes the background flushers immediately (useful in
 // tests and before measuring a quiesced state). No-op when maintenance is

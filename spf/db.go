@@ -61,7 +61,13 @@ var (
 	// Callers must consult post-restart state before retrying.
 	ErrCommitLost   = wal.ErrCommitLost
 	ErrCrashed      = errors.New("spf: database is crashed; call Restart")
+	ErrClosed       = errors.New("spf: database is closed")
 	ErrUnknownIndex = errors.New("spf: unknown index")
+	// ErrNotFound is the canonical "key does not exist" sentinel — the
+	// benign miss every caller must distinguish from detection errors
+	// (ErrDetected) and failed repairs (ErrPageFailed). It aliases
+	// ErrKeyNotFound; both names satisfy errors.Is against either.
+	ErrNotFound = btree.ErrKeyNotFound
 )
 
 // DB is a single-device transactional storage engine with single-page
@@ -87,6 +93,7 @@ type DB struct {
 	updateCounts map[page.ID]int
 	backupsDue   map[page.ID]bool
 	crashed      bool
+	closed       bool
 
 	// Instant-restart needs-redo marks: pages whose on-disk image may be
 	// missing the tail of its per-page chain after a system failure, keyed
@@ -119,14 +126,8 @@ type RestartRedoStats struct {
 
 // RestartRedoStats returns a snapshot of the on-demand restart-redo
 // counters. All-zero for a DB that was not produced by an instant Restart.
-func (db *DB) RestartRedoStats() RestartRedoStats {
-	return RestartRedoStats{
-		Marked:    db.redoMarked.Load(),
-		FastRedos: db.redoFast.Load(),
-		Fallbacks: db.redoFull.Load(),
-		Pending:   db.redoCount.Load(),
-	}
-}
+// Delegates to Metrics.
+func (db *DB) RestartRedoStats() RestartRedoStats { return db.Metrics().RestartRedo }
 
 // installRedoMarks records the needs-redo set produced by restart
 // preparation. Called before the first fetch can observe the new DB.
@@ -586,8 +587,8 @@ func (u undoer) Undo(t *txn.Txn, rec *wal.Record) error {
 // installs it dirty in the pool, logs its format record under t, and
 // registers that record as the page's backup in the page recovery index.
 func (db *DB) AllocateNode(t *txn.Txn, typ page.Type, initialPayload []byte) (*buffer.Handle, error) {
-	if db.isCrashed() {
-		return nil, ErrCrashed
+	if err := db.opErr(); err != nil {
+		return nil, err
 	}
 	id := db.pmap.AllocateLogical()
 	h, err := db.pool.Create(id, typ)
@@ -622,8 +623,8 @@ func (db *DB) AllocateNode(t *txn.Txn, typ page.Type, initialPayload []byte) (*b
 
 // Fetch implements btree.Pager via the validating buffer pool.
 func (db *DB) Fetch(id page.ID) (*buffer.Handle, error) {
-	if db.isCrashed() {
-		return nil, ErrCrashed
+	if err := db.opErr(); err != nil {
+		return nil, err
 	}
 	return db.pool.Fetch(id)
 }
@@ -649,12 +650,39 @@ func (db *DB) isCrashed() bool {
 	return db.crashed
 }
 
+// Err reports the DB's lifecycle state without touching any data: nil
+// while the database is serving, ErrCrashed after Crash or FailDevice
+// (call Restart/RecoverMedia), ErrClosed after Close. Servers use it to
+// health-check without issuing an operation.
+func (db *DB) Err() error { return db.opErr() }
+
+// opErr gates public operations on the DB's lifecycle state: ErrCrashed
+// after Crash/FailDevice (call Restart/RecoverMedia), ErrClosed after a
+// clean Close. Crash dominates — a crashed DB that was then Closed still
+// reports ErrCrashed, since Restart remains the way forward.
+func (db *DB) opErr() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	switch {
+	case db.crashed:
+		return ErrCrashed
+	case db.closed:
+		return ErrClosed
+	default:
+		return nil
+	}
+}
+
 // CreateIndex creates a named Foster B-tree index.
 func (db *DB) CreateIndex(name string) (*Index, error) {
 	db.mu.Lock()
 	if db.crashed {
 		db.mu.Unlock()
 		return nil, ErrCrashed
+	}
+	if db.closed {
+		db.mu.Unlock()
+		return nil, ErrClosed
 	}
 	if _, ok := db.trees[name]; ok {
 		db.mu.Unlock()
@@ -722,6 +750,9 @@ func (db *DB) Index(name string) (*Index, error) {
 	if db.crashed {
 		return nil, ErrCrashed
 	}
+	if db.closed {
+		return nil, ErrClosed
+	}
 	if tr, ok := db.trees[name]; ok && tr != nil {
 		return &Index{db: db, tree: tr}, nil
 	}
@@ -764,8 +795,13 @@ func (ix *Index) Update(t *Txn, key, val []byte) error { return ix.tree.Update(t
 // Delete removes key under t (logically, via a ghost record).
 func (ix *Index) Delete(t *Txn, key []byte) error { return ix.tree.Delete(t, key) }
 
-// Get returns the value for key.
-func (ix *Index) Get(key []byte) ([]byte, error) { return ix.tree.Get(key) }
+// Get returns the value for key (ErrNotFound when absent).
+func (ix *Index) Get(key []byte) ([]byte, error) { return ix.GetTo(nil, key) }
+
+// GetTo is Get appending the value to dst and returning the extended
+// slice, so a caller reusing its buffer across lookups (the server's hot
+// read path) pays zero allocations on a resident hit. dst may be nil.
+func (ix *Index) GetTo(dst, key []byte) ([]byte, error) { return ix.tree.GetTo(dst, key) }
 
 // Scan visits live entries in [start, end) in key order.
 func (ix *Index) Scan(start, end []byte, fn func(Entry) bool) error {
@@ -797,6 +833,8 @@ func (ix *Index) Root() PageID { return ix.tree.Root() }
 
 // Counters reports cumulative structural changes (foster splits,
 // adoptions, root growths).
+// Delegates to Metrics.
 func (ix *Index) Counters() (splits, adoptions, rootGrows int64) {
-	return ix.tree.Counters()
+	m := ix.Metrics()
+	return m.Splits, m.Adoptions, m.RootGrows
 }

@@ -1,0 +1,127 @@
+package spf
+
+import (
+	"sort"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/maintenance"
+	"repro/internal/restore"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// Metrics is the unified engine snapshot: every subsystem's counters
+// gathered atomically enough for monitoring (each subsystem snapshot is
+// internally consistent; the struct as a whole is a point-in-time gather,
+// not a transaction). It is the single source behind the /metrics
+// Prometheus exporter and the wire protocol's STATS op; the historical
+// per-subsystem accessors (Stats, RestoreStats, MaintenanceStats,
+// RestartRedoStats, Index.Counters) all delegate to it.
+type Metrics struct {
+	// Pool, Device, Log, Txns, Recovery are the foreground engine layers.
+	Pool     buffer.Stats
+	Device   storage.Stats
+	Log      wal.Stats
+	Txns     txn.Stats
+	Recovery core.Stats
+	// Maintenance and Restore are the background services (zero when
+	// disabled); RestartRedo is the instant-restart needs-redo ledger
+	// (zero for a DB not produced by Restart).
+	Maintenance maintenance.Stats
+	Restore     restore.Stats
+	RestartRedo RestartRedoStats
+	// PRI sizes the page recovery index; Pages counts logical pages;
+	// RetiredSlots counts device slots retired after failures.
+	PRI          PRIMetrics
+	Pages        int
+	RetiredSlots int
+	// Crashed and Closed report the DB lifecycle state (see ErrCrashed,
+	// ErrClosed).
+	Crashed bool
+	Closed  bool
+	// Indexes holds one entry per registered index, sorted by name.
+	Indexes []IndexMetrics
+}
+
+// PRIMetrics sizes the page recovery index.
+type PRIMetrics struct {
+	// Ranges is the number of (possibly range-compressed) entries.
+	Ranges int
+	// Bytes is the approximate in-memory footprint.
+	Bytes int
+	// Pages is the number of logical pages covered.
+	Pages int
+}
+
+// IndexMetrics is the per-index slice of the snapshot: cumulative
+// structural churn plus the optimistic-descent outcome counters.
+type IndexMetrics struct {
+	Name string
+	Root PageID
+	// Splits, Adoptions, RootGrows count structural changes.
+	Splits    int64
+	Adoptions int64
+	RootGrows int64
+	// OptimisticHits and OptimisticFallbacks split point-read descents by
+	// whether they completed latch-free on the branch levels.
+	OptimisticHits      int64
+	OptimisticFallbacks int64
+}
+
+// Metrics returns the unified engine snapshot. It never fails: a crashed
+// or closed DB still reports its counters (with Crashed/Closed set), so
+// monitoring keeps working through failures — which is exactly when it
+// matters.
+func (db *DB) Metrics() Metrics {
+	m := Metrics{
+		Pool:     db.pool.Stats(),
+		Device:   db.dev.Stats(),
+		Log:      db.log.Stats(),
+		Txns:     db.txns.Stats(),
+		Recovery: db.rec.Stats(),
+		RestartRedo: RestartRedoStats{
+			Marked:    db.redoMarked.Load(),
+			FastRedos: db.redoFast.Load(),
+			Fallbacks: db.redoFull.Load(),
+			Pending:   db.redoCount.Load(),
+		},
+		PRI: PRIMetrics{
+			Ranges: db.pri.RangeCount(),
+			Bytes:  db.pri.SizeBytes(),
+			Pages:  db.pri.PageCount(),
+		},
+		Pages:        db.pmap.Len(),
+		RetiredSlots: db.dev.RetiredCount(),
+	}
+	if db.maint != nil {
+		m.Maintenance = db.maint.Stats()
+	}
+	if db.sched != nil {
+		m.Restore = db.sched.Stats()
+	}
+	db.mu.Lock()
+	m.Crashed = db.crashed
+	m.Closed = db.closed
+	for name, tr := range db.trees {
+		if tr == nil { // reserved by an in-flight CreateIndex
+			continue
+		}
+		im := IndexMetrics{Name: name, Root: tr.Root()}
+		im.Splits, im.Adoptions, im.RootGrows = tr.Counters()
+		im.OptimisticHits, im.OptimisticFallbacks = tr.OptimisticStats()
+		m.Indexes = append(m.Indexes, im)
+	}
+	db.mu.Unlock()
+	sort.Slice(m.Indexes, func(i, j int) bool { return m.Indexes[i].Name < m.Indexes[j].Name })
+	return m
+}
+
+// Metrics returns this index's slice of the DB snapshot.
+func (ix *Index) Metrics() IndexMetrics {
+	im := IndexMetrics{Name: ix.tree.Name(), Root: ix.tree.Root()}
+	im.Splits, im.Adoptions, im.RootGrows = ix.tree.Counters()
+	im.OptimisticHits, im.OptimisticFallbacks = ix.tree.OptimisticStats()
+	return im
+}
