@@ -812,3 +812,68 @@ func BenchmarkE31ServeDuringRestoreDrain(b *testing.B) {
 	b.Logf("pages=%d first-read=%dus reads-before-drain=%d/%d drain=%dms",
 		res.Pages, res.FirstReadNs/1e3, res.ReadsBeforeDrain, res.ReadsTotal, res.DrainNs/1e6)
 }
+
+// BenchmarkE32ArchivedChainReplay measures one page's full-chain replay —
+// the single-page-recovery read path — at equal history depth before and
+// after the log lifecycle moves that history (driver in
+// internal/walbench, shared with `spfbench -benchjson`). The baseline
+// chases prev-LSN pointers through the live log, each hop a full
+// interleave round away; the archived variant reads the page's span of a
+// sorted, page-partitioned run after every live segment was recycled.
+// Criterion: archived replay must be no slower than the live seek path
+// (1.5x margin for runner noise; it measures faster on the CI box),
+// because repair latency must not degrade when history ages out of RAM.
+func BenchmarkE32ArchivedChainReplay(b *testing.B) {
+	var archNs, liveNs int64
+	b.Run("archived-runs", func(b *testing.B) {
+		walbench.ChainReplay(b, true)
+		if b.N > 1 {
+			archNs = b.Elapsed().Nanoseconds() / int64(b.N)
+		}
+	})
+	b.Run("live-seek-baseline", func(b *testing.B) {
+		walbench.ChainReplay(b, false)
+		if b.N > 1 {
+			liveNs = b.Elapsed().Nanoseconds() / int64(b.N)
+		}
+	})
+	if archNs > 0 && liveNs > 0 {
+		if 2*archNs > 3*liveNs {
+			b.Fatalf("archived chain replay %dns/op slower than live seek %dns/op beyond noise",
+				archNs, liveNs)
+		}
+		b.Logf("chain depth %d: archived=%dus live=%dus (%.2fx)",
+			walbench.ChainDepth, archNs/1e3, liveNs/1e3, float64(liveNs)/float64(archNs))
+	}
+}
+
+// BenchmarkE33MediaRestoreReplay measures media-restore preparation —
+// every page's chain replayed — at equal history depth, live vs archived
+// (driver in internal/walbench, shared with `spfbench -benchjson`). This
+// is where the sorted, page-partitioned layout pays most: the live
+// variant re-seeks the interleaved log once per page, while the archived
+// variant reads each page's history as one sequential span.
+func BenchmarkE33MediaRestoreReplay(b *testing.B) {
+	var archNs, liveNs int64
+	b.Run("archived-runs", func(b *testing.B) {
+		walbench.MediaRestoreReplay(b, true)
+		if b.N > 1 {
+			archNs = b.Elapsed().Nanoseconds() / int64(b.N)
+		}
+	})
+	b.Run("live-seek-baseline", func(b *testing.B) {
+		walbench.MediaRestoreReplay(b, false)
+		if b.N > 1 {
+			liveNs = b.Elapsed().Nanoseconds() / int64(b.N)
+		}
+	})
+	if archNs > 0 && liveNs > 0 {
+		if 2*archNs > 3*liveNs {
+			b.Fatalf("archived restore replay %dns/op slower than live %dns/op beyond noise",
+				archNs, liveNs)
+		}
+		b.Logf("%d pages x depth %d: archived=%dms live=%dms (%.2fx)",
+			walbench.ChainPages, walbench.ChainDepth, archNs/1e6, liveNs/1e6,
+			float64(liveNs)/float64(archNs))
+	}
+}

@@ -15,8 +15,11 @@
 //	                              # restart first-read latency, E27
 //	                              # parallel redo drain, E28 resident
 //	                              # read throughput, E29 mixed-workload
-//	                              # optimistic fallback) and write
-//	                              # BENCH_*.json entries
+//	                              # optimistic fallback, E30 wire-server
+//	                              # throughput, E31 serving during a
+//	                              # restore drain, E32 archived chain
+//	                              # replay, E33 media-restore replay)
+//	                              # and write BENCH_*.json entries
 //	spfbench -benchcompare FILE -baselines A.json,B.json [-threshold 3]
 //	                              # compare a fresh -benchjson run against
 //	                              # the committed baselines; exit nonzero
@@ -458,6 +461,42 @@ func runBenchJSON(path string) error {
 		Ops: r.N, GoMaxProcs: runtime.GOMAXPROCS(0),
 		Metric: float64(sres.ReadsBeforeDrain), MetricName: "reads-before-drain",
 	})
+
+	// E32/E33: chain replay and media-restore prep at equal history depth,
+	// live-log pointer chase vs sorted archived runs after recycling. The
+	// metric is the live/archived speedup — ≥1.0 means moving history into
+	// the archive never slowed its replay.
+	lifecycle := []struct {
+		name     string
+		archived bool
+		driver   func(*testing.B, bool)
+	}{
+		{"BenchmarkE32ArchivedChainReplay/archived-runs", true, walbench.ChainReplay},
+		{"BenchmarkE32ArchivedChainReplay/live-seek-baseline", false, walbench.ChainReplay},
+		{"BenchmarkE33MediaRestoreReplay/archived-runs", true, walbench.MediaRestoreReplay},
+		{"BenchmarkE33MediaRestoreReplay/live-seek-baseline", false, walbench.MediaRestoreReplay},
+	}
+	lifecycleNs := map[string]float64{}
+	for _, v := range lifecycle {
+		v := v
+		r := benchLabeled(v.name, func(b *testing.B) { v.driver(b, v.archived) })
+		lifecycleNs[v.name] = float64(r.NsPerOp())
+		entries = append(entries, benchEntry{
+			Name:    v.name,
+			NsPerOp: float64(r.NsPerOp()), AllocsPerOp: r.AllocsPerOp(),
+			Ops: r.N, GoMaxProcs: runtime.GOMAXPROCS(0),
+		})
+	}
+	for i := range entries {
+		base, ok := strings.CutSuffix(entries[i].Name, "/archived-runs")
+		if !ok {
+			continue
+		}
+		if live := lifecycleNs[base+"/live-seek-baseline"]; live > 0 && entries[i].NsPerOp > 0 {
+			entries[i].Metric = live / entries[i].NsPerOp
+			entries[i].MetricName = "live/archived-speedup"
+		}
+	}
 
 	data, err := json.MarshalIndent(entries, "", "  ")
 	if err != nil {

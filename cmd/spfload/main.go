@@ -12,17 +12,30 @@
 // in-process experiment harness uses, so wire numbers and library numbers
 // describe the same workload.
 //
+// Soak mode (-soak) runs the same mixed load for the given duration while
+// sampling the server's /metrics endpoint once a second, and exits
+// nonzero if the bounded log lifecycle fails to hold: the live WAL
+// segment count must stay under -max-live-segments after warmup, and the
+// post-GC heap floor must stop growing (last-quarter floor within
+// -max-heap-growth of the steady-state floor). Point it at an spfserver
+// started with -lifecycle.
+//
 // Usage:
 //
 //	spfload -addr 127.0.0.1:7070 -clients 1000 -duration 30s -zipf 1.2
+//	spfload -addr 127.0.0.1:7070 -soak 2m -metrics-url http://127.0.0.1:7071/metrics
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,8 +57,16 @@ func main() {
 		zipfS    = flag.Float64("zipf", 0, "zipfian skew for read popularity (>1 enables; 0 = uniform)")
 		valueLen = flag.Int("value-len", 64, "written value size in bytes")
 		seed     = flag.Int64("seed", 1, "base RNG seed")
+
+		soak       = flag.Duration("soak", 0, "soak-test length; overrides -duration and enables the resource-bound watchdog")
+		metricsURL = flag.String("metrics-url", "http://127.0.0.1:7071/metrics", "spfserver metrics endpoint sampled by -soak")
+		maxSegs    = flag.Float64("max-live-segments", 16, "soak bound on spf_wal_live_segments after warmup")
+		maxHeap    = flag.Float64("max-heap-growth", 1.5, "soak bound: final-quarter heap floor / steady-state heap floor")
 	)
 	flag.Parse()
+	if *soak > 0 {
+		*duration = *soak
+	}
 
 	reg := metrics.NewRegistry()
 	readLat := reg.Histogram("load_read_seconds", "Read latency.", nil)
@@ -73,6 +94,11 @@ func main() {
 	}
 	privKey := func(c, slot int) []byte {
 		return []byte(fmt.Sprintf("load-c%05d-s%03d", c, slot))
+	}
+
+	var sampler *soakSampler
+	if *soak > 0 {
+		sampler = startSoakSampler(*metricsURL, time.Second)
 	}
 
 	stopAt := time.Now().Add(*ramp + *duration)
@@ -181,12 +207,165 @@ func main() {
 		secs(writeLat.Quantile(0.50)), secs(writeLat.Quantile(0.99)), secs(writeLat.Quantile(0.999)))
 	fmt.Printf("dropped acked writes: %d\n", dropped)
 
+	soakFailed := false
+	if sampler != nil {
+		soakFailed = sampler.finishAndEvaluate(*ramp, *maxSegs, *maxHeap)
+	}
+
 	if err, _ := firstErr.Load().(error); err != nil {
 		log.Printf("first error: %v", err)
 	}
-	if dropped > 0 || errsSeen.Load() > 0 {
+	if dropped > 0 || errsSeen.Load() > 0 || soakFailed {
 		os.Exit(1)
 	}
+}
+
+// soakSample is one scrape of the gauges the soak watchdog bounds.
+type soakSample struct {
+	at       time.Time
+	segments float64
+	heap     float64
+	paused   float64
+}
+
+// soakSampler polls the server's /metrics endpoint in the background.
+type soakSampler struct {
+	stop chan struct{}
+	done chan struct{}
+
+	mu         sync.Mutex
+	samples    []soakSample
+	scrapeErrs int
+}
+
+func startSoakSampler(url string, every time.Duration) *soakSampler {
+	s := &soakSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+			}
+			g, err := scrapeGauges(url,
+				"spf_wal_live_segments", "process_heap_alloc_bytes", "spf_archive_paused")
+			s.mu.Lock()
+			if err != nil {
+				s.scrapeErrs++
+			} else {
+				s.samples = append(s.samples, soakSample{
+					at:       time.Now(),
+					segments: g["spf_wal_live_segments"],
+					heap:     g["process_heap_alloc_bytes"],
+					paused:   g["spf_archive_paused"],
+				})
+			}
+			s.mu.Unlock()
+		}
+	}()
+	return s
+}
+
+// scrapeGauges fetches the named label-free samples from a Prometheus
+// text-format endpoint.
+func scrapeGauges(url string, names ...string) (map[string]float64, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	out := make(map[string]float64, len(names))
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i <= 0 || !want[line[:i]] {
+			continue
+		}
+		if v, err := strconv.ParseFloat(line[i+1:], 64); err == nil {
+			out[line[:i]] = v
+		}
+	}
+	return out, sc.Err()
+}
+
+// finishAndEvaluate stops sampling and applies the soak bounds. Returns
+// true when the run FAILED. The heap check compares post-GC floors (the
+// minimum within a window, robust to GC sawtooth): the floor of the final
+// quarter must stay within maxHeapGrowth of the steady-state floor. The
+// segment check is absolute: a lifecycle that recycles keeps the live
+// chunk count flat regardless of how much history the run writes.
+func (s *soakSampler) finishAndEvaluate(ramp time.Duration, maxSegs, maxHeapGrowth float64) bool {
+	close(s.stop)
+	<-s.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.scrapeErrs > 0 {
+		log.Printf("soak: %d metrics scrapes failed", s.scrapeErrs)
+	}
+	if len(s.samples) == 0 {
+		log.Printf("soak: FAIL: no metrics samples (is -metrics-url right and the server up?)")
+		return true
+	}
+	// Warmup: the ramp plus a quarter of the measured window — pool fill,
+	// first checkpoints, first archive runs.
+	cut := s.samples[0].at.Add(ramp)
+	warm := s.samples
+	for len(warm) > 0 && warm[0].at.Before(cut) {
+		warm = warm[1:]
+	}
+	if n := len(warm); n >= 8 {
+		warm = warm[n/4:]
+	}
+	if len(warm) < 4 {
+		log.Printf("soak: FAIL: only %d post-warmup samples; run longer (-soak)", len(warm))
+		return true
+	}
+	failed := false
+	var maxSeg, pausedSecs float64
+	for _, smp := range warm {
+		if smp.segments > maxSeg {
+			maxSeg = smp.segments
+		}
+		pausedSecs += smp.paused
+	}
+	if maxSeg > maxSegs {
+		log.Printf("soak: FAIL: live WAL segments peaked at %.0f > bound %.0f — recycling is not keeping up", maxSeg, maxSegs)
+		failed = true
+	}
+	floorOf := func(part []soakSample) float64 {
+		f := part[0].heap
+		for _, smp := range part[1:] {
+			if smp.heap < f {
+				f = smp.heap
+			}
+		}
+		return f
+	}
+	steady := floorOf(warm[:len(warm)/2])
+	final := floorOf(warm[len(warm)-len(warm)/4:])
+	if steady > 0 && final > steady*maxHeapGrowth {
+		log.Printf("soak: FAIL: heap floor grew %.0f → %.0f bytes (×%.2f > ×%.2f bound)",
+			steady, final, final/steady, maxHeapGrowth)
+		failed = true
+	}
+	fmt.Printf("soak: samples=%d live-segments-max=%.0f heap-floor=%.1fMiB→%.1fMiB archive-paused-secs=%.0f\n",
+		len(warm), maxSeg, steady/(1<<20), final/(1<<20), pausedSecs)
+	if !failed {
+		log.Printf("soak: bounds held")
+	}
+	return failed
 }
 
 func secs(s float64) string {

@@ -47,17 +47,32 @@ func main() {
 
 		workers  = flag.Int("workers", 128, "request worker pool size")
 		reqTimeo = flag.Duration("request-timeout", 5*time.Second, "per-request deadline")
+
+		lifecycle = flag.Bool("lifecycle", false, "enable the bounded log lifecycle (archive + segment recycling)")
+		archSeg   = flag.Int64("archive-segment", 256<<10, "archive run granularity in bytes")
+		archInt   = flag.Duration("archive-interval", 25*time.Millisecond, "background archiver cadence")
+		ckptInt   = flag.Duration("checkpoint-interval", 2*time.Second, "periodic checkpoint cadence with -lifecycle (0 disables)")
+		backupInt = flag.Duration("backup-interval", 15*time.Second, "periodic full-backup cadence with -lifecycle (0 disables)")
 	)
 	flag.Parse()
 
-	db, err := spf.Open(spf.Options{
+	opts := spf.Options{
 		PageSize:            *pageSize,
 		DataSlots:           *dataSlots,
 		PoolFrames:          *poolFrames,
 		GroupCommitWindow:   *groupWin,
 		BackupEveryNUpdates: *backupN,
 		Maintenance:         spf.MaintenanceOptions{Enabled: *maint},
-	})
+	}
+	if *lifecycle {
+		opts.Lifecycle = spf.LifecycleOptions{
+			Enabled:      true,
+			SegmentBytes: *archSeg,
+			Interval:     *archInt,
+			Logf:         log.Printf,
+		}
+	}
+	db, err := spf.Open(opts)
 	if err != nil {
 		log.Fatalf("open: %v", err)
 	}
@@ -99,10 +114,49 @@ func main() {
 		log.Printf("preloaded %d keys into %q", *preload, names[0])
 	}
 
+	// The lifecycle needs horizons to advance or nothing ever recycles:
+	// periodic checkpoints move the redo horizon, periodic full backups
+	// move the archive-release horizon.
+	stopDrivers := make(chan struct{})
+	driversDone := make(chan struct{})
+	if *lifecycle && (*ckptInt > 0 || *backupInt > 0) {
+		go func() {
+			defer close(driversDone)
+			var ck, bk <-chan time.Time
+			if *ckptInt > 0 {
+				t := time.NewTicker(*ckptInt)
+				defer t.Stop()
+				ck = t.C
+			}
+			if *backupInt > 0 {
+				t := time.NewTicker(*backupInt)
+				defer t.Stop()
+				bk = t.C
+			}
+			for {
+				select {
+				case <-stopDrivers:
+					return
+				case <-ck:
+					if _, err := db.Checkpoint(); err != nil {
+						log.Printf("checkpoint: %v", err)
+					}
+				case <-bk:
+					if _, _, err := db.BackupNow(); err != nil {
+						log.Printf("backup: %v", err)
+					}
+				}
+			}
+		}()
+	} else {
+		close(driversDone)
+	}
+
 	srv := server.New(db, server.Config{
 		Workers:        *workers,
 		RequestTimeout: *reqTimeo,
 	})
+	server.RegisterRuntimeCollector(srv.Registry())
 
 	if *metricsAddr != "" {
 		mux := http.NewServeMux()
@@ -145,10 +199,13 @@ func main() {
 		log.Printf("shutdown: %v", err)
 	}
 	<-serveDone
+	close(stopDrivers)
+	<-driversDone
 	m := db.Metrics()
 	if err := db.Close(); err != nil {
 		log.Printf("close: %v", err)
 	}
-	fmt.Printf("served: commits=%d pool-hits=%d pool-misses=%d pages=%d\n",
-		m.Txns.UserCommitted, m.Pool.Hits, m.Pool.Misses, m.Pages)
+	fmt.Printf("served: commits=%d pool-hits=%d pool-misses=%d pages=%d live-segments=%d archived-runs=%d\n",
+		m.Txns.UserCommitted, m.Pool.Hits, m.Pool.Misses, m.Pages,
+		m.Log.LiveSegments, m.Archive.RunsWritten)
 }

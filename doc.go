@@ -40,11 +40,13 @@
 // The write/commit side scales the same way:
 //
 //   - internal/wal appends with a reserve-then-fill protocol: one atomic
-//     add reserves the record's LSN range in a chunked, never-moving
-//     segment buffer, the record is encoded outside any lock, and a
-//     bounded CAS (with a parked-range handoff rather than an unbounded
-//     spin) publishes the contiguous ready prefix in LSN order (see
-//     BenchmarkE19ParallelAppend);
+//     add reserves the record's LSN range in a chunked segment buffer
+//     whose chunks never move while referenced (the log lifecycle below
+//     recycles whole chunks once their history is archived, so the
+//     buffer is bounded, not append-forever), the record is encoded
+//     outside any lock, and a bounded CAS (with a parked-range handoff
+//     rather than an unbounded spin) publishes the contiguous ready
+//     prefix in LSN order (see BenchmarkE19ParallelAppend);
 //   - commits coalesce: with spf.Options.GroupCommitWindow set, every
 //     ForceForCommit parks on a flush group served by one flusher
 //     goroutine, folding concurrent commits into a single sequential
@@ -281,7 +283,8 @@
 // The claim "no acked commit is lost under any crash schedule" is
 // enforced by internal/chaos, a deterministic crash-point harness: named
 // points (wal.publish, wal.truncate, buffer.writeback, restore.complete,
-// restart.prep, recovery.checkpoint) thread the engine's riskiest windows
+// restart.prep, recovery.checkpoint, wal.archive.seal, wal.archive.write,
+// wal.recycle) thread the engine's riskiest windows
 // as bare chaos.At calls — one atomic load when disarmed — and tests arm
 // a point with the
 // 1-based hit count at which its action fires, so a seeded workload
@@ -291,6 +294,34 @@
 // mid-crash and mid-restart so single-page recovery runs inside system
 // recovery, and asserts every acked commit survives, losers vanish, the
 // tree verifies clean, and shutdown leaks no goroutines.
+//
+// # Log lifecycle
+//
+// The log is bounded, not append-forever. With spf.Options.Lifecycle
+// enabled, a background archiver (internal/archive) drains flushed
+// segments into runs sorted and partitioned by page — each run carries a
+// per-page span index and an LSN permutation — so a chain replay over
+// archived history is a sequential span scan instead of a seek per
+// record (BenchmarkE32 asserts archived replay is no slower than the
+// live seek path at equal depth; BenchmarkE33 shows media-restore prep
+// over sorted runs is measurably faster). Once history is both
+// checkpoint-covered and durably archived, live chunks recycle into a
+// free pool and the chain index is pruned to archived-run references;
+// reads below the truncation boundary fall back to the archive through
+// a bounded-retry reader, and a newer full backup lets the archive
+// release runs nothing can reach (clamped by the oldest active
+// transaction and the oldest log-backed backup reference). The ordering
+// is crash-safe — the archive cursor advances only on a run's atomic
+// commit and recycling only follows archiving, so a crash between
+// archive-write and recycle just re-archives idempotently (the
+// wal.archive.seal / wal.archive.write / wal.recycle crash points run in
+// the torture matrix). Archive device faults degrade gracefully: bounded
+// retry with backoff, then the lifecycle pauses (the live log grows, the
+// spf_archive_paused gauge and a log line say so) until the device
+// recovers — unarchived history is never truncated. cmd/spfload -soak
+// is the executable proof of "bounded forever": sustained mixed load
+// sampling the live-segment gauge and the process heap, exiting nonzero
+// if either grows past its bound.
 //
 // # Serving layer and unified metrics
 //
@@ -320,13 +351,15 @@
 // over a real socket while the media-restore backlog drains.
 //
 // CI runs a benchmark-regression gate on every PR: `spfbench -benchjson`
-// regenerates the tracked set (E19-E31) and `spfbench -benchcompare`
+// regenerates the tracked set (E19-E33) and `spfbench -benchcompare`
 // fails the build if any entry regresses more than 3x against the
 // committed BENCH_wal.json / BENCH_maintenance.json / BENCH_btree.json /
-// BENCH_restore.json / BENCH_restart.json / BENCH_server.json baselines
-// or drops out of the tracked set. A chaos job runs the seeded torture
-// matrix under the race detector, and the examples job smoke-runs
-// spfserver under a short spfload ramp. A docs job keeps ARCHITECTURE.md
-// linked (README + this file) and its Go snippets parseable and
-// gofmt-clean.
+// BENCH_restore.json / BENCH_restart.json / BENCH_server.json /
+// BENCH_lifecycle.json baselines or drops out of the tracked set. A
+// chaos job runs the seeded torture matrix under the race detector, the
+// examples job smoke-runs spfserver under a short spfload ramp, and a
+// soak job runs spfserver with the log lifecycle on under sustained
+// spfload -soak traffic, failing if the live-segment count or the heap
+// floor escapes its bound. A docs job keeps ARCHITECTURE.md linked
+// (README + this file) and its Go snippets parseable and gofmt-clean.
 package repro

@@ -1,0 +1,546 @@
+// Package archive implements the sorted, page-partitioned log archive
+// that bounds the live log (ROADMAP item 2; "Instant restore after a
+// media failure", Sauer et al.).
+//
+// The live WAL keeps only recent history; everything older is drained
+// into immutable runs. Each run covers a contiguous LSN range, stores the
+// records physically partitioned and sorted by (pageID, LSN), and carries
+// an index block of per-page spans — so a per-page chain replay reads one
+// sequential span instead of paying a seek per record, which is the whole
+// point of archiving for single-page recovery and media restore. A
+// per-page summary (head, tail, length) is folded in as runs append, so
+// the wal chain index can prune entries whose history left the live log
+// and still answer ChainHead/Chains for them.
+//
+// The Store is the device model: writes and reads charge the simulated
+// I/O clock and honor injected faults (FailWrites/FailReads), mirroring
+// internal/storage's fault style. Reader wraps the store with bounded
+// retry + backoff and implements wal.ArchiveReader; the Archiver
+// (archiver.go) owns the write-side policy.
+package archive
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/iosim"
+	"repro/internal/page"
+	"repro/internal/wal"
+)
+
+// Errors returned by archive operations.
+var (
+	// ErrArchiveIO is a simulated archive device fault (transient unless
+	// armed sticky). The Reader and the Archiver retry it with backoff.
+	ErrArchiveIO = errors.New("archive: simulated device fault")
+	// ErrNotArchived reports an LSN outside every archived run.
+	ErrNotArchived = errors.New("archive: record not archived")
+	// ErrNotContiguous reports an AppendRun that would leave an LSN gap.
+	ErrNotContiguous = errors.New("archive: run not contiguous with archived history")
+	// ErrReleased reports a read below the release low-water mark: that
+	// history was dropped because no recovery path can need it anymore.
+	ErrReleased = errors.New("archive: history released")
+)
+
+// Stats is a snapshot of archive activity.
+type Stats struct {
+	// Currently retained.
+	Runs    int64
+	Records int64
+	Bytes   int64
+	// Cumulative.
+	RunsWritten     int64
+	RecordsArchived int64
+	BytesArchived   int64
+	ReleasedRuns    int64
+	ReleasedBytes   int64
+	Reads           int64 // records served to readers
+	WriteFaults     int64
+	ReadFaults      int64
+	Retries         int64 // faulted operations retried by readers/archiver
+	// ArchivedLSN is the exclusive upper bound of archived history;
+	// ReleasedLSN the exclusive bound of dropped history.
+	ArchivedLSN page.LSN
+	ReleasedLSN page.LSN
+	// Paused is set (by the archiver) while the archive device is
+	// unavailable and recycling is therefore suspended.
+	Paused bool
+}
+
+// entry locates one record inside a run's page-partitioned data block.
+type entry struct {
+	lsn  page.LSN
+	pg   page.ID
+	prev page.LSN // PagePrevLSN, for chain walks without a decode
+	off  int32
+	size int32
+}
+
+// pageSpan is one index-block entry: the contiguous slice of a run's
+// entries (and data bytes) belonging to one page.
+type pageSpan struct {
+	pg           page.ID
+	start, count int32
+}
+
+// Run is one immutable archived segment: records for LSNs [lo, hi),
+// physically laid out in (pageID, LSN) order with a per-page index block,
+// plus an LSN-order permutation for sequential replays.
+type Run struct {
+	lo, hi page.LSN
+	data   []byte
+	byPage []entry
+	pages  []pageSpan // index block, sorted by pageID
+	lsnIdx []int32    // indices into byPage, ascending LSN
+}
+
+// pageChain is the per-page archived-chain summary.
+type pageChain struct {
+	head, tail page.LSN
+	n          int64
+}
+
+// Store is the archive device: a set of contiguous sorted runs plus the
+// per-page summary index. Safe for concurrent use.
+type Store struct {
+	clock *iosim.Clock
+
+	mu       sync.RWMutex
+	runs     []*Run
+	upTo     page.LSN // next LSN to archive (== runs[last].hi)
+	released page.LSN // exclusive bound of dropped history
+	heads    map[page.ID]pageChain
+	records  int64
+	bytes    int64
+
+	// Fault injection: counts of upcoming operations to fail (-1 = every
+	// operation until cleared), in internal/storage's injected style.
+	failW atomic.Int32
+	failR atomic.Int32
+
+	runsWritten   atomic.Int64
+	recsArchived  atomic.Int64
+	bytesArchived atomic.Int64
+	releasedRuns  atomic.Int64
+	releasedBytes atomic.Int64
+	reads         atomic.Int64
+	writeFaults   atomic.Int64
+	readFaults    atomic.Int64
+	retries       atomic.Int64
+}
+
+// NewStore creates an empty archive whose history begins at start
+// (wal.FirstLSN() for a log archived from birth), charging I/O against
+// profile.
+func NewStore(profile iosim.Profile, start page.LSN) *Store {
+	return &Store{
+		clock:    iosim.NewClock(profile),
+		upTo:     start,
+		released: start,
+		heads:    make(map[page.ID]pageChain),
+	}
+}
+
+// Clock returns the archive device's simulated-time clock.
+func (s *Store) Clock() *iosim.Clock { return s.clock }
+
+// ArchivedUpTo returns the exclusive upper bound of durably archived
+// history: the next run must begin exactly here.
+func (s *Store) ArchivedUpTo() page.LSN {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.upTo
+}
+
+// Released returns the exclusive bound of history dropped by ReleaseBelow.
+func (s *Store) Released() page.LSN {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.released
+}
+
+// FailWrites arms the next n run writes to fail with ErrArchiveIO
+// (n < 0: every write until FailWrites(0)).
+func (s *Store) FailWrites(n int) { s.failW.Store(int32(n)) }
+
+// FailReads arms the next n read operations to fail with ErrArchiveIO
+// (n < 0: every read until FailReads(0)).
+func (s *Store) FailReads(n int) { s.failR.Store(int32(n)) }
+
+// consume takes one armed fault, if any.
+func consume(f *atomic.Int32) bool {
+	for {
+		v := f.Load()
+		if v == 0 {
+			return false
+		}
+		if v < 0 {
+			return true
+		}
+		if f.CompareAndSwap(v, v-1) {
+			return true
+		}
+	}
+}
+
+// AppendRun archives recs — records in ascending LSN order continuing
+// exactly at ArchivedUpTo — as one sorted, page-partitioned run. Records
+// below the archived horizon are skipped, which makes re-archiving after
+// a crash between archive-write and recycle idempotent: the caller simply
+// re-reads from its (stale) cursor and the overlap is dropped here. The
+// commit of the run is atomic under the store lock: a crash can only ever
+// observe the horizon before or after the whole run.
+func (s *Store) AppendRun(recs []*wal.Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(recs) > 0 && recs[0].LSN < s.upTo {
+		recs = recs[1:]
+	}
+	if len(recs) == 0 {
+		return nil
+	}
+	if recs[0].LSN != s.upTo {
+		return fmt.Errorf("%w: run starts at %d, archived up to %d",
+			ErrNotContiguous, recs[0].LSN, s.upTo)
+	}
+	if consume(&s.failW) {
+		s.writeFaults.Add(1)
+		return ErrArchiveIO
+	}
+
+	// Partition: stable-sort record indices by (page, LSN), lay the data
+	// out in that order so one page's history is physically contiguous,
+	// and keep the LSN-order permutation for sequential replays.
+	order := make([]int, len(recs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ra, rb := recs[order[a]], recs[order[b]]
+		if ra.PageID != rb.PageID {
+			return ra.PageID < rb.PageID
+		}
+		return ra.LSN < rb.LSN
+	})
+	run := &Run{
+		lo:     recs[0].LSN,
+		byPage: make([]entry, 0, len(recs)),
+		lsnIdx: make([]int32, len(recs)),
+	}
+	last := recs[len(recs)-1]
+	run.hi = last.LSN + page.LSN(wal.RecordSize(last))
+	for _, i := range order {
+		rec := recs[i]
+		blob := wal.EncodeRecord(rec)
+		e := entry{
+			lsn:  rec.LSN,
+			pg:   rec.PageID,
+			prev: rec.PagePrevLSN,
+			off:  int32(len(run.data)),
+			size: int32(len(blob)),
+		}
+		run.data = append(run.data, blob...)
+		if n := len(run.pages); n == 0 || run.pages[n-1].pg != rec.PageID {
+			run.pages = append(run.pages, pageSpan{pg: rec.PageID, start: int32(len(run.byPage))})
+		}
+		run.pages[len(run.pages)-1].count++
+		run.byPage = append(run.byPage, e)
+	}
+	// byPage index of each record, in original (LSN) order.
+	pos := make([]int32, len(recs))
+	for bi, i := range order {
+		pos[i] = int32(bi)
+	}
+	copy(run.lsnIdx, pos)
+	s.clock.Sequential(int64(len(run.data)))
+
+	s.runs = append(s.runs, run)
+	s.upTo = run.hi
+	s.records += int64(len(recs))
+	s.bytes += int64(len(run.data))
+	s.runsWritten.Add(1)
+	s.recsArchived.Add(int64(len(recs)))
+	s.bytesArchived.Add(int64(len(run.data)))
+	s.foldHeadsLocked(recs)
+	return nil
+}
+
+// foldHeadsLocked folds chain records into the per-page summary, with the
+// same reset-on-format rule the live chain index uses.
+func (s *Store) foldHeadsLocked(recs []*wal.Record) {
+	for _, rec := range recs {
+		switch rec.Type {
+		case wal.TypeUpdate, wal.TypeCLR, wal.TypeFormat:
+		default:
+			continue
+		}
+		if rec.PageID == page.InvalidID {
+			continue
+		}
+		pc, ok := s.heads[rec.PageID]
+		if !ok || rec.PagePrevLSN == page.ZeroLSN {
+			s.heads[rec.PageID] = pageChain{head: rec.LSN, tail: rec.LSN, n: 1}
+			continue
+		}
+		pc.head = rec.LSN
+		pc.n++
+		s.heads[rec.PageID] = pc
+	}
+}
+
+// runFor returns the run containing lsn, or nil. Caller holds mu.
+func (s *Store) runFor(lsn page.LSN) *Run {
+	i := sort.Search(len(s.runs), func(i int) bool { return s.runs[i].hi > lsn })
+	if i < len(s.runs) && s.runs[i].lo <= lsn {
+		return s.runs[i]
+	}
+	return nil
+}
+
+// span returns the run's index-block span for pg, or false.
+func (r *Run) span(pg page.ID) (pageSpan, bool) {
+	i := sort.Search(len(r.pages), func(i int) bool { return r.pages[i].pg >= pg })
+	if i < len(r.pages) && r.pages[i].pg == pg {
+		return r.pages[i], true
+	}
+	return pageSpan{}, false
+}
+
+// find returns the position of lsn within the span's entries, or false.
+func (r *Run) find(sp pageSpan, lsn page.LSN) (int, bool) {
+	ents := r.byPage[sp.start : sp.start+sp.count]
+	i := sort.Search(len(ents), func(i int) bool { return ents[i].lsn >= lsn })
+	if i < len(ents) && ents[i].lsn == lsn {
+		return i, true
+	}
+	return 0, false
+}
+
+// decode parses the record at e. The payload aliases the run's data.
+func (r *Run) decode(e entry) (*wal.Record, error) {
+	rec, _, err := wal.DecodeRecord(e.lsn, r.data[e.off:e.off+e.size])
+	return rec, err
+}
+
+// ReadRecord returns an independent copy of the archived record at lsn,
+// charging one random archive I/O (a point lookup, not a run scan).
+func (s *Store) ReadRecord(lsn page.LSN) (*wal.Record, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if lsn < s.released {
+		return nil, fmt.Errorf("%w: %d", ErrReleased, lsn)
+	}
+	run := s.runFor(lsn)
+	if run == nil {
+		return nil, fmt.Errorf("%w: %d", ErrNotArchived, lsn)
+	}
+	if consume(&s.failR) {
+		s.readFaults.Add(1)
+		return nil, ErrArchiveIO
+	}
+	// The LSN permutation finds the entry without knowing the page.
+	idx := run.lsnIdx
+	i := sort.Search(len(idx), func(i int) bool { return run.byPage[idx[i]].lsn >= lsn })
+	if i >= len(idx) || run.byPage[idx[i]].lsn != lsn {
+		return nil, fmt.Errorf("%w: %d", ErrNotArchived, lsn)
+	}
+	e := run.byPage[idx[i]]
+	rec, err := run.decode(e)
+	if err != nil {
+		return nil, err
+	}
+	rec.Payload = append([]byte(nil), rec.Payload...)
+	s.clock.Random(int64(e.size))
+	s.reads.Add(1)
+	return rec, nil
+}
+
+// WalkChain follows the per-page chain backwards from start until (and
+// excluding) records at or below stopAfter, newest first. Because each
+// run stores a page's records contiguously, the walk is charged as
+// sequential I/O — the archived replay is a run scan, not a seek chain.
+// Returned records own their payloads.
+func (s *Store) WalkChain(start, stopAfter page.LSN, pageID page.ID) ([]*wal.Record, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if consume(&s.failR) {
+		s.readFaults.Add(1)
+		return nil, ErrArchiveIO
+	}
+	var chain []*wal.Record
+	lsn := start
+	for lsn != page.ZeroLSN && lsn > stopAfter {
+		if lsn < s.released {
+			return nil, fmt.Errorf("%w: chain for page %d descends to %d", ErrReleased, pageID, lsn)
+		}
+		run := s.runFor(lsn)
+		if run == nil {
+			return nil, fmt.Errorf("%w: chain for page %d at %d", ErrNotArchived, pageID, lsn)
+		}
+		sp, ok := run.span(pageID)
+		if !ok {
+			return nil, fmt.Errorf("%w: page %d has no records in run [%d,%d)",
+				wal.ErrChainBroken, pageID, run.lo, run.hi)
+		}
+		i, ok := run.find(sp, lsn)
+		if !ok {
+			return nil, fmt.Errorf("%w: page %d chain names %d, not in its run span",
+				wal.ErrChainBroken, pageID, lsn)
+		}
+		// The span holds the page's complete chain slice for this run's LSN
+		// range, sorted by LSN — so the walk descends the span in place,
+		// paying the index descent once per run rather than once per record.
+		ents := run.byPage[sp.start : sp.start+sp.count]
+		for {
+			e := ents[i]
+			rec, err := run.decode(e)
+			if err != nil {
+				return nil, err
+			}
+			rec.Payload = append([]byte(nil), rec.Payload...)
+			s.clock.Sequential(int64(e.size))
+			s.reads.Add(1)
+			chain = append(chain, rec)
+			lsn = e.prev
+			if lsn == page.ZeroLSN || lsn <= stopAfter {
+				break
+			}
+			if i > 0 && ents[i-1].lsn == lsn {
+				i--
+				continue
+			}
+			break // prev lives in an older run; the outer loop re-locates it
+		}
+	}
+	return chain, nil
+}
+
+// ScanLSN replays archived records with lo ≤ LSN < hi in ascending LSN
+// order, charged as sequential I/O. The callback's record payload aliases
+// run data and must be copied if retained (the same contract as
+// wal.Manager.Scan).
+func (s *Store) ScanLSN(lo, hi page.LSN, fn func(*wal.Record) bool) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if lo < s.released {
+		return fmt.Errorf("%w: scan from %d", ErrReleased, lo)
+	}
+	if consume(&s.failR) {
+		s.readFaults.Add(1)
+		return ErrArchiveIO
+	}
+	for _, run := range s.runs {
+		if run.hi <= lo {
+			continue
+		}
+		if run.lo >= hi {
+			break
+		}
+		for _, bi := range run.lsnIdx {
+			e := run.byPage[bi]
+			if e.lsn < lo {
+				continue
+			}
+			if e.lsn >= hi {
+				return nil
+			}
+			rec, err := run.decode(e)
+			if err != nil {
+				return err
+			}
+			s.clock.Sequential(int64(e.size))
+			s.reads.Add(1)
+			if !fn(rec) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// PageHead reports the archived per-page chain summary: the newest and
+// oldest archived chain record and the archived chain length. The summary
+// index lives in memory, so no device fault or I/O charge applies.
+func (s *Store) PageHead(id page.ID) (head, tail page.LSN, length int64, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	pc, ok := s.heads[id]
+	return pc.head, pc.tail, pc.n, ok
+}
+
+// PageHeads visits every archived per-page summary until fn returns false.
+func (s *Store) PageHeads(fn func(id page.ID, head, tail page.LSN, length int64) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for id, pc := range s.heads {
+		if !fn(id, pc.head, pc.tail, pc.n) {
+			return
+		}
+	}
+}
+
+// ReleaseBelow drops whole runs whose history lies entirely below lsn —
+// archive garbage collection, driven by the archiver once the backup
+// horizon (and the active-transaction / backup-reference floors) passed
+// them. Returns the number of runs dropped.
+func (s *Store) ReleaseBelow(lsn page.LSN) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cut := 0
+	for cut < len(s.runs) && s.runs[cut].hi <= lsn {
+		run := s.runs[cut]
+		s.records -= int64(len(run.byPage))
+		s.bytes -= int64(len(run.data))
+		s.releasedRuns.Add(1)
+		s.releasedBytes.Add(int64(len(run.data)))
+		if run.hi > s.released {
+			s.released = run.hi
+		}
+		cut++
+	}
+	if cut == 0 {
+		return 0
+	}
+	s.runs = append([]*Run(nil), s.runs[cut:]...)
+	// Rebuild the per-page summaries from the surviving runs: pages whose
+	// whole history was released disappear; partially released chains keep
+	// their archived suffix.
+	s.heads = make(map[page.ID]pageChain)
+	for _, run := range s.runs {
+		for _, e := range run.byPage {
+			// Entries are (page, LSN)-sorted per run and runs ascend, so
+			// folding in slice order preserves per-page LSN order.
+			rec, err := run.decode(e)
+			if err != nil {
+				continue
+			}
+			s.foldHeadsLocked([]*wal.Record{rec})
+		}
+	}
+	return cut
+}
+
+// Stats returns a snapshot of archive counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{
+		Runs:            int64(len(s.runs)),
+		Records:         s.records,
+		Bytes:           s.bytes,
+		RunsWritten:     s.runsWritten.Load(),
+		RecordsArchived: s.recsArchived.Load(),
+		BytesArchived:   s.bytesArchived.Load(),
+		ReleasedRuns:    s.releasedRuns.Load(),
+		ReleasedBytes:   s.releasedBytes.Load(),
+		Reads:           s.reads.Load(),
+		WriteFaults:     s.writeFaults.Load(),
+		ReadFaults:      s.readFaults.Load(),
+		Retries:         s.retries.Load(),
+		ArchivedLSN:     s.upTo,
+		ReleasedLSN:     s.released,
+	}
+}

@@ -1,0 +1,539 @@
+package archive
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/iosim"
+	"repro/internal/page"
+	"repro/internal/wal"
+)
+
+// buildLog appends perPage chained updates to each page, interleaved
+// round-robin (so page histories are scattered across the LSN space the
+// way real workloads scatter them), flushes, and returns the log plus
+// independent copies of every record in LSN order.
+func buildLog(t *testing.T, pages []page.ID, perPage int) (*wal.Manager, []*wal.Record) {
+	t.Helper()
+	m := wal.NewManager(iosim.Instant)
+	last := make(map[page.ID]page.LSN)
+	for i := 0; i < perPage; i++ {
+		for _, pg := range pages {
+			typ := wal.TypeUpdate
+			if last[pg] == page.ZeroLSN {
+				typ = wal.TypeFormat
+			}
+			last[pg] = m.Append(&wal.Record{
+				Type: typ, Txn: 1, PageID: pg, PagePrevLSN: last[pg],
+				Payload: []byte{byte(pg), byte(i)},
+			})
+		}
+	}
+	m.FlushAll()
+	return m, collect(t, m, wal.FirstLSN(), m.FlushedLSN())
+}
+
+// collect copies the live records with lo ≤ LSN < hi.
+func collect(t *testing.T, m *wal.Manager, lo, hi page.LSN) []*wal.Record {
+	t.Helper()
+	var recs []*wal.Record
+	err := m.Scan(lo, func(r *wal.Record) bool {
+		if r.LSN >= hi {
+			return false
+		}
+		cp := *r
+		cp.Payload = append([]byte(nil), r.Payload...)
+		recs = append(recs, &cp)
+		return true
+	})
+	if err != nil {
+		t.Fatalf("collect: %v", err)
+	}
+	return recs
+}
+
+func sameRecord(a, b *wal.Record) bool {
+	if a.LSN != b.LSN || a.Type != b.Type || a.Txn != b.Txn ||
+		a.PrevLSN != b.PrevLSN || a.PageID != b.PageID ||
+		a.PagePrevLSN != b.PagePrevLSN || a.UndoNext != b.UndoNext ||
+		len(a.Payload) != len(b.Payload) {
+		return false
+	}
+	for i := range a.Payload {
+		if a.Payload[i] != b.Payload[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAppendRunAndReadRecord(t *testing.T) {
+	_, recs := buildLog(t, []page.ID{3, 7, 9}, 5)
+	s := NewStore(iosim.Instant, wal.FirstLSN())
+	if err := s.AppendRun(recs); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range recs {
+		got, err := s.ReadRecord(want.LSN)
+		if err != nil {
+			t.Fatalf("ReadRecord(%d): %v", want.LSN, err)
+		}
+		if !sameRecord(got, want) {
+			t.Fatalf("record %d round-trip mismatch: got %+v want %+v", want.LSN, got, want)
+		}
+	}
+	st := s.Stats()
+	if st.Runs != 1 || st.Records != int64(len(recs)) {
+		t.Errorf("stats = %+v, want 1 run / %d records", st, len(recs))
+	}
+	if st.ArchivedLSN != recs[len(recs)-1].LSN+page.LSN(wal.RecordSize(recs[len(recs)-1])) {
+		t.Errorf("ArchivedLSN = %d", st.ArchivedLSN)
+	}
+}
+
+func TestAppendRunIdempotentOverlap(t *testing.T) {
+	_, recs := buildLog(t, []page.ID{1, 2}, 6)
+	s := NewStore(iosim.Instant, wal.FirstLSN())
+	half := len(recs) / 2
+	if err := s.AppendRun(recs[:half]); err != nil {
+		t.Fatal(err)
+	}
+	// Re-archiving the full range (the crash-between-archive-and-recycle
+	// shape: the cursor is stale, the records overlap) must silently skip
+	// the archived prefix and append only the rest.
+	if err := s.AppendRun(recs); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().Records; got != int64(len(recs)) {
+		t.Fatalf("after overlapping append: %d records archived, want %d", got, len(recs))
+	}
+	// A full replay of already-archived history is a no-op, not an error.
+	if err := s.AppendRun(recs); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().Runs; got != 2 {
+		t.Fatalf("runs = %d, want 2", got)
+	}
+}
+
+func TestAppendRunRejectsGap(t *testing.T) {
+	_, recs := buildLog(t, []page.ID{1}, 4)
+	s := NewStore(iosim.Instant, wal.FirstLSN())
+	if err := s.AppendRun(recs[1:]); !errors.Is(err, ErrNotContiguous) {
+		t.Fatalf("gapped run: err = %v, want ErrNotContiguous", err)
+	}
+}
+
+func TestWalkChainMatchesLiveWalk(t *testing.T) {
+	m, recs := buildLog(t, []page.ID{4, 5, 6}, 8)
+	s := NewStore(iosim.Instant, wal.FirstLSN())
+	// Split across several runs so the walk crosses run boundaries.
+	third := len(recs) / 3
+	for _, part := range [][]*wal.Record{recs[:third], recs[third : 2*third], recs[2*third:]} {
+		if err := s.AppendRun(part); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, pg := range []page.ID{4, 5, 6} {
+		ci, ok := m.ChainHead(pg)
+		if !ok {
+			t.Fatalf("page %d has no live chain", pg)
+		}
+		want, err := m.WalkPageChain(ci.Head, page.ZeroLSN, pg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.WalkChain(ci.Head, page.ZeroLSN, pg)
+		if err != nil {
+			t.Fatalf("archive walk of page %d: %v", pg, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("page %d: archive chain %d records, live %d", pg, len(got), len(want))
+		}
+		for i := range got {
+			if !sameRecord(got[i], want[i]) {
+				t.Fatalf("page %d chain[%d]: got %+v want %+v", pg, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPageHeadsMatchLiveIndex(t *testing.T) {
+	m, recs := buildLog(t, []page.ID{10, 11}, 7)
+	s := NewStore(iosim.Instant, wal.FirstLSN())
+	if err := s.AppendRun(recs); err != nil {
+		t.Fatal(err)
+	}
+	for _, pg := range []page.ID{10, 11} {
+		ci, ok := m.ChainHead(pg)
+		if !ok {
+			t.Fatalf("no live chain for %d", pg)
+		}
+		head, tail, n, ok := s.PageHead(pg)
+		if !ok {
+			t.Fatalf("no archived summary for %d", pg)
+		}
+		if head != ci.Head || tail != ci.Tail || n != ci.Length {
+			t.Errorf("page %d summary = (%d,%d,%d), live = (%d,%d,%d)",
+				pg, head, tail, n, ci.Head, ci.Tail, ci.Length)
+		}
+	}
+	seen := 0
+	s.PageHeads(func(page.ID, page.LSN, page.LSN, int64) bool { seen++; return true })
+	if seen != 2 {
+		t.Errorf("PageHeads visited %d pages, want 2", seen)
+	}
+}
+
+func TestScanLSNBounds(t *testing.T) {
+	_, recs := buildLog(t, []page.ID{1, 2, 3}, 5)
+	s := NewStore(iosim.Instant, wal.FirstLSN())
+	half := len(recs) / 2
+	if err := s.AppendRun(recs[:half]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendRun(recs[half:]); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := recs[2].LSN, recs[len(recs)-2].LSN
+	var got []page.LSN
+	err := s.ScanLSN(lo, hi, func(r *wal.Record) bool {
+		got = append(got, r.LSN)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []page.LSN
+	for _, r := range recs {
+		if r.LSN >= lo && r.LSN < hi {
+			want = append(want, r.LSN)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scan returned %d records, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("scan[%d] = %d, want %d (must ascend in LSN order)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReleaseBelowDropsRunsAndRebuildsHeads(t *testing.T) {
+	_, recs := buildLog(t, []page.ID{1, 2}, 10)
+	s := NewStore(iosim.Instant, wal.FirstLSN())
+	half := len(recs) / 2
+	if err := s.AppendRun(recs[:half]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendRun(recs[half:]); err != nil {
+		t.Fatal(err)
+	}
+	cutLSN := recs[half].LSN
+	if n := s.ReleaseBelow(cutLSN); n != 1 {
+		t.Fatalf("ReleaseBelow dropped %d runs, want 1", n)
+	}
+	if _, err := s.ReadRecord(recs[0].LSN); !errors.Is(err, ErrReleased) {
+		t.Fatalf("read of released record: err = %v, want ErrReleased", err)
+	}
+	// Surviving summary covers exactly the retained suffix.
+	head, tail, n, ok := s.PageHead(1)
+	if !ok {
+		t.Fatal("page 1 summary vanished")
+	}
+	var wantHead, wantTail page.LSN
+	var wantN int64
+	for _, r := range recs[half:] {
+		if r.PageID != 1 {
+			continue
+		}
+		if wantTail == page.ZeroLSN {
+			wantTail = r.LSN
+		}
+		wantHead = r.LSN
+		wantN++
+	}
+	if head != wantHead || tail != wantTail || n != wantN {
+		t.Errorf("post-release summary = (%d,%d,%d), want (%d,%d,%d)",
+			head, tail, n, wantHead, wantTail, wantN)
+	}
+	if st := s.Stats(); st.ReleasedRuns != 1 || st.ReleasedLSN != cutLSN {
+		t.Errorf("release stats = %+v", st)
+	}
+}
+
+func TestReaderRetriesTransientFault(t *testing.T) {
+	_, recs := buildLog(t, []page.ID{1}, 4)
+	s := NewStore(iosim.Instant, wal.FirstLSN())
+	if err := s.AppendRun(recs); err != nil {
+		t.Fatal(err)
+	}
+	r := s.NewReader(5, time.Microsecond)
+	s.FailReads(2)
+	rec, err := r.ReadRecord(recs[1].LSN)
+	if err != nil {
+		t.Fatalf("transient fault not retried: %v", err)
+	}
+	if !sameRecord(rec, recs[1]) {
+		t.Fatal("retried read returned wrong record")
+	}
+	if st := s.Stats(); st.Retries < 2 || st.ReadFaults != 2 {
+		t.Errorf("fault stats = %+v, want ≥2 retries / 2 read faults", st)
+	}
+	// A sticky fault exhausts the budget and surfaces.
+	s.FailReads(-1)
+	if _, err := r.ReadRecord(recs[1].LSN); !errors.Is(err, ErrArchiveIO) {
+		t.Fatalf("sticky fault: err = %v, want ErrArchiveIO", err)
+	}
+	s.FailReads(0)
+}
+
+func TestArchiverStepRecyclesAndPausesOnFault(t *testing.T) {
+	m, _ := buildLog(t, []page.ID{1, 2, 3}, 12)
+	// Over a chunk's worth of bulk history so recycling frees real chunks.
+	bulkPrev := page.ZeroLSN
+	for i := 0; i < 40; i++ {
+		typ := wal.TypeUpdate
+		if bulkPrev == page.ZeroLSN {
+			typ = wal.TypeFormat
+		}
+		bulkPrev = m.Append(&wal.Record{Type: typ, Txn: 7, PageID: 30,
+			PagePrevLSN: bulkPrev, Payload: make([]byte, 32<<10)})
+	}
+	m.FlushAll()
+	s := NewStore(iosim.Instant, wal.FirstLSN())
+	a := New(m, s, Config{SegmentBytes: 256, RetryAttempts: 2, RetryBackoff: time.Microsecond})
+	a.SetCheckpointHorizon(m.FlushedLSN())
+	if err := a.Step(true); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.ArchivedUpTo(), m.FlushedLSN(); got != want {
+		t.Fatalf("archived up to %d, want flushed %d", got, want)
+	}
+	if m.TruncatedLSN() != m.FlushedLSN() {
+		t.Fatalf("recycle left base at %d, want %d", m.TruncatedLSN(), m.FlushedLSN())
+	}
+	if st := m.Stats(); st.RecycledSegments == 0 {
+		t.Error("no chunks recycled despite a full-segment truncation")
+	}
+
+	// More history + a sticky archive fault: the step must pause the
+	// lifecycle and leave the base where it was.
+	last := page.ZeroLSN
+	for i := 0; i < 50; i++ {
+		last = m.Append(&wal.Record{Type: wal.TypeUpdate, Txn: 2, PageID: 9,
+			PagePrevLSN: last, Payload: make([]byte, 64)})
+	}
+	m.FlushAll()
+	base := m.TruncatedLSN()
+	s.FailWrites(-1)
+	a.SetCheckpointHorizon(m.FlushedLSN())
+	if err := a.Step(true); !errors.Is(err, ErrArchiveIO) {
+		t.Fatalf("faulted step: err = %v, want ErrArchiveIO", err)
+	}
+	if !a.Paused() {
+		t.Error("archiver not paused after write-fault exhaustion")
+	}
+	if m.TruncatedLSN() != base {
+		t.Error("recycling advanced while the archive was unavailable")
+	}
+	// Device recovers: the same step retries from the same cursor.
+	s.FailWrites(0)
+	if err := a.Step(true); err != nil {
+		t.Fatal(err)
+	}
+	if a.Paused() {
+		t.Error("archiver still paused after recovery")
+	}
+	if m.TruncatedLSN() != m.FlushedLSN() {
+		t.Errorf("post-recovery base = %d, want %d", m.TruncatedLSN(), m.FlushedLSN())
+	}
+}
+
+func TestRecycledReadsFallBackToArchive(t *testing.T) {
+	m, recs := buildLog(t, []page.ID{21, 22}, 9)
+	s := NewStore(iosim.Instant, wal.FirstLSN())
+	m.SetArchive(s.NewReader(3, time.Microsecond))
+	if err := s.AppendRun(recs); err != nil {
+		t.Fatal(err)
+	}
+	m.Recycle(m.FlushedLSN())
+	if m.TruncatedLSN() != m.FlushedLSN() {
+		t.Fatalf("base = %d after recycle, want %d", m.TruncatedLSN(), m.FlushedLSN())
+	}
+	// Point read below the base is served from the archive.
+	rec, err := m.Read(recs[0].LSN)
+	if err != nil {
+		t.Fatalf("read of recycled record: %v", err)
+	}
+	if !sameRecord(rec, recs[0]) {
+		t.Fatal("archive fallback returned wrong record")
+	}
+	if st := m.Stats(); st.ArchiveReads == 0 {
+		t.Error("archive fallback not counted")
+	}
+}
+
+// The boundary-crossing integration shapes: part of the history is
+// archived and recycled, the rest is live, and every wal read path must
+// stitch the two transparently.
+
+func TestScanAcrossRecycleBoundary(t *testing.T) {
+	m, recs := buildLog(t, []page.ID{1, 2}, 10)
+	s := NewStore(iosim.Instant, wal.FirstLSN())
+	m.SetArchive(s.NewReader(3, time.Microsecond))
+	half := len(recs) / 2
+	if err := s.AppendRun(recs[:half]); err != nil {
+		t.Fatal(err)
+	}
+	m.Recycle(recs[half].LSN)
+	var got []page.LSN
+	err := m.Scan(wal.FirstLSN(), func(r *wal.Record) bool {
+		got = append(got, r.LSN)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("boundary scan saw %d records, want %d", len(got), len(recs))
+	}
+	for i, r := range recs {
+		if got[i] != r.LSN {
+			t.Fatalf("scan[%d] = %d, want %d", i, got[i], r.LSN)
+		}
+	}
+}
+
+func TestWalkPageChainAcrossRecycleBoundary(t *testing.T) {
+	m, recs := buildLog(t, []page.ID{41, 42}, 12)
+	ci, ok := m.ChainHead(41)
+	if !ok {
+		t.Fatal("no chain for page 41")
+	}
+	want, err := m.WalkPageChain(ci.Head, page.ZeroLSN, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(iosim.Instant, wal.FirstLSN())
+	m.SetArchive(s.NewReader(3, time.Microsecond))
+	half := len(recs) / 2
+	if err := s.AppendRun(recs[:half]); err != nil {
+		t.Fatal(err)
+	}
+	m.Recycle(recs[half].LSN)
+	got, err := m.WalkPageChain(ci.Head, page.ZeroLSN, 41)
+	if err != nil {
+		t.Fatalf("boundary chain walk: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("boundary walk returned %d records, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if !sameRecord(got[i], want[i]) {
+			t.Fatalf("boundary walk[%d] differs: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+	// A transient archive fault mid-replay is absorbed by the reader.
+	s.FailReads(1)
+	if _, err := m.WalkPageChain(ci.Head, page.ZeroLSN, 41); err != nil {
+		t.Fatalf("chain walk with transient archive fault: %v", err)
+	}
+}
+
+func TestChainHeadMergesPrunedHistory(t *testing.T) {
+	m, recs := buildLog(t, []page.ID{51, 52}, 8)
+	before := make(map[page.ID]wal.ChainInfo)
+	for _, pg := range []page.ID{51, 52} {
+		ci, ok := m.ChainHead(pg)
+		if !ok {
+			t.Fatalf("no chain for %d", pg)
+		}
+		before[pg] = ci
+	}
+	s := NewStore(iosim.Instant, wal.FirstLSN())
+	m.SetArchive(s.NewReader(3, time.Microsecond))
+	if err := s.AppendRun(recs); err != nil {
+		t.Fatal(err)
+	}
+	m.Recycle(m.FlushedLSN())
+	if m.Stats().ChainEntriesPruned == 0 {
+		t.Fatal("recycle pruned no chain entries despite full coverage")
+	}
+	for pg, want := range before {
+		got, ok := m.ChainHead(pg)
+		if !ok {
+			t.Fatalf("page %d lost its chain info after pruning", pg)
+		}
+		if got != want {
+			t.Errorf("page %d merged info = %+v, want %+v", pg, got, want)
+		}
+	}
+	seen := make(map[page.ID]wal.ChainInfo)
+	m.Chains(func(id page.ID, ci wal.ChainInfo) bool {
+		seen[id] = ci
+		return true
+	})
+	for pg, want := range before {
+		if seen[pg] != want {
+			t.Errorf("Chains reported %+v for page %d, want %+v", seen[pg], pg, want)
+		}
+	}
+
+	// New live updates re-root the entry partially: the merged info must
+	// splice the live suffix onto the archived prefix.
+	next := m.Append(&wal.Record{Type: wal.TypeUpdate, Txn: 3, PageID: 51,
+		PagePrevLSN: before[51].Head, Payload: []byte{1}})
+	m.FlushAll()
+	got, ok := m.ChainHead(51)
+	if !ok {
+		t.Fatal("page 51 chain missing after new live update")
+	}
+	if got.Head != next || got.Tail != before[51].Tail || got.Length != before[51].Length+1 {
+		t.Errorf("spliced info = %+v, want head %d tail %d length %d",
+			got, next, before[51].Tail, before[51].Length+1)
+	}
+}
+
+func TestRecycleReusesFreedChunks(t *testing.T) {
+	m := wal.NewManager(iosim.Instant)
+	s := NewStore(iosim.Instant, wal.FirstLSN())
+	m.SetArchive(s.NewReader(3, time.Microsecond))
+	prev := page.ZeroLSN
+	writeChunk := func() {
+		for i := 0; i < 40; i++ {
+			typ := wal.TypeUpdate
+			if prev == page.ZeroLSN {
+				typ = wal.TypeFormat
+			}
+			prev = m.Append(&wal.Record{Type: typ, Txn: 1, PageID: 5,
+				PagePrevLSN: prev, Payload: make([]byte, 32<<10)})
+		}
+		m.FlushAll()
+	}
+	for round := 0; round < 4; round++ {
+		writeChunk()
+		recs := collect(t, m, s.ArchivedUpTo(), m.FlushedLSN())
+		if err := s.AppendRun(recs); err != nil {
+			t.Fatal(err)
+		}
+		m.Recycle(m.FlushedLSN())
+	}
+	if got := m.Stats().RecycledSegments; got < 4 {
+		t.Errorf("recycled %d chunks over 4 rounds, want ≥4", got)
+	}
+	// The full history is still replayable across all those boundaries.
+	ci, ok := m.ChainHead(5)
+	if !ok {
+		t.Fatal("chain summary lost")
+	}
+	chain, err := m.WalkPageChain(ci.Head, page.ZeroLSN, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(chain)) != ci.Length || len(chain) != 160 {
+		t.Errorf("replayed %d records, summary says %d, wrote 160", len(chain), ci.Length)
+	}
+}

@@ -49,7 +49,14 @@ type CheckpointDeps struct {
 // maintenance flusher cleans first is simply skipped (per-frame flush
 // serialization guarantees no page is written twice for one image), and a
 // page evicted meanwhile was flushed by the eviction.
-func Checkpoint(d CheckpointDeps) (page.LSN, error) {
+//
+// The returned CheckpointResult carries, besides the end-record LSN, the
+// checkpoint's redo horizon: the minimum RecLSN over the logged dirty page
+// table, or the end record itself when the DPT drained empty. Restart redo
+// after this checkpoint never reads records below the horizon, which is
+// what lets the log lifecycle recycle live segments beneath it (archived
+// history still serves per-page chain replays).
+func Checkpoint(d CheckpointDeps) (CheckpointResult, error) {
 	d.Log.Append(&wal.Record{Type: wal.TypeCheckpointBegin})
 	dirtyAtStart := d.Pool.DirtyPages()
 	ids := make([]page.ID, len(dirtyAtStart))
@@ -57,22 +64,38 @@ func Checkpoint(d CheckpointDeps) (page.LSN, error) {
 		ids[i] = e.Page
 	}
 	if err := d.Pool.FlushPages(ids); err != nil {
-		return 0, fmt.Errorf("recovery: checkpoint flush: %w", err)
+		return CheckpointResult{}, fmt.Errorf("recovery: checkpoint flush: %w", err)
 	}
 	// Crash point: the dirty pages are flushed but the checkpoint-end
 	// record is not yet durable — a crash here must restart from the
 	// PREVIOUS master record, replaying across this half-taken checkpoint.
 	chaos.At("recovery.checkpoint")
-	payload := encodeCheckpoint(checkpointData{
+	data := checkpointData{
 		att:  d.Txns.Active(),
 		dpt:  d.Pool.DirtyPages(),
 		pri:  d.PRI.Snapshot(),
 		pmap: d.Map.Snapshot(),
-	})
-	end := d.Log.Append(&wal.Record{Type: wal.TypeCheckpointEnd, Payload: payload})
+	}
+	end := d.Log.Append(&wal.Record{Type: wal.TypeCheckpointEnd, Payload: encodeCheckpoint(data)})
 	d.Log.FlushAll()
 	d.Log.SetMaster(end)
-	return end, nil
+	horizon := end
+	for _, e := range data.dpt {
+		if e.RecLSN < horizon {
+			horizon = e.RecLSN
+		}
+	}
+	return CheckpointResult{End: end, RedoHorizon: horizon}, nil
+}
+
+// CheckpointResult reports one completed checkpoint.
+type CheckpointResult struct {
+	// End is the LSN of the checkpoint-end record (the new master).
+	End page.LSN
+	// RedoHorizon is the lowest LSN restart redo can read after restarting
+	// from this checkpoint: min RecLSN over the logged DPT, or End when no
+	// page was dirty.
+	RedoHorizon page.LSN
 }
 
 // checkpointData is the checkpoint-end record contents.

@@ -465,14 +465,18 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	id := r.newRawPage(t)
 	r.update(t, id, "x")
 	open := r.txns.Begin() // active at checkpoint
-	end, err := Checkpoint(CheckpointDeps{
+	res, err := Checkpoint(CheckpointDeps{
 		Log: r.log, Pool: r.pool, Txns: r.txns, PRI: r.pri, Map: r.pmap,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	end := res.End
 	if r.log.Master() != end {
 		t.Errorf("master = %d, want %d", r.log.Master(), end)
+	}
+	if res.RedoHorizon > end {
+		t.Errorf("redo horizon %d above end record %d", res.RedoHorizon, end)
 	}
 	rec, err := r.log.Read(end)
 	if err != nil {

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"runtime"
+
 	"repro/internal/metrics"
 	"repro/spf"
 )
@@ -37,6 +39,26 @@ func RegisterEngineCollector(reg *metrics.Registry, db *spf.DB) {
 		e.Counter("spf_wal_group_commit_batches_total", "Group-commit flush batches.", float64(m.Log.GroupCommitBatches))
 		e.Counter("spf_wal_group_commit_waiters_total", "Commits served by group-commit batches.", float64(m.Log.GroupCommitWaiters))
 		e.Gauge("spf_wal_chain_pages", "Pages tracked by the per-page log-chain index.", float64(m.Log.ChainPages))
+		e.Gauge("spf_wal_live_segments", "Chunks currently backing the live log buffer.", float64(m.Log.LiveSegments))
+		e.Counter("spf_wal_recycled_segments_total", "Live log chunks recycled behind the truncation horizon.", float64(m.Log.RecycledSegments))
+		e.Gauge("spf_wal_truncated_lsn", "Recycling boundary: records below it are served from the archive.", float64(m.Log.TruncatedLSN))
+		e.Counter("spf_wal_chain_pruned_total", "Chain-index entries pruned to archived-run summaries.", float64(m.Log.ChainEntriesPruned))
+		e.Counter("spf_wal_archive_reads_total", "Log reads served by the archive fallback.", float64(m.Log.ArchiveReads))
+
+		e.Gauge("spf_archive_runs", "Archived runs currently retained.", float64(m.Archive.Runs))
+		e.Gauge("spf_archive_records", "Archived records currently retained.", float64(m.Archive.Records))
+		e.Gauge("spf_archive_bytes", "Archived bytes currently retained.", float64(m.Archive.Bytes))
+		e.Counter("spf_archive_runs_written_total", "Archive runs written.", float64(m.Archive.RunsWritten))
+		e.Counter("spf_archive_records_total", "Records archived.", float64(m.Archive.RecordsArchived))
+		e.Counter("spf_archive_bytes_total", "Bytes archived.", float64(m.Archive.BytesArchived))
+		e.Counter("spf_archive_released_runs_total", "Archived runs garbage-collected past the backup horizon.", float64(m.Archive.ReleasedRuns))
+		e.Counter("spf_archive_reads_total", "Records served by the archive to readers.", float64(m.Archive.Reads))
+		e.Counter("spf_archive_retries_total", "Faulted archive operations retried.", float64(m.Archive.Retries))
+		e.Counter("spf_archive_write_faults_total", "Injected archive write faults hit.", float64(m.Archive.WriteFaults))
+		e.Counter("spf_archive_read_faults_total", "Injected archive read faults hit.", float64(m.Archive.ReadFaults))
+		e.Gauge("spf_archive_archived_lsn", "Exclusive upper bound of durably archived history.", float64(m.Archive.ArchivedLSN))
+		e.Gauge("spf_archive_released_lsn", "Exclusive bound of garbage-collected archive history.", float64(m.Archive.ReleasedLSN))
+		e.Gauge("spf_archive_paused", "1 while the archive device is unavailable and recycling is suspended.", boolGauge(m.Archive.Paused))
 
 		e.Counter("spf_txn_user_begun_total", "User transactions begun.", float64(m.Txns.UserBegun))
 		e.Counter("spf_txn_user_committed_total", "User transactions committed.", float64(m.Txns.UserCommitted))
@@ -92,4 +114,18 @@ func boolGauge(b bool) float64 {
 		return 1
 	}
 	return 0
+}
+
+// RegisterRuntimeCollector exports the process's Go runtime footprint —
+// what the soak harness watches to prove the bounded log lifecycle
+// actually bounds memory under sustained load.
+func RegisterRuntimeCollector(reg *metrics.Registry) {
+	reg.RegisterCollector(func(e *metrics.Emitter) {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		e.Gauge("process_heap_alloc_bytes", "Bytes of allocated heap objects.", float64(ms.HeapAlloc))
+		e.Gauge("process_heap_sys_bytes", "Heap memory obtained from the OS.", float64(ms.HeapSys))
+		e.Gauge("process_goroutines", "Live goroutines.", float64(runtime.NumGoroutine()))
+		e.Counter("process_gc_cycles_total", "Completed GC cycles.", float64(ms.NumGC))
+	})
 }

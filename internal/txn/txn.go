@@ -118,13 +118,19 @@ type Txn struct {
 	// transaction may have vanished from the volatile tail, and Commit
 	// reports wal.ErrCommitLost instead of claiming durability.
 	epoch uint64
+	// beginLSN is the log end when the transaction began: every record it
+	// ever writes is at or above it. The archive release floor uses the
+	// minimum over active transactions so undo chains stay readable.
+	// Adopted losers carry ZeroLSN (their first record is unknown), which
+	// conservatively blocks archive release while they roll back.
+	beginLSN page.LSN
 }
 
 // Begin starts a user transaction.
 func (m *Manager) Begin() *Txn {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	t := &Txn{mgr: m, id: m.nextID, state: Active, epoch: m.log.Epoch()}
+	t := &Txn{mgr: m, id: m.nextID, state: Active, epoch: m.log.Epoch(), beginLSN: m.log.EndLSN()}
 	m.nextID++
 	m.active[t.id] = t
 	m.stats.UserBegun++
@@ -138,7 +144,7 @@ func (m *Manager) Begin() *Txn {
 func (m *Manager) BeginSystem() *Txn {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	t := &Txn{mgr: m, id: m.nextID | systemBit, system: true, state: Active, epoch: m.log.Epoch()}
+	t := &Txn{mgr: m, id: m.nextID | systemBit, system: true, state: Active, epoch: m.log.Epoch(), beginLSN: m.log.EndLSN()}
 	m.nextID++
 	m.active[t.id] = t
 	m.stats.SysBegun++
@@ -367,4 +373,23 @@ func (m *Manager) ActiveCount() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return len(m.active)
+}
+
+// OldestActiveBeginLSN returns the smallest begin LSN over in-flight
+// transactions, or ok=false when none are active. The log lifecycle uses
+// it as an archive release floor: no active transaction's undo chain can
+// reach below its begin LSN. Adopted losers report ZeroLSN (conservative:
+// archive release waits until restart undo finishes them).
+func (m *Manager) OldestActiveBeginLSN() (page.LSN, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var low page.LSN
+	found := false
+	for _, t := range m.active {
+		if !found || t.beginLSN < low {
+			low = t.beginLSN
+			found = true
+		}
+	}
+	return low, found
 }

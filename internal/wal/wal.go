@@ -50,6 +50,20 @@
 //     without a forward log scan, the restore scheduler estimating
 //     repair cost — never observe an entry dangling above surviving
 //     history.
+//
+// # Log lifecycle
+//
+// The live log is bounded: Recycle truncates the segment buffer below a
+// horizon chosen by the archiver (history must be checkpoint-covered AND
+// durably archived first), returning whole chunks to a free pool and
+// pruning chain-index entries whose history now lives only in the
+// archive. Reads below the truncation boundary — Read, Scan,
+// WalkPageChain, Chains — transparently fall back to the ArchiveReader
+// installed with SetArchive, where archived history is served from
+// sorted, page-partitioned runs as sequential scans instead of the
+// seek-per-record live path. The manager itself never decides when to
+// recycle; it only enforces that the boundary lies at or below the
+// flushed watermark. See internal/archive for the policy side.
 package wal
 
 import (
@@ -191,7 +205,30 @@ var (
 	// with the volatile tail, so appending more of them would corrupt the
 	// post-crash log. The reserved space is filled with an inert record.
 	ErrEpochChanged = errors.New("wal: append from a transaction that predates a crash")
+	// ErrTruncated reports a read below the recycling boundary: the record
+	// left the live log and, if an archive is attached, now lives there.
+	// Read paths translate it into an archive lookup before surfacing it.
+	ErrTruncated = errors.New("wal: record recycled out of the live log")
 )
+
+// ArchiveReader serves log history that Recycle removed from the live
+// segment buffer. internal/archive implements it over sorted,
+// page-partitioned runs; the interface lives here so the wal package can
+// fall back to it without importing its implementor.
+type ArchiveReader interface {
+	// ReadRecord returns an independent copy of the archived record at lsn.
+	ReadRecord(lsn page.LSN) (*Record, error)
+	// WalkChain follows the per-page chain backwards from start until (and
+	// excluding) records at or below stopAfter, newest first — the archived
+	// continuation of WalkPageChain, served as a sequential run scan.
+	WalkChain(start, stopAfter page.LSN, pageID page.ID) ([]*Record, error)
+	// ScanLSN replays archived records with lo ≤ LSN < hi in LSN order.
+	ScanLSN(lo, hi page.LSN, fn func(*Record) bool) error
+	// PageHead reports the archived chain summary for one page.
+	PageHead(id page.ID) (head, tail page.LSN, length int64, ok bool)
+	// PageHeads visits every archived per-page summary until fn returns false.
+	PageHeads(fn func(id page.ID, head, tail page.LSN, length int64) bool)
+}
 
 // Stats counts log manager activity.
 type Stats struct {
@@ -212,6 +249,20 @@ type Stats struct {
 	// ChainPages is the number of pages currently tracked by the per-page
 	// log-chain index (a gauge, not a cumulative counter).
 	ChainPages int64
+	// LiveSegments is the number of chunks currently backing the live log
+	// (a gauge); RecycledSegments counts chunks recycled over the manager's
+	// lifetime. Their sum times the chunk size is total bytes ever logged,
+	// rounded up to chunks.
+	LiveSegments     int64
+	RecycledSegments int64
+	// TruncatedLSN is the recycling boundary: records below it are served
+	// from the archive, not the live buffer.
+	TruncatedLSN page.LSN
+	// ChainEntriesPruned counts chain-index entries dropped by Recycle
+	// because their whole history moved to the archive.
+	ChainEntriesPruned int64
+	// ArchiveReads counts records served by the ArchiveReader fallback.
+	ArchiveReads int64
 }
 
 type counters struct {
@@ -223,6 +274,9 @@ type counters struct {
 	groupBatches  atomic.Int64
 	groupWaiters  atomic.Int64
 	batchAppends  atomic.Int64
+	recycled      atomic.Int64
+	pruned        atomic.Int64
+	archiveReads  atomic.Int64
 }
 
 // Options configures a Manager.
@@ -271,8 +325,17 @@ type Manager struct {
 	ready    atomic.Int64
 	flushed  atomic.Int64
 
-	chunks  atomic.Pointer[[][]byte]
-	allocMu sync.Mutex // extends the chunk table
+	chunks  atomic.Pointer[chunkTable]
+	allocMu sync.Mutex // extends the chunk table; guards freeChunks
+	// freeChunks is the recycle pool: chunks Recycle cuts off the front of
+	// the buffer, reused by ensure instead of fresh allocations, so a
+	// steady-state log cycles a bounded working set instead of growing.
+	freeChunks [][]byte
+	// base is the recycling boundary (always a record boundary ≤ flushed):
+	// LSNs below it address the archive, not the live buffer. Monotone.
+	base atomic.Int64
+	// arch holds the ArchiveReader fallback for reads below base.
+	arch atomic.Pointer[archiveHolder]
 
 	// Publication handoff for out-of-order completions: a filler that is
 	// not next in line parks its completed range here and sleeps; the
@@ -333,7 +396,34 @@ type chainEntry struct {
 	head   page.LSN // newest chain record for the page
 	tail   page.LSN // oldest (the format record that restarted the chain)
 	length int64    // records on the contiguously observed chain suffix
+	// rooted is true when tail really is the chain's format record. An
+	// entry recreated above a pruned prefix (the prefix lives in the
+	// archive) is not rooted: its true tail and full length come from
+	// merging the archive's per-page summary (see mergedInfo).
+	rooted bool
 }
+
+// archiveHolder wraps the ArchiveReader so it fits an atomic.Pointer.
+type archiveHolder struct{ r ArchiveReader }
+
+// chunkTable is the segment buffer: a window of fixed-size chunks whose
+// first element covers byte offsets [first<<chunkShift, ...). The value is
+// immutable — growth and recycling swap in a new table sharing the
+// surviving chunk slices, so already-written bytes never move.
+type chunkTable struct {
+	first  int64 // global chunk index of chunks[0]
+	chunks [][]byte
+}
+
+// at returns the chunk containing byte offset pos.
+func (t *chunkTable) at(pos int64) []byte { return t.chunks[(pos>>chunkShift)-t.first] }
+
+// end returns the exclusive byte offset the table covers up to.
+func (t *chunkTable) end() int64 { return (t.first + int64(len(t.chunks))) << chunkShift }
+
+// freePoolCap bounds the recycle pool: a steady-state log cycles a few
+// chunks; anything beyond that is released to the garbage collector.
+const freePoolCap = 8
 
 // ChainInfo is the exported view of one per-page log-chain index entry.
 type ChainInfo struct {
@@ -365,8 +455,7 @@ func NewManagerOpts(opts Options) *Manager {
 	m.reserved.Store(int64(firstLSN))
 	m.ready.Store(int64(firstLSN))
 	m.flushed.Store(int64(firstLSN))
-	empty := make([][]byte, 0)
-	m.chunks.Store(&empty)
+	m.chunks.Store(&chunkTable{})
 	m.gc.window = opts.GroupCommitWindow
 	m.gc.wake = make(chan struct{}, 1)
 	m.gc.quit = make(chan struct{})
@@ -388,6 +477,11 @@ func (m *Manager) Stats() Stats {
 		GroupCommitWaiters: m.stats.groupWaiters.Load(),
 		BatchAppends:       m.stats.batchAppends.Load(),
 		ChainPages:         m.chainPages.Load(),
+		LiveSegments:       int64(len(m.table().chunks)),
+		RecycledSegments:   m.stats.recycled.Load(),
+		TruncatedLSN:       page.LSN(m.base.Load()),
+		ChainEntriesPruned: m.stats.pruned.Load(),
+		ArchiveReads:       m.stats.archiveReads.Load(),
 	}
 }
 
@@ -426,35 +520,42 @@ func (m *Manager) rlock() {
 func (m *Manager) runlock() { m.readers.Add(-1) }
 
 // table returns the current chunk table.
-func (m *Manager) table() [][]byte { return *m.chunks.Load() }
+func (m *Manager) table() *chunkTable { return m.chunks.Load() }
 
 // ensure grows the chunk table until it covers end bytes and returns it.
-// Existing chunks never move, so concurrent fillers are unaffected.
-func (m *Manager) ensure(end int64) [][]byte {
+// Existing chunks never move, so concurrent fillers are unaffected; new
+// chunks come from the recycle pool when it has any.
+func (m *Manager) ensure(end int64) *chunkTable {
 	t := m.table()
-	if int64(len(t))<<chunkShift >= end {
+	if t.end() >= end {
 		return t
 	}
 	m.allocMu.Lock()
 	defer m.allocMu.Unlock()
 	t = m.table()
-	need := int((end + chunkMask) >> chunkShift)
-	if len(t) < need {
-		nt := make([][]byte, need)
-		copy(nt, t)
-		for i := len(t); i < need; i++ {
-			nt[i] = make([]byte, chunkSize)
+	need := int((end+chunkMask)>>chunkShift - t.first)
+	if len(t.chunks) < need {
+		nt := &chunkTable{first: t.first, chunks: make([][]byte, need)}
+		copy(nt.chunks, t.chunks)
+		for i := len(t.chunks); i < need; i++ {
+			if n := len(m.freeChunks); n > 0 {
+				nt.chunks[i] = m.freeChunks[n-1]
+				m.freeChunks[n-1] = nil
+				m.freeChunks = m.freeChunks[:n-1]
+			} else {
+				nt.chunks[i] = make([]byte, chunkSize)
+			}
 		}
-		m.chunks.Store(&nt)
+		m.chunks.Store(nt)
 		t = nt
 	}
 	return t
 }
 
 // writeAt scatters src into the chunk table starting at byte offset pos.
-func writeAt(t [][]byte, pos int64, src []byte) {
+func writeAt(t *chunkTable, pos int64, src []byte) {
 	for len(src) > 0 {
-		c := t[pos>>chunkShift]
+		c := t.at(pos)
 		n := copy(c[pos&chunkMask:], src)
 		src = src[n:]
 		pos += int64(n)
@@ -462,9 +563,9 @@ func writeAt(t [][]byte, pos int64, src []byte) {
 }
 
 // readAt gathers n bytes at pos into dst.
-func readAt(t [][]byte, pos int64, dst []byte) {
+func readAt(t *chunkTable, pos int64, dst []byte) {
 	for len(dst) > 0 {
-		c := t[pos>>chunkShift]
+		c := t.at(pos)
 		n := copy(dst, c[pos&chunkMask:])
 		dst = dst[n:]
 		pos += int64(n)
@@ -477,7 +578,7 @@ func readAt(t [][]byte, pos int64, dst []byte) {
 func (m *Manager) bytesAt(pos, n int64) []byte {
 	t := m.table()
 	if pos>>chunkShift == (pos+n-1)>>chunkShift {
-		c := t[pos>>chunkShift]
+		c := t.at(pos)
 		off := pos & chunkMask
 		return c[off : off+n : off+n]
 	}
@@ -563,7 +664,7 @@ func (m *Manager) append(rec *Record, epoch uint64, check bool) (page.LSN, error
 // encodeAt writes rec's full encoding (header, payload, checksum) into the
 // chunk table at byte offset pos and returns the encoded size. The caller
 // owns the reserved range [pos, pos+size).
-func encodeAt(t [][]byte, pos int64, rec *Record) int64 {
+func encodeAt(t *chunkTable, pos int64, rec *Record) int64 {
 	total := int64(headerSize + len(rec.Payload) + trailerSize)
 	var hdr [headerSize]byte
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(total))
@@ -692,6 +793,54 @@ func (m *Manager) sweepLocked() {
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
+// EncodeRecord returns rec's log encoding — the exact header layout and
+// checksum the live buffer uses — as one contiguous slice. The archive
+// stores records in this form so a record reads back identically from
+// either side of the truncation boundary.
+func EncodeRecord(rec *Record) []byte {
+	total := headerSize + len(rec.Payload) + trailerSize
+	buf := make([]byte, total)
+	binary.LittleEndian.PutUint32(buf[0:], uint32(total))
+	buf[4] = byte(rec.Type)
+	binary.LittleEndian.PutUint64(buf[5:], uint64(rec.Txn))
+	binary.LittleEndian.PutUint64(buf[13:], uint64(rec.PrevLSN))
+	binary.LittleEndian.PutUint64(buf[21:], uint64(rec.PageID))
+	binary.LittleEndian.PutUint64(buf[29:], uint64(rec.PagePrevLSN))
+	binary.LittleEndian.PutUint64(buf[37:], uint64(rec.UndoNext))
+	copy(buf[headerSize:], rec.Payload)
+	crc := crc32.Checksum(buf[:total-trailerSize], crcTable)
+	binary.LittleEndian.PutUint32(buf[total-trailerSize:], crc)
+	return buf
+}
+
+// DecodeRecord parses one EncodeRecord-encoded record from the front of b,
+// verifying the checksum, and returns it together with its encoded size.
+// The LSN is not part of the encoding (a live record's LSN is its offset)
+// and must be supplied. The payload aliases b.
+func DecodeRecord(lsn page.LSN, b []byte) (*Record, int, error) {
+	if len(b) < headerSize+trailerSize {
+		return nil, 0, fmt.Errorf("%w: at %d", ErrTornRecord, lsn)
+	}
+	total := int(binary.LittleEndian.Uint32(b[0:]))
+	if total < headerSize+trailerSize || total > len(b) {
+		return nil, 0, fmt.Errorf("%w: at %d", ErrTornRecord, lsn)
+	}
+	stored := binary.LittleEndian.Uint32(b[total-trailerSize:])
+	if crc := crc32.Checksum(b[:total-trailerSize], crcTable); crc != stored {
+		return nil, 0, fmt.Errorf("%w: at %d", ErrCorruptRec, lsn)
+	}
+	return &Record{
+		LSN:         lsn,
+		Type:        RecType(b[4]),
+		Txn:         TxnID(binary.LittleEndian.Uint64(b[5:])),
+		PrevLSN:     page.LSN(binary.LittleEndian.Uint64(b[13:])),
+		PageID:      page.ID(binary.LittleEndian.Uint64(b[21:])),
+		PagePrevLSN: page.LSN(binary.LittleEndian.Uint64(b[29:])),
+		UndoNext:    page.LSN(binary.LittleEndian.Uint64(b[37:])),
+		Payload:     b[headerSize : total-trailerSize],
+	}, total, nil
+}
+
 // indexRecord folds one appended record into the per-page chain index.
 // Only records that live on a per-page chain participate: updates, CLRs,
 // and formats. Appends to the same page are serialized externally (the
@@ -710,13 +859,13 @@ func (m *Manager) indexRecord(rec *Record) {
 	for {
 		v, ok := m.chains.Load(rec.PageID)
 		if !ok {
-			ne := &chainEntry{head: rec.LSN, tail: rec.LSN, length: 1}
-			if rec.PagePrevLSN != page.ZeroLSN {
-				// Mid-chain record observed without its predecessors
-				// (defensive; should not happen within one manager
-				// lifetime). Length stays a lower bound.
-				ne.tail = rec.LSN
-			}
+			// A mid-chain record without its predecessors (PagePrevLSN set
+			// but no entry) is legitimate after Recycle pruned the page's
+			// entry: the prefix lives in the archive, the entry is not
+			// rooted, and mergedInfo completes tail/length from the
+			// archive's per-page summary.
+			ne := &chainEntry{head: rec.LSN, tail: rec.LSN, length: 1,
+				rooted: rec.PagePrevLSN == page.ZeroLSN}
 			if _, loaded := m.chains.LoadOrStore(rec.PageID, ne); !loaded {
 				m.chainPages.Add(1)
 				return
@@ -731,9 +880,9 @@ func (m *Manager) indexRecord(rec *Record) {
 		if rec.PagePrevLSN == page.ZeroLSN {
 			// A format record restarts the chain: older history is no
 			// longer reachable by a backwards walk from the new head.
-			ne = &chainEntry{head: rec.LSN, tail: rec.LSN, length: 1}
+			ne = &chainEntry{head: rec.LSN, tail: rec.LSN, length: 1, rooted: true}
 		} else {
-			ne = &chainEntry{head: rec.LSN, tail: old.tail, length: old.length + 1}
+			ne = &chainEntry{head: rec.LSN, tail: old.tail, length: old.length + 1, rooted: old.rooted}
 		}
 		if m.chains.CompareAndSwap(rec.PageID, v, ne) {
 			return
@@ -741,25 +890,64 @@ func (m *Manager) indexRecord(rec *Record) {
 	}
 }
 
-// ChainHead returns the per-page chain-index entry for pageID. ok is false
-// when the page has no chain records in the surviving log.
+// ChainHead returns the per-page chain-index entry for pageID, merged with
+// the archive's per-page summary when the live entry does not reach the
+// chain's root (or was pruned entirely). ok is false when the page has no
+// chain records in the surviving log or the archive.
 func (m *Manager) ChainHead(pageID page.ID) (ChainInfo, bool) {
-	v, ok := m.chains.Load(pageID)
-	if !ok {
-		return ChainInfo{}, false
+	if v, ok := m.chains.Load(pageID); ok {
+		return m.mergedInfo(pageID, v.(*chainEntry)), true
 	}
-	e := v.(*chainEntry)
-	return ChainInfo{Head: e.head, Tail: e.tail, Length: e.length}, true
+	if ar := m.archiveReader(); ar != nil {
+		if h, t, n, ok := ar.PageHead(pageID); ok {
+			return ChainInfo{Head: h, Tail: t, Length: n}, true
+		}
+	}
+	return ChainInfo{}, false
 }
 
-// Chains visits every per-page chain-index entry until fn returns false.
-// The iteration order is unspecified; concurrent appends may or may not be
+// mergedInfo completes a live chain entry with the archived prefix the
+// index pruned: an unrooted entry's true tail (the format record) and full
+// length come from the archive's per-page summary.
+func (m *Manager) mergedInfo(id page.ID, e *chainEntry) ChainInfo {
+	ci := ChainInfo{Head: e.head, Tail: e.tail, Length: e.length}
+	if !e.rooted {
+		if ar := m.archiveReader(); ar != nil {
+			if _, t, n, ok := ar.PageHead(id); ok && t < ci.Tail {
+				ci.Tail = t
+				ci.Length = e.length + n
+			}
+		}
+	}
+	return ci
+}
+
+// Chains visits every per-page chain entry until fn returns false: live
+// index entries first (merged with archived prefixes), then archived
+// summaries for pages Recycle pruned out of the live index — so media
+// recovery sees every page with logged history, wherever it lives. The
+// iteration order is unspecified; concurrent appends may or may not be
 // visible, exactly like sync.Map.Range.
 func (m *Manager) Chains(fn func(page.ID, ChainInfo) bool) {
+	live := make(map[page.ID]bool)
+	cont := true
 	m.chains.Range(func(k, v any) bool {
-		e := v.(*chainEntry)
-		return fn(k.(page.ID), ChainInfo{Head: e.head, Tail: e.tail, Length: e.length})
+		id := k.(page.ID)
+		live[id] = true
+		cont = fn(id, m.mergedInfo(id, v.(*chainEntry)))
+		return cont
 	})
+	if !cont {
+		return
+	}
+	if ar := m.archiveReader(); ar != nil {
+		ar.PageHeads(func(id page.ID, h, t page.LSN, n int64) bool {
+			if live[id] {
+				return true
+			}
+			return fn(id, ChainInfo{Head: h, Tail: t, Length: n})
+		})
+	}
 }
 
 // fixupChains rolls the chain index back to the truncation boundary f:
@@ -800,7 +988,7 @@ func (m *Manager) fixupChains(f int64) {
 		if n < 1 {
 			n = 1
 		}
-		m.chains.CompareAndSwap(k, v, &chainEntry{head: lsn, tail: e.tail, length: n})
+		m.chains.CompareAndSwap(k, v, &chainEntry{head: lsn, tail: e.tail, length: n, rooted: e.rooted})
 		return true
 	})
 }
@@ -1134,6 +1322,96 @@ func (m *Manager) Crash() {
 	m.truncating.Store(false)
 }
 
+// SetArchive installs the reader that serves log history below the
+// recycling boundary. It must be installed before the first Recycle; the
+// same reader survives Crash (the archive is durable by definition).
+func (m *Manager) SetArchive(ar ArchiveReader) {
+	m.arch.Store(&archiveHolder{r: ar})
+}
+
+// archiveReader returns the installed ArchiveReader, or nil.
+func (m *Manager) archiveReader() ArchiveReader {
+	if h := m.arch.Load(); h != nil {
+		return h.r
+	}
+	return nil
+}
+
+// TruncatedLSN returns the recycling boundary: records below it left the
+// live buffer and are served from the archive.
+func (m *Manager) TruncatedLSN() page.LSN { return page.LSN(m.base.Load()) }
+
+// Recycle truncates the live log below upTo: whole chunks that fall under
+// the boundary return to the free pool, and chain-index entries whose
+// entire history lies below it are pruned (the archive's per-page
+// summaries take over for them). upTo must be a record boundary no higher
+// than the durably archived horizon — the caller (the archiver) owns that
+// invariant, combining it with the checkpoint horizon; Recycle itself only
+// clamps the boundary to the flushed watermark, so no volatile byte is
+// ever "recycled" (a crash would then need it back). Returns the number of
+// chunks freed.
+//
+// Recycle uses the same exclusive gate as Crash: it flips truncating only
+// in an instant with zero readers, so a reader never observes chunks being
+// cut from under its view, and in-flight appenders (which write only at or
+// above the flushed watermark) are unaffected.
+func (m *Manager) Recycle(upTo page.LSN) int {
+	m.crashMu.Lock()
+	defer m.crashMu.Unlock()
+	if f := m.flushed.Load(); int64(upTo) > f {
+		upTo = page.LSN(f)
+	}
+	if int64(upTo) <= m.base.Load() {
+		return 0
+	}
+	// Crash point: the horizon is chosen — covered records are durably
+	// archived — but nothing is freed yet. A crash here must find every
+	// record either still live or re-archivable idempotently.
+	chaos.At("wal.recycle")
+	for {
+		if m.readers.Load() == 0 {
+			m.truncating.Store(true)
+			if m.readers.Load() == 0 {
+				break
+			}
+			m.truncating.Store(false)
+		}
+		runtime.Gosched()
+	}
+	newBase := int64(upTo)
+	freed := 0
+	m.allocMu.Lock()
+	t := m.table()
+	if nf := newBase >> chunkShift; nf > t.first {
+		cut := int(nf - t.first)
+		for _, c := range t.chunks[:cut] {
+			if len(m.freeChunks) < freePoolCap {
+				m.freeChunks = append(m.freeChunks, c)
+			}
+			freed++
+		}
+		m.chunks.Store(&chunkTable{first: nf, chunks: append([][]byte(nil), t.chunks[cut:]...)})
+	}
+	m.allocMu.Unlock()
+	m.base.Store(newBase)
+	m.stats.recycled.Add(int64(freed))
+	// Prune entries wholly below the boundary before readmitting readers:
+	// a ChainHead between base advance and prune would still be correct
+	// (the live walk falls back to the archive at the boundary), but doing
+	// it inside the gate keeps the index and boundary in one snapshot.
+	m.chains.Range(func(k, v any) bool {
+		if e := v.(*chainEntry); int64(e.head) < newBase {
+			if m.chains.CompareAndDelete(k, v) {
+				m.chainPages.Add(-1)
+				m.stats.pruned.Add(1)
+			}
+		}
+		return true
+	})
+	m.truncating.Store(false)
+	return freed
+}
+
 // SetMaster records the LSN of the most recent checkpoint-end record in the
 // (stable) master location. Callers must flush the checkpoint records first.
 func (m *Manager) SetMaster(lsn page.LSN) {
@@ -1160,23 +1438,37 @@ func (m *Manager) Read(lsn page.LSN) (*Record, error) {
 
 // ReadView decodes the record at lsn into rec without copying the payload:
 // rec.Payload aliases the log's internal buffer. The view stays valid
-// until the next Crash truncates the log (truncated bytes are reused by
-// later appends); callers that retain records across crashes, or mutate
-// payloads, must use Read. I/O accounting matches Read.
+// until the next Crash or Recycle truncates the log (truncated bytes are
+// reused by later appends); callers that retain records across either, or
+// mutate payloads, must use Read. A record served from the archive
+// fallback is always an independent copy. I/O accounting matches Read.
 func (m *Manager) ReadView(lsn page.LSN, rec *Record) error {
 	return m.readRecord(lsn, rec, false)
 }
 
 func (m *Manager) readRecord(lsn page.LSN, rec *Record, copyPayload bool) error {
 	m.rlock()
-	defer m.runlock()
 	size, err := m.decodeAt(lsn, rec, copyPayload)
-	if err != nil {
-		return err
+	if err == nil {
+		m.clock.Random(int64(size))
+		m.stats.recordsRead.Add(1)
+		m.runlock()
+		return nil
 	}
-	m.clock.Random(int64(size))
-	m.stats.recordsRead.Add(1)
-	return nil
+	m.runlock()
+	if errors.Is(err, ErrTruncated) {
+		if ar := m.archiveReader(); ar != nil {
+			arec, aerr := ar.ReadRecord(lsn)
+			if aerr != nil {
+				return fmt.Errorf("wal: archived record %d: %w", lsn, aerr)
+			}
+			*rec = *arec
+			m.stats.archiveReads.Add(1)
+			m.stats.recordsRead.Add(1)
+			return nil
+		}
+	}
+	return err
 }
 
 // decodeAt decodes the record at lsn into rec and returns its encoded
@@ -1186,6 +1478,9 @@ func (m *Manager) decodeAt(lsn page.LSN, rec *Record, copyPayload bool) (int, er
 	p := int64(lsn)
 	if lsn < firstLSN || p+headerSize+trailerSize > ready {
 		return 0, fmt.Errorf("%w: %d", ErrBadLSN, lsn)
+	}
+	if p < m.base.Load() {
+		return 0, fmt.Errorf("%w: %d", ErrTruncated, lsn)
 	}
 	total := m.lengthAt(p)
 	if total < headerSize+trailerSize || p+total > ready {
@@ -1240,6 +1535,31 @@ func (m *Manager) Scan(from page.LSN, fn func(*Record) bool) error {
 		size, err := m.decodeAt(page.LSN(pos), &rec, false)
 		if err != nil {
 			m.runlock()
+			if errors.Is(err, ErrTruncated) {
+				// [pos, base) was recycled out of the live buffer: replay
+				// it from the archive (sequential run reads), then resume
+				// the live scan at the truncation boundary.
+				ar := m.archiveReader()
+				if ar == nil {
+					return err
+				}
+				base := page.LSN(m.base.Load())
+				stopped := false
+				aerr := ar.ScanLSN(page.LSN(pos), base, func(r *Record) bool {
+					m.stats.archiveReads.Add(1)
+					m.stats.recordsRead.Add(1)
+					stopped = !fn(r)
+					return !stopped
+				})
+				if aerr != nil {
+					return fmt.Errorf("wal: archived scan at %d: %w", pos, aerr)
+				}
+				if stopped {
+					return nil
+				}
+				pos = int64(base)
+				continue
+			}
 			return err
 		}
 		m.clock.Sequential(int64(size))
@@ -1278,6 +1598,22 @@ func (m *Manager) WalkPageChain(start page.LSN, stopAfter page.LSN, pageID page.
 	var chain []*Record
 	lsn := start
 	for lsn != page.ZeroLSN && lsn > stopAfter {
+		if int64(lsn) < m.base.Load() {
+			// The rest of the chain was recycled out of the live log: the
+			// archive serves it as one sequential scan of the page's sorted
+			// run partitions instead of a seek per record.
+			ar := m.archiveReader()
+			if ar == nil {
+				return nil, fmt.Errorf("walking chain for page %d: %w: %d", pageID, ErrTruncated, lsn)
+			}
+			rest, err := ar.WalkChain(lsn, stopAfter, pageID)
+			if err != nil {
+				return nil, fmt.Errorf("walking archived chain for page %d: %w", pageID, err)
+			}
+			m.stats.archiveReads.Add(int64(len(rest)))
+			m.stats.recordsRead.Add(int64(len(rest)))
+			return append(chain, rest...), nil
+		}
 		rec := new(Record)
 		if err := m.readRecord(lsn, rec, true); err != nil {
 			return nil, fmt.Errorf("walking chain for page %d: %w", pageID, err)

@@ -1,0 +1,135 @@
+package walbench
+
+import (
+	"testing"
+
+	"repro/internal/archive"
+	"repro/internal/iosim"
+	"repro/internal/page"
+	"repro/internal/wal"
+)
+
+// Shape of the lifecycle replay benchmarks (E32/E33): many per-page
+// chains written round-robin, so consecutive records of one page sit a
+// full round apart in the live log — the live replay of any single chain
+// is a pointer chase scattered across the whole log, while the archived
+// replay of the same chain reads one sorted, page-partitioned run span
+// sequentially.
+const (
+	// ChainPages is the number of interleaved per-page chains.
+	ChainPages = 128
+	// ChainDepth is the history depth of every chain — the number of
+	// records a single-page replay applies.
+	ChainDepth = 256
+
+	chainPayload = 120
+)
+
+// buildChainLog writes ChainPages interleaved chains of ChainDepth
+// records each and flushes, returning the manager and the target page for
+// single-chain replays (with its chain head).
+func buildChainLog(b *testing.B) (*wal.Manager, page.ID, page.LSN) {
+	b.Helper()
+	m := wal.NewManager(iosim.Instant)
+	payload := make([]byte, chainPayload)
+	prev := make([]page.LSN, ChainPages)
+	for d := 0; d < ChainDepth; d++ {
+		typ := wal.TypeUpdate
+		if d == 0 {
+			typ = wal.TypeFormat
+		}
+		for p := 0; p < ChainPages; p++ {
+			prev[p] = m.Append(&wal.Record{
+				Type: typ, Txn: 1,
+				PageID:      page.ID(p + 1),
+				PagePrevLSN: prev[p],
+				Payload:     payload,
+			})
+		}
+	}
+	m.FlushAll()
+	target := ChainPages / 2
+	return m, page.ID(target + 1), prev[target]
+}
+
+// archiveAndRecycle drains the whole flushed log through the real
+// archiver pipeline (sealed segments → sorted runs), wires the archive
+// fallback into the manager, and recycles every live segment — after it
+// returns, every chain replay is served from archived runs.
+func archiveAndRecycle(b *testing.B, m *wal.Manager) {
+	b.Helper()
+	st := archive.NewStore(iosim.Instant, wal.FirstLSN())
+	ar := archive.New(m, st, archive.Config{SegmentBytes: 256 << 10})
+	ar.SetCheckpointHorizon(m.FlushedLSN())
+	if err := ar.Step(true); err != nil {
+		b.Fatal(err)
+	}
+	m.SetArchive(st.NewReader(1, 0))
+	if m.TruncatedLSN() != m.FlushedLSN() {
+		b.Fatalf("recycle stopped at %d, flushed %d", m.TruncatedLSN(), m.FlushedLSN())
+	}
+}
+
+// ChainReplay measures one page's full-chain replay (WalkPageChain, the
+// single-page-recovery read path) at equal history depth: archived=false
+// chases prev pointers through the live log, archived=true reads the
+// page's span of the sorted archive runs after every live segment has
+// been recycled.
+func ChainReplay(b *testing.B, archived bool) {
+	m, target, head := buildChainLog(b)
+	defer m.Close()
+	if archived {
+		archiveAndRecycle(b, m)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recs, err := m.WalkPageChain(head, 0, target)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(recs) != ChainDepth {
+			b.Fatalf("chain replayed %d records, want %d", len(recs), ChainDepth)
+		}
+	}
+}
+
+// MediaRestoreReplay measures media-restore preparation at equal history
+// depth: replaying every page's chain, the work a device-failure restore
+// does for its whole page set. The archived variant reads each page's
+// history as one sequential run span; the live variant re-seeks the
+// interleaved log once per page.
+func MediaRestoreReplay(b *testing.B, archived bool) {
+	m, _, _ := buildChainLog(b)
+	defer m.Close()
+	if archived {
+		archiveAndRecycle(b, m)
+	}
+	type chain struct {
+		id   page.ID
+		head page.LSN
+	}
+	var chains []chain
+	m.Chains(func(id page.ID, ci wal.ChainInfo) bool {
+		chains = append(chains, chain{id, ci.Head})
+		return true
+	})
+	if len(chains) != ChainPages {
+		b.Fatalf("chain index covers %d pages, want %d", len(chains), ChainPages)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total := 0
+		for _, c := range chains {
+			recs, err := m.WalkPageChain(c.head, 0, c.id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += len(recs)
+		}
+		if total != ChainPages*ChainDepth {
+			b.Fatalf("restore replayed %d records, want %d", total, ChainPages*ChainDepth)
+		}
+	}
+}

@@ -21,7 +21,9 @@ import (
 )
 
 // Checkpoint takes a fuzzy checkpoint (§5.2.6) and returns the LSN of the
-// checkpoint-end record.
+// checkpoint-end record. When the log lifecycle is enabled, the
+// checkpoint's redo horizon is pushed to the archiver — the trigger that
+// lets live log segments beneath it recycle once they are archived.
 func (db *DB) Checkpoint() (LSN, error) {
 	if err := db.opErr(); err != nil {
 		return 0, err
@@ -29,9 +31,17 @@ func (db *DB) Checkpoint() (LSN, error) {
 	if err := db.runDueBackups(); err != nil {
 		return 0, err
 	}
-	return recovery.Checkpoint(recovery.CheckpointDeps{
+	res, err := recovery.Checkpoint(recovery.CheckpointDeps{
 		Log: db.log, Pool: db.pool, Txns: db.txns, PRI: db.pri, Map: db.pmap,
 	})
+	if err != nil {
+		return 0, err
+	}
+	if db.archiver != nil {
+		db.archiver.SetCheckpointHorizon(res.RedoHorizon)
+		db.archiver.Kick()
+	}
+	return res.End, nil
 }
 
 // BackupDatabase takes a full database backup into the backup store and
@@ -80,7 +90,8 @@ func (db *DB) BackupNow() (uint64, BackupReport, error) {
 	if !db.opts.DisableSinglePageRecovery {
 		prev = db.store.LatestSet()
 	}
-	w := db.store.BeginFullSet(db.log.EndLSN())
+	setEnd := db.log.EndLSN()
+	w := db.store.BeginFullSet(setEnd)
 	ids := db.pmap.Pages()
 	rep.Pages = len(ids)
 	for _, id := range ids {
@@ -110,6 +121,14 @@ func (db *DB) BackupNow() (uint64, BackupReport, error) {
 		rep.Written++
 	}
 	w.Commit()
+	// The completed set raises the archive-release horizon: history below
+	// setEnd is unreachable by any chain replay that resolves against this
+	// (or a newer) set, so the archiver may garbage-collect it — subject to
+	// its release floor (active-transaction undo, log-backed backup refs).
+	if db.archiver != nil {
+		db.archiver.SetBackupHorizon(setEnd)
+		db.archiver.Kick()
+	}
 	if db.opts.DisableSinglePageRecovery {
 		return w.SetID(), rep, nil
 	}
@@ -281,6 +300,7 @@ func (db *DB) Close() error {
 	db.mu.Unlock()
 	db.stopRestore()
 	db.stopMaintenance()
+	db.stopLifecycle()
 	if db.isCrashed() {
 		db.log.Close()
 		return nil
@@ -311,6 +331,7 @@ func (db *DB) Crash() {
 	db.mu.Unlock()
 	db.stopRestore()
 	db.stopMaintenance()
+	db.stopLifecycle()
 	db.log.Crash()
 	db.pool.Crash()
 }
@@ -399,8 +420,14 @@ func (db *DB) Restart() (*DB, *RestartReport, error) {
 		Hooks: ndb.hooks(),
 	})
 	ndb.startRestore()
+	// The archive survives a crash (it is a durable device): the recovered
+	// DB inherits the store, so pre-crash history stays readable, and
+	// re-archiving after a crash between archive-write and recycle is
+	// idempotent — the store skips records below its durable cursor.
+	ndb.initLifecycle(db)
 	fail := func(err error) (*DB, *RestartReport, error) {
 		ndb.stopRestore()
+		ndb.stopLifecycle()
 		return nil, nil, err
 	}
 
@@ -447,6 +474,7 @@ func (db *DB) Restart() (*DB, *RestartReport, error) {
 		return fail(err)
 	}
 	ndb.startMaintenance()
+	ndb.startLifecycle()
 	rep.Duration = time.Since(start)
 	return ndb, rep, nil
 }
@@ -490,6 +518,7 @@ func (db *DB) FailDevice() {
 	db.mu.Unlock()
 	db.stopRestore()
 	db.stopMaintenance()
+	db.stopLifecycle()
 	db.dev.FailDevice()
 	db.pool.Crash()
 }
@@ -548,8 +577,10 @@ func (db *DB) RecoverMedia() (*DB, *MediaRecoveryReport, error) {
 		Hooks: ndb.hooks(),
 	})
 	ndb.startRestore()
+	ndb.initLifecycle(db)
 	fail := func(err error) (*DB, *MediaRecoveryReport, error) {
 		ndb.stopRestore()
+		ndb.stopLifecycle()
 		return nil, nil, err
 	}
 
@@ -587,6 +618,7 @@ func (db *DB) RecoverMedia() (*DB, *MediaRecoveryReport, error) {
 		return fail(err)
 	}
 	ndb.startMaintenance()
+	ndb.startLifecycle()
 	rep := &MediaRecoveryReport{Media: *mediaRep, Undo: *undoRep, Duration: time.Since(start)}
 	return ndb, rep, nil
 }

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/archive"
 	"repro/internal/backup"
 	"repro/internal/btree"
 	"repro/internal/buffer"
@@ -86,6 +87,12 @@ type DB struct {
 	res   *backup.Resolver
 	sched *restore.Scheduler   // nil when Options.Restore.Disabled (or SPR off)
 	maint *maintenance.Service // nil unless Options.Maintenance.Enabled
+
+	// Log lifecycle (nil unless Options.Lifecycle.Enabled): arch is the
+	// durable log archive (shared across Restart/RecoverMedia), archiver
+	// the per-DB driver that archives, recycles, and releases.
+	arch     *archive.Store
+	archiver *archive.Archiver
 
 	mu           sync.Mutex
 	metaID       page.ID
@@ -201,6 +208,7 @@ func Open(opts Options) (*DB, error) {
 		Hooks: db.hooks(),
 	})
 	db.startRestore()
+	db.initLifecycle(nil)
 
 	// Bootstrap: the meta page holding the index registry.
 	st := db.txns.BeginSystem()
@@ -220,6 +228,7 @@ func Open(opts Options) (*DB, error) {
 		return nil, err
 	}
 	db.startMaintenance()
+	db.startLifecycle()
 	return db, nil
 }
 

@@ -1,0 +1,119 @@
+package spf
+
+import (
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/core"
+	"repro/internal/page"
+	"repro/internal/wal"
+)
+
+// initLifecycle builds the log-lifecycle machinery when Options.Lifecycle
+// is enabled: the archive store (inherited from prev across Restart and
+// RecoverMedia — the archive is a durable device and survives crashes),
+// the retrying archive reader wired into the WAL's truncated-read
+// fallback, and the archiver that owns the truncation invariant. The
+// background loop is NOT started here — call startLifecycle once the DB
+// is fully constructed — but the archiver exists immediately so the
+// bootstrap (or post-restart) checkpoint can push its redo horizon.
+func (db *DB) initLifecycle(prev *DB) {
+	lo := db.opts.Lifecycle
+	if !lo.Enabled {
+		return
+	}
+	if prev != nil && prev.arch != nil {
+		db.arch = prev.arch
+	} else {
+		db.arch = archive.NewStore(lo.ArchiveProfile, wal.FirstLSN())
+	}
+	db.log.SetArchive(db.arch.NewReader(lo.RetryAttempts, lo.RetryBackoff))
+	interval := lo.Interval
+	if interval == 0 {
+		interval = 25 * time.Millisecond
+	}
+	db.archiver = archive.New(db.log, db.arch, archive.Config{
+		SegmentBytes:  lo.SegmentBytes,
+		Interval:      interval,
+		RetryAttempts: lo.RetryAttempts,
+		RetryBackoff:  lo.RetryBackoff,
+		ReleaseFloor:  db.archiveReleaseFloor,
+		Logf:          lo.Logf,
+	})
+	// A pre-existing full backup set re-establishes the release horizon
+	// after a restart: everything the newest set covers stays releasable.
+	if set := db.store.LatestSet(); set != 0 {
+		if lsn, err := db.store.SetLSN(set); err == nil {
+			db.archiver.SetBackupHorizon(lsn)
+		}
+	}
+}
+
+// startLifecycle launches the archiver's background loop (no-op when the
+// lifecycle is disabled or Interval is negative).
+func (db *DB) startLifecycle() {
+	if db.archiver != nil {
+		db.archiver.Start()
+	}
+}
+
+// stopLifecycle joins the archiver loop. Close, Crash, and FailDevice
+// call it BEFORE the log crashes or closes: an archiver step reads the
+// live log and calls Recycle, so no lifecycle work may race the log's
+// tail truncation — the same WAL-safety ordering stopRestore and
+// stopMaintenance observe. Idempotent.
+func (db *DB) stopLifecycle() {
+	if db.archiver != nil {
+		db.archiver.Stop()
+	}
+}
+
+// archiveReleaseFloor is the engine-side clamp on archive garbage
+// collection: archived history is retained while anything can still need
+// it, namely
+//
+//   - undo of an active transaction (its chain of log records starts at
+//     its begin LSN; a loser adopted by restart carries a conservative
+//     zero, blocking release until it resolves), and
+//   - log-backed backup references in the page recovery index — a page
+//     whose registered "backup" is a TypeFormat or TypeFullImage log
+//     record must keep that record readable for full single-page
+//     recovery.
+func (db *DB) archiveReleaseFloor() page.LSN {
+	floor := db.log.EndLSN()
+	if lsn, ok := db.txns.OldestActiveBeginLSN(); ok && lsn < floor {
+		floor = lsn
+	}
+	db.pri.ForEachRange(func(lo, hi page.ID, e core.Entry) bool {
+		if e.Backup.Kind == core.BackupFormat || e.Backup.Kind == core.BackupLogImage {
+			if l := page.LSN(e.Backup.Loc); l < floor {
+				floor = l
+			}
+		}
+		return true
+	})
+	return floor
+}
+
+// ArchiveNow runs one synchronous lifecycle pass: any flushed-but-
+// unarchived history is archived (segment-full or not), then segments
+// recycle and archived history releases up to the current horizons.
+// Deterministic alternative to waiting on the background loop; no-op
+// without the lifecycle.
+func (db *DB) ArchiveNow() error {
+	if db.archiver == nil {
+		return nil
+	}
+	return db.archiver.Step(true)
+}
+
+// ArchivePaused reports whether the archive device is unavailable and
+// segment recycling is therefore suspended (the live log grows until the
+// device recovers). Always false without the lifecycle.
+func (db *DB) ArchivePaused() bool {
+	return db.archiver != nil && db.archiver.Paused()
+}
+
+// Archive exposes the archive store for fault campaigns and inspection
+// by experiments. Nil without the lifecycle.
+func (db *DB) Archive() *archive.Store { return db.arch }

@@ -1,0 +1,278 @@
+package spf
+
+import (
+	"strings"
+	"testing"
+)
+
+// lifecycleOptions returns engine options with the log lifecycle on in
+// deterministic (manual-step) mode and a tiny run granularity, so short
+// tests cross the live/archive boundary many times.
+func lifecycleOptions() Options {
+	opts := testOptions()
+	opts.Lifecycle = LifecycleOptions{
+		Enabled:      true,
+		SegmentBytes: 4 << 10,
+		Interval:     -1, // ArchiveNow only
+	}
+	return opts
+}
+
+// churn rewrites every key round times, checkpointing after each round so
+// the redo horizon keeps advancing past the rewritten history.
+func churn(t *testing.T, db *DB, ix *Index, n, rounds int) {
+	t.Helper()
+	for r := 0; r < rounds; r++ {
+		tx := db.Begin()
+		for i := 0; i < n; i++ {
+			if err := ix.Update(tx, k(i), v(i)); err != nil {
+				t.Fatalf("round %d update %d: %v", r, i, err)
+			}
+		}
+		if err := db.Commit(tx); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// longestChainPage picks the data page with the longest per-page chain —
+// the page whose repair replays the most history.
+func longestChainPage(t *testing.T, db *DB) PageID {
+	t.Helper()
+	var victim PageID
+	var best int64
+	for _, id := range db.Pages() {
+		if ci, ok := db.LogManager().ChainHead(id); ok && ci.Length > best {
+			victim, best = id, ci.Length
+		}
+	}
+	if best == 0 {
+		t.Fatal("no page has a chain")
+	}
+	return victim
+}
+
+// corruptAndVerify damages the victim's stored image and then reads every
+// key back: the read path must detect the single-page failure and repair
+// it (from backup plus per-page chain, wherever that chain now lives).
+func corruptAndVerify(t *testing.T, db *DB, ix *Index, victim PageID, n int) {
+	t.Helper()
+	if err := db.EvictPage(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CorruptPage(victim); err != nil {
+		t.Fatal(err)
+	}
+	expectValues(t, ix, n)
+}
+
+// TestLifecycleRepairAcrossTruncationBoundary is the tentpole invariant:
+// a page whose chain spans recycled segments repairs identically before
+// and after truncation, including through a transient archive fault.
+func TestLifecycleRepairAcrossTruncationBoundary(t *testing.T) {
+	const n = 300
+	db := openTestDB(t, lifecycleOptions())
+	defer db.Close()
+	ix := loadIndex(t, db, "t", n)
+	if _, err := db.BackupDatabase(); err != nil {
+		t.Fatal(err)
+	}
+	churn(t, db, ix, n, 6)
+
+	victim := longestChainPage(t, db)
+	// Before truncation: the whole chain is live.
+	corruptAndVerify(t, db, ix, victim, n)
+
+	// Archive and recycle. The chain now spans the boundary (its tail is
+	// archived; the repair's own recovery records are new live history).
+	if err := db.ArchiveNow(); err != nil {
+		t.Fatal(err)
+	}
+	logStats := db.LogManager().Stats()
+	if logStats.TruncatedLSN == 0 {
+		t.Fatal("lifecycle step did not truncate the live log")
+	}
+	as := db.Metrics().Archive
+	if as.Runs == 0 || as.RecordsArchived == 0 {
+		t.Fatalf("no archive runs written: %+v", as)
+	}
+
+	// After truncation: same corruption, same repair, served partly from
+	// the archive.
+	corruptAndVerify(t, db, ix, victim, n)
+	if got := db.LogManager().Stats().ArchiveReads; got == 0 {
+		t.Error("post-truncation repair read nothing from the archive")
+	}
+
+	// Transient archive read fault: the retrying reader absorbs it.
+	db.Archive().FailReads(2)
+	corruptAndVerify(t, db, ix, victim, n)
+	if got := db.Metrics().Archive.Retries; got == 0 {
+		t.Error("transient archive fault was not retried")
+	}
+}
+
+// TestLifecycleSurvivesCrashRestart crashes after truncation and verifies
+// restart analysis, acked commits, and post-restart boundary repairs.
+func TestLifecycleSurvivesCrashRestart(t *testing.T) {
+	const n = 200
+	db := openTestDB(t, lifecycleOptions())
+	ix := loadIndex(t, db, "t", n)
+	if _, err := db.BackupDatabase(); err != nil {
+		t.Fatal(err)
+	}
+	churn(t, db, ix, n, 4)
+	if err := db.ArchiveNow(); err != nil {
+		t.Fatal(err)
+	}
+	if db.LogManager().Stats().TruncatedLSN == 0 {
+		t.Fatal("no truncation before crash")
+	}
+	// Acked history after the truncation, then crash with it unflushed in
+	// part: restart must recover every acked commit from master-forward
+	// live log — analysis never needs recycled history.
+	tx := db.Begin()
+	for i := 0; i < n; i++ {
+		if err := ix.Update(tx, k(i), []byte("post-truncate")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	db.Crash()
+	ndb, _, err := db.Restart()
+	if err != nil {
+		t.Fatalf("restart over a truncated log: %v", err)
+	}
+	defer ndb.Close()
+	nix, err := ndb.Index("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		got, err := nix.Get(k(i))
+		if err != nil {
+			t.Fatalf("get %d after restart: %v", i, err)
+		}
+		if string(got) != "post-truncate" {
+			t.Fatalf("key %d = %q after restart, want acked value", i, got)
+		}
+	}
+	// The inherited archive still serves the recovered DB's repairs.
+	victim := longestChainPage(t, ndb)
+	if err := ndb.EvictPage(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := ndb.CorruptPage(victim); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := nix.Get(k(i)); err != nil {
+			t.Fatalf("post-restart repair: get %d: %v", i, err)
+		}
+	}
+}
+
+// TestLifecycleReleasesArchivedHistory drives the full pipeline — archive,
+// recycle, back up, release — and checks the archive is itself bounded.
+func TestLifecycleReleasesArchivedHistory(t *testing.T) {
+	const n = 200
+	db := openTestDB(t, lifecycleOptions())
+	defer db.Close()
+	ix := loadIndex(t, db, "t", n)
+	if _, err := db.BackupDatabase(); err != nil {
+		t.Fatal(err)
+	}
+	churn(t, db, ix, n, 4)
+	if err := db.ArchiveNow(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Metrics().Archive.Runs == 0 {
+		t.Fatal("nothing archived")
+	}
+	// A fresh full backup set supersedes the archived chains below it; the
+	// next step garbage-collects them.
+	if _, err := db.BackupDatabase(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.ArchiveNow(); err != nil {
+		t.Fatal(err)
+	}
+	as := db.Metrics().Archive
+	if as.ReleasedRuns == 0 {
+		t.Fatalf("no archived history released after a newer backup set: %+v", as)
+	}
+	if as.ReleasedLSN == 0 {
+		t.Error("release horizon never advanced")
+	}
+	// Everything still reads clean after release, and fresh history keeps
+	// repairing normally on top of the released archive.
+	expectValues(t, ix, n)
+	churn(t, db, ix, n, 1)
+	victim := longestChainPage(t, db)
+	corruptAndVerify(t, db, ix, victim, n)
+}
+
+// TestLifecyclePausesOnArchiveFault checks graceful degradation: a sticky
+// archive write fault pauses recycling (the live log grows, the gauge
+// says so), and recovery of the device resumes the lifecycle.
+func TestLifecyclePausesOnArchiveFault(t *testing.T) {
+	const n = 150
+	opts := lifecycleOptions()
+	var degraded, recovered bool
+	opts.Lifecycle.RetryAttempts = 2
+	opts.Lifecycle.Logf = func(format string, args ...any) {
+		if strings.Contains(format, "unavailable") {
+			degraded = true
+		} else {
+			recovered = true
+		}
+	}
+	db := openTestDB(t, opts)
+	defer db.Close()
+	ix := loadIndex(t, db, "t", n)
+	churn(t, db, ix, n, 2)
+
+	db.Archive().FailWrites(-1)
+	base := db.LogManager().TruncatedLSN()
+	if err := db.ArchiveNow(); err == nil {
+		t.Fatal("faulted lifecycle step reported success")
+	}
+	if !db.ArchivePaused() {
+		t.Fatal("archiver not paused after sticky write fault")
+	}
+	if !db.Metrics().Archive.Paused {
+		t.Error("pause gauge not surfaced in metrics")
+	}
+	if db.LogManager().TruncatedLSN() != base {
+		t.Error("recycling advanced while archive unavailable")
+	}
+	if !degraded {
+		t.Error("degradation log line not emitted")
+	}
+
+	// The engine keeps serving reads and writes throughout the outage.
+	churn(t, db, ix, n, 1)
+	expectValues(t, ix, n)
+
+	db.Archive().FailWrites(0)
+	if err := db.ArchiveNow(); err != nil {
+		t.Fatalf("lifecycle step after device recovery: %v", err)
+	}
+	if db.ArchivePaused() {
+		t.Error("archiver still paused after recovery")
+	}
+	if !recovered {
+		t.Error("recovery log line not emitted")
+	}
+	if db.LogManager().TruncatedLSN() == base {
+		t.Error("recycling did not resume after recovery")
+	}
+}

@@ -3,6 +3,7 @@ package spf
 import (
 	"sort"
 
+	"repro/internal/archive"
 	"repro/internal/buffer"
 	"repro/internal/core"
 	"repro/internal/maintenance"
@@ -28,10 +29,13 @@ type Metrics struct {
 	Recovery core.Stats
 	// Maintenance and Restore are the background services (zero when
 	// disabled); RestartRedo is the instant-restart needs-redo ledger
-	// (zero for a DB not produced by Restart).
+	// (zero for a DB not produced by Restart); Archive is the log
+	// lifecycle's archive store plus the archiver's pause gauge (zero
+	// unless Options.Lifecycle.Enabled).
 	Maintenance maintenance.Stats
 	Restore     restore.Stats
 	RestartRedo RestartRedoStats
+	Archive     archive.Stats
 	// PRI sizes the page recovery index; Pages counts logical pages;
 	// RetiredSlots counts device slots retired after failures.
 	PRI          PRIMetrics
@@ -100,6 +104,9 @@ func (db *DB) Metrics() Metrics {
 	}
 	if db.sched != nil {
 		m.Restore = db.sched.Stats()
+	}
+	if db.archiver != nil {
+		m.Archive = db.archiver.Stats()
 	}
 	db.mu.Lock()
 	m.Crashed = db.crashed

@@ -94,8 +94,52 @@ type Options struct {
 	// Close, Crash, and FailDevice (workers joined before the log
 	// truncates).
 	Restore RestoreOptions
+	// Lifecycle configures the bounded log lifecycle: a background
+	// archiver drains flushed history into a sorted, page-partitioned log
+	// archive, live segments recycle once the checkpoint redo horizon and
+	// the archive both cover them, and archived history is garbage-
+	// collected once a newer full backup set (plus the engine's undo and
+	// log-backed-backup floors) passes it. Disabled unless
+	// Lifecycle.Enabled is set — the live log then grows without bound,
+	// the pre-lifecycle behavior.
+	Lifecycle LifecycleOptions
 	// Seed makes fault injection reproducible.
 	Seed int64
+}
+
+// LifecycleOptions tunes the log lifecycle (internal/archive). The zero
+// value of every field but Enabled selects the defaults noted per field.
+type LifecycleOptions struct {
+	// Enabled turns the lifecycle on: the archiver runs, live WAL
+	// segments recycle behind the checkpoint horizon, and per-page chain
+	// replays transparently fall back to the archive for recycled
+	// history.
+	Enabled bool
+	// SegmentBytes is the archive run granularity: a run is sealed once
+	// this many flushed-but-unarchived log bytes accumulate (default
+	// 256 KiB). Small values bound live-log memory tightly at the cost of
+	// more, smaller runs.
+	SegmentBytes int64
+	// Interval is the background archiver cadence (default 25ms).
+	// Negative disables the loop entirely: the lifecycle then advances
+	// only on explicit ArchiveNow calls (deterministic tests) and on the
+	// kicks that checkpoints and backups deliver — which are no-ops
+	// without a loop to wake.
+	Interval time.Duration
+	// ArchiveProfile is the simulated I/O cost model for the archive
+	// device. Zero charges nothing.
+	ArchiveProfile iosim.Profile
+	// RetryAttempts bounds archive I/O retries (writes per archiver step,
+	// reads per chain-replay access) before the fault is surfaced:
+	// a write fault pauses recycling until the device recovers, a read
+	// fault fails the page repair that needed the record (default 5).
+	// RetryBackoff is the initial backoff, doubling per attempt (default
+	// 200µs for writes, 100µs for reads).
+	RetryAttempts int
+	RetryBackoff  time.Duration
+	// Logf receives the graceful-degradation log lines (archive
+	// unavailable / recovered). Nil is silent.
+	Logf func(format string, args ...any)
 }
 
 // MaintenanceOptions tunes the background maintenance service. The zero

@@ -43,7 +43,16 @@ func tortureSeeds(t *testing.T) []int64 {
 // recovery.checkpoint models a crash in the half-taken-checkpoint window
 // (dirty pages flushed, checkpoint-end not yet durable), forcing restart
 // to replay from the previous master record.
-var crashPoints = []string{"wal.publish", "buffer.writeback", "restore.complete", "recovery.checkpoint"}
+// wal.archive.seal, wal.archive.write, and wal.recycle land the crash
+// inside the log lifecycle: between choosing a run boundary and writing
+// it, between assembling the run and committing it to the archive, and
+// between durably archiving a segment and recycling it — the windows
+// where a non-idempotent archiver would lose chain history or double-
+// archive records.
+var crashPoints = []string{
+	"wal.publish", "buffer.writeback", "restore.complete", "recovery.checkpoint",
+	"wal.archive.seal", "wal.archive.write", "wal.recycle",
+}
 
 // TestChaosTortureCrashRestartVerify loops crash → restart → verify over
 // the seed matrix. Invariants checked every iteration, under any crash
@@ -73,6 +82,15 @@ func runTorture(t *testing.T, seed int64) {
 	opts.PoolFrames = 48 // small pool: evictions → write-backs mid-workload
 	opts.Restore.Workers = 2
 	opts.Seed = seed
+	// Log lifecycle on with a tiny run granularity and a fast loop: the
+	// torture workload then archives and recycles continuously, so crashes
+	// land between archive-write and recycle and acked history must
+	// survive chain replays that cross into the archive.
+	opts.Lifecycle = LifecycleOptions{
+		Enabled:      true,
+		SegmentBytes: 4 << 10,
+		Interval:     2 * time.Millisecond,
+	}
 	db := openTestDB(t, opts)
 
 	const base = 800
@@ -123,6 +141,11 @@ func runTorture(t *testing.T, seed int64) {
 		// and the end-of-restart one); a trip point the schedule never
 		// reaches is covered by the manual-crash fallback below.
 		fireAt = 1 + rng.Int63n(2)
+	case "wal.archive.seal", "wal.archive.write", "wal.recycle":
+		// Lifecycle points fire once per archiver pass; the 2ms loop makes
+		// a handful of passes over the run, and the fallback covers seeds
+		// whose workload outruns the archiver.
+		fireAt = 1 + rng.Int63n(3)
 	}
 	crashC := make(chan struct{}, 1)
 	// Set once the manual-crash fallback closes crashC: a point whose trip
@@ -159,6 +182,11 @@ func runTorture(t *testing.T, seed int64) {
 		}
 		if round == 35 {
 			_, _ = db.Checkpoint()
+		}
+		if round == 45 {
+			// A mid-run full backup advances the release horizon, so the
+			// crash can also land while archived history is being dropped.
+			_, _, _ = db.BackupNow()
 		}
 		tx := db.Begin()
 		pending := make(map[string][]byte)
