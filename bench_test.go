@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/btreebench"
 	"repro/internal/buffer"
+	"repro/internal/enginebench"
 	"repro/internal/experiments"
 	"repro/internal/iosim"
 	"repro/internal/maintbench"
@@ -32,6 +33,7 @@ import (
 	"repro/internal/storage"
 	"repro/internal/wal"
 	"repro/internal/walbench"
+	"repro/spf"
 )
 
 func BenchmarkE01FailureEscalation(b *testing.B) {
@@ -875,5 +877,42 @@ func BenchmarkE33MediaRestoreReplay(b *testing.B) {
 		b.Logf("%d pages x depth %d: archived=%dms live=%dms (%.2fx)",
 			walbench.ChainPages, walbench.ChainDepth, archNs/1e6, liveNs/1e6,
 			float64(liveNs)/float64(archNs))
+	}
+}
+
+// BenchmarkE34EnginePointOps measures per-op cost through the Engine seam
+// for both index kinds on the identical seeded workload (driver in
+// internal/enginebench, shared with `spfbench -benchjson`): pure point
+// reads into a reused buffer, and a mixed shape committing one single-op
+// update transaction per five ops. The comparison is the point — both
+// engines run the same request stream over the same shared stack
+// (checksummed pages, WAL, buffer pool), differing only in how they
+// organize keys.
+func BenchmarkE34EnginePointOps(b *testing.B) {
+	for _, kind := range []spf.IndexKind{spf.KindBTree, spf.KindHash} {
+		for _, mixed := range []bool{false, true} {
+			kind, mixed := kind, mixed
+			b.Run(enginebench.SubName(kind, enginebench.ShapeName(mixed)), func(b *testing.B) {
+				enginebench.PointOps(b, kind, mixed)
+			})
+		}
+	}
+}
+
+// BenchmarkE35EngineFaultRepair measures the repair-inclusive read latency
+// after persistent corruption of each engine's entry page — B-tree root or
+// hash directory (driver in internal/enginebench, shared with `spfbench
+// -benchjson`). Every iteration evicts and corrupts the page, then times
+// one read that must succeed through the shared online-repair path. The
+// driver fails the run if any fault escalates past single-page recovery,
+// so a passing benchmark is itself the parity proof: the unmodified repair
+// machinery serves both engines.
+func BenchmarkE35EngineFaultRepair(b *testing.B) {
+	for _, kind := range []spf.IndexKind{spf.KindBTree, spf.KindHash} {
+		kind := kind
+		b.Run(kind.String(), func(b *testing.B) {
+			res := enginebench.FaultRepair(b, kind)
+			b.ReportMetric(float64(res.P99.Nanoseconds()), "p99-ns")
+		})
 	}
 }

@@ -18,7 +18,9 @@
 //	                              # optimistic fallback, E30 wire-server
 //	                              # throughput, E31 serving during a
 //	                              # restore drain, E32 archived chain
-//	                              # replay, E33 media-restore replay)
+//	                              # replay, E33 media-restore replay,
+//	                              # E34 engine point ops, E35 engine
+//	                              # fault repair)
 //	                              # and write BENCH_*.json entries
 //	spfbench -benchcompare FILE -baselines A.json,B.json [-threshold 3]
 //	                              # compare a fresh -benchjson run against
@@ -42,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/btreebench"
+	"repro/internal/enginebench"
 	"repro/internal/experiments"
 	"repro/internal/maintbench"
 	"repro/internal/report"
@@ -50,6 +53,7 @@ import (
 	"repro/internal/serverbench"
 	"repro/internal/wal"
 	"repro/internal/walbench"
+	"repro/spf"
 )
 
 type experiment struct {
@@ -496,6 +500,43 @@ func runBenchJSON(path string) error {
 			entries[i].Metric = live / entries[i].NsPerOp
 			entries[i].MetricName = "live/archived-speedup"
 		}
+	}
+
+	// E34: per-engine point ops through the Engine seam — both index
+	// kinds replay the identical seeded request stream over the shared
+	// stack, pure reads and a commit-per-five-ops mixed shape.
+	for _, kind := range []spf.IndexKind{spf.KindBTree, spf.KindHash} {
+		for _, mixed := range []bool{false, true} {
+			kind, mixed := kind, mixed
+			sub := enginebench.SubName(kind, enginebench.ShapeName(mixed))
+			r := benchLabeled("E34/"+sub, func(b *testing.B) {
+				enginebench.PointOps(b, kind, mixed)
+			})
+			entries = append(entries, benchEntry{
+				Name:    "BenchmarkE34EnginePointOps/" + sub,
+				NsPerOp: float64(r.NsPerOp()), AllocsPerOp: r.AllocsPerOp(),
+				Ops: r.N, GoMaxProcs: runtime.GOMAXPROCS(0),
+			})
+		}
+	}
+
+	// E35: repair-inclusive read latency after persistent corruption of
+	// each engine's entry page (B-tree root, hash directory), repaired
+	// online by the shared restore path. The driver fails on any
+	// escalation, so these entries double as the parity criterion. The
+	// metric is the repair-read p99.
+	for _, kind := range []spf.IndexKind{spf.KindBTree, spf.KindHash} {
+		kind := kind
+		var rres enginebench.RepairResult
+		r := benchLabeled("E35/"+kind.String(), func(b *testing.B) {
+			rres = enginebench.FaultRepair(b, kind)
+		})
+		entries = append(entries, benchEntry{
+			Name:    "BenchmarkE35EngineFaultRepair/" + kind.String(),
+			NsPerOp: float64(r.NsPerOp()), AllocsPerOp: r.AllocsPerOp(),
+			Ops: r.N, GoMaxProcs: runtime.GOMAXPROCS(0),
+			Metric: float64(rres.P99.Nanoseconds()), MetricName: "p99-ns",
+		})
 	}
 
 	data, err := json.MarshalIndent(entries, "", "  ")

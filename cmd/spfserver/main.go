@@ -7,7 +7,8 @@
 //
 //	spfserver [flags]
 //
-// The server creates the named indexes at boot (default "kv"), serves
+// The server creates the named indexes at boot (default "kv"; a name may
+// carry an engine kind as "name=hash" or "name=btree"), serves
 // until SIGINT/SIGTERM, then drains gracefully: the listener closes,
 // in-flight requests finish, and the database closes cleanly.
 package main
@@ -34,7 +35,7 @@ func main() {
 	var (
 		addr        = flag.String("addr", "127.0.0.1:7070", "wire protocol listen address")
 		metricsAddr = flag.String("metrics-addr", "127.0.0.1:7071", "HTTP /metrics listen address (empty disables)")
-		indexes     = flag.String("indexes", "kv", "comma-separated index names to create at boot")
+		indexes     = flag.String("indexes", "kv", "comma-separated indexes to create at boot; name or name=kind (kind: btree, hash)")
 		preload     = flag.Int("preload", 0, "keys to preload into the first index (workload.Key layout)")
 		valueLen    = flag.Int("value-len", 64, "preloaded value size in bytes")
 
@@ -77,17 +78,24 @@ func main() {
 		log.Fatalf("open: %v", err)
 	}
 
-	names := strings.Split(*indexes, ",")
-	for _, name := range names {
-		if name = strings.TrimSpace(name); name == "" {
+	var names []string
+	for _, spec := range strings.Split(*indexes, ",") {
+		if spec = strings.TrimSpace(spec); spec == "" {
 			continue
 		}
-		if _, err := db.CreateIndex(name); err != nil {
+		// "name" or "name=kind" — btree unless said otherwise.
+		name, kindName, _ := strings.Cut(spec, "=")
+		kind, err := spf.ParseIndexKind(kindName)
+		if err != nil {
+			log.Fatalf("index %q: %v", spec, err)
+		}
+		if _, err := db.CreateIndexKind(name, kind); err != nil {
 			log.Fatalf("create index %q: %v", name, err)
 		}
+		names = append(names, name)
 	}
-	if *preload > 0 {
-		ix, err := db.Index(strings.TrimSpace(names[0]))
+	if *preload > 0 && len(names) > 0 {
+		ix, err := db.Index(names[0])
 		if err != nil {
 			log.Fatalf("preload: %v", err)
 		}

@@ -5,9 +5,14 @@
 // The public engine API lives in repro/spf; the paper's primary
 // contribution (the page recovery index and single-page recovery) lives in
 // internal/core; every substrate (page format, fault-injecting device,
-// write-ahead log, buffer pool, transactions, Foster B-tree, ARIES restart
-// and media recovery, prioritized repair scheduling, backup management,
-// mirroring baseline) is implemented from scratch in internal/. The
+// write-ahead log, buffer pool, transactions, Foster B-tree, linear-hash
+// index, ARIES restart and media recovery, prioritized repair scheduling,
+// backup management, mirroring baseline) is implemented from scratch in
+// internal/. Two storage engines — the Foster B-tree and a page-based
+// linear-hashing table (internal/hashindex) — sit behind one Engine seam
+// in spf, sharing the pool, WAL, and every recovery path; see the spf
+// package doc for choosing between them, and internal/enginebench for
+// the side-by-side comparison harness (E34/E35). The
 // experiment harness reproducing every figure and quantitative claim of
 // the paper lives in internal/experiments, driven by bench_test.go at this
 // root and by cmd/spfbench.
@@ -351,11 +356,13 @@
 // over a real socket while the media-restore backlog drains.
 //
 // CI runs a benchmark-regression gate on every PR: `spfbench -benchjson`
-// regenerates the tracked set (E19-E33) and `spfbench -benchcompare`
+// regenerates the tracked set (E19-E35) and `spfbench -benchcompare`
 // fails the build if any entry regresses more than 3x against the
 // committed BENCH_wal.json / BENCH_maintenance.json / BENCH_btree.json /
 // BENCH_restore.json / BENCH_restart.json / BENCH_server.json /
-// BENCH_lifecycle.json baselines or drops out of the tracked set. A
+// BENCH_lifecycle.json / BENCH_engine.json baselines or drops out of the
+// tracked set. A fuzz job runs the native fuzzers (server frame reader,
+// request parser, hash page decoder) on a short budget. A
 // chaos job runs the seeded torture matrix under the race detector, the
 // examples job smoke-runs spfserver under a short spfload ramp, and a
 // soak job runs spfserver with the log lifecycle on under sustained

@@ -1,0 +1,217 @@
+// Package enginebench holds the shared drivers for the engine-comparison
+// benchmarks: E34 point-op throughput and E35 fault-repair latency, each
+// run side by side for every spf.IndexKind over the identical seeded
+// workload. Both the root bench_test.go (go test -bench) and cmd/spfbench
+// -benchjson run these same functions, so the numbers in BENCH_engine.json
+// always measure exactly what CI smoke-tests.
+//
+// The point of the comparison is the seam, not the race: the two engines
+// organize keys differently (ordered Foster B-tree vs linear hashing), but
+// everything below the Engine interface — checksums, the page recovery
+// index, per-page log chains, the restore scheduler — is shared. E34 shows
+// both engines pay comparable per-op costs through that shared stack; E35
+// shows a persistent corruption of either engine's entry page (B-tree
+// root, hash directory) is repaired online by the same machinery with the
+// same zero-escalation guarantee.
+package enginebench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+	"repro/spf"
+)
+
+const (
+	// keys is the preloaded key population — enough to grow a multi-level
+	// B-tree and drive the hash index through many split rounds at the
+	// 4 KiB bench page size.
+	keys     = 10000
+	valueLen = 64
+	seed     = 42
+)
+
+// setup opens a fully resident database and preloads one index of the
+// given kind with the shared workload.Key population.
+func setup(b *testing.B, kind spf.IndexKind) (*spf.DB, *spf.Index) {
+	b.Helper()
+	db, err := spf.Open(spf.Options{
+		PageSize:   4096,
+		DataSlots:  1 << 16,
+		PoolFrames: 8192,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.CreateIndexKind("bench", kind); err != nil {
+		b.Fatal(err)
+	}
+	ix, err := db.Index("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	val := make([]byte, valueLen)
+	for i := range val {
+		val[i] = byte('a' + i%26)
+	}
+	const batch = 1000
+	for lo := 0; lo < keys; lo += batch {
+		tx := db.Begin()
+		for i := lo; i < lo+batch; i++ {
+			if err := ix.Insert(tx, workload.Key(i), val); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := db.Commit(tx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db, ix
+}
+
+// PointResult quantifies one point-op run.
+type PointResult struct {
+	// Keys is the preloaded population the ops ran against.
+	Keys int
+	// Ops is the measured iteration count (b.N).
+	Ops int
+}
+
+// PointOps measures per-op cost through the Engine seam on a resident
+// index: the read shape is pure point lookups (GetTo into a reused
+// buffer), the mixed shape commits one single-op update transaction per
+// five ops — the §5.1.5 accounting shape, where the log force dominates.
+// Keys are drawn uniformly from the shared population with a fixed seed,
+// so both engines replay the identical request stream.
+func PointOps(b *testing.B, kind spf.IndexKind, mixed bool) PointResult {
+	db, ix := setup(b, kind)
+	defer db.Close()
+
+	rng := rand.New(rand.NewSource(seed))
+	buf := make([]byte, 0, valueLen)
+	newVal := make([]byte, valueLen)
+	for i := range newVal {
+		newVal[i] = byte('A' + i%26)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := workload.Key(rng.Intn(keys))
+		if mixed && i%5 == 4 {
+			tx := db.Begin()
+			if err := ix.Update(tx, key, newVal); err != nil {
+				b.Fatal(err)
+			}
+			if err := db.Commit(tx); err != nil {
+				b.Fatal(err)
+			}
+			continue
+		}
+		out, err := ix.GetTo(buf, key)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) != valueLen {
+			b.Fatalf("got %d-byte value, want %d", len(out), valueLen)
+		}
+	}
+	b.StopTimer()
+	return PointResult{Keys: keys, Ops: b.N}
+}
+
+// RepairResult quantifies one fault-repair run.
+type RepairResult struct {
+	// Repairs is the number of corrupt-then-read cycles measured (b.N).
+	Repairs int
+	// P99 and Max are the tail of the repair-inclusive read latency.
+	P99 time.Duration
+	Max time.Duration
+	// Recoveries and Escalations are the recovery counters after the run;
+	// the criterion is Escalations == 0 with Recoveries covering every
+	// injected fault.
+	Recoveries  int64
+	Escalations int64
+}
+
+// FaultRepair measures the repair-inclusive read latency after a
+// persistent corruption of the engine's entry page — the B-tree root or
+// the hash directory, which is the symmetric worst case: every operation
+// descends through it, and losing it without single-page recovery would
+// cost the whole index. Each iteration evicts the page (so the corruption
+// lands on the image the next fetch reads), corrupts the stored image,
+// then times one point read that must succeed via the shared online-repair
+// path (detection on fetch, urgent ticket, chain replay). Every fault must
+// be repaired: the run fails on any escalation.
+func FaultRepair(b *testing.B, kind spf.IndexKind) RepairResult {
+	db, ix := setup(b, kind)
+	defer db.Close()
+
+	root := ix.Root()
+	key := workload.Key(keys / 2)
+	buf := make([]byte, 0, valueLen)
+	lat := make([]time.Duration, 0, b.N)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.EvictPage(root); err != nil {
+			b.Fatal(err)
+		}
+		if err := db.CorruptPage(root); err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		out, err := ix.GetTo(buf, key)
+		if err != nil {
+			b.Fatalf("read after corruption: %v", err)
+		}
+		lat = append(lat, time.Since(start))
+		if len(out) != valueLen {
+			b.Fatalf("got %d-byte value, want %d", len(out), valueLen)
+		}
+	}
+	b.StopTimer()
+
+	m := db.Metrics()
+	res := RepairResult{
+		Repairs:     b.N,
+		Recoveries:  m.Recovery.Recoveries,
+		Escalations: m.Recovery.Escalations + m.Pool.Escalations,
+	}
+	if res.Escalations != 0 {
+		b.Fatalf("%d faults escalated past online repair", res.Escalations)
+	}
+	if res.Recoveries < int64(b.N) {
+		b.Fatalf("only %d recoveries for %d injected faults", res.Recoveries, b.N)
+	}
+	if len(lat) > 0 {
+		sorted := append([]time.Duration(nil), lat...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		res.P99 = sorted[len(sorted)*99/100]
+		if res.P99 == 0 {
+			res.P99 = sorted[len(sorted)-1]
+		}
+		res.Max = sorted[len(sorted)-1]
+	}
+	return res
+}
+
+// ShapeName renders the E34 sub-benchmark shape label.
+func ShapeName(mixed bool) string {
+	if mixed {
+		return "mixed"
+	}
+	return "read"
+}
+
+// SubName renders a "kind/shape" sub-benchmark path, shared between the
+// go-test benchmarks and the -benchjson entry names so the CI gate matches
+// them up.
+func SubName(kind spf.IndexKind, shape string) string {
+	return fmt.Sprintf("%s/%s", kind, shape)
+}

@@ -1,0 +1,438 @@
+// Package hashindex implements a page-based linear-hashing index over the
+// same page format, buffer pool, WAL, and single-page-recovery machinery as
+// the Foster B-tree — the second engine that proves the substrate
+// generalizes. Bucket and overflow pages are ordinary checksummed pages
+// (internal/page) whose payloads carry hash-specific redundancy standing in
+// for the B-tree's fence keys (paper §4.2):
+//
+//	check                                  detects
+//	bucket-number stamp vs directory slot  stale or swapped bucket image
+//	level stamp vs directory round         image from before/after a split
+//	directory back-pointer                 bucket of a different index
+//	overflow chain position sequencing     broken or cyclic overflow chain
+//	next pointer != self                   trivial chain cycle
+//	entry hash maps to its bucket          misplaced record (Verify)
+//
+// Every check compares in-page information against expectations derived
+// from a still-latched predecessor (the directory, or the previous chain
+// page), exactly the discipline that makes the B-tree's fence checks sound
+// under concurrency. All mutations log through the existing WAL record set
+// (TypeFormat, TypeUpdate, CLRs) in a disjoint opcode namespace, so chain
+// replay, redoFromImage, instant restart, media restore, and scrubbing work
+// on hash pages without modification.
+package hashindex
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/page"
+)
+
+// Payload kinds discriminate the two hash page layouts. The kind byte is
+// the first cross-check of every decode: a misdirected write of a foreign
+// page fails here even when its checksum is intact.
+const (
+	kindDirectory uint8 = 1
+	kindBucket    uint8 = 2
+)
+
+// Errors surfaced by the hash index.
+var (
+	ErrCorrupt     = errors.New("hashindex: page payload corrupt")
+	ErrKeyNotFound = errors.New("hashindex: key not found")
+	ErrKeyExists   = errors.New("hashindex: key already exists")
+	// ErrValueTooLarge reports an entry that cannot fit a bucket page.
+	ErrValueTooLarge = errors.New("hashindex: key/value too large for page")
+)
+
+// CorruptionError reports a failed cross-page invariant check during a
+// descent — the continuous self-testing of §4.2, rendered for hash pages.
+type CorruptionError struct {
+	Page   page.ID
+	Detail string
+}
+
+// ErrDetected is wrapped by every CorruptionError.
+var ErrDetected = errors.New("hashindex: cross-check violation detected")
+
+func (e *CorruptionError) Error() string {
+	return fmt.Sprintf("%v: page %d: %s", ErrDetected, e.Page, e.Detail)
+}
+
+// Unwrap makes errors.Is(err, ErrDetected) work.
+func (e *CorruptionError) Unwrap() error { return ErrDetected }
+
+// reader is a bounds-checked payload parser; the first failure sticks.
+type reader struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: truncated at offset %d", ErrCorrupt, r.pos)
+	}
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil || r.pos+1 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.pos]
+	r.pos++
+	return v
+}
+
+func (r *reader) u16() uint16 {
+	if r.err != nil || r.pos+2 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.b[r.pos:])
+	r.pos += 2
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.pos+4 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.pos:])
+	r.pos += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.pos+8 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.pos:])
+	r.pos += 8
+	return v
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil || n < 0 || r.pos+n > len(r.b) {
+		r.fail()
+		return nil
+	}
+	v := r.b[r.pos : r.pos+n]
+	r.pos += n
+	return v
+}
+
+func (r *reader) bytes16() []byte { return r.take(int(r.u16())) }
+func (r *reader) bytes32() []byte { return r.take(int(r.u32())) }
+
+// writer builds payloads and op records.
+type writer struct{ buf bytes.Buffer }
+
+func (w *writer) u8(v uint8) *writer {
+	w.buf.WriteByte(v)
+	return w
+}
+
+func (w *writer) u16(v uint16) *writer {
+	var t [2]byte
+	binary.LittleEndian.PutUint16(t[:], v)
+	w.buf.Write(t[:])
+	return w
+}
+
+func (w *writer) u32(v uint32) *writer {
+	var t [4]byte
+	binary.LittleEndian.PutUint32(t[:], v)
+	w.buf.Write(t[:])
+	return w
+}
+
+func (w *writer) u64(v uint64) *writer {
+	var t [8]byte
+	binary.LittleEndian.PutUint64(t[:], v)
+	w.buf.Write(t[:])
+	return w
+}
+
+func (w *writer) b16(b []byte) *writer {
+	w.u16(uint16(len(b)))
+	w.buf.Write(b)
+	return w
+}
+
+func (w *writer) b32(b []byte) *writer {
+	w.u32(uint32(len(b)))
+	w.buf.Write(b)
+	return w
+}
+
+func (w *writer) bytes() []byte { return w.buf.Bytes() }
+
+// directory is the decoded directory page: the linear-hashing state (round
+// level L, next bucket N to split) plus the bucket-number → primary-page
+// table. Bucket b of a key with hash h is h mod 2^L, rehashed mod 2^(L+1)
+// when that bucket was already split this round (b < N).
+//
+// Layout: kind u8, level u32, next u32, count u32, count × pid u64.
+type directory struct {
+	level   uint32
+	next    uint32
+	buckets []page.ID
+}
+
+func (d *directory) bucketOf(h uint64) int {
+	b := int(h & (1<<d.level - 1))
+	if b < int(d.next) {
+		b = int(h & (1<<(d.level+1) - 1))
+	}
+	return b
+}
+
+func (d *directory) encode() []byte {
+	w := &writer{}
+	w.u8(kindDirectory).u32(d.level).u32(d.next).u32(uint32(len(d.buckets)))
+	for _, pid := range d.buckets {
+		w.u64(uint64(pid))
+	}
+	return w.bytes()
+}
+
+func decodeDirectory(payload []byte) (*directory, error) {
+	r := &reader{b: payload}
+	if r.u8() != kindDirectory {
+		return nil, fmt.Errorf("%w: not a directory page", ErrCorrupt)
+	}
+	d := &directory{level: r.u32(), next: r.u32()}
+	count := int(r.u32())
+	if r.err == nil && count > (len(payload)-13)/8 {
+		return nil, fmt.Errorf("%w: directory count %d exceeds payload", ErrCorrupt, count)
+	}
+	for i := 0; i < count; i++ {
+		d.buckets = append(d.buckets, page.ID(r.u64()))
+	}
+	if r.err != nil || r.pos != len(payload) {
+		return nil, fmt.Errorf("%w: directory payload", ErrCorrupt)
+	}
+	if d.level == 0 || d.level > 32 {
+		return nil, fmt.Errorf("%w: directory level %d", ErrCorrupt, d.level)
+	}
+	if uint64(d.next) >= 1<<d.level {
+		return nil, fmt.Errorf("%w: directory next %d at level %d", ErrCorrupt, d.next, d.level)
+	}
+	if len(d.buckets) != int(uint64(1)<<d.level)+int(d.next) {
+		return nil, fmt.Errorf("%w: directory holds %d buckets, level %d next %d implies %d",
+			ErrCorrupt, len(d.buckets), d.level, d.next, int(uint64(1)<<d.level)+int(d.next))
+	}
+	return d, nil
+}
+
+// entry is one key/value pair in a bucket page. Deleted entries linger as
+// ghosts (§5.1.5) so logical undo can find them; system transactions
+// reclaim the space when a page fills.
+type entry struct {
+	key, val []byte
+	ghost    bool
+}
+
+// bucketNode is the decoded bucket or overflow page. The first five fields
+// are the cross-check stamps (the hash rendering of the B-tree's fences):
+// which bucket this page belongs to, the hashing round it was last
+// rewritten under, which directory owns it, and its position in the
+// overflow chain.
+//
+// Layout: kind u8, bucketNum u32, levelStamp u32, dir u64, next u64,
+// chainPos u32, count u16, count × (u16 key, u32 val, u8 ghost), entries
+// sorted by key.
+type bucketNode struct {
+	bucketNum  uint32
+	levelStamp uint32
+	dir        page.ID
+	next       page.ID
+	chainPos   uint32
+	entries    []entry
+}
+
+// bucketHeaderSize is the encoded size of a bucketNode with no entries.
+const bucketHeaderSize = 1 + 4 + 4 + 8 + 8 + 4 + 2
+
+// entrySize is the encoded footprint of one entry.
+func entrySize(key, val []byte) int { return 2 + len(key) + 4 + len(val) + 1 }
+
+// maxEntrySize bounds one entry so chain packing always makes progress.
+func maxEntrySize(capacity int) int { return capacity / 4 }
+
+func (n *bucketNode) size() int {
+	s := bucketHeaderSize
+	for _, e := range n.entries {
+		s += entrySize(e.key, e.val)
+	}
+	return s
+}
+
+func (n *bucketNode) encode() []byte {
+	w := &writer{}
+	w.u8(kindBucket).u32(n.bucketNum).u32(n.levelStamp).u64(uint64(n.dir)).
+		u64(uint64(n.next)).u32(n.chainPos).u16(uint16(len(n.entries)))
+	for _, e := range n.entries {
+		w.b16(e.key).b32(e.val)
+		if e.ghost {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+	}
+	return w.bytes()
+}
+
+func decodeBucket(payload []byte) (*bucketNode, error) {
+	r := &reader{b: payload}
+	if r.u8() != kindBucket {
+		return nil, fmt.Errorf("%w: not a bucket page", ErrCorrupt)
+	}
+	n := &bucketNode{
+		bucketNum:  r.u32(),
+		levelStamp: r.u32(),
+		dir:        page.ID(r.u64()),
+		next:       page.ID(r.u64()),
+		chainPos:   r.u32(),
+	}
+	count := int(r.u16())
+	var prev []byte
+	for i := 0; i < count; i++ {
+		e := entry{key: r.bytes16(), val: r.bytes32(), ghost: r.u8() == 1}
+		if r.err != nil {
+			break
+		}
+		if len(e.key) == 0 {
+			return nil, fmt.Errorf("%w: empty key in bucket", ErrCorrupt)
+		}
+		if prev != nil && bytes.Compare(prev, e.key) >= 0 {
+			return nil, fmt.Errorf("%w: bucket entries out of order", ErrCorrupt)
+		}
+		prev = e.key
+		n.entries = append(n.entries, e)
+	}
+	if r.err != nil || r.pos != len(payload) {
+		return nil, fmt.Errorf("%w: bucket payload", ErrCorrupt)
+	}
+	return n, nil
+}
+
+// find returns the index of key in the sorted entry slice, or -1.
+func (n *bucketNode) find(key []byte) int {
+	lo, hi := 0, len(n.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(n.entries[mid].key, key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(n.entries) && bytes.Equal(n.entries[lo].key, key) {
+		return lo
+	}
+	return -1
+}
+
+// insertEntry adds e keeping the slice sorted; the key must be absent.
+func (n *bucketNode) insertEntry(e entry) error {
+	lo, hi := 0, len(n.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(n.entries[mid].key, e.key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(n.entries) && bytes.Equal(n.entries[lo].key, e.key) {
+		return fmt.Errorf("%w: %q", ErrKeyExists, e.key)
+	}
+	n.entries = append(n.entries, entry{})
+	copy(n.entries[lo+1:], n.entries[lo:])
+	n.entries[lo] = e
+	return nil
+}
+
+// removeEntry deletes key from the slice; the key must be present.
+func (n *bucketNode) removeEntry(key []byte) (entry, error) {
+	i := n.find(key)
+	if i < 0 {
+		return entry{}, fmt.Errorf("%w: purge of absent key %q", ErrKeyNotFound, key)
+	}
+	e := n.entries[i]
+	n.entries = append(n.entries[:i], n.entries[i+1:]...)
+	return e, nil
+}
+
+// PageRole classifies a hash page payload for tests and tooling:
+// "directory", "bucket" (a chain head), or "overflow" (chain position
+// beyond the head).
+func PageRole(payload []byte) (string, error) {
+	if len(payload) == 0 {
+		return "", fmt.Errorf("%w: empty payload", ErrCorrupt)
+	}
+	switch payload[0] {
+	case kindDirectory:
+		return "directory", nil
+	case kindBucket:
+		n, err := decodeBucket(payload)
+		if err != nil {
+			return "", err
+		}
+		if n.chainPos > 0 {
+			return "overflow", nil
+		}
+		return "bucket", nil
+	default:
+		return "", fmt.Errorf("%w: unknown payload kind %d", ErrCorrupt, payload[0])
+	}
+}
+
+// CheckPayload decodes a hash page payload of either kind, verifying every
+// in-payload invariant (kind byte, bounds, entry ordering, directory
+// shape). It is the scrub-style self-test the fuzz harness drives: no
+// input may panic, and any accepted payload must re-encode to itself.
+func CheckPayload(payload []byte) error {
+	if len(payload) == 0 {
+		return fmt.Errorf("%w: empty payload", ErrCorrupt)
+	}
+	switch payload[0] {
+	case kindDirectory:
+		d, err := decodeDirectory(payload)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(d.encode(), payload) {
+			return fmt.Errorf("%w: directory payload does not round-trip", ErrCorrupt)
+		}
+	case kindBucket:
+		n, err := decodeBucket(payload)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(n.encode(), payload) {
+			return fmt.Errorf("%w: bucket payload does not round-trip", ErrCorrupt)
+		}
+	default:
+		return fmt.Errorf("%w: unknown payload kind %d", ErrCorrupt, payload[0])
+	}
+	return nil
+}
+
+// hashKey is the bucket hash: FNV-1a over the key bytes.
+func hashKey(key []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}

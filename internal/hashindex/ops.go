@@ -1,0 +1,313 @@
+package hashindex
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/page"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// Op codes for the redo payloads of hash-index log records. They occupy a
+// disjoint numeric namespace from the B-tree's opcodes (which stay far
+// below 64), so the engine routes redo and undo by the leading payload
+// byte alone — no record format change, no per-index tagging.
+//
+// The discipline mirrors the B-tree's exactly (§5.1.2): redo is physical
+// and always forward (CLR payloads are themselves forward ops); undo of
+// user ops is logical through a fresh descent (a split may have moved the
+// key to another bucket); undo of structural/system ops is physical
+// inverse, safe because system transactions hold their page latches until
+// commit.
+const (
+	// opHashInsert: directory pid, key, value. User op (insert or ghost
+	// revival).
+	opHashInsert uint8 = 64 + iota
+	// opHashGhost: directory pid, key, ghost flag, prior flag. User op
+	// (logical delete and its compensation).
+	opHashGhost
+	// opHashUpdate: directory pid, key, new value, old value. User op.
+	opHashUpdate
+	// opHashPurge: key, old value, old ghost flag. Physical removal
+	// (ghost reclamation, entry relocation, insert compensation).
+	opHashPurge
+	// opHashReinsert: key, value, ghost flag. Physical reinsertion
+	// (entry relocation; compensation of opHashPurge).
+	opHashReinsert
+	// opHashPageSet: new payload, old payload. Full-page rewrite: bucket
+	// split rewrites, overflow linking, directory updates. Compensation
+	// of itself.
+	opHashPageSet
+)
+
+// ErrBadOp reports an unparseable or inapplicable op payload.
+var ErrBadOp = errors.New("hashindex: bad op payload")
+
+// IsHashOp reports whether a record payload belongs to the hash index's
+// opcode namespace; the engine's combined applier and undoer dispatch on
+// it.
+func IsHashOp(payload []byte) bool {
+	return len(payload) > 0 && payload[0] >= opHashInsert && payload[0] <= opHashPageSet
+}
+
+func boolByte(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func encodeInsert(dir page.ID, key, val []byte) []byte {
+	return (&writer{}).u8(opHashInsert).u64(uint64(dir)).b16(key).b32(val).bytes()
+}
+
+func encodeGhost(dir page.ID, key []byte, ghost, prior bool) []byte {
+	return (&writer{}).u8(opHashGhost).u64(uint64(dir)).b16(key).
+		u8(boolByte(ghost)).u8(boolByte(prior)).bytes()
+}
+
+func encodeUpdate(dir page.ID, key, newVal, oldVal []byte) []byte {
+	return (&writer{}).u8(opHashUpdate).u64(uint64(dir)).b16(key).b32(newVal).b32(oldVal).bytes()
+}
+
+func encodePurge(key, oldVal []byte, wasGhost bool) []byte {
+	return (&writer{}).u8(opHashPurge).b16(key).b32(oldVal).u8(boolByte(wasGhost)).bytes()
+}
+
+func encodeReinsert(key, val []byte, ghost bool) []byte {
+	return (&writer{}).u8(opHashReinsert).b16(key).b32(val).u8(boolByte(ghost)).bytes()
+}
+
+func encodePageSet(newPayload, oldPayload []byte) []byte {
+	return (&writer{}).u8(opHashPageSet).b32(newPayload).b32(oldPayload).bytes()
+}
+
+// Applier applies hash-index redo ops to pages; it implements
+// core.RedoApplier for every hash page (directory, bucket, overflow).
+type Applier struct{}
+
+// ApplyRedo applies the record's redo action to pg. The caller advances
+// pg's LSN afterwards (and must have verified the per-page chain).
+func (Applier) ApplyRedo(rec *wal.Record, pg *page.Page) error {
+	return applyOp(rec.Payload, pg)
+}
+
+func applyOp(payload []byte, pg *page.Page) error {
+	if len(payload) == 0 {
+		return fmt.Errorf("%w: empty payload", ErrBadOp)
+	}
+	r := &reader{b: payload, pos: 1}
+	code := payload[0]
+
+	if code == opHashPageSet {
+		newP := r.bytes32()
+		r.bytes32() // old payload: undo information only
+		if r.err != nil {
+			return fmt.Errorf("%w: %v", ErrBadOp, r.err)
+		}
+		return pg.SetPayload(newP)
+	}
+
+	// All remaining ops operate on bucket pages.
+	n, err := decodeBucket(pg.Payload())
+	if err != nil {
+		return err
+	}
+	switch code {
+	case opHashInsert:
+		r.u64() // directory pid: undo routing only
+		key := r.bytes16()
+		val := r.bytes32()
+		if r.err != nil {
+			return fmt.Errorf("%w: %v", ErrBadOp, r.err)
+		}
+		if i := n.find(key); i >= 0 {
+			if !n.entries[i].ghost {
+				return fmt.Errorf("%w: insert over live key %q", ErrBadOp, key)
+			}
+			n.entries[i].val = val
+			n.entries[i].ghost = false
+		} else if err := n.insertEntry(entry{key: key, val: val}); err != nil {
+			return err
+		}
+	case opHashGhost:
+		r.u64()
+		key := r.bytes16()
+		ghost := r.u8() == 1
+		r.u8() // prior flag: undo information only
+		if r.err != nil {
+			return fmt.Errorf("%w: %v", ErrBadOp, r.err)
+		}
+		i := n.find(key)
+		if i < 0 {
+			return fmt.Errorf("%w: ghost of absent key %q", ErrKeyNotFound, key)
+		}
+		n.entries[i].ghost = ghost
+	case opHashUpdate:
+		r.u64()
+		key := r.bytes16()
+		newVal := r.bytes32()
+		r.bytes32() // old value: undo information only
+		if r.err != nil {
+			return fmt.Errorf("%w: %v", ErrBadOp, r.err)
+		}
+		i := n.find(key)
+		if i < 0 {
+			return fmt.Errorf("%w: update of absent key %q", ErrKeyNotFound, key)
+		}
+		n.entries[i].val = newVal
+	case opHashPurge:
+		key := r.bytes16()
+		r.bytes32() // old value: undo information only
+		r.u8()      // old ghost flag
+		if r.err != nil {
+			return fmt.Errorf("%w: %v", ErrBadOp, r.err)
+		}
+		if _, err := n.removeEntry(key); err != nil {
+			return err
+		}
+	case opHashReinsert:
+		key := r.bytes16()
+		val := r.bytes32()
+		ghost := r.u8() == 1
+		if r.err != nil {
+			return fmt.Errorf("%w: %v", ErrBadOp, r.err)
+		}
+		if err := n.insertEntry(entry{key: key, val: val, ghost: ghost}); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("%w: opcode %d", ErrBadOp, code)
+	}
+	return pg.SetPayload(n.encode())
+}
+
+// logApply logs an update op under t and applies it to the latched page,
+// maintaining both chains and the buffer-pool dirty state. Forward
+// processing and redo share applyOp, so replay is exact by construction.
+// The caller must hold the page's write latch.
+func logApply(t *txn.Txn, h *buffer.Handle, op []byte) error {
+	lsn, err := t.Log(&wal.Record{
+		Type:        wal.TypeUpdate,
+		PageID:      h.ID(),
+		PagePrevLSN: h.Page().LSN(),
+		Payload:     op,
+	})
+	if err != nil {
+		return err
+	}
+	if err := applyOp(op, h.Page()); err != nil {
+		return fmt.Errorf("hashindex: applying op at LSN %d to page %d: %w", lsn, h.ID(), err)
+	}
+	h.Page().SetLSN(lsn)
+	h.MarkDirty(lsn)
+	return nil
+}
+
+// logApplyCLR is logApply for compensation records during rollback.
+func logApplyCLR(t *txn.Txn, h *buffer.Handle, op []byte, undoNext page.LSN) error {
+	lsn, err := t.LogCLR(h.ID(), h.Page().LSN(), op, undoNext)
+	if err != nil {
+		return err
+	}
+	if err := applyOp(op, h.Page()); err != nil {
+		return fmt.Errorf("hashindex: applying CLR op at LSN %d to page %d: %w", lsn, h.ID(), err)
+	}
+	h.Page().SetLSN(lsn)
+	h.MarkDirty(lsn)
+	return nil
+}
+
+// Compensate undoes one update record during rollback, logging a CLR whose
+// payload is the forward-applicable inverse op. User ops are undone
+// logically through a fresh descent; structural ops are undone physically
+// on the page they touched.
+func Compensate(t *txn.Txn, pager Pager, rec *wal.Record) error {
+	if len(rec.Payload) == 0 {
+		return fmt.Errorf("%w: empty payload at LSN %d", ErrBadOp, rec.LSN)
+	}
+	r := &reader{b: rec.Payload, pos: 1}
+	switch rec.Payload[0] {
+	case opHashInsert:
+		dir := page.ID(r.u64())
+		key := r.bytes16()
+		if r.err != nil {
+			return fmt.Errorf("%w: %v", ErrBadOp, r.err)
+		}
+		return Open("", dir, pager).undoInsert(t, key, rec.PrevLSN)
+	case opHashGhost:
+		dir := page.ID(r.u64())
+		key := r.bytes16()
+		ghost := r.u8() == 1
+		prior := r.u8() == 1
+		if r.err != nil {
+			return fmt.Errorf("%w: %v", ErrBadOp, r.err)
+		}
+		return Open("", dir, pager).undoGhost(t, key, prior, ghost, rec.PrevLSN)
+	case opHashUpdate:
+		dir := page.ID(r.u64())
+		key := r.bytes16()
+		r.bytes32() // new value
+		oldVal := r.bytes32()
+		if r.err != nil {
+			return fmt.Errorf("%w: %v", ErrBadOp, r.err)
+		}
+		return Open("", dir, pager).undoUpdate(t, key, oldVal, rec.PrevLSN)
+	default:
+		return compensatePhysical(t, pager, rec)
+	}
+}
+
+// compensatePhysical undoes a structural op in place.
+func compensatePhysical(t *txn.Txn, pager Pager, rec *wal.Record) error {
+	h, err := pager.Fetch(rec.PageID)
+	if err != nil {
+		return err
+	}
+	defer h.Release()
+	h.Lock()
+	defer h.Unlock()
+	inv, err := inverseOp(rec.Payload, h.Page())
+	if err != nil {
+		return err
+	}
+	return logApplyCLR(t, h, inv, rec.PrevLSN)
+}
+
+// inverseOp constructs the forward-applicable compensation op for a
+// structural op, given the page's current contents.
+func inverseOp(payload []byte, pg *page.Page) ([]byte, error) {
+	if len(payload) == 0 {
+		return nil, ErrBadOp
+	}
+	r := &reader{b: payload, pos: 1}
+	switch payload[0] {
+	case opHashPurge:
+		key := r.bytes16()
+		oldVal := r.bytes32()
+		wasGhost := r.u8() == 1
+		if r.err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadOp, r.err)
+		}
+		return encodeReinsert(key, oldVal, wasGhost), nil
+	case opHashReinsert:
+		key := r.bytes16()
+		val := r.bytes32()
+		ghost := r.u8() == 1
+		if r.err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadOp, r.err)
+		}
+		return encodePurge(key, val, ghost), nil
+	case opHashPageSet:
+		r.bytes32()
+		oldP := r.bytes32()
+		if r.err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadOp, r.err)
+		}
+		return encodePageSet(oldP, append([]byte(nil), pg.Payload()...)), nil
+	default:
+		return nil, fmt.Errorf("%w: no inverse for opcode %d", ErrBadOp, payload[0])
+	}
+}

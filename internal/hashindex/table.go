@@ -1,0 +1,910 @@
+package hashindex
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/buffer"
+	"repro/internal/page"
+	"repro/internal/txn"
+)
+
+// Pager abstracts what the table needs from the engine — the same three
+// operations the B-tree needs (page allocation with format logging and
+// recovery-index registration, validating fetch, system transactions), so
+// one *spf.DB serves both engines.
+type Pager interface {
+	AllocateNode(t *txn.Txn, typ page.Type, initialPayload []byte) (*buffer.Handle, error)
+	Fetch(id page.ID) (*buffer.Handle, error)
+	BeginSystem() *txn.Txn
+}
+
+// Table is a linear-hashing index over a Pager.
+//
+// Concurrency is per bucket chain: every operation reads the directory
+// under a shared latch and latches the primary bucket page BEFORE the
+// directory latch drops (the crab), so a concurrent split — which holds
+// the directory exclusively and then the whole chain it rewrites — can
+// never slip between address computation and bucket access. Readers walk
+// overflow chains hand-over-hand with shared latches; writers accumulate
+// exclusive latches down the chain (chains are kept short by splitting).
+// The latch order is directory < chain position 0 < 1 < ... everywhere, so
+// the protocol is deadlock-free.
+type Table struct {
+	name  string
+	dir   page.ID
+	pager Pager
+
+	// Cumulative structural-change counters.
+	splits    atomic.Int64 // bucket split rounds completed
+	overflows atomic.Int64 // overflow pages linked into chains
+}
+
+// maxAttempts bounds the retry loops of the write operations. Each retry
+// either fits, reclaims ghosts, relocates an entry, or extends the chain,
+// so non-adversarial workloads converge within a handful of attempts.
+const maxAttempts = 64
+
+// Create builds a new empty table: a directory page at round level 1 over
+// two empty buckets. The caller supplies the transaction under which the
+// format records are logged (typically a system transaction).
+func Create(t *txn.Txn, name string, pager Pager) (*Table, error) {
+	// The directory is allocated first so the bucket pages can carry its
+	// ID as their back-pointer; its final payload (naming the buckets) is
+	// then installed with a logged page rewrite.
+	bootstrap := (&directory{level: 1}).encode()
+	dh, err := pager.AllocateNode(t, page.TypeHash, bootstrap)
+	if err != nil {
+		return nil, fmt.Errorf("hashindex: creating %q: %w", name, err)
+	}
+	dirID := dh.ID()
+	d := &directory{level: 1}
+	for b := uint32(0); b < 2; b++ {
+		bn := &bucketNode{bucketNum: b, levelStamp: 1, dir: dirID}
+		bh, err := pager.AllocateNode(t, page.TypeHash, bn.encode())
+		if err != nil {
+			dh.Release()
+			return nil, fmt.Errorf("hashindex: creating %q: %w", name, err)
+		}
+		d.buckets = append(d.buckets, bh.ID())
+		bh.Release()
+	}
+	dh.Lock()
+	err = logApply(t, dh, encodePageSet(d.encode(), bootstrap))
+	dh.Unlock()
+	dh.Release()
+	if err != nil {
+		return nil, fmt.Errorf("hashindex: creating %q: %w", name, err)
+	}
+	return &Table{name: name, dir: dirID, pager: pager}, nil
+}
+
+// Open attaches to an existing table whose directory page is dir.
+func Open(name string, dir page.ID, pager Pager) *Table {
+	return &Table{name: name, dir: dir, pager: pager}
+}
+
+// Name returns the table's name.
+func (tb *Table) Name() string { return tb.name }
+
+// Root returns the directory page ID (stable for the life of the table).
+func (tb *Table) Root() page.ID { return tb.dir }
+
+// Counters reports cumulative structural changes: bucket split rounds and
+// overflow pages linked.
+func (tb *Table) Counters() (bucketSplits, overflowPages int64) {
+	return tb.splits.Load(), tb.overflows.Load()
+}
+
+// dirView is the directory state one operation descends under, copied out
+// while the directory latch was held.
+type dirView struct {
+	id    page.ID
+	level uint32
+	next  uint32
+}
+
+// fetchDir pins the directory page, latches it shared, and decodes it.
+// The caller releases latch and pin.
+func (tb *Table) fetchDir() (*buffer.Handle, *directory, error) {
+	dh, err := tb.pager.Fetch(tb.dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	dh.RLock()
+	d, err := decodeDirectory(dh.Page().Payload())
+	if err != nil {
+		dh.RUnlock()
+		dh.Release()
+		return nil, nil, err
+	}
+	return dh, d, nil
+}
+
+// checkBucket runs the cross-checks on one decoded chain page against the
+// expectations its predecessors predict: the directory slot that routed
+// here (bucket number, level stamps, back-pointer) and the previous chain
+// page (position). These are the hash rendering of the B-tree's §4.2
+// fence checks, and like them they compare in-page redundancy against a
+// still-latched predecessor.
+func checkBucket(id page.ID, n *bucketNode, b int, pos uint32, dv dirView) error {
+	if n.bucketNum != uint32(b) {
+		return &CorruptionError{Page: id, Detail: fmt.Sprintf(
+			"bucket number stamp %d, directory slot %d", n.bucketNum, b)}
+	}
+	if n.dir != dv.id {
+		return &CorruptionError{Page: id, Detail: fmt.Sprintf(
+			"directory back-pointer %d, expected %d", n.dir, dv.id)}
+	}
+	if n.chainPos != pos {
+		return &CorruptionError{Page: id, Detail: fmt.Sprintf(
+			"overflow chain position %d, expected %d", n.chainPos, pos)}
+	}
+	if n.next == id {
+		return &CorruptionError{Page: id, Detail: "overflow pointer to self"}
+	}
+	s := n.levelStamp
+	if s == 0 || s > dv.level+1 {
+		return &CorruptionError{Page: id, Detail: fmt.Sprintf(
+			"level stamp %d outside round level %d", s, dv.level)}
+	}
+	if uint64(b) >= uint64(1)<<s {
+		return &CorruptionError{Page: id, Detail: fmt.Sprintf(
+			"bucket number %d not addressable at level stamp %d", b, s)}
+	}
+	// Round-position consistency: a bucket already split this round (or
+	// created by this round's splits) must be stamped level+1; a bucket
+	// still awaiting its split must not be.
+	if uint32(b) < dv.next || uint64(b) >= uint64(1)<<dv.level {
+		if s != dv.level+1 {
+			return &CorruptionError{Page: id, Detail: fmt.Sprintf(
+				"split bucket stamped level %d in round %d", s, dv.level)}
+		}
+	} else if s > dv.level {
+		return &CorruptionError{Page: id, Detail: fmt.Sprintf(
+			"unsplit bucket stamped level %d in round %d", s, dv.level)}
+	}
+	return nil
+}
+
+// checkedBucket decodes and cross-checks the latched chain page behind h.
+func checkedBucket(h *buffer.Handle, b int, pos uint32, dv dirView) (*bucketNode, error) {
+	if typ := h.Page().Type(); typ != page.TypeHash {
+		return nil, &CorruptionError{Page: h.ID(), Detail: fmt.Sprintf(
+			"page type %v, expected hash", typ)}
+	}
+	n, err := decodeBucket(h.Page().Payload())
+	if err != nil {
+		return nil, err
+	}
+	if err := checkBucket(h.ID(), n, b, pos, dv); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// GetTo is Get appending the value to dst: a shared-latch hand-over-hand
+// walk of the bucket chain, cross-checking every page on the way.
+func (tb *Table) GetTo(dst, key []byte) ([]byte, error) {
+	if len(key) == 0 {
+		return dst, fmt.Errorf("%w: empty key", ErrKeyNotFound)
+	}
+	dh, d, err := tb.fetchDir()
+	if err != nil {
+		return dst, err
+	}
+	b := d.bucketOf(hashKey(key))
+	pid := d.buckets[b]
+	dv := dirView{id: dh.ID(), level: d.level, next: d.next}
+	h, err := tb.pager.Fetch(pid)
+	if err != nil {
+		dh.RUnlock()
+		dh.Release()
+		return dst, err
+	}
+	// Crab: the primary bucket is latched before the directory latch
+	// drops, so a concurrent split cannot intervene.
+	h.RLock()
+	dh.RUnlock()
+	dh.Release()
+	for pos := uint32(0); ; pos++ {
+		n, err := checkedBucket(h, b, pos, dv)
+		if err != nil {
+			h.RUnlock()
+			h.Release()
+			return dst, err
+		}
+		if i := n.find(key); i >= 0 {
+			if n.entries[i].ghost {
+				h.RUnlock()
+				h.Release()
+				return dst, fmt.Errorf("%w: %q", ErrKeyNotFound, key)
+			}
+			dst = append(dst, n.entries[i].val...)
+			h.RUnlock()
+			h.Release()
+			return dst, nil
+		}
+		nextID := n.next
+		if nextID == page.InvalidID {
+			h.RUnlock()
+			h.Release()
+			return dst, fmt.Errorf("%w: %q", ErrKeyNotFound, key)
+		}
+		nh, err := tb.pager.Fetch(nextID)
+		if err != nil {
+			h.RUnlock()
+			h.Release()
+			return dst, err
+		}
+		nh.RLock()
+		h.RUnlock()
+		h.Release()
+		h = nh
+	}
+}
+
+// Get returns the value for key, or ErrKeyNotFound.
+func (tb *Table) Get(key []byte) ([]byte, error) { return tb.GetTo(nil, key) }
+
+// chainRef is a writer's exclusively latched bucket chain: every page from
+// the primary bucket to the chain tail, pinned and X-latched in position
+// order, plus the directory view it was routed under.
+type chainRef struct {
+	bucket  int
+	dv      dirView
+	handles []*buffer.Handle
+	nodes   []*bucketNode
+}
+
+// release drops every latch and pin, tail first.
+func (c *chainRef) release() {
+	for i := len(c.handles) - 1; i >= 0; i-- {
+		c.handles[i].Unlock()
+		c.handles[i].Release()
+	}
+	c.handles = nil
+	c.nodes = nil
+}
+
+// find locates key anywhere in the chain: page index and entry index, or
+// (-1, -1).
+func (c *chainRef) find(key []byte) (int, int) {
+	for pi, n := range c.nodes {
+		if ei := n.find(key); ei >= 0 {
+			return pi, ei
+		}
+	}
+	return -1, -1
+}
+
+// descendX routes to key's bucket and exclusively latches its whole chain,
+// cross-checking every page. Writers hold the full chain because an
+// insert may land on any page with room and a relocation touches two
+// pages; chains stay short because growth triggers a split.
+func (tb *Table) descendX(key []byte) (*chainRef, error) {
+	dh, d, err := tb.fetchDir()
+	if err != nil {
+		return nil, err
+	}
+	b := d.bucketOf(hashKey(key))
+	c := &chainRef{bucket: b, dv: dirView{id: dh.ID(), level: d.level, next: d.next}}
+	h, err := tb.pager.Fetch(d.buckets[b])
+	if err != nil {
+		dh.RUnlock()
+		dh.Release()
+		return nil, err
+	}
+	h.Lock()
+	dh.RUnlock()
+	dh.Release()
+	for pos := uint32(0); ; pos++ {
+		n, err := checkedBucket(h, b, pos, c.dv)
+		if err != nil {
+			h.Unlock()
+			h.Release()
+			c.release()
+			return nil, err
+		}
+		c.handles = append(c.handles, h)
+		c.nodes = append(c.nodes, n)
+		if n.next == page.InvalidID {
+			return c, nil
+		}
+		nh, err := tb.pager.Fetch(n.next)
+		if err != nil {
+			c.release()
+			return nil, err
+		}
+		nh.Lock()
+		h = nh
+	}
+}
+
+// Insert adds key=val under tx. Inserting an existing live key fails with
+// ErrKeyExists; inserting over a ghost revives it.
+func (tb *Table) Insert(tx *txn.Txn, key, val []byte) error {
+	if len(key) == 0 {
+		return errors.New("hashindex: empty key")
+	}
+	grew := false
+	for attempt := 0; ; attempt++ {
+		if attempt > maxAttempts {
+			return errors.New("hashindex: insert did not converge")
+		}
+		c, err := tb.descendX(key)
+		if err != nil {
+			return err
+		}
+		capacity := c.handles[0].Page().Capacity()
+		es := entrySize(key, val)
+		if es > maxEntrySize(capacity) {
+			c.release()
+			return fmt.Errorf("%w: %d bytes", ErrValueTooLarge, es)
+		}
+		pi, ei := c.find(key)
+		if pi >= 0 {
+			e := c.nodes[pi].entries[ei]
+			if !e.ghost {
+				c.release()
+				return fmt.Errorf("%w: %q", ErrKeyExists, key)
+			}
+			if c.nodes[pi].size()-entrySize(e.key, e.val)+es <= capacity {
+				err := logApply(tx, c.handles[pi], encodeInsert(tb.dir, key, val))
+				c.release()
+				if err == nil && grew {
+					tb.trySplit()
+				}
+				return err
+			}
+			// The revival value does not fit over the ghost: physically
+			// purge the ghost under a system transaction and retry as a
+			// plain insert.
+			old := append([]byte(nil), e.val...)
+			st := tb.pager.BeginSystem()
+			err := logApply(st, c.handles[pi], encodePurge(key, old, true))
+			c.release()
+			if err != nil {
+				_ = st.Abort()
+				return err
+			}
+			if err := st.Commit(); err != nil {
+				return err
+			}
+			continue
+		}
+		// Absent: the first chain page with room takes it.
+		for i, n := range c.nodes {
+			if n.size()+es <= c.handles[i].Page().Capacity() {
+				err := logApply(tx, c.handles[i], encodeInsert(tb.dir, key, val))
+				c.release()
+				if err == nil && grew {
+					tb.trySplit()
+				}
+				return err
+			}
+		}
+		extended, err := tb.makeRoom(c, es)
+		if err != nil {
+			return err
+		}
+		grew = grew || extended
+	}
+}
+
+// Update replaces the value of an existing live key under tx.
+func (tb *Table) Update(tx *txn.Txn, key, val []byte) error {
+	if len(key) == 0 {
+		return fmt.Errorf("%w: empty key", ErrKeyNotFound)
+	}
+	grew := false
+	for attempt := 0; ; attempt++ {
+		if attempt > maxAttempts {
+			return errors.New("hashindex: update did not converge")
+		}
+		c, err := tb.descendX(key)
+		if err != nil {
+			return err
+		}
+		capacity := c.handles[0].Page().Capacity()
+		es := entrySize(key, val)
+		if es > maxEntrySize(capacity) {
+			c.release()
+			return fmt.Errorf("%w: %d bytes", ErrValueTooLarge, es)
+		}
+		pi, ei := c.find(key)
+		if pi < 0 || c.nodes[pi].entries[ei].ghost {
+			c.release()
+			return fmt.Errorf("%w: %q", ErrKeyNotFound, key)
+		}
+		old := append([]byte(nil), c.nodes[pi].entries[ei].val...)
+		if c.nodes[pi].size()-len(old)+len(val) <= capacity {
+			err := logApply(tx, c.handles[pi], encodeUpdate(tb.dir, key, val, old))
+			c.release()
+			if err == nil && grew {
+				tb.trySplit()
+			}
+			return err
+		}
+		// The grown value does not fit in place: relocate the entry (with
+		// its OLD value — no logical change, so a system transaction) to a
+		// page with room for the new size, then retry there.
+		target := -1
+		for i, n := range c.nodes {
+			if i != pi && n.size()+es <= c.handles[i].Page().Capacity() {
+				target = i
+				break
+			}
+		}
+		if target < 0 {
+			extended, err := tb.makeRoom(c, es)
+			if err != nil {
+				return err
+			}
+			grew = grew || extended
+			continue
+		}
+		st := tb.pager.BeginSystem()
+		if err := logApply(st, c.handles[pi], encodePurge(key, old, false)); err != nil {
+			c.release()
+			_ = st.Abort()
+			return err
+		}
+		err = logApply(st, c.handles[target], encodeReinsert(key, old, false))
+		c.release()
+		if err != nil {
+			_ = st.Abort()
+			return err
+		}
+		if err := st.Commit(); err != nil {
+			return err
+		}
+	}
+}
+
+// Delete logically deletes key under tx by turning its record into a ghost
+// (§5.1.5); a later system transaction reclaims the space.
+func (tb *Table) Delete(tx *txn.Txn, key []byte) error {
+	if len(key) == 0 {
+		return fmt.Errorf("%w: empty key", ErrKeyNotFound)
+	}
+	c, err := tb.descendX(key)
+	if err != nil {
+		return err
+	}
+	pi, ei := c.find(key)
+	if pi < 0 || c.nodes[pi].entries[ei].ghost {
+		c.release()
+		return fmt.Errorf("%w: %q", ErrKeyNotFound, key)
+	}
+	err = logApply(tx, c.handles[pi], encodeGhost(tb.dir, key, true, false))
+	c.release()
+	return err
+}
+
+// makeRoom makes space in a chain none of whose pages can take need more
+// bytes: ghosts are reclaimed first (cheaper), otherwise the chain grows
+// by one empty overflow page. Consumes c (released before the system
+// transaction commits); the caller re-descends. Reports whether the chain
+// was extended — the split trigger.
+func (tb *Table) makeRoom(c *chainRef, need int) (bool, error) {
+	var ghostPages []int
+	for i, n := range c.nodes {
+		for _, e := range n.entries {
+			if e.ghost {
+				ghostPages = append(ghostPages, i)
+				break
+			}
+		}
+	}
+	if len(ghostPages) > 0 {
+		st := tb.pager.BeginSystem()
+		for _, i := range ghostPages {
+			var ghosts []entry
+			for _, e := range c.nodes[i].entries {
+				if e.ghost {
+					ghosts = append(ghosts, entry{
+						key: append([]byte(nil), e.key...),
+						val: append([]byte(nil), e.val...),
+					})
+				}
+			}
+			for _, g := range ghosts {
+				if err := logApply(st, c.handles[i], encodePurge(g.key, g.val, true)); err != nil {
+					c.release()
+					_ = st.Abort()
+					return false, err
+				}
+			}
+		}
+		c.release()
+		return false, st.Commit()
+	}
+	// No ghosts to reclaim: link one empty overflow page to the tail. The
+	// allocation and the link commit independently of the caller's
+	// transaction (system txn), exactly like a B-tree foster split — an
+	// aborted user insert then merely leaves an empty page behind.
+	last := len(c.nodes) - 1
+	tail := c.nodes[last]
+	fresh := &bucketNode{
+		bucketNum:  tail.bucketNum,
+		levelStamp: tail.levelStamp,
+		dir:        c.dv.id,
+		chainPos:   tail.chainPos + 1,
+	}
+	st := tb.pager.BeginSystem()
+	nh, err := tb.pager.AllocateNode(st, page.TypeHash, fresh.encode())
+	if err != nil {
+		c.release()
+		_ = st.Abort()
+		return false, err
+	}
+	newID := nh.ID()
+	nh.Release()
+	linked := *tail
+	linked.next = newID
+	oldPayload := append([]byte(nil), c.handles[last].Page().Payload()...)
+	err = logApply(st, c.handles[last], encodePageSet(linked.encode(), oldPayload))
+	c.release()
+	if err != nil {
+		_ = st.Abort()
+		return false, err
+	}
+	if err := st.Commit(); err != nil {
+		return false, err
+	}
+	tb.overflows.Add(1)
+	return true, nil
+}
+
+// undoInsert, undoGhost, undoUpdate perform the logical compensation for
+// user operations during rollback: a fresh descent finds the key wherever
+// splits or relocations moved it, and a CLR records the compensation.
+func (tb *Table) undoInsert(t *txn.Txn, key []byte, undoNext page.LSN) error {
+	return tb.compensate(t, key, undoNext, func(curVal []byte, ghost bool) []byte {
+		return encodePurge(key, curVal, ghost)
+	})
+}
+
+func (tb *Table) undoGhost(t *txn.Txn, key []byte, prior, was bool, undoNext page.LSN) error {
+	return tb.compensate(t, key, undoNext, func([]byte, bool) []byte {
+		return encodeGhost(tb.dir, key, prior, was)
+	})
+}
+
+func (tb *Table) undoUpdate(t *txn.Txn, key, oldVal []byte, undoNext page.LSN) error {
+	return tb.compensate(t, key, undoNext, func(curVal []byte, ghost bool) []byte {
+		return encodeUpdate(tb.dir, key, oldVal, curVal)
+	})
+}
+
+func (tb *Table) compensate(t *txn.Txn, key []byte, undoNext page.LSN,
+	makeOp func(curVal []byte, ghost bool) []byte) error {
+	c, err := tb.descendX(key)
+	if err != nil {
+		return err
+	}
+	defer c.release()
+	pi, ei := c.find(key)
+	if pi < 0 {
+		return fmt.Errorf("hashindex: compensation target %q vanished: %w", key, ErrKeyNotFound)
+	}
+	e := c.nodes[pi].entries[ei]
+	op := makeOp(append([]byte(nil), e.val...), e.ghost)
+	return logApplyCLR(t, c.handles[pi], op, undoNext)
+}
+
+// Scan visits all live entries with start <= key < end (nil end =
+// unbounded) in BUCKET order — within one bucket entries are sorted by
+// key, but across buckets the order follows the hash, not the key. fn is
+// called without any latch held (each chain's entries are copied out under
+// hand-over-hand shared latches first) until it returns false.
+func (tb *Table) Scan(start, end []byte, fn func(key, val []byte) bool) error {
+	for b := 0; ; b++ {
+		dh, d, err := tb.fetchDir()
+		if err != nil {
+			return err
+		}
+		if b >= len(d.buckets) {
+			dh.RUnlock()
+			dh.Release()
+			return nil
+		}
+		dv := dirView{id: dh.ID(), level: d.level, next: d.next}
+		h, err := tb.pager.Fetch(d.buckets[b])
+		if err != nil {
+			dh.RUnlock()
+			dh.Release()
+			return err
+		}
+		h.RLock()
+		dh.RUnlock()
+		dh.Release()
+
+		var ents []entry
+		for pos := uint32(0); ; pos++ {
+			n, err := checkedBucket(h, b, pos, dv)
+			if err != nil {
+				h.RUnlock()
+				h.Release()
+				return err
+			}
+			for _, e := range n.entries {
+				if e.ghost {
+					continue
+				}
+				if len(start) > 0 && bytes.Compare(e.key, start) < 0 {
+					continue
+				}
+				if end != nil && bytes.Compare(e.key, end) >= 0 {
+					continue
+				}
+				ents = append(ents, entry{
+					key: append([]byte(nil), e.key...),
+					val: append([]byte(nil), e.val...),
+				})
+			}
+			nextID := n.next
+			if nextID == page.InvalidID {
+				h.RUnlock()
+				h.Release()
+				break
+			}
+			nh, err := tb.pager.Fetch(nextID)
+			if err != nil {
+				h.RUnlock()
+				h.Release()
+				return err
+			}
+			nh.RLock()
+			h.RUnlock()
+			h.Release()
+			h = nh
+		}
+		sort.Slice(ents, func(i, j int) bool { return bytes.Compare(ents[i].key, ents[j].key) < 0 })
+		for _, e := range ents {
+			if !fn(e.key, e.val) {
+				return nil
+			}
+		}
+	}
+}
+
+// trySplit runs one opportunistic bucket split round. Errors are dropped
+// like B-tree adoption failures: the next chain extension retries, and
+// real corruption resurfaces through the descent cross-checks.
+func (tb *Table) trySplit() { _ = tb.splitOnce() }
+
+// splitOnce performs one linear-hashing split: bucket N (the round
+// pointer) redistributes its entries between itself and the new bucket
+// 2^L + N under the next round's hash, all within one system transaction
+// holding the directory and the whole chain exclusively. Ghost entries
+// ride along so in-flight logical undo still finds its targets. The
+// rewritten chain keeps every page (empty pages allowed — chains never
+// shrink mid-split), so concurrent descents blocked on the primary bucket
+// resume against a structurally identical chain.
+func (tb *Table) splitOnce() error {
+	dh, err := tb.pager.Fetch(tb.dir)
+	if err != nil {
+		return err
+	}
+	defer dh.Release()
+	// Opportunistic: a concurrently running split (or a writer mid-crab)
+	// means someone else is making progress.
+	if !dh.TryLock() {
+		return nil
+	}
+	d, err := decodeDirectory(dh.Page().Payload())
+	if err != nil {
+		dh.Unlock()
+		return err
+	}
+	// Directory growth bound: once the grown table no longer fits the
+	// directory page, chains absorb all further growth.
+	if len(d.encode())+8 > dh.Page().Capacity() {
+		dh.Unlock()
+		return nil
+	}
+	oldB := int(d.next)
+	newB := int(uint64(1)<<d.level) + oldB
+	if newB != len(d.buckets) {
+		dh.Unlock()
+		return fmt.Errorf("hashindex: directory slot count %d, expected %d", len(d.buckets), newB)
+	}
+	dv := dirView{id: dh.ID(), level: d.level, next: d.next}
+	newStamp := d.level + 1
+
+	// Latch the split bucket's whole chain in position order under the
+	// directory latch.
+	c := &chainRef{bucket: oldB, dv: dv}
+	h, err := tb.pager.Fetch(d.buckets[oldB])
+	if err != nil {
+		dh.Unlock()
+		return err
+	}
+	h.Lock()
+	fail := func(err error) error {
+		c.release()
+		dh.Unlock()
+		return err
+	}
+	for pos := uint32(0); ; pos++ {
+		n, err := checkedBucket(h, oldB, pos, dv)
+		if err != nil {
+			h.Unlock()
+			h.Release()
+			return fail(err)
+		}
+		c.handles = append(c.handles, h)
+		c.nodes = append(c.nodes, n)
+		if n.next == page.InvalidID {
+			break
+		}
+		nh, err := tb.pager.Fetch(n.next)
+		if err != nil {
+			return fail(err)
+		}
+		nh.Lock()
+		h = nh
+	}
+
+	// Partition every entry (ghosts included) under the next round's
+	// hash: bit L decides stay vs move.
+	var stay, move []entry
+	mask := uint64(1)<<(d.level+1) - 1
+	for _, n := range c.nodes {
+		for _, e := range n.entries {
+			cp := entry{
+				key:   append([]byte(nil), e.key...),
+				val:   append([]byte(nil), e.val...),
+				ghost: e.ghost,
+			}
+			switch int(hashKey(e.key) & mask) {
+			case oldB:
+				stay = append(stay, cp)
+			case newB:
+				move = append(move, cp)
+			default:
+				return fail(&CorruptionError{Page: c.handles[0].ID(), Detail: fmt.Sprintf(
+					"entry %q does not hash to bucket %d", e.key, oldB)})
+			}
+		}
+	}
+	capacity := c.handles[0].Page().Capacity()
+	stayPages := packEntries(stay, capacity)
+	movePages := packEntries(move, capacity)
+	for len(stayPages) < len(c.nodes) {
+		stayPages = append(stayPages, nil)
+	}
+
+	st := tb.pager.BeginSystem()
+	abort := func(err error) error {
+		// Latches must be down before Abort: physical compensation
+		// re-fetches and re-latches the pages it rewrites.
+		c.release()
+		dh.Unlock()
+		_ = st.Abort()
+		return err
+	}
+	// The new bucket's chain, allocated tail-first so each page's next
+	// pointer is known at format time.
+	newChain, err := tb.allocChain(st, movePages, uint32(newB), newStamp, dv.id)
+	if err != nil {
+		return abort(err)
+	}
+	// Extra pages for the stay chain, should repacking need more room
+	// than the existing pages offer (entries are not order-preserving
+	// across chain pages, so repacking can shift the split).
+	var extraFirst page.ID
+	if len(stayPages) > len(c.nodes) {
+		extra, err := tb.allocChainAt(st, stayPages[len(c.nodes):], uint32(oldB), newStamp,
+			dv.id, uint32(len(c.nodes)))
+		if err != nil {
+			return abort(err)
+		}
+		extraFirst = extra
+	}
+	// Rewrite the existing chain pages in place: new stamps, repacked
+	// entries, links preserved (tail links to the extras when present).
+	for i := range c.nodes {
+		next := page.InvalidID
+		if i+1 < len(c.nodes) {
+			next = c.handles[i+1].ID()
+		} else if extraFirst != page.InvalidID {
+			next = extraFirst
+		}
+		nn := &bucketNode{
+			bucketNum:  uint32(oldB),
+			levelStamp: newStamp,
+			dir:        dv.id,
+			next:       next,
+			chainPos:   uint32(i),
+			entries:    stayPages[i],
+		}
+		oldPayload := append([]byte(nil), c.handles[i].Page().Payload()...)
+		if err := logApply(st, c.handles[i], encodePageSet(nn.encode(), oldPayload)); err != nil {
+			return abort(err)
+		}
+	}
+	// Advance the directory: install the new bucket and move the round
+	// pointer (rolling the level over when the round completes).
+	nd := &directory{
+		level:   d.level,
+		next:    d.next + 1,
+		buckets: append(append([]page.ID(nil), d.buckets...), newChain),
+	}
+	if uint64(nd.next) == uint64(1)<<nd.level {
+		nd.level++
+		nd.next = 0
+	}
+	oldDir := append([]byte(nil), dh.Page().Payload()...)
+	if err := logApply(st, dh, encodePageSet(nd.encode(), oldDir)); err != nil {
+		return abort(err)
+	}
+	c.release()
+	dh.Unlock()
+	if err := st.Commit(); err != nil {
+		return err
+	}
+	tb.splits.Add(1)
+	return nil
+}
+
+// packEntries distributes entries (sorted by key) greedily into page-sized
+// groups. Every entry is bounded by maxEntrySize, so each group holds at
+// least a few entries and packing always terminates.
+func packEntries(ents []entry, capacity int) [][]entry {
+	sort.Slice(ents, func(i, j int) bool { return bytes.Compare(ents[i].key, ents[j].key) < 0 })
+	var pages [][]entry
+	var cur []entry
+	size := bucketHeaderSize
+	for _, e := range ents {
+		es := entrySize(e.key, e.val)
+		if size+es > capacity && len(cur) > 0 {
+			pages = append(pages, cur)
+			cur, size = nil, bucketHeaderSize
+		}
+		cur = append(cur, e)
+		size += es
+	}
+	if len(cur) > 0 {
+		pages = append(pages, cur)
+	}
+	return pages
+}
+
+// allocChain allocates a complete bucket chain for pageEnts (tail first so
+// links are known at format time) and returns the primary page ID. An
+// empty pageEnts still yields one empty primary page.
+func (tb *Table) allocChain(st *txn.Txn, pageEnts [][]entry, bucketNum, stamp uint32, dir page.ID) (page.ID, error) {
+	if len(pageEnts) == 0 {
+		pageEnts = [][]entry{nil}
+	}
+	return tb.allocChainAt(st, pageEnts, bucketNum, stamp, dir, 0)
+}
+
+// allocChainAt is allocChain starting at chain position basePos.
+func (tb *Table) allocChainAt(st *txn.Txn, pageEnts [][]entry, bucketNum, stamp uint32,
+	dir page.ID, basePos uint32) (page.ID, error) {
+	next := page.InvalidID
+	for i := len(pageEnts) - 1; i >= 0; i-- {
+		n := &bucketNode{
+			bucketNum:  bucketNum,
+			levelStamp: stamp,
+			dir:        dir,
+			next:       next,
+			chainPos:   basePos + uint32(i),
+			entries:    pageEnts[i],
+		}
+		h, err := tb.pager.AllocateNode(st, page.TypeHash, n.encode())
+		if err != nil {
+			return page.InvalidID, err
+		}
+		next = h.ID()
+		h.Release()
+	}
+	return next, nil
+}

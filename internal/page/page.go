@@ -51,6 +51,7 @@ const (
 	TypeMeta              // engine metadata
 	TypePRI               // page recovery index node
 	TypeRaw               // untyped test payload
+	TypeHash              // linear-hash directory / bucket / overflow page
 )
 
 func (t Type) String() string {
@@ -65,6 +66,8 @@ func (t Type) String() string {
 		return "pri"
 	case TypeRaw:
 		return "raw"
+	case TypeHash:
+		return "hash"
 	default:
 		return fmt.Sprintf("type(%d)", uint16(t))
 	}

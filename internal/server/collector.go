@@ -100,11 +100,18 @@ func RegisterEngineCollector(reg *metrics.Registry, db *spf.DB) {
 		e.Gauge("spf_closed", "1 after the database is closed.", boolGauge(m.Closed))
 
 		for _, ix := range m.Indexes {
-			e.Counter("spf_index_splits_total", "Leaf/branch splits, per index.", float64(ix.Splits), "index", ix.Name)
-			e.Counter("spf_index_adoptions_total", "Foster-child adoptions, per index.", float64(ix.Adoptions), "index", ix.Name)
-			e.Counter("spf_index_root_grows_total", "Root growths, per index.", float64(ix.RootGrows), "index", ix.Name)
-			e.Counter("spf_index_optimistic_hits_total", "Latch-free descents completed, per index.", float64(ix.OptimisticHits), "index", ix.Name)
-			e.Counter("spf_index_optimistic_fallbacks_total", "Descents that fell back to latched reads, per index.", float64(ix.OptimisticFallbacks), "index", ix.Name)
+			e.Gauge("spf_index_info", "Per-index engine kind (labels carry the facts; value is 1).", 1, "index", ix.Name, "kind", ix.Kind)
+			switch ix.Kind {
+			case "hash":
+				e.Counter("spf_index_bucket_splits_total", "Linear-hashing bucket splits, per index.", float64(ix.BucketSplits), "index", ix.Name)
+				e.Counter("spf_index_overflow_pages_total", "Overflow pages linked into bucket chains, per index.", float64(ix.OverflowPages), "index", ix.Name)
+			default:
+				e.Counter("spf_index_splits_total", "Leaf/branch splits, per index.", float64(ix.Splits), "index", ix.Name)
+				e.Counter("spf_index_adoptions_total", "Foster-child adoptions, per index.", float64(ix.Adoptions), "index", ix.Name)
+				e.Counter("spf_index_root_grows_total", "Root growths, per index.", float64(ix.RootGrows), "index", ix.Name)
+				e.Counter("spf_index_optimistic_hits_total", "Latch-free descents completed, per index.", float64(ix.OptimisticHits), "index", ix.Name)
+				e.Counter("spf_index_optimistic_fallbacks_total", "Descents that fell back to latched reads, per index.", float64(ix.OptimisticFallbacks), "index", ix.Name)
+			}
 		}
 	})
 }

@@ -1,0 +1,119 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// fuzzFrameLimit keeps the fuzzer away from pointless giant allocations:
+// the grammar is fully exercised by small frames.
+const fuzzFrameLimit = 1 << 12
+
+// FuzzReadFrame feeds arbitrary byte streams to the frame reader. The
+// invariants: no panic, no over-limit allocation, and on success the
+// payload is exactly the prefixed length and re-frames to the identical
+// stream prefix.
+func FuzzReadFrame(f *testing.F) {
+	// The malformed-frame zoo from server_test.go, plus well-formed
+	// frames from every encoder.
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})                 // zero-length prefix
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})     // over-limit prefix
+	f.Add([]byte{0, 0, 0, 1})                 // truncated payload
+	f.Add([]byte{0, 0, 0, 1, 0xEE})           // unknown opcode
+	f.Add([]byte{0, 0, 0, 3, OpGet, 10, 'x'}) // name length past the end
+	f.Add(appendBareRequest(nil, OpPing))
+	f.Add(appendGetRequest(nil, "t", []byte("k")))
+	f.Add(appendPutRequest(nil, "t", []byte("k"), []byte("v")))
+	f.Add(appendDelRequest(nil, "t", []byte("k")))
+	f.Add(appendScanRequest(nil, "t", []byte("a"), []byte("z"), 10))
+	f.Add(append(appendPutRequest(nil, "t", []byte("k"), nil), 0, 0, 0, 1, OpPing)) // two frames
+
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		r := bytes.NewReader(stream)
+		var buf []byte
+		for {
+			frame, nbuf, err := readFrame(r, buf, fuzzFrameLimit)
+			buf = nbuf
+			if err != nil {
+				if !errors.Is(err, ErrMalformed) && !errors.Is(err, ErrFrameTooLarge) &&
+					!errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+					t.Fatalf("unexpected error class: %v", err)
+				}
+				return
+			}
+			if len(frame) == 0 || len(frame) > fuzzFrameLimit {
+				t.Fatalf("frame length %d outside (0, %d]", len(frame), fuzzFrameLimit)
+			}
+			// Re-framing the payload must reproduce the consumed bytes.
+			reframed := finishFrame(append(beginFrame(nil), frame...))
+			consumed := 4 + len(frame)
+			start := len(stream) - r.Len() - consumed
+			if !bytes.Equal(reframed, stream[start:start+consumed]) {
+				t.Fatal("re-framed payload differs from consumed stream bytes")
+			}
+		}
+	})
+}
+
+// FuzzParseRequest feeds arbitrary payloads to the request parser. The
+// invariants: no panic, rejected frames return a static reason, and an
+// accepted frame re-encodes — through the same appendXxxRequest encoders
+// the client uses — to the identical frame, so parse∘encode is the
+// identity on the accepted language.
+func FuzzParseRequest(f *testing.F) {
+	strip := func(frame []byte) (uint8, []byte) { return frame[4], frame[5:] }
+	for _, frame := range [][]byte{
+		appendBareRequest(nil, OpPing),
+		appendBareRequest(nil, OpStats),
+		appendGetRequest(nil, "t", []byte("k")),
+		appendPutRequest(nil, "t", []byte("k"), []byte("v")),
+		appendPutRequest(nil, "", nil, nil),
+		appendDelRequest(nil, "t", []byte("k")),
+		appendScanRequest(nil, "t", []byte("a"), []byte("z"), 10),
+		appendScanRequest(nil, "t", nil, nil, 0),
+	} {
+		op, payload := strip(frame)
+		f.Add(op, payload)
+	}
+	// The zoo: truncated fields, trailing garbage, bad opcodes.
+	f.Add(OpGet, []byte{10, 'x'})             // name length past the end
+	f.Add(OpPut, []byte{1, 't', 0, 1, 'k'})   // missing value length
+	f.Add(OpScan, []byte{1, 't', 0, 0, 0, 0}) // truncated limit
+	f.Add(OpPing, []byte{1})                  // ping with payload
+	f.Add(uint8(0), []byte{})                 // zero opcode
+	f.Add(uint8(0xEE), []byte{1, 't'})        // unknown opcode
+	pg, pp := strip(append(appendGetRequest(nil, "t", []byte("k")), 0xFF))
+	f.Add(pg, append(pp, 0xFF)) // trailing garbage
+
+	f.Fuzz(func(t *testing.T, op uint8, payload []byte) {
+		req, reason := parseRequest(op, payload)
+		if reason != "" {
+			return
+		}
+		var frame []byte
+		switch op {
+		case OpPing, OpStats:
+			frame = appendBareRequest(nil, op)
+		case OpGet:
+			frame = appendGetRequest(nil, string(req.name), req.key)
+		case OpPut:
+			frame = appendPutRequest(nil, string(req.name), req.key, req.val)
+		case OpDel:
+			frame = appendDelRequest(nil, string(req.name), req.key)
+		case OpScan:
+			frame = appendScanRequest(nil, string(req.name), req.key, req.end, req.limit)
+		default:
+			t.Fatalf("parser accepted unknown opcode %d", op)
+		}
+		if int(binary.BigEndian.Uint32(frame[:4])) != len(frame)-4 {
+			t.Fatal("encoder produced a bad length prefix")
+		}
+		if frame[4] != op || !bytes.Equal(frame[5:], payload) {
+			t.Fatalf("parse/encode round trip diverged:\n in  %x\n out %x", payload, frame[5:])
+		}
+	})
+}

@@ -227,6 +227,64 @@ func (c *cursor) bytes(n int) []byte {
 // done reports whether the payload parsed cleanly and was fully consumed.
 func (c *cursor) done() bool { return !c.fail && c.off == len(c.b) }
 
+// request is one structurally validated wire request: the fields
+// parseRequest extracted from the payload. Slices alias the frame buffer.
+type request struct {
+	name  []byte
+	key   []byte
+	val   []byte // put only
+	end   []byte // scan only
+	limit uint32 // scan only
+}
+
+// parseRequest structurally validates one request payload (the frame
+// minus the length prefix and opcode) and returns the parsed fields, or a
+// static human-readable reason when the frame is malformed. It performs
+// no engine work and allocates nothing, so the whole grammar is fuzzable
+// in isolation (FuzzParseRequest).
+func parseRequest(op uint8, payload []byte) (request, string) {
+	var req request
+	switch op {
+	case OpPing:
+		if len(payload) != 0 {
+			return req, "ping carries no payload"
+		}
+		return req, ""
+	case OpStats:
+		if len(payload) != 0 {
+			return req, "stats carries no payload"
+		}
+		return req, ""
+	}
+	cur := &cursor{b: payload}
+	req.name = cur.bytes(int(cur.u8()))
+	req.key = cur.bytes(int(cur.u16()))
+	switch op {
+	case OpGet:
+		if !cur.done() {
+			return req, "malformed get"
+		}
+	case OpPut:
+		req.val = cur.bytes(int(cur.u32()))
+		if !cur.done() {
+			return req, "malformed put"
+		}
+	case OpDel:
+		if !cur.done() {
+			return req, "malformed del"
+		}
+	case OpScan:
+		req.end = cur.bytes(int(cur.u16()))
+		req.limit = cur.u32()
+		if !cur.done() {
+			return req, "malformed scan"
+		}
+	default:
+		return req, "unknown opcode"
+	}
+	return req, ""
+}
+
 // Request encoders, shared by Client and the tests. Each appends a
 // complete frame to dst and returns the extended slice.
 

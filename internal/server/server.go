@@ -315,34 +315,27 @@ func (s *Server) acquireSlow(deadline time.Time) bool {
 // connection-owned buffers; it is consumed by writeResponse before the
 // next request reuses them.
 func (s *Server) dispatch(cn *conn, op uint8, payload []byte) (Status, []byte) {
+	req, reason := parseRequest(op, payload)
+	if reason != "" {
+		return StatusBadRequest, []byte(reason)
+	}
 	switch op {
 	case OpPing:
-		if len(payload) != 0 {
-			return StatusBadRequest, []byte("ping carries no payload")
-		}
 		if err := s.db.Err(); err != nil {
 			return statusOf(err), []byte(err.Error())
 		}
 		return StatusOK, nil
 	case OpStats:
-		if len(payload) != 0 {
-			return StatusBadRequest, []byte("stats carries no payload")
-		}
 		return StatusOK, s.reg.Render()
 	}
 
-	cur := &cursor{b: payload}
-	name := cur.bytes(int(cur.u8()))
-	key := cur.bytes(int(cur.u16()))
+	ix := s.index(req.name)
+	if ix == nil {
+		return StatusBadRequest, []byte("unknown index")
+	}
+	key := req.key
 	switch op {
 	case OpGet:
-		if !cur.done() {
-			return StatusBadRequest, []byte("malformed get")
-		}
-		ix := s.index(name)
-		if ix == nil {
-			return StatusBadRequest, []byte("unknown index")
-		}
 		v, err := ix.GetTo(cn.val[:0], key)
 		if err != nil {
 			return statusOf(err), []byte(err.Error())
@@ -350,40 +343,18 @@ func (s *Server) dispatch(cn *conn, op uint8, payload []byte) (Status, []byte) {
 		cn.val = v[:0] // retain grown capacity for the next request
 		return StatusOK, v
 	case OpPut:
-		val := cur.bytes(int(cur.u32()))
-		if !cur.done() {
-			return StatusBadRequest, []byte("malformed put")
-		}
-		ix := s.index(name)
-		if ix == nil {
-			return StatusBadRequest, []byte("unknown index")
-		}
-		if err := s.put(ix, key, val); err != nil {
+		if err := s.put(ix, key, req.val); err != nil {
 			return statusOf(err), []byte(err.Error())
 		}
 		return StatusOK, nil
 	case OpDel:
-		if !cur.done() {
-			return StatusBadRequest, []byte("malformed del")
-		}
-		ix := s.index(name)
-		if ix == nil {
-			return StatusBadRequest, []byte("unknown index")
-		}
 		if err := s.del(ix, key); err != nil {
 			return statusOf(err), []byte(err.Error())
 		}
 		return StatusOK, nil
 	case OpScan:
-		end := cur.bytes(int(cur.u16()))
-		limit := int(cur.u32())
-		if !cur.done() {
-			return StatusBadRequest, []byte("malformed scan")
-		}
-		ix := s.index(name)
-		if ix == nil {
-			return StatusBadRequest, []byte("unknown index")
-		}
+		end := req.end
+		limit := int(req.limit)
 		if limit <= 0 || limit > s.cfg.MaxScanEntries {
 			limit = s.cfg.MaxScanEntries
 		}

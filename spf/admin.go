@@ -379,7 +379,7 @@ func (db *DB) Restart() (*DB, *RestartReport, error) {
 		dev:          db.dev,
 		store:        db.store,
 		log:          db.log,
-		trees:        make(map[string]*btree.Tree),
+		engines:      make(map[string]Engine),
 		updateCounts: make(map[page.ID]int),
 		backupsDue:   make(map[page.ID]bool),
 	}
@@ -393,7 +393,7 @@ func (db *DB) Restart() (*DB, *RestartReport, error) {
 	ndb.pmap = analysis.Map
 	ndb.pri = analysis.PRI
 	ndb.res = &backup.Resolver{Store: ndb.store, Log: ndb.log, PageSize: db.opts.PageSize, Data: ndb.dev}
-	ndb.rec = core.NewRecoverer(ndb.log, ndb.pri, ndb.res, btree.Applier{})
+	ndb.rec = core.NewRecoverer(ndb.log, ndb.pri, ndb.res, applier{})
 
 	rep := &RestartReport{Analysis: *analysis}
 	// On-demand redo needs the validating read path end to end: the
@@ -440,7 +440,7 @@ func (db *DB) Restart() (*DB, *RestartReport, error) {
 	} else {
 		redoRep, err := recovery.Redo(recovery.RedoDeps{
 			Log: ndb.log, Pool: ndb.pool, Map: ndb.pmap, PRI: ndb.pri,
-			Applier: btree.Applier{}, PageSize: db.opts.PageSize,
+			Applier: applier{}, PageSize: db.opts.PageSize,
 			LogPRIRepair: func(pid page.ID, lsn page.LSN) {
 				ndb.log.Append(&wal.Record{
 					Type: wal.TypePRIUpdate, PageID: pid,
@@ -480,7 +480,10 @@ func (db *DB) Restart() (*DB, *RestartReport, error) {
 }
 
 // reopenCatalog finds the meta page (the lowest TypeMeta page) and reloads
-// the index registry.
+// the index registry. The registry maps each name to its root page; the
+// root page's type tags the engine (TypeHash → linear-hash directory,
+// otherwise a Foster B-tree root), so the catalog format never changed
+// when the second engine arrived.
 func (db *DB) reopenCatalog() error {
 	for _, id := range db.pmap.Pages() {
 		h, err := db.pool.Fetch(id)
@@ -501,7 +504,13 @@ func (db *DB) reopenCatalog() error {
 			return derr
 		}
 		for name, root := range reg {
-			db.trees[name] = btree.Open(name, root, db)
+			rh, err := db.pool.Fetch(root)
+			if err != nil {
+				return fmt.Errorf("spf: reopening index %q: %w", name, err)
+			}
+			rootType := rh.Page().Type()
+			rh.Release()
+			db.engines[name] = db.openEngine(name, root, rootType)
 		}
 		return nil
 	}
@@ -554,7 +563,7 @@ func (db *DB) RecoverMedia() (*DB, *MediaRecoveryReport, error) {
 		dev:          db.dev,
 		store:        db.store,
 		log:          db.log,
-		trees:        make(map[string]*btree.Tree),
+		engines:      make(map[string]Engine),
 		updateCounts: make(map[page.ID]int),
 		backupsDue:   make(map[page.ID]bool),
 	}
@@ -570,7 +579,7 @@ func (db *DB) RecoverMedia() (*DB, *MediaRecoveryReport, error) {
 	}
 	ndb.pmap = pm
 	ndb.pri = pri
-	ndb.rec = core.NewRecoverer(ndb.log, ndb.pri, ndb.res, btree.Applier{})
+	ndb.rec = core.NewRecoverer(ndb.log, ndb.pri, ndb.res, applier{})
 	ndb.pool = buffer.NewPool(buffer.Config{
 		Capacity: db.opts.PoolFrames, Shards: db.opts.PoolShards,
 		Device: ndb.dev, Map: ndb.pmap, Log: ndb.log,

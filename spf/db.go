@@ -13,6 +13,7 @@ import (
 	"repro/internal/btree"
 	"repro/internal/buffer"
 	"repro/internal/core"
+	"repro/internal/hashindex"
 	"repro/internal/maintenance"
 	"repro/internal/page"
 	"repro/internal/pagemap"
@@ -96,7 +97,7 @@ type DB struct {
 
 	mu           sync.Mutex
 	metaID       page.ID
-	trees        map[string]*btree.Tree
+	engines      map[string]Engine
 	updateCounts map[page.ID]int
 	backupsDue   map[page.ID]bool
 	crashed      bool
@@ -190,7 +191,7 @@ func Open(opts Options) (*DB, error) {
 		}),
 		pmap:         pagemap.New(opts.WriteMode, opts.DataSlots),
 		pri:          core.NewPRI(),
-		trees:        make(map[string]*btree.Tree),
+		engines:      make(map[string]Engine),
 		updateCounts: make(map[page.ID]int),
 		backupsDue:   make(map[page.ID]bool),
 	}
@@ -201,7 +202,7 @@ func Open(opts Options) (*DB, error) {
 	db.txns = txn.NewManager(db.log)
 	db.txns.SetUndoer(undoer{db})
 	db.res = &backup.Resolver{Store: db.store, Log: db.log, PageSize: opts.PageSize, Data: db.dev}
-	db.rec = core.NewRecoverer(db.log, db.pri, db.res, btree.Applier{})
+	db.rec = core.NewRecoverer(db.log, db.pri, db.res, applier{})
 	db.pool = buffer.NewPool(buffer.Config{
 		Capacity: opts.PoolFrames, Shards: opts.PoolShards,
 		Device: db.dev, Map: db.pmap, Log: db.log,
@@ -478,7 +479,7 @@ func (db *DB) redoFromImage(id page.ID, head page.LSN) (*page.Page, error) {
 			return nil, fmt.Errorf("spf: restart redo of page %d out of sequence at LSN %d: record expects PageLSN %d, image has %d",
 				id, rec.LSN, rec.PagePrevLSN, pg.LSN())
 		}
-		if err := (btree.Applier{}).ApplyRedo(rec, pg); err != nil {
+		if err := (applier{}).ApplyRedo(rec, pg); err != nil {
 			return nil, err
 		}
 		pg.SetLSN(rec.LSN)
@@ -585,10 +586,14 @@ func (db *DB) releaseBackup(old core.BackupRef) {
 	}
 }
 
-// undoer adapts the engine to the transaction manager's rollback.
+// undoer adapts the engine to the transaction manager's rollback; like
+// redo, undo routes on the record payload's opcode namespace.
 type undoer struct{ db *DB }
 
 func (u undoer) Undo(t *txn.Txn, rec *wal.Record) error {
+	if hashindex.IsHashOp(rec.Payload) {
+		return hashindex.Compensate(t, u.db, rec)
+	}
 	return btree.Compensate(t, u.db, rec)
 }
 
@@ -682,8 +687,16 @@ func (db *DB) opErr() error {
 	}
 }
 
-// CreateIndex creates a named Foster B-tree index.
+// CreateIndex creates a named index of the kind Options.IndexKind selects
+// (the Foster B-tree by default).
 func (db *DB) CreateIndex(name string) (*Index, error) {
+	return db.CreateIndexKind(name, db.opts.IndexKind)
+}
+
+// CreateIndexKind creates a named index backed by the given engine. All
+// engines share the pool, WAL, maintenance, and restore paths; the kind
+// only picks how keys are organized on pages.
+func (db *DB) CreateIndexKind(name string, kind IndexKind) (*Index, error) {
 	db.mu.Lock()
 	if db.crashed {
 		db.mu.Unlock()
@@ -693,35 +706,36 @@ func (db *DB) CreateIndex(name string) (*Index, error) {
 		db.mu.Unlock()
 		return nil, ErrClosed
 	}
-	if _, ok := db.trees[name]; ok {
+	if _, ok := db.engines[name]; ok {
 		db.mu.Unlock()
 		return nil, fmt.Errorf("spf: index %q already exists", name)
 	}
-	// Reserve the name while the tree is built; the entry is replaced or
-	// removed below. The mutex cannot be held across tree construction:
+	// Reserve the name while the engine is built; the entry is replaced or
+	// removed below. The mutex cannot be held across engine construction:
 	// AllocateNode and the dirty-page hook take it too.
-	db.trees[name] = nil
+	db.engines[name] = nil
 	db.mu.Unlock()
 	fail := func(err error) (*Index, error) {
 		db.mu.Lock()
-		delete(db.trees, name)
+		delete(db.engines, name)
 		db.mu.Unlock()
 		return nil, err
 	}
 
 	st := db.txns.BeginSystem()
-	tr, err := btree.Create(st, name, db)
+	eng, err := db.createEngine(st, name, kind)
 	if err != nil {
 		_ = st.Abort()
 		return fail(err)
 	}
-	// Register in the meta page.
+	// Register in the meta page. The registry maps name → root page; the
+	// root page's type tags the engine, so reopen needs no catalog change.
 	h, err := db.pool.Fetch(db.metaID)
 	if err != nil {
 		return fail(err)
 	}
 	h.Lock()
-	err = db.logMetaPut(st, h, name, tr.Root(), page.InvalidID)
+	err = db.logMetaPut(st, h, name, eng.Root(), page.InvalidID)
 	h.Unlock()
 	h.Release()
 	if err != nil {
@@ -731,9 +745,9 @@ func (db *DB) CreateIndex(name string) (*Index, error) {
 		return fail(err)
 	}
 	db.mu.Lock()
-	db.trees[name] = tr
+	db.engines[name] = eng
 	db.mu.Unlock()
-	return &Index{db: db, tree: tr}, nil
+	return &Index{db: db, eng: eng}, nil
 }
 
 func (db *DB) logMetaPut(t *txn.Txn, h *buffer.Handle, name string, root, oldRoot page.ID) error {
@@ -744,7 +758,7 @@ func (db *DB) logMetaPut(t *txn.Txn, h *buffer.Handle, name string, root, oldRoo
 	if err != nil {
 		return err
 	}
-	if err := (btree.Applier{}).ApplyRedo(&wal.Record{Payload: op}, h.Page()); err != nil {
+	if err := (applier{}).ApplyRedo(&wal.Record{Payload: op}, h.Page()); err != nil {
 		return err
 	}
 	h.Page().SetLSN(lsn)
@@ -762,8 +776,8 @@ func (db *DB) Index(name string) (*Index, error) {
 	if db.closed {
 		return nil, ErrClosed
 	}
-	if tr, ok := db.trees[name]; ok && tr != nil {
-		return &Index{db: db, tree: tr}, nil
+	if eng, ok := db.engines[name]; ok && eng != nil {
+		return &Index{db: db, eng: eng}, nil
 	}
 	return nil, fmt.Errorf("%w: %q", ErrUnknownIndex, name)
 }
@@ -789,20 +803,24 @@ func (db *DB) Indexes() ([]string, error) {
 	return names, nil
 }
 
-// Index is a named key-value index backed by a Foster B-tree.
+// Index is a named key-value index backed by one of the storage engines
+// (Foster B-tree or linear-hash table) over the shared SPF machinery.
 type Index struct {
-	db   *DB
-	tree *btree.Tree
+	db  *DB
+	eng Engine
 }
 
+// Kind reports which engine backs this index.
+func (ix *Index) Kind() IndexKind { return ix.eng.Kind() }
+
 // Insert adds key=val under t.
-func (ix *Index) Insert(t *Txn, key, val []byte) error { return ix.tree.Insert(t, key, val) }
+func (ix *Index) Insert(t *Txn, key, val []byte) error { return ix.eng.Insert(t, key, val) }
 
 // Update replaces the value of key under t.
-func (ix *Index) Update(t *Txn, key, val []byte) error { return ix.tree.Update(t, key, val) }
+func (ix *Index) Update(t *Txn, key, val []byte) error { return ix.eng.Update(t, key, val) }
 
 // Delete removes key under t (logically, via a ghost record).
-func (ix *Index) Delete(t *Txn, key []byte) error { return ix.tree.Delete(t, key) }
+func (ix *Index) Delete(t *Txn, key []byte) error { return ix.eng.Delete(t, key) }
 
 // Get returns the value for key (ErrNotFound when absent).
 func (ix *Index) Get(key []byte) ([]byte, error) { return ix.GetTo(nil, key) }
@@ -810,35 +828,42 @@ func (ix *Index) Get(key []byte) ([]byte, error) { return ix.GetTo(nil, key) }
 // GetTo is Get appending the value to dst and returning the extended
 // slice, so a caller reusing its buffer across lookups (the server's hot
 // read path) pays zero allocations on a resident hit. dst may be nil.
-func (ix *Index) GetTo(dst, key []byte) ([]byte, error) { return ix.tree.GetTo(dst, key) }
+func (ix *Index) GetTo(dst, key []byte) ([]byte, error) { return ix.eng.GetTo(dst, key) }
 
-// Scan visits live entries in [start, end) in key order.
+// Scan visits live entries in [start, end). B-tree indexes emit key
+// order; hash indexes emit bucket order (sorted within each bucket).
 func (ix *Index) Scan(start, end []byte, fn func(Entry) bool) error {
-	return ix.tree.Scan(start, end, fn)
+	return ix.eng.Scan(start, end, fn)
 }
 
 // Verify exhaustively checks the index's structural invariants and returns
 // human-readable violations (empty = clean). It is an offline audit: it
 // latches one page at a time and assumes a quiesced index — a structural
 // change landing between two page visits can surface as a transient
-// violation on a healthy tree.
-func (ix *Index) Verify() ([]string, error) {
-	viols, err := ix.tree.VerifyAll()
-	if err != nil {
-		return nil, err
+// violation on a healthy index.
+func (ix *Index) Verify() ([]string, error) { return ix.eng.Verify() }
+
+// TreeStats returns structural statistics of a B-tree index; it fails for
+// other engine kinds (use HashStats for hash indexes).
+func (ix *Index) TreeStats() (btree.Stats, error) {
+	if e, ok := ix.eng.(btreeEngine); ok {
+		return e.tree.WalkStats()
 	}
-	out := make([]string, len(viols))
-	for i, v := range viols {
-		out[i] = v.String()
-	}
-	return out, nil
+	return btree.Stats{}, fmt.Errorf("spf: TreeStats on %v index %q", ix.eng.Kind(), ix.eng.Name())
 }
 
-// TreeStats returns structural statistics of the index.
-func (ix *Index) TreeStats() (btree.Stats, error) { return ix.tree.WalkStats() }
+// HashStats returns structural statistics of a hash index; it fails for
+// other engine kinds.
+func (ix *Index) HashStats() (hashindex.Stats, error) {
+	if e, ok := ix.eng.(hashEngine); ok {
+		return e.table.WalkStats()
+	}
+	return hashindex.Stats{}, fmt.Errorf("spf: HashStats on %v index %q", ix.eng.Kind(), ix.eng.Name())
+}
 
-// Root exposes the root page ID (stable).
-func (ix *Index) Root() PageID { return ix.tree.Root() }
+// Root exposes the root page ID (stable): the B-tree root or the hash
+// directory page.
+func (ix *Index) Root() PageID { return ix.eng.Root() }
 
 // Counters reports cumulative structural changes (foster splits,
 // adoptions, root growths).

@@ -27,10 +27,17 @@ func openTestDB(t *testing.T, opts Options) *DB {
 func k(i int) []byte { return []byte(fmt.Sprintf("key-%06d", i)) }
 func v(i int) []byte { return []byte(fmt.Sprintf("val-%06d", i)) }
 
-// loadIndex creates an index with n committed keys.
+// loadIndex creates a B-tree index with n committed keys.
 func loadIndex(t *testing.T, db *DB, name string, n int) *Index {
 	t.Helper()
-	ix, err := db.CreateIndex(name)
+	return loadIndexKind(t, db, name, KindBTree, n)
+}
+
+// loadIndexKind creates an index of the given engine kind with n
+// committed keys.
+func loadIndexKind(t *testing.T, db *DB, name string, kind IndexKind, n int) *Index {
+	t.Helper()
+	ix, err := db.CreateIndexKind(name, kind)
 	if err != nil {
 		t.Fatal(err)
 	}

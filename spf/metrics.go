@@ -59,19 +59,34 @@ type PRIMetrics struct {
 	Pages int
 }
 
-// IndexMetrics is the per-index slice of the snapshot: cumulative
-// structural churn plus the optimistic-descent outcome counters.
+// IndexMetrics is the per-index slice of the snapshot: the engine kind,
+// cumulative structural churn, and (for B-trees) the optimistic-descent
+// outcome counters.
 type IndexMetrics struct {
 	Name string
+	Kind string // "btree" or "hash"
 	Root PageID
-	// Splits, Adoptions, RootGrows count structural changes.
+	// Splits, Adoptions, RootGrows count B-tree structural changes.
 	Splits    int64
 	Adoptions int64
 	RootGrows int64
-	// OptimisticHits and OptimisticFallbacks split point-read descents by
-	// whether they completed latch-free on the branch levels.
+	// OptimisticHits and OptimisticFallbacks split B-tree point-read
+	// descents by whether they completed latch-free on the branch levels.
 	OptimisticHits      int64
 	OptimisticFallbacks int64
+	// BucketSplits and OverflowPages count hash-engine structural changes.
+	BucketSplits  int64
+	OverflowPages int64
+}
+
+func indexMetrics(name string, eng Engine) IndexMetrics {
+	c := eng.Counters()
+	return IndexMetrics{
+		Name: name, Kind: eng.Kind().String(), Root: eng.Root(),
+		Splits: c.Splits, Adoptions: c.Adoptions, RootGrows: c.RootGrows,
+		OptimisticHits: c.OptimisticHits, OptimisticFallbacks: c.OptimisticFallbacks,
+		BucketSplits: c.BucketSplits, OverflowPages: c.OverflowPages,
+	}
 }
 
 // Metrics returns the unified engine snapshot. It never fails: a crashed
@@ -111,14 +126,11 @@ func (db *DB) Metrics() Metrics {
 	db.mu.Lock()
 	m.Crashed = db.crashed
 	m.Closed = db.closed
-	for name, tr := range db.trees {
-		if tr == nil { // reserved by an in-flight CreateIndex
+	for name, eng := range db.engines {
+		if eng == nil { // reserved by an in-flight CreateIndex
 			continue
 		}
-		im := IndexMetrics{Name: name, Root: tr.Root()}
-		im.Splits, im.Adoptions, im.RootGrows = tr.Counters()
-		im.OptimisticHits, im.OptimisticFallbacks = tr.OptimisticStats()
-		m.Indexes = append(m.Indexes, im)
+		m.Indexes = append(m.Indexes, indexMetrics(name, eng))
 	}
 	db.mu.Unlock()
 	sort.Slice(m.Indexes, func(i, j int) bool { return m.Indexes[i].Name < m.Indexes[j].Name })
@@ -127,8 +139,5 @@ func (db *DB) Metrics() Metrics {
 
 // Metrics returns this index's slice of the DB snapshot.
 func (ix *Index) Metrics() IndexMetrics {
-	im := IndexMetrics{Name: ix.tree.Name(), Root: ix.tree.Root()}
-	im.Splits, im.Adoptions, im.RootGrows = ix.tree.Counters()
-	im.OptimisticHits, im.OptimisticFallbacks = ix.tree.OptimisticStats()
-	return im
+	return indexMetrics(ix.eng.Name(), ix.eng)
 }

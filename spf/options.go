@@ -2,13 +2,34 @@
 // and Kuno's "Definition, Detection, and Recovery of Single-Page Failures,
 // a Fourth Class of Database Failures" (PVLDB 5(7), 2012).
 //
-// The engine provides named Foster B-tree indexes over a simulated,
-// fault-injectable storage device, with write-ahead logging, ARIES-style
-// restart recovery, full-backup media recovery, and — the paper's
-// contribution — a page recovery index enabling single-page recovery: a
-// page that fails its read-path checks is rebuilt from its most recent
-// backup plus the per-page log chain while the reading transaction merely
-// waits, instead of escalating to a media failure.
+// The engine provides named indexes over a simulated, fault-injectable
+// storage device, with write-ahead logging, ARIES-style restart recovery,
+// full-backup media recovery, and — the paper's contribution — a page
+// recovery index enabling single-page recovery: a page that fails its
+// read-path checks is rebuilt from its most recent backup plus the
+// per-page log chain while the reading transaction merely waits, instead
+// of escalating to a media failure.
+//
+// # Choosing an engine
+//
+// Two storage engines implement the index surface behind one seam:
+// KindBTree (a Foster B-tree, the default) and KindHash (a page-based
+// linear-hashing table). Select per database with Options.IndexKind or
+// per index with DB.CreateIndexKind; DB.CreateIndex uses the database
+// default. Choose the B-tree when range Scans matter or keys are
+// retrieved in order — it keeps keys sorted globally and its optimistic
+// resident-read path is the fastest point lookup in the system. Choose
+// the hash engine for point-op-dominated working sets where ordered
+// iteration is incidental: lookups are O(1) directory→bucket hops
+// independent of key count, and Scan still works but enumerates in
+// bucket order (sorted only within a bucket). Everything below the seam
+// is shared and engine-blind — detection (checksums plus per-engine
+// cross-checks: fence keys for the B-tree, bucket/level/chain stamps for
+// the hash table), single-page repair, instant restart, media restore,
+// scrubbing, and the restore scheduler treat both engines' pages
+// identically, and both kinds can coexist in one database inside one
+// transaction. internal/enginebench (BenchmarkE34/E35 at the repo root)
+// measures the two side by side on identical seeded workloads.
 //
 // Restart after a system failure is instant (after Sauer et al.): instead
 // of replaying the log forward before opening for business, Restart marks
@@ -103,6 +124,11 @@ type Options struct {
 	// Lifecycle.Enabled is set — the live log then grows without bound,
 	// the pre-lifecycle behavior.
 	Lifecycle LifecycleOptions
+	// IndexKind is the engine CreateIndex builds: KindBTree (the zero
+	// value — ordered keys, range scans) or KindHash (linear hashing,
+	// point-op oriented). CreateIndexKind overrides it per index; both
+	// engines share every layer below the Engine seam.
+	IndexKind IndexKind
 	// Seed makes fault injection reproducible.
 	Seed int64
 }

@@ -95,6 +95,10 @@ func runTorture(t *testing.T, seed int64) {
 
 	const base = 800
 	ix := loadIndex(t, db, "t", base)
+	// The same workload also runs against a hash index: every chaos
+	// schedule that tortures the B-tree tortures the linear-hashing
+	// engine too, through the identical shared machinery.
+	hx := loadIndexKind(t, db, "h", KindHash, base)
 	// Every page gets a registered backup so any corruption victim is
 	// recoverable.
 	if _, err := db.BackupDatabase(); err != nil {
@@ -198,11 +202,19 @@ func runTorture(t *testing.T, seed int64) {
 					stopped = true
 					break
 				}
+				if err := hx.Update(tx, k(i), val); err != nil {
+					stopped = true
+					break
+				}
 				pending[string(k(i))] = val
 			} else {
 				i := next
 				next++
 				if err := ix.Insert(tx, k(i), v(i)); err != nil {
+					stopped = true
+					break
+				}
+				if err := hx.Insert(tx, k(i), v(i)); err != nil {
 					stopped = true
 					break
 				}
@@ -272,6 +284,10 @@ func runTorture(t *testing.T, seed int64) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	hx2, err := ndb.Index("h")
+	if err != nil {
+		t.Fatal(err)
+	}
 	checked := 0
 	for key, want := range acked {
 		if poisoned[key] {
@@ -282,12 +298,20 @@ func runTorture(t *testing.T, seed int64) {
 			t.Fatalf("acked key %q lost after crash at %s#%d: got %q, %v",
 				key, chosen, fireAt, got, err)
 		}
+		hgot, err := hx2.Get([]byte(key))
+		if err != nil || !bytes.Equal(hgot, want) {
+			t.Fatalf("acked key %q lost from hash index after crash at %s#%d: got %q, %v",
+				key, chosen, fireAt, hgot, err)
+		}
 		checked++
 	}
-	// Invariant 2: structure verifies clean despite the injected
+	// Invariant 2: both engines verify clean despite the injected
 	// persistent faults.
 	if viols, err := ix2.Verify(); err != nil || len(viols) != 0 {
 		t.Fatalf("verify after torture: %v %v", viols, err)
+	}
+	if viols, err := hx2.Verify(); err != nil || len(viols) != 0 {
+		t.Fatalf("hash verify after torture: %v %v", viols, err)
 	}
 	// The always-armed nested-fault points must have fired: wal.truncate
 	// on the first Crash, restart.prep on the first instant Restart.
